@@ -1,0 +1,191 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every figure and evaluative claim of the paper at
+   full scale — the tables and charts the experiments report (see
+   EXPERIMENTS.md for the paper-vs-measured record).
+
+   Part 2 runs one Bechamel micro-benchmark per experiment kernel (at
+   reduced scale, so the regression has a fast body to sample) plus a
+   set of substrate micro-benchmarks, and prints the OLS estimate per
+   run for each.
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+
+(* --- Part 2 machinery --- *)
+
+let experiment_kernels =
+  [
+    Test.make ~name:"fig1_2/mapping"
+      (Staged.stage (fun () -> Experiments.Fig1_2.scattered_fraction ()));
+    Test.make ~name:"fig3/space-time"
+      (Staged.stage (fun () -> Experiments.Fig3.measure ~quick:true ()));
+    Test.make ~name:"fig4/two-level"
+      (Staged.stage (fun () -> Experiments.Fig4.measure ~quick:true ()));
+    Test.make ~name:"c1/fragmentation"
+      (Staged.stage (fun () -> Experiments.C1_fragmentation.measure ~quick:true ()));
+    Test.make ~name:"c2/placement"
+      (Staged.stage (fun () -> Experiments.C2_placement.measure ~quick:true ()));
+    Test.make ~name:"c3/replacement"
+      (Staged.stage (fun () -> Experiments.C3_replacement.measure ~quick:true ()));
+    Test.make ~name:"c4/predictive"
+      (Staged.stage (fun () -> Experiments.C4_predictive.measure ~quick:true ()));
+    Test.make ~name:"c5/unit-of-allocation"
+      (Staged.stage (fun () -> Experiments.C5_unit.measure ~quick:true ()));
+    Test.make ~name:"c6/rice-chain"
+      (Staged.stage (fun () -> Experiments.C6_rice.measure ~quick:true ()));
+    Test.make ~name:"c7/multiprogramming"
+      (Staged.stage (fun () -> Experiments.C7_multiprog.measure ~quick:true ()));
+    Test.make ~name:"c8/page-size"
+      (Staged.stage (fun () -> Experiments.C8_page_size.measure ~quick:true ()));
+    Test.make ~name:"x1/compaction"
+      (Staged.stage (fun () -> Experiments.X1_compaction.measure ~quick:true ()));
+    Test.make ~name:"x2/hierarchy"
+      (Staged.stage (fun () -> Experiments.X2_hierarchy.measure ~quick:true ()));
+    Test.make ~name:"x3/overlay"
+      (Staged.stage (fun () -> Experiments.X3_overlay.measure ~quick:true ()));
+    Test.make ~name:"x4/swapping"
+      (Staged.stage (fun () -> Experiments.X4_swapping.measure ~quick:true ()));
+    Test.make ~name:"x5/addressing"
+      (Staged.stage (fun () -> Experiments.X5_addressing.measure ~quick:true ()));
+    Test.make ~name:"x6/allotment"
+      (Staged.stage (fun () -> Experiments.X6_allotment.measure ~quick:true ()));
+    Test.make ~name:"x7/recommended"
+      (Staged.stage (fun () -> Experiments.X7_recommended.measure ~quick:true ()));
+    Test.make ~name:"x8/drum"
+      (Staged.stage (fun () -> Experiments.X8_drum.measure ~quick:true ()));
+    Test.make ~name:"a/survey"
+      (Staged.stage (fun () -> Machines.Survey.run ~refs:500 ()));
+  ]
+
+(* Substrate micro-benchmarks: the inner loops everything above is made
+   of. *)
+let substrate_kernels =
+  let alloc_free_cycle policy =
+    let mem = Memstore.Physical.create ~name:"bench" ~words:65536 in
+    let a = Freelist.Allocator.create mem ~base:0 ~len:65536 ~policy in
+    (* Pre-populate so searches are non-trivial. *)
+    let rng = Sim.Rng.create 5 in
+    let live =
+      Array.init 200 (fun _ ->
+          Option.get (Freelist.Allocator.alloc a (1 + Sim.Rng.int rng 60)))
+    in
+    List.iteri (fun i addr -> if i mod 2 = 0 then Freelist.Allocator.free a addr)
+      (Array.to_list live);
+    fun () ->
+      match Freelist.Allocator.alloc a 32 with
+      | Some addr -> Freelist.Allocator.free a addr
+      | None -> ()
+  in
+  let buddy_cycle =
+    let b = Freelist.Buddy.create ~words:65536 in
+    fun () ->
+      match Freelist.Buddy.alloc b 33 with
+      | Some off -> Freelist.Buddy.free b off
+      | None -> ()
+  in
+  let rice_cycle =
+    let mem = Memstore.Physical.create ~name:"bench" ~words:65536 in
+    let c = Segmentation.Rice_chain.create mem ~base:0 ~len:65536 in
+    fun () ->
+      match Segmentation.Rice_chain.alloc c ~payload:32 ~codeword:1 with
+      | Some off -> Segmentation.Rice_chain.free c off
+      | None -> ()
+  in
+  let fault_sim_ref =
+    let trace = Workload.Trace.loop ~length:1000 ~extent:64 ~working_set:40 in
+    fun () ->
+      ignore (Paging.Fault_sim.run ~frames:32 ~policy:(Paging.Replacement.lru ()) trace)
+  in
+  let tlb_lookup =
+    let tlb = Paging.Tlb.create ~capacity:8 Paging.Tlb.Lru_replacement in
+    for k = 0 to 7 do
+      Paging.Tlb.insert tlb ~key:k ~value:k
+    done;
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      ignore (Paging.Tlb.lookup tlb (!i land 15))
+  in
+  let demand_read =
+    let clock = Sim.Clock.create () in
+    let core = Memstore.Level.make clock Memstore.Device.core ~name:"core" ~words:4096 in
+    let backing = Memstore.Level.make clock Memstore.Device.drum ~name:"drum" ~words:65536 in
+    let engine =
+      Paging.Demand.create
+        {
+          Paging.Demand.page_size = 512;
+          frames = 8;
+          pages = 128;
+          core;
+          backing;
+          policy = Paging.Replacement.clock_sweep ();
+          tlb = Some (Paging.Tlb.create ~capacity:8 Paging.Tlb.Lru_replacement);
+          compute_us_per_ref = 1;
+        }
+    in
+    let i = ref 0 in
+    fun () ->
+      i := (!i + 633) land 65535;
+      ignore (Paging.Demand.read engine !i)
+  in
+  [
+    Test.make ~name:"substrate/alloc-free first-fit"
+      (Staged.stage (alloc_free_cycle Freelist.Policy.First_fit));
+    Test.make ~name:"substrate/alloc-free best-fit"
+      (Staged.stage (alloc_free_cycle Freelist.Policy.Best_fit));
+    Test.make ~name:"substrate/buddy cycle" (Staged.stage buddy_cycle);
+    Test.make ~name:"substrate/rice-chain cycle" (Staged.stage rice_cycle);
+    Test.make ~name:"substrate/fault-sim 1000 refs (LRU)" (Staged.stage fault_sim_ref);
+    Test.make ~name:"substrate/tlb lookup" (Staged.stage tlb_lookup);
+    Test.make ~name:"substrate/demand-engine read" (Staged.stage demand_read);
+  ]
+
+let run_bechamel tests =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:250 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results =
+          List.concat_map
+            (fun elt ->
+              let raw = Benchmark.run cfg [ instance ] elt in
+              let est = Analyze.one ols instance raw in
+              let ns =
+                match Analyze.OLS.estimates est with
+                | Some (t :: _) -> t
+                | Some [] | None -> nan
+              in
+              let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
+              [ (Test.Elt.name elt, ns, r2) ])
+            (Test.elements test)
+        in
+        results)
+      tests
+  in
+  Metrics.Table.print ~headers:[ "benchmark"; "ns/run"; "r²" ]
+    (List.concat_map
+       (fun results ->
+         List.map
+           (fun (name, ns, r2) ->
+             [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.3f" r2 ])
+           results)
+       rows)
+
+let () =
+  print_endline "######################################################################";
+  print_endline "# Dynamic Storage Allocation Systems (Randell & Kuehner, SOSP 1967) #";
+  print_endline "# Part 1: every figure and claim, regenerated at full scale         #";
+  print_endline "######################################################################\n";
+  Experiments.Registry.run_all ();
+  print_endline "######################################################################";
+  print_endline "# Part 2: Bechamel micro-benchmarks (one per experiment kernel)     #";
+  print_endline "######################################################################\n";
+  run_bechamel experiment_kernels;
+  print_newline ();
+  run_bechamel substrate_kernels

@@ -1,0 +1,92 @@
+(* dsas_sim: run the paper's experiments from the command line.
+
+   `dsas_sim list`            enumerate experiments
+   `dsas_sim run fig3`        run one experiment at full scale
+   `dsas_sim run --quick all` smoke-run everything *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List every experiment with its source in the paper." in
+  let info = Cmd.info "list" ~doc in
+  let action () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-8s %-55s [%s]\n" e.Experiments.Registry.id
+          e.Experiments.Registry.title e.Experiments.Registry.paper_source)
+      Experiments.Registry.all
+  in
+  Cmd.v info Term.(const action $ const ())
+
+let quick_flag =
+  let doc = "Run at reduced scale (smoke test)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let id_arg =
+  let doc = "Experiment id from `dsas_sim list`, or `all`." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+
+let run_cmd =
+  let doc = "Run one experiment (or all of them)." in
+  let info = Cmd.info "run" ~doc in
+  let action quick id =
+    if String.lowercase_ascii id = "all" then begin
+      Experiments.Registry.run_all ~quick ();
+      `Ok ()
+    end
+    else
+      match Experiments.Registry.find id with
+      | Some e ->
+        e.Experiments.Registry.run ~quick ();
+        `Ok ()
+      | None ->
+        `Error (false, Printf.sprintf "unknown experiment %S; try `dsas_sim list`" id)
+  in
+  Cmd.v info Term.(ret (const action $ quick_flag $ id_arg))
+
+let replay_cmd =
+  let doc = "Replay a reference trace file (see tracegen) through the fault simulator." in
+  let info = Cmd.info "replay" ~doc in
+  let trace_arg =
+    Arg.(required & opt (some file) None & info [ "trace"; "t" ] ~docv:"FILE"
+           ~doc:"Trace file: one address per line.")
+  in
+  let frames_arg =
+    Arg.(value & opt int 16 & info [ "frames" ] ~doc:"Page frames of working storage.")
+  in
+  let page_arg =
+    Arg.(value & opt int 1 & info [ "page-size" ]
+           ~doc:"Words per page (1 = the trace already holds page numbers).")
+  in
+  let policy_arg =
+    let policies =
+      [ ("fifo", Paging.Spec.Fifo); ("lru", Paging.Spec.Lru); ("clock", Paging.Spec.Clock);
+        ("random", Paging.Spec.Random); ("nru", Paging.Spec.Nru); ("lfu", Paging.Spec.Lfu);
+        ("atlas", Paging.Spec.Atlas); ("m44", Paging.Spec.M44); ("opt", Paging.Spec.Opt) ]
+    in
+    Arg.(value & opt (enum policies) Paging.Spec.Lru & info [ "policy"; "p" ]
+           ~doc:"Replacement policy: fifo, lru, clock, random, nru, lfu, atlas, m44, opt.")
+  in
+  let action file frames page_size policy_spec =
+    let word_trace = Workload.Trace_io.load_trace file in
+    let trace =
+      if page_size = 1 then word_trace else Workload.Trace.to_pages ~page_size word_trace
+    in
+    let policy =
+      Paging.Spec.instantiate policy_spec ~rng:(Sim.Rng.create 1) ~trace:(Some trace)
+    in
+    let r = Paging.Fault_sim.run ~frames ~policy trace in
+    Printf.printf "%s over %d refs with %d frames: %d faults (%.2f%%), %d cold, %d evictions\n"
+      (Paging.Spec.to_string policy_spec)
+      r.Paging.Fault_sim.refs frames r.Paging.Fault_sim.faults
+      (100. *. Paging.Fault_sim.fault_rate r)
+      r.Paging.Fault_sim.cold r.Paging.Fault_sim.evictions
+  in
+  Cmd.v info Term.(const action $ trace_arg $ frames_arg $ page_arg $ policy_arg)
+
+let main =
+  let doc = "Dynamic storage allocation systems (Randell & Kuehner, 1967) — reproduction" in
+  let info = Cmd.info "dsas_sim" ~version:"1.0.0" ~doc in
+  Cmd.group info [ list_cmd; run_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,100 @@
+(* tracegen: materialize the built-in workload generators as text files
+   (or stdout), in the format Workload.Trace_io reads back.
+
+   Examples:
+     tracegen ref --kind zipf --length 10000 --extent 256 --out t.trace
+     tracegen alloc --steps 5000 --mean-size 40 --target-live 200 *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed (runs are reproducible).")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+         ~doc:"Output file (default: stdout).")
+
+let emit out write =
+  match out with
+  | None -> write stdout
+  | Some filename ->
+    let oc = open_out filename in
+    (match write oc with
+     | () -> close_out oc
+     | exception e ->
+       close_out_noerr oc;
+       raise e)
+
+let ref_cmd =
+  let kind_arg =
+    let kinds =
+      [ ("sequential", `Sequential); ("uniform", `Uniform); ("loop", `Loop);
+        ("zipf", `Zipf); ("phases", `Phases); ("matrix-row", `Matrix_row);
+        ("matrix-col", `Matrix_col) ]
+    in
+    Arg.(value & opt (enum kinds) `Uniform & info [ "kind"; "k" ]
+           ~doc:(Printf.sprintf "Trace kind: %s."
+                   (String.concat ", " (List.map fst kinds))))
+  in
+  let length_arg =
+    Arg.(value & opt int 10_000 & info [ "length"; "n" ] ~doc:"References to generate.")
+  in
+  let extent_arg =
+    Arg.(value & opt int 256 & info [ "extent" ] ~doc:"Name-space extent (addresses).")
+  in
+  let working_set_arg =
+    Arg.(value & opt int 32 & info [ "working-set" ] ~doc:"Loop/phase working-set size.")
+  in
+  let skew_arg = Arg.(value & opt float 1.0 & info [ "skew" ] ~doc:"Zipf exponent.") in
+  let rows_arg = Arg.(value & opt int 64 & info [ "rows" ] ~doc:"Matrix rows.") in
+  let cols_arg = Arg.(value & opt int 64 & info [ "cols" ] ~doc:"Matrix columns.") in
+  let action kind length extent working_set skew rows cols seed out =
+    let rng = Sim.Rng.create seed in
+    let trace =
+      match kind with
+      | `Sequential -> Workload.Trace.sequential ~length ~extent
+      | `Uniform -> Workload.Trace.uniform rng ~length ~extent
+      | `Loop -> Workload.Trace.loop ~length ~extent ~working_set
+      | `Zipf -> Workload.Trace.zipf rng ~length ~extent ~skew
+      | `Phases ->
+        Workload.Trace.working_set_phases rng ~length ~extent ~set_size:working_set
+          ~phase_length:(max 1 (length / 10)) ~locality:0.95
+      | `Matrix_row -> Workload.Trace.matrix_row_major ~rows ~cols ~base:0
+      | `Matrix_col -> Workload.Trace.matrix_col_major ~rows ~cols ~base:0
+    in
+    emit out (fun oc -> Workload.Trace_io.write_trace oc trace)
+  in
+  let info = Cmd.info "ref" ~doc:"Generate a word/page reference trace." in
+  Cmd.v info
+    Term.(const action $ kind_arg $ length_arg $ extent_arg $ working_set_arg $ skew_arg
+          $ rows_arg $ cols_arg $ seed_arg $ out_arg)
+
+let alloc_cmd =
+  let steps_arg =
+    Arg.(value & opt int 10_000 & info [ "steps" ] ~doc:"Stream steps to generate.")
+  in
+  let mean_size_arg =
+    Arg.(value & opt float 40. & info [ "mean-size" ] ~doc:"Geometric mean request size.")
+  in
+  let target_live_arg =
+    Arg.(value & opt int 200 & info [ "target-live" ] ~doc:"Steady-state live objects.")
+  in
+  let action steps mean_size target_live seed out =
+    let rng = Sim.Rng.create seed in
+    let events =
+      Workload.Alloc_stream.live_stream rng ~steps
+        ~size:(Workload.Alloc_stream.Geometric { mean = mean_size; min_size = 1 })
+        ~target_live
+    in
+    emit out (fun oc -> Workload.Trace_io.write_events oc events)
+  in
+  let info = Cmd.info "alloc" ~doc:"Generate an allocation request stream." in
+  Cmd.v info
+    Term.(const action $ steps_arg $ mean_size_arg $ target_live_arg $ seed_arg $ out_arg)
+
+let main =
+  let doc = "Generate workload files for the dsas simulators." in
+  let info = Cmd.info "tracegen" ~version:"1.0.0" ~doc in
+  Cmd.group info [ ref_cmd; alloc_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,125 @@
+(* A matrix summation written in symbolic assembly, run twice against a
+   demand-paged store: row-major and column-major order.
+
+   The assembler resolves labels and data symbols at assembly time (the
+   paper's "assembly programs could be used to permit a programmer to
+   refer to storage locations symbolically"); the column-major variant
+   is code-generated one column at a time, as 1960s assemblers unrolled
+   such loops.  Same matrix, same machine, same answer — an order of
+   magnitude apart in page faults, because the pager only sees the
+   address stream the generated code produces.
+
+   Run with:  dune exec examples/assembled_matrix.exe *)
+
+let rows = 16
+
+let cols = 64  (* one page per matrix column step: the bad stride *)
+
+let page_size = 64
+
+let mat = 1024  (* matrix at words 1024..2047: pages 16..31 *)
+
+let total = 3072  (* accumulator cell, its own page *)
+
+(* total = 0; for each column c: X sweeps c + (rows-1)*cols .. c step
+   -cols, accumulating mat[X]. *)
+let column_major_program () =
+  let open Machine.Assembler in
+  let items = ref [ Store (sym "total"); Loadi 0 ] in
+  let emit i = items := i :: !items in
+  for c = 0 to cols - 1 do
+    let loop = Printf.sprintf "col%d" c in
+    let done_ = Printf.sprintf "col%d_done" c in
+    emit (Setx (((rows - 1) * cols) + c));
+    emit (Label loop);
+    emit (Load (sym "total"));
+    emit (Add (sym_x "mat"));
+    emit (Store (sym "total"));
+    emit (Addx (-cols));
+    emit (Jxlt done_);
+    emit (Jmp loop);
+    emit (Label done_)
+  done;
+  emit (Load (sym "total"));
+  emit Halt;
+  assemble ~symbols:[ ("mat", (0, mat)); ("total", (0, total)) ] (List.rev !items)
+
+let row_major_program () =
+  let open Machine.Assembler in
+  assemble
+    ~symbols:[ ("mat", (0, mat)); ("total", (0, total)) ]
+    [
+      Setx ((rows * cols) - 1);
+      Loadi 0;
+      Store (sym "total");
+      Label "loop";
+      Load (sym "total");
+      Add (sym_x "mat");
+      Store (sym "total");
+      Addx (-1);
+      Jxlt "done";
+      Jmp "loop";
+      Label "done";
+      Load (sym "total");
+      Halt;
+    ]
+
+let run_on_fresh_pager program =
+  let frames = 8 and pages = 64 in
+  let clock = Sim.Clock.create () in
+  let core =
+    Memstore.Level.make clock Memstore.Device.core ~name:"core" ~words:(frames * page_size)
+  in
+  let backing =
+    Memstore.Level.make clock Memstore.Device.drum ~name:"drum" ~words:(pages * page_size)
+  in
+  (* The matrix: element (r, c) holds r + c, so the total is known. *)
+  let phys = Memstore.Level.physical backing in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Memstore.Physical.write phys (mat + (r * cols) + c) (Int64.of_int (r + c))
+    done
+  done;
+  let engine =
+    Paging.Demand.create
+      {
+        Paging.Demand.page_size;
+        frames;
+        pages;
+        core;
+        backing;
+        policy = Paging.Replacement.lru ();
+        tlb = Some (Paging.Tlb.create ~capacity:8 Paging.Tlb.Lru_replacement);
+        compute_us_per_ref = 1;
+      }
+  in
+  let cpu =
+    Machine.Cpu.create (Machine.Addressing.paged engine)
+      ~code_at:(fun pc -> { Machine.Addressing.segment = 0; offset = pc })
+  in
+  Machine.Cpu.load_program cpu program;
+  Machine.Cpu.run ~fuel:100_000 cpu;
+  (Machine.Cpu.acc cpu, Paging.Demand.faults engine, Sim.Clock.now clock)
+
+let () =
+  let expected =
+    let s = ref 0 in
+    for r = 0 to rows - 1 do
+      for c = 0 to cols - 1 do
+        s := !s + r + c
+      done
+    done;
+    !s
+  in
+  Printf.printf "%dx%d matrix of r+c at word %d; expected total %d\n\n" rows cols mat
+    expected;
+  let report name program =
+    let acc, faults, elapsed = run_on_fresh_pager program in
+    Printf.printf "%-13s sum = %Ld   %4d page faults   %8d us\n" name acc faults elapsed
+  in
+  report "row-major" (row_major_program ());
+  report "column-major" (column_major_program ());
+  print_endline
+    "\n(identical machine, identical answer; the column order touches a new\n\
+    \ page every reference and the 8-frame store thrashes -- the recoding\n\
+    \ the paper says badly-paged programs 'will probably' need)"

@@ -1,0 +1,77 @@
+(* Storage packing with a hardware channel and relocatable references.
+
+   The paper's two answers to external fragmentation are to tolerate it
+   or "to move information around in storage so as to remove any unused
+   spaces" — which is only sound if no absolute addresses are stored
+   anywhere except the one handle table (the codeword/descriptor idea),
+   and which special channel hardware exists to accelerate (Special
+   Hardware Facilities, iii).  This example shatters a store, shows a
+   large request failing, compacts through the channel, and retries.
+
+   Run with:  dune exec examples/compaction_handles.exe *)
+
+let words = 8192
+
+let hole_map allocator =
+  let blocks = Freelist.Allocator.walk allocator in
+  String.concat ""
+    (List.map
+       (fun b ->
+         let c = if b.Freelist.Allocator.allocated then '#' else '.' in
+         String.make (max 1 (b.Freelist.Allocator.size / 128)) c)
+       blocks)
+
+let () =
+  let clock = Sim.Clock.create () in
+  let mem = Memstore.Physical.create ~name:"core" ~words in
+  let heap =
+    Freelist.Allocator.create mem ~base:0 ~len:words ~policy:Freelist.Policy.First_fit
+  in
+  let handles = Freelist.Handle_table.create () in
+  (* Allocate 16 medium blocks via handles, then free every other one. *)
+  let hs =
+    List.init 16 (fun i ->
+        let addr = Option.get (Freelist.Allocator.alloc heap 400) in
+        Memstore.Physical.write mem addr (Int64.of_int (1000 + i));
+        (i, Freelist.Handle_table.register handles addr))
+  in
+  List.iter
+    (fun (i, h) ->
+      if i mod 2 = 0 then begin
+        Freelist.Allocator.free heap (Freelist.Handle_table.deref handles h);
+        Freelist.Handle_table.release handles h
+      end)
+    hs;
+  let survivors = List.filter (fun (i, _) -> i mod 2 = 1) hs in
+  Printf.printf "store after churn   %s\n" (hole_map heap);
+  Printf.printf "free: %d words in %d holes, largest %d\n"
+    (Freelist.Allocator.free_words heap)
+    (List.length (Freelist.Allocator.free_block_sizes heap))
+    (Freelist.Allocator.largest_free heap);
+  let want = 3000 in
+  (match Freelist.Allocator.alloc heap want with
+   | Some _ -> assert false
+   | None -> Printf.printf "a %d-word request FAILS despite %d words free\n" want
+               (Freelist.Allocator.free_words heap));
+
+  (* Pack through the autonomous channel; the handle table is the only
+     place addresses live, so one callback fixes the world. *)
+  let channel = Memstore.Channel.create clock ~word_ns:500 in
+  Freelist.Allocator.compact heap channel ~relocate:(fun old_addr new_addr ->
+      Freelist.Handle_table.relocate handles ~old_addr ~new_addr);
+  Printf.printf "\nstore after packing %s\n" (hole_map heap);
+  Printf.printf "channel moved %d words in %d us (a processor loop would need %d us)\n"
+    (Memstore.Channel.words_moved channel)
+    (Memstore.Channel.time_spent_us channel)
+    (Memstore.Channel.words_moved channel * 2);
+  (* Every surviving object is intact through its handle. *)
+  List.iter
+    (fun (i, h) ->
+      let v = Memstore.Physical.read mem (Freelist.Handle_table.deref handles h) in
+      assert (v = Int64.of_int (1000 + i)))
+    survivors;
+  Printf.printf "all %d surviving objects intact through their handles\n"
+    (List.length survivors);
+  match Freelist.Allocator.alloc heap want with
+  | Some addr -> Printf.printf "the %d-word request now succeeds at %d\n" want addr
+  | None -> assert false

@@ -1,0 +1,158 @@
+type job_report = {
+  job : string;
+  refs : int;
+  faults : int;
+  finish_us : int;
+}
+
+type report = {
+  elapsed_us : int;
+  cpu_busy_us : int;
+  cpu_utilization : float;
+  total_faults : int;
+  jobs : job_report list;
+}
+
+type job_state = {
+  spec : Workload.Job.t;
+  index : int;
+  mutable pos : int;
+  mutable faults : int;
+  mutable finish_us : int;
+  mutable finished : bool;
+}
+
+let key_bits = 32
+
+let key ~job ~page = (job lsl key_bits) lor page
+
+let run ?(quantum_refs = 50) ~frames ~policy ~fetch_us specs =
+  assert (frames > 0 && fetch_us >= 0 && quantum_refs > 0);
+  let jobs =
+    Array.of_list
+      (List.mapi
+         (fun index spec ->
+           { spec; index; pos = 0; faults = 0; finish_us = 0; finished = false })
+         specs)
+  in
+  assert (Array.length jobs > 0);
+  let resident : (int, int) Hashtbl.t = Hashtbl.create frames in  (* key -> ready_at *)
+  let ready : int Queue.t = Queue.create () in
+  let blocked : int Sim.Heap.t = Sim.Heap.create () in
+  Array.iter (fun j -> Queue.add j.index ready) jobs;
+  let now = ref 0 and busy = ref 0 and device_free_at = ref 0 in
+  let finished = ref 0 in
+  let candidates () =
+    (* Frames whose fetch has completed; in-flight pages are pinned. *)
+    let pool =
+      Hashtbl.fold (fun k ready_at acc -> if ready_at <= !now then k :: acc else acc)
+        resident []
+    in
+    Array.of_list (List.sort compare pool)
+  in
+  let start_fetch j k =
+    j.faults <- j.faults + 1;
+    let start = max !now !device_free_at in
+    let finish = start + fetch_us in
+    device_free_at := finish;
+    Hashtbl.replace resident k finish;
+    policy.Paging.Replacement.on_load ~page:k;
+    Sim.Heap.add blocked finish j.index
+  in
+  let finish_job j =
+    j.finished <- true;
+    j.finish_us <- !now;
+    incr finished
+  in
+  (* Run job [j] until it faults, exhausts its quantum, or finishes.
+     Returns true if it should be requeued as ready. *)
+  let execute j =
+    let rec step quantum =
+      if j.pos >= Array.length j.spec.Workload.Job.refs then begin
+        finish_job j;
+        false
+      end
+      else if quantum = 0 then true
+      else begin
+        let page = j.spec.Workload.Job.refs.(j.pos) in
+        let k = key ~job:j.index ~page in
+        policy.Paging.Replacement.on_reference ~page:k ~write:false;
+        match Hashtbl.find_opt resident k with
+        | Some ready_at when ready_at <= !now ->
+          j.pos <- j.pos + 1;
+          now := !now + j.spec.Workload.Job.compute_us_per_ref;
+          busy := !busy + j.spec.Workload.Job.compute_us_per_ref;
+          step (quantum - 1)
+        | Some ready_at ->
+          (* Our own page is still in flight; wait for it. *)
+          Sim.Heap.add blocked ready_at j.index;
+          false
+        | None ->
+          if Hashtbl.length resident >= frames then begin
+            let pool = candidates () in
+            if Array.length pool = 0 then begin
+              (* Everything in flight: stall until the earliest arrival. *)
+              let earliest = Hashtbl.fold (fun _ r acc -> min r acc) resident max_int in
+              Sim.Heap.add blocked earliest j.index;
+              false
+            end
+            else begin
+              let victim = policy.Paging.Replacement.choose_victim ~candidates:pool in
+              Hashtbl.remove resident victim;
+              policy.Paging.Replacement.on_evict ~page:victim;
+              start_fetch j k;
+              false
+            end
+          end
+          else begin
+            start_fetch j k;
+            false
+          end
+      end
+    in
+    step quantum_refs
+  in
+  let wake_due () =
+    let rec loop () =
+      match Sim.Heap.min blocked with
+      | Some (at, _) when at <= !now ->
+        (match Sim.Heap.pop blocked with
+         | Some (_, idx) -> Queue.add idx ready
+         | None -> ());
+        loop ()
+      | Some _ | None -> ()
+    in
+    loop ()
+  in
+  while !finished < Array.length jobs do
+    wake_due ();
+    if Queue.is_empty ready then begin
+      (* Processor idle until the next fetch completes. *)
+      match Sim.Heap.min blocked with
+      | Some (at, _) -> now := max !now at
+      | None -> assert false  (* unfinished jobs must be ready or blocked *)
+    end
+    else begin
+      let idx = Queue.pop ready in
+      let j = jobs.(idx) in
+      if not j.finished then if execute j then Queue.add idx ready
+    end
+  done;
+  let elapsed = !now in
+  {
+    elapsed_us = elapsed;
+    cpu_busy_us = !busy;
+    cpu_utilization = (if elapsed = 0 then 1. else float_of_int !busy /. float_of_int elapsed);
+    total_faults = Array.fold_left (fun acc j -> acc + j.faults) 0 jobs;
+    jobs =
+      Array.to_list
+        (Array.map
+           (fun j ->
+             {
+               job = j.spec.Workload.Job.name;
+               refs = Array.length j.spec.Workload.Job.refs;
+               faults = j.faults;
+               finish_us = j.finish_us;
+             })
+           jobs);
+  }

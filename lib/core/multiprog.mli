@@ -1,0 +1,38 @@
+(** Multiprogrammed demand paging: overlapping fetches with execution.
+
+    The paper (via ATLAS and the M44/44X): "A large space-time product
+    will not overly affect the performance of a system if the time spent
+    on fetching pages can normally be overlapped with the execution of
+    other programs."  This simulator runs k jobs round-robin on one
+    processor over a shared frame pool and one backing-store channel: a
+    faulting job blocks until its page arrives while the processor picks
+    the next ready job.  Experiment C7 sweeps k and the fetch time and
+    reads off processor utilization. *)
+
+type job_report = {
+  job : string;
+  refs : int;
+  faults : int;
+  finish_us : int;
+}
+
+type report = {
+  elapsed_us : int;  (** when the last job finished *)
+  cpu_busy_us : int;
+  cpu_utilization : float;
+  total_faults : int;
+  jobs : job_report list;
+}
+
+val run :
+  ?quantum_refs:int ->
+  frames:int ->
+  policy:Paging.Replacement.t ->
+  fetch_us:int ->
+  Workload.Job.t list ->
+  report
+(** [frames] is the shared pool; pages of different jobs never collide
+    (page identities are job-tagged).  [policy] arbitrates the shared
+    pool.  [fetch_us] is the page fetch time; fetches queue on a single
+    channel.  [quantum_refs] (default 50) bounds how long a job keeps
+    the processor without faulting. *)

@@ -1,0 +1,14 @@
+let run ?(quick = false) () =
+  print_endline "== A: the appendix, as a measured survey ==\n";
+  print_endline "--- the four basic characteristics ---\n";
+  print_string (Machines.Survey.characteristics_table ());
+  print_endline "\n--- survey notes ---\n";
+  List.iter
+    (fun (s, notes) ->
+      Printf.printf "%s:\n" s.Dsas.System.name;
+      List.iter (fun n -> Printf.printf "  - %s\n" n) notes)
+    Machines.Survey.all;
+  print_endline "\n--- signature runs (working-set trace over 3x working storage) ---\n";
+  let reports = Machines.Survey.run ~refs:(if quick then 2_000 else 20_000) () in
+  print_string (Machines.Survey.render reports);
+  print_newline ()

@@ -1,0 +1,8 @@
+(** Experiment A — the appendix survey, measured (A.1 - A.7).
+
+    Prints the four-characteristic classification of every appendix
+    machine, each machine's survey notes, and the headline numbers from
+    running each on a signature workload scaled to its own working
+    storage. *)
+
+val run : ?quick:bool -> unit -> unit

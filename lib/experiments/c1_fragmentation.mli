@@ -1,0 +1,22 @@
+(** Experiment C1 — paging obscures, not prevents, fragmentation
+    (conclusions, v).
+
+    One allocation mix (small-skewed object sizes under steady-state
+    churn) is served three ways: by the variable-unit boundary-tag
+    allocator (waste appears as {e external} fragmentation — shattered
+    holes), by the buddy system (rounding waste), and by paging at
+    several frame sizes (waste appears as {e internal} fragmentation —
+    partly-used frames).  Reported as wasted fraction of the storage
+    actually claimed, so the disciplines are directly comparable. *)
+
+type row = {
+  discipline : string;
+  claimed : int;  (** words of store claimed from the system *)
+  live : int;  (** words actually requested and live *)
+  wasted_fraction : float;
+  detail : string;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

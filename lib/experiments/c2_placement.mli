@@ -1,0 +1,23 @@
+(** Experiment C2 — placement strategies for variable units.
+
+    Each placement policy serves the same steady-state allocation
+    streams (a small-skewed mix and a bimodal small/large mix) in a
+    fixed store.  Reported: external fragmentation of the final state,
+    free-list search length (the bookkeeping cost the paper trades
+    against fragmentation), and how many requests could not be placed.
+    The paper's candidates: best fit ("common and frequently
+    satisfactory") and two-ends ("involves less bookkeeping"). *)
+
+type row = {
+  policy : string;
+  mix : string;
+  external_frag : float;
+  holes : int;
+  mean_search : float;
+  failures : int;
+  largest_free : int;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,83 @@
+type curve = {
+  trace_name : string;
+  policy : string;
+  points : (int * float) list;
+}
+
+let traces ~quick rng =
+  let length = if quick then 2_000 else 30_000 in
+  [
+    ("loop(40 of 64)", Workload.Trace.loop ~length ~extent:64 ~working_set:40);
+    ( "working-set phases",
+      Workload.Trace.working_set_phases rng ~length ~extent:128 ~set_size:24
+        ~phase_length:(length / 10) ~locality:0.9 );
+    ("zipf(1.0)", Workload.Trace.zipf rng ~length ~extent:128 ~skew:1.0);
+  ]
+
+let frame_points ~quick =
+  if quick then [ 16; 32 ] else [ 8; 16; 24; 32; 40; 48; 56; 64 ]
+
+let specs = Paging.Spec.all_practical @ [ Paging.Spec.Opt ]
+
+let measure ?(quick = false) () =
+  let rng = Sim.Rng.create 555 in
+  List.concat_map
+    (fun (trace_name, trace) ->
+      List.map
+        (fun spec ->
+          let points =
+            List.map
+              (fun frames ->
+                let policy =
+                  Paging.Spec.instantiate spec ~rng:(Sim.Rng.create 9) ~trace:(Some trace)
+                in
+                let r = Paging.Fault_sim.run ~frames ~policy trace in
+                (frames, Paging.Fault_sim.fault_rate r))
+              (frame_points ~quick)
+          in
+          { trace_name; policy = Paging.Spec.to_string spec; points })
+        specs)
+    (traces ~quick rng)
+
+let anomaly_rows () =
+  let trace = Workload.Trace.belady_anomaly_trace in
+  List.map
+    (fun frames ->
+      let fifo = Paging.Fault_sim.run ~frames ~policy:(Paging.Replacement.fifo ()) trace in
+      let lru = Paging.Fault_sim.run ~frames ~policy:(Paging.Replacement.lru ()) trace in
+      (frames, fifo.Paging.Fault_sim.faults, lru.Paging.Fault_sim.faults))
+    [ 1; 2; 3; 4; 5 ]
+
+let run ?quick () =
+  let curves = measure ?quick () in
+  print_endline "== C3: replacement strategies — fault rate vs memory size ==";
+  let by_trace =
+    List.sort_uniq compare (List.map (fun c -> c.trace_name) curves)
+  in
+  List.iter
+    (fun trace_name ->
+      let group = List.filter (fun c -> c.trace_name = trace_name) curves in
+      Printf.printf "\n--- trace: %s ---\n" trace_name;
+      let frames = List.map fst (List.hd group).points in
+      Metrics.Table.print
+        ~headers:("policy" :: List.map (fun f -> Printf.sprintf "%d frames" f) frames)
+        (List.map
+           (fun c ->
+             c.policy :: List.map (fun (_, rate) -> Metrics.Table.fmt_pct rate) c.points)
+           group);
+      let interesting p = List.mem p [ "FIFO"; "LRU"; "RANDOM"; "ATLAS"; "OPT" ] in
+      print_string
+        (Metrics.Chart.series ~x_label:"frames" ~y_label:"fault rate"
+           (List.filter_map
+              (fun c ->
+                if interesting c.policy then
+                  Some (c.policy, List.map (fun (f, r) -> (float_of_int f, r)) c.points)
+                else None)
+              group)))
+    by_trace;
+  print_endline "\n--- Belady's anomaly (reference string 1 2 3 4 1 2 5 1 2 3 4 5) ---\n";
+  Metrics.Table.print ~headers:[ "frames"; "FIFO faults"; "LRU faults" ]
+    (List.map
+       (fun (f, fifo, lru) -> [ string_of_int f; string_of_int fifo; string_of_int lru ])
+       (anomaly_rows ()));
+  print_endline "(note FIFO: 4 frames fault MORE than 3 frames; LRU is monotone)\n"

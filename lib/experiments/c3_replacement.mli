@@ -1,0 +1,22 @@
+(** Experiment C3 — replacement strategies (after Belady [1]).
+
+    Fault-rate-versus-memory-size curves for every implemented policy —
+    FIFO, LRU, CLOCK, RANDOM, NRU, LFU, the ATLAS learning program, the
+    M44 class-random rule, working set — against Belady's unrealizable
+    OPT, on three locality structures (cyclic loop, working-set phases,
+    Zipf popularity).  Also reproduces Belady's anomaly: FIFO faulting
+    more with more memory. *)
+
+type curve = {
+  trace_name : string;
+  policy : string;
+  points : (int * float) list;  (** frames, fault rate *)
+}
+
+val measure : ?quick:bool -> unit -> curve list
+
+val anomaly_rows : unit -> (int * int * int) list
+(** (frames, FIFO faults, LRU faults) on the canonical 12-reference
+    string. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,22 @@
+(** Experiment C4 — predictive information (M44 instructions, MULTICS
+    advice).
+
+    A phase-structured program is run twice over the same engine
+    configuration: once demand-only (the advice stripped out), once
+    annotated with will-need prefetches issued with varying lead time
+    before each phase change plus wont-need releases after it.  The
+    lead-time sweep shows advice is only worth anything when it arrives
+    early enough to overlap the fetch with the tail of the previous
+    phase — and never hurts, being "essentially advisory". *)
+
+type row = {
+  variant : string;  (** "demand only" or "advice, lead=N" *)
+  faults : int;
+  prefetches : int;
+  elapsed_us : int;
+  waiting_fraction : float;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

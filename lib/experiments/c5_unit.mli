@@ -1,0 +1,24 @@
+(** Experiment C5 — the unit of allocation: segments (B5000) vs pages
+    (ATLAS).
+
+    The same segment-structured workload — many small segments, a few
+    large, with working-set locality over whole segments — is served by
+    a segment-unit store (descriptor per segment, variable blocks,
+    best-fit, cyclic replacement) and by a paged system over the packed
+    linear layout of the same segments.  The trade the paper describes:
+    the segment store fetches exactly what is named and keeps structure
+    (but fragments externally and must move whole segments); the pager
+    is simple and placement-free (but wastes partial frames and its
+    faults split a segment across many transfers). *)
+
+type row = {
+  system : string;
+  faults : int;
+  words_transferred : int;  (** total words fetched from backing *)
+  elapsed_us : int;
+  waste : string;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

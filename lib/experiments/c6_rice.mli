@@ -1,0 +1,23 @@
+(** Experiment C6 — the Rice inactive-block chain (appendix A.4).
+
+    Drives the Rice allocator through steady-state segment churn at
+    several store pressures and reports what its distinctive mechanisms
+    actually do: how often the sequential frontier, the chain, and
+    adjacent-block combination each supply a request, the chain search
+    lengths, and how fragmentation builds up compared with the
+    boundary-tag allocator's immediate coalescing on the same stream. *)
+
+type row = {
+  allocator : string;
+  pressure : string;  (** live store / capacity aimed for *)
+  placed : int;
+  unplaced : int;
+  mean_search : float;
+  combines : int;
+  final_holes : int;
+  external_frag : float;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,21 @@
+(** Experiment C7 — multiprogramming overlaps fetches with execution
+    (ATLAS A.1, M44 A.2).
+
+    Processor utilization as the degree of multiprogramming k rises,
+    under a fast and a slow backing store, in two regimes: ample store
+    (frames scale with k — utilization climbs toward the compute bound)
+    and fixed store (adding jobs shrinks each job's share until the
+    system thrashes and utilization falls again). *)
+
+type row = {
+  jobs : int;
+  fetch_us : int;
+  regime : string;
+  cpu_utilization : float;
+  total_faults : int;
+  elapsed_us : int;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

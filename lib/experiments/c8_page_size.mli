@@ -1,0 +1,41 @@
+(** Experiment C8 — choosing the unit of allocation size.
+
+    "If it is too small, there will be an unacceptable amount of
+    overhead.  If it is too large, too much space will be wasted."
+    The M44's boot-time-variable page size is swept over one workload,
+    reporting faults, fetch traffic, page-table size (the overhead term)
+    and internal waste for a realistic object population (the waste
+    term); a combined cost column exposes the interior optimum.
+    MULTICS's answer — two page sizes at once — is evaluated on the same
+    object population. *)
+
+type row = {
+  page_size : int;
+  faults : int;
+  elapsed_us : int;
+  table_entries : int;
+  internal_waste : int;  (** words wasted by the object population *)
+  combined_cost : float;  (** normalized overhead + waste *)
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val dual_rows : unit -> (string * int * int) list
+(** (scheme, wasted words, page-table entries) for MULTICS's dual sizes
+    vs each uniform size on the same objects: the dual scheme matches
+    the small page's waste at close to the large page's table cost. *)
+
+type operational_row = {
+  scheme : string;
+  faults : int;
+  core_budget : int;  (** words of working storage given to the scheme *)
+  resident_utilization : float;  (** useful fraction of resident core *)
+  table_cost : int;  (** page-table entries for the whole segment set *)
+}
+
+val measure_operational : ?quick:bool -> unit -> operational_row list
+(** The dual mechanism actually running ({!Segmentation.Dual_pager}),
+    against uniform pagers at each size, all given the same words of
+    core on a mixed small/large segment workload. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,15 @@
+(** Experiment F1/F2 — artificial contiguity (paper Figures 1 and 2).
+
+    A contiguous run of names is mapped, through a table of block
+    addresses, onto page frames scattered through physical storage.
+    The experiment loads pages in an order that scatters them, prints
+    the resulting name-to-frame table (Fig. 2's "table of block
+    addresses"), and verifies that a sweep over contiguous names reads
+    back exactly the data placed at discontiguous physical addresses. *)
+
+val run : ?quick:bool -> unit -> unit
+
+val scattered_fraction : unit -> float
+(** Fraction of adjacent name-space page pairs whose frames are {e not}
+    physically adjacent after the scatter load (the measured claim:
+    name contiguity without address contiguity). *)

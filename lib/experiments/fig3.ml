@@ -1,0 +1,98 @@
+type row = {
+  device : string;
+  fetch_us : int;
+  active : float;
+  waiting : float;
+  waiting_fraction : float;
+  profile : string;  (* the Fig. 3 silhouette for this run *)
+}
+
+let page_size = 256
+
+let frames = 12
+
+(* Fetch-speed sweep: from core-to-core speeds through drum to disk. *)
+let devices =
+  [
+    Memstore.Device.custom ~label:"fast-drum" ~latency_us:1_000 ~word_ns:2_000;
+    Memstore.Device.drum;
+    Memstore.Device.custom ~label:"slow-drum" ~latency_us:20_000 ~word_ns:8_000;
+    Memstore.Device.disk;
+  ]
+
+let measure ?(quick = false) () =
+  let refs = if quick then 2_000 else 20_000 in
+  let rng = Sim.Rng.create 42 in
+  let pages = 24 in
+  let extent = pages * page_size in
+  (* Page-grained phases: each phase works a 6-page set that fits in
+     core, so faults cluster at phase changes — the bursts the figure
+     shades. *)
+  let page_trace =
+    Workload.Trace.working_set_phases rng ~length:refs ~extent:pages ~set_size:6
+      ~phase_length:(refs / 8) ~locality:0.98
+  in
+  let trace = Array.map (fun p -> (p * page_size) + Sim.Rng.int rng page_size) page_trace in
+  let one device =
+    let clock = Sim.Clock.create () in
+    let core =
+      Memstore.Level.make clock Memstore.Device.core ~name:"core"
+        ~words:(frames * page_size)
+    in
+    let backing = Memstore.Level.make clock device ~name:device.Memstore.Device.label ~words:extent in
+    let engine =
+      Paging.Demand.create
+        {
+          Paging.Demand.page_size;
+          frames;
+          pages = extent / page_size;
+          core;
+          backing;
+          policy = Paging.Replacement.lru ();
+          tlb = None;
+          compute_us_per_ref = 50;
+        }
+    in
+    Paging.Demand.run engine trace;
+    let st = Paging.Demand.space_time engine in
+    {
+      device = device.Memstore.Device.label;
+      fetch_us = Memstore.Device.transfer_us device ~words:page_size;
+      active = Metrics.Space_time.active st;
+      waiting = Metrics.Space_time.waiting st;
+      waiting_fraction = Metrics.Space_time.waiting_fraction st;
+      profile = Metrics.Timeline.render ~width:64 ~height:8 (Paging.Demand.timeline engine);
+    }
+  in
+  List.map one devices
+
+let run ?quick () =
+  let rows = measure ?quick () in
+  print_endline "== F3: space-time product under demand paging ==";
+  print_endline "(space occupied while awaiting pages vs while executing)\n";
+  Metrics.Table.print
+    ~headers:[ "backing store"; "page fetch (us)"; "active ST (word-us)"; "waiting ST"; "waiting %" ]
+    (List.map
+       (fun r ->
+         [
+           r.device;
+           string_of_int r.fetch_us;
+           Printf.sprintf "%.3g" r.active;
+           Printf.sprintf "%.3g" r.waiting;
+           Metrics.Table.fmt_pct r.waiting_fraction;
+         ])
+       rows);
+  print_newline ();
+  print_string
+    (Metrics.Chart.stacked_bars ~legend:("active space-time", "waiting space-time")
+       (List.map (fun r -> (r.device, r.active, r.waiting)) rows));
+  (* The figure itself, for the slowest and fastest stores. *)
+  (match rows with
+   | fastest :: _ ->
+     Printf.printf "\ntime profile, %s backing store:\n%s" fastest.device fastest.profile
+   | [] -> ());
+  (match List.rev rows with
+   | slowest :: _ ->
+     Printf.printf "\ntime profile, %s backing store:\n%s" slowest.device slowest.profile
+   | [] -> ());
+  print_newline ()

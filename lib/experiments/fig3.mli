@@ -1,0 +1,24 @@
+(** Experiment F3 — storage utilization with demand paging (Fig. 3).
+
+    One program runs a locality trace under demand paging while the
+    page-fetch time is swept from fast-drum to slow-disk values.  For
+    each fetch speed the space-time product is split into the Active
+    part (program executing) and the Waiting part (program suspended,
+    still occupying its frames, awaiting a page) — the shaded regions of
+    the paper's figure.  The paper's claim: "If page fetching is a slow
+    process, a large part of the space-time product for a program may
+    well be due to space occupied while the program is inactive awaiting
+    further pages." *)
+
+type row = {
+  device : string;
+  fetch_us : int;  (** cost of one page transfer *)
+  active : float;
+  waiting : float;
+  waiting_fraction : float;
+  profile : string;  (** the rendered Fig. 3 silhouette of this run *)
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,22 @@
+(** Experiment F4 — two-level mapping and the associative memory (Fig. 4).
+
+    A segmented reference string is translated through segment and page
+    tables while the associative-memory capacity sweeps from 0 (every
+    reference pays two table accesses) upward.  The measured effective
+    access time shows the paper's point that without the associative
+    memory "the cost in extra addressing time caused by the provision
+    of, say, segmentation and artificial name contiguity, would often be
+    unacceptable" — and that a very small one recovers almost all of
+    it. *)
+
+type row = {
+  tlb_capacity : int;
+  hit_ratio : float;
+  map_accesses_per_ref : float;
+  effective_access_us : float;  (** at 2 us core *)
+  overhead_vs_raw : float;  (** effective / raw single-access cost *)
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

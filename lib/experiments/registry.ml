@@ -1,0 +1,141 @@
+type entry = {
+  id : string;
+  title : string;
+  paper_source : string;
+  run : ?quick:bool -> unit -> unit;
+}
+
+let all =
+  [
+    {
+      id = "fig1_2";
+      title = "artificial contiguity via a block-address table";
+      paper_source = "Figures 1 and 2";
+      run = Fig1_2.run;
+    };
+    {
+      id = "fig3";
+      title = "space-time product under demand paging";
+      paper_source = "Figure 3; Fetch Strategies";
+      run = Fig3.run;
+    };
+    {
+      id = "fig4";
+      title = "two-level mapping and the associative memory";
+      paper_source = "Figure 4; Special Hardware Facilities (vi)";
+      run = Fig4.run;
+    };
+    {
+      id = "c1";
+      title = "paging obscures fragmentation";
+      paper_source = "Uniformity of Unit of Storage Allocation; Conclusions (v)";
+      run = C1_fragmentation.run;
+    };
+    {
+      id = "c2";
+      title = "placement strategies";
+      paper_source = "Placement Strategies";
+      run = C2_placement.run;
+    };
+    {
+      id = "c3";
+      title = "replacement strategies";
+      paper_source = "Replacement Strategies; Belady [1]";
+      run = C3_replacement.run;
+    };
+    {
+      id = "c4";
+      title = "predictive information";
+      paper_source = "Predictive Information; appendices A.2, A.6";
+      run = C4_predictive.run;
+    };
+    {
+      id = "c5";
+      title = "unit of allocation: segments vs pages";
+      paper_source = "Uniformity of Unit of Storage Allocation; A.3";
+      run = C5_unit.run;
+    };
+    {
+      id = "c6";
+      title = "Rice inactive-block chain";
+      paper_source = "appendix A.4";
+      run = C6_rice.run;
+    };
+    {
+      id = "c7";
+      title = "multiprogramming hides fetch latency";
+      paper_source = "Fetch Strategies; appendices A.1, A.2";
+      run = C7_multiprog.run;
+    };
+    {
+      id = "c8";
+      title = "choosing the page size; MULTICS dual sizes";
+      paper_source = "Uniformity of Unit of Storage Allocation; A.2, A.6";
+      run = C8_page_size.run;
+    };
+    {
+      id = "x1";
+      title = "compaction ablation (extension)";
+      paper_source = "Uniformity of Unit...; Special Hardware Facilities (iii)";
+      run = X1_compaction.run;
+    };
+    {
+      id = "x2";
+      title = "several levels of working storage (extension)";
+      paper_source = "Fetch Strategies, final paragraph";
+      run = X2_hierarchy.run;
+    };
+    {
+      id = "x3";
+      title = "static overlays vs dynamic allocation (extension)";
+      paper_source = "Introduction";
+      run = X3_overlay.run;
+    };
+    {
+      id = "x4";
+      title = "whole-program swapping vs paging (extension)";
+      paper_source = "Introduction; Storage Addressing (relocation register)";
+      run = X4_swapping.run;
+    };
+    {
+      id = "x5";
+      title = "one program, every addressing mechanism (extension)";
+      paper_source = "Storage Addressing";
+      run = X5_addressing.run;
+    };
+    {
+      id = "x6";
+      title = "sizing storage by the space-time product (extension)";
+      paper_source = "Fetch Strategies (space-time product)";
+      run = X6_allotment.run;
+    };
+    {
+      id = "x7";
+      title = "the authors' recommendation, raced (extension)";
+      paper_source = "Basic Characteristics -- Summary";
+      run = X7_recommended.run;
+    };
+    {
+      id = "x8";
+      title = "scheduling the paging drum (extension)";
+      paper_source = "Fetch Strategies (storage-medium performance)";
+      run = X8_drum.run;
+    };
+    {
+      id = "survey";
+      title = "the appendix machines, measured";
+      paper_source = "appendix A.1-A.7";
+      run = A_survey.run;
+    };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let run_all ?quick () =
+  List.iter
+    (fun e ->
+      e.run ?quick ();
+      print_newline ())
+    all

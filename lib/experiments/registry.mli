@@ -1,0 +1,16 @@
+(** The experiment registry: every figure and claim of the paper mapped
+    to runnable code (see DESIGN.md's per-experiment index). *)
+
+type entry = {
+  id : string;  (** e.g. "fig3", "c1" *)
+  title : string;
+  paper_source : string;  (** where in the paper the claim lives *)
+  run : ?quick:bool -> unit -> unit;
+}
+
+val all : entry list
+
+val find : string -> entry option
+(** Look up by id, case-insensitively. *)
+
+val run_all : ?quick:bool -> unit -> unit

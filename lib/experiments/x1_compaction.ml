@@ -1,0 +1,137 @@
+type row = {
+  variant : string;
+  placed : int;
+  failed : int;
+  compactions : int;
+  words_moved : int;
+  move_time_us : int;
+  final_frag : float;
+}
+
+let words = 1 lsl 15
+
+(* Steady small-object churn with a large request every [period]
+   events: the requests compaction exists for. *)
+let stream rng ~steps ~period =
+  let base =
+    Workload.Alloc_stream.live_stream rng ~steps
+      ~size:(Workload.Alloc_stream.Geometric { mean = 30.; min_size = 1 })
+      ~target_live:(words / 45)
+  in
+  List.concat
+    (List.mapi
+       (fun i e ->
+         if i > 0 && i mod period = 0 then
+           [ Workload.Alloc_stream.Alloc { id = 1_000_000 + i; size = words / 12 }; e ]
+         else [ e ])
+       base)
+
+let serve ~compacting events =
+  let mem = Memstore.Physical.create ~name:"core" ~words in
+  let a = Freelist.Allocator.create mem ~base:0 ~len:words ~policy:Freelist.Policy.Best_fit in
+  let clock = Sim.Clock.create () in
+  let channel = Memstore.Channel.create clock ~word_ns:500 in
+  let handles = Freelist.Handle_table.create () in
+  let by_id = Hashtbl.create 512 in
+  let placed = ref 0 and failed = ref 0 and compactions = ref 0 in
+  let try_alloc size =
+    match Freelist.Allocator.alloc a size with
+    | Some addr -> Some addr
+    | None ->
+      if compacting then begin
+        incr compactions;
+        Freelist.Allocator.compact a channel ~relocate:(fun old_addr new_addr ->
+            Freelist.Handle_table.relocate handles ~old_addr ~new_addr);
+        Freelist.Allocator.alloc a size
+      end
+      else None
+  in
+  List.iter
+    (function
+      | Workload.Alloc_stream.Alloc { id; size } ->
+        (match try_alloc size with
+         | Some addr ->
+           incr placed;
+           Hashtbl.replace by_id id (Freelist.Handle_table.register handles addr)
+         | None -> incr failed)
+      | Workload.Alloc_stream.Free { id } ->
+        (match Hashtbl.find_opt by_id id with
+         | Some h ->
+           Freelist.Allocator.free a (Freelist.Handle_table.deref handles h);
+           Freelist.Handle_table.release handles h;
+           Hashtbl.remove by_id id
+         | None -> ()))
+    events;
+  {
+    variant = (if compacting then "best-fit + compaction" else "best-fit, no compaction");
+    placed = !placed;
+    failed = !failed;
+    compactions = !compactions;
+    words_moved = Memstore.Channel.words_moved channel;
+    move_time_us = Memstore.Channel.time_spent_us channel;
+    final_frag =
+      Metrics.Fragmentation.external_of_free_blocks (Freelist.Allocator.free_block_sizes a);
+  }
+
+let serve_two_ends events =
+  let mem = Memstore.Physical.create ~name:"core" ~words in
+  let a =
+    Freelist.Allocator.create mem ~base:0 ~len:words
+      ~policy:(Freelist.Policy.Two_ends { small_max = 128 })
+  in
+  let by_id = Hashtbl.create 512 in
+  let placed = ref 0 and failed = ref 0 in
+  List.iter
+    (function
+      | Workload.Alloc_stream.Alloc { id; size } ->
+        (match Freelist.Allocator.alloc a size with
+         | Some addr ->
+           incr placed;
+           Hashtbl.replace by_id id addr
+         | None -> incr failed)
+      | Workload.Alloc_stream.Free { id } ->
+        (match Hashtbl.find_opt by_id id with
+         | Some addr ->
+           Freelist.Allocator.free a addr;
+           Hashtbl.remove by_id id
+         | None -> ()))
+    events;
+  {
+    variant = "two-ends, no compaction";
+    placed = !placed;
+    failed = !failed;
+    compactions = 0;
+    words_moved = 0;
+    move_time_us = 0;
+    final_frag =
+      Metrics.Fragmentation.external_of_free_blocks (Freelist.Allocator.free_block_sizes a);
+  }
+
+let measure ?(quick = false) () =
+  let steps = if quick then 2_000 else 20_000 in
+  let events () = stream (Sim.Rng.create 313) ~steps ~period:200 in
+  [
+    serve ~compacting:false (events ());
+    serve ~compacting:true (events ());
+    serve_two_ends (events ());
+  ]
+
+let run ?quick () =
+  let rows = measure ?quick () in
+  print_endline "== X1 (extension): compaction ablation ==";
+  print_endline "(small-object churn + periodic large requests; best fit 32K words)\n";
+  Metrics.Table.print
+    ~headers:[ "variant"; "placed"; "failed"; "compactions"; "words moved"; "move time (us)"; "final frag" ]
+    (List.map
+       (fun r ->
+         [
+           r.variant;
+           string_of_int r.placed;
+           string_of_int r.failed;
+           string_of_int r.compactions;
+           string_of_int r.words_moved;
+           string_of_int r.move_time_us;
+           Metrics.Table.fmt_pct r.final_frag;
+         ])
+       rows);
+  print_newline ()

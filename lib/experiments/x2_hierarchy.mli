@@ -1,0 +1,21 @@
+(** Extension X2 — several levels of working storage.
+
+    The paper: fetching an item to a higher storage level "will be
+    worthwhile only if the item is going to be used frequently."  A
+    fast-core level over a bulk-core level over a drum serves a
+    skew-popular reference string; the promotion rule is swept from
+    never (bulk only), through promote-after-k, to promote-always.
+    Measured: effective access time, promotions (the traffic the rule
+    is supposed to suppress), and fast-core hit ratio. *)
+
+type row = {
+  rule : string;
+  fast_hit_ratio : float;
+  promotions : int;
+  drum_faults : int;
+  effective_access_us : float;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,24 @@
+(** Extension X3 — preplanned overlays vs dynamic allocation.
+
+    The paper's introduction: before dynamic allocation, "the simplest
+    strategies involved preplanned allocation and overlaying on the
+    basis of worst case estimates of storage requirements."  A phased
+    program is executed both ways: a static overlay schedule that loads
+    each phase's declared page set in one batched drum transfer (worst
+    case: every declared page, used or not), and demand paging that
+    fetches only touched pages, one latency each.  Dense phases (every
+    declared page used many times) favour the batch; sparse phases
+    (most declared pages never touched) favour demand — the trade that
+    made "dynamic" win as programs grew less predictable. *)
+
+type row = {
+  scheme : string;
+  workload : string;
+  fetch_operations : int;  (** batches or faults *)
+  words_loaded : int;
+  elapsed_us : int;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,132 @@
+type row = {
+  scheme : string;
+  touched : string;
+  transfers : int;
+  words_moved : int;
+  elapsed_us : int;
+}
+
+let programs = 6
+
+let program_size = 4096
+
+let core_words = 2 * program_size  (* two programs fit at once *)
+
+let page_size = 256
+
+(* The interactive schedule: rounds of (program, word-offsets touched).
+   [touch_fraction] picks how much of the program one interaction
+   uses. *)
+let schedule ~quick ~touch_fraction seed =
+  let rounds = if quick then 6 else 30 in
+  let refs_per_interaction = if quick then 200 else 1_000 in
+  let rng = Sim.Rng.create seed in
+  let region = max page_size (int_of_float (touch_fraction *. float_of_int program_size)) in
+  List.concat
+    (List.init rounds (fun _ ->
+         List.init programs (fun p ->
+             let base = Sim.Rng.int rng (program_size - region + 1) in
+             ( p,
+               Array.init refs_per_interaction (fun _ ->
+                   base + Sim.Rng.int rng region) ))))
+
+let swapping_run ~touched schedule =
+  let clock = Sim.Clock.create () in
+  let core = Memstore.Level.make clock Memstore.Device.core ~name:"core" ~words:core_words in
+  let backing =
+    Memstore.Level.make clock Memstore.Device.drum ~name:"drum"
+      ~words:(programs * program_size)
+  in
+  let swapper =
+    Swapping.Swapper.create
+      {
+        Swapping.Swapper.core;
+        backing;
+        placement = Freelist.Policy.First_fit;
+        compact_on_failure = true;
+      }
+  in
+  let ids =
+    (* Leave a little slack for allocator tags: programs are declared
+       slightly under their nominal size. *)
+    Array.init programs (fun i ->
+        Swapping.Swapper.add_program swapper
+          ~name:(Printf.sprintf "prog%d" i)
+          ~size:(program_size - 8))
+  in
+  List.iter
+    (fun (p, refs) ->
+      Array.iter
+        (fun name ->
+          let name = min name (program_size - 9) in
+          ignore (Swapping.Swapper.read swapper ids.(p) name))
+        refs)
+    schedule;
+  {
+    scheme = "whole-program swapping";
+    touched;
+    transfers = Swapping.Swapper.swap_ins swapper;
+    words_moved = Swapping.Swapper.words_swapped swapper;
+    elapsed_us = Sim.Clock.now clock;
+  }
+
+let paging_run ~touched schedule =
+  let clock = Sim.Clock.create () in
+  let core = Memstore.Level.make clock Memstore.Device.core ~name:"core" ~words:core_words in
+  let backing =
+    Memstore.Level.make clock Memstore.Device.drum ~name:"drum"
+      ~words:(programs * program_size)
+  in
+  let engine =
+    Paging.Demand.create
+      {
+        Paging.Demand.page_size;
+        frames = core_words / page_size;
+        pages = programs * program_size / page_size;
+        core;
+        backing;
+        policy = Paging.Replacement.lru ();
+        tlb = Some (Paging.Tlb.create ~capacity:16 Paging.Tlb.Lru_replacement);
+        compute_us_per_ref = 0;
+      }
+  in
+  List.iter
+    (fun (p, refs) ->
+      Array.iter (fun name -> ignore (Paging.Demand.read engine ((p * program_size) + name))) refs)
+    schedule;
+  {
+    scheme = "demand paging";
+    touched;
+    transfers = Paging.Demand.faults engine;
+    words_moved = Paging.Demand.faults engine * page_size;
+    elapsed_us = Sim.Clock.now clock;
+  }
+
+let measure ?(quick = false) () =
+  let dense = schedule ~quick ~touch_fraction:0.9 11 in
+  let sparse = schedule ~quick ~touch_fraction:0.08 11 in
+  [
+    swapping_run ~touched:"~90% of program" dense;
+    paging_run ~touched:"~90% of program" dense;
+    swapping_run ~touched:"~8% of program" sparse;
+    paging_run ~touched:"~8% of program" sparse;
+  ]
+
+let run ?quick () =
+  let rows = measure ?quick () in
+  print_endline "== X4 (extension): whole-program swapping vs demand paging ==";
+  print_endline
+    "(6 programs x 4K words over 8K words of core, drum-backed, round-robin)\n";
+  Metrics.Table.print
+    ~headers:[ "interaction touches"; "scheme"; "transfers"; "words moved"; "elapsed (us)" ]
+    (List.map
+       (fun r ->
+         [
+           r.touched;
+           r.scheme;
+           string_of_int r.transfers;
+           string_of_int r.words_moved;
+           string_of_int r.elapsed_us;
+         ])
+       rows);
+  print_newline ()

@@ -1,0 +1,24 @@
+(** Extension X4 — whole-program swapping vs demand paging.
+
+    The historical step the paper's introduction narrates: time-sharing
+    first ran on contiguous programs addressed through relocation/limit
+    registers and swapped whole, then moved to paging so that only the
+    storage a program actually touches need move.  The same interactive
+    schedule (k programs served round-robin, each interaction touching a
+    fraction of its program) is executed by the {!Swapping.Swapper} and
+    by the paging engine over the same devices.  Dense interactions suit
+    the swapper's single batched transfer; sparse interactions are where
+    paging wins — the M44's "significant portion of each user's program
+    remains in core" argument. *)
+
+type row = {
+  scheme : string;
+  touched : string;  (** fraction of the program each interaction uses *)
+  transfers : int;  (** swap-ins or page faults *)
+  words_moved : int;
+  elapsed_us : int;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

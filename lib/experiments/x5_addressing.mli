@@ -1,0 +1,24 @@
+(** Extension X5 — one program, every addressing mechanism.
+
+    The paper's "Storage Addressing" section distinguishes the name a
+    program uses from the address the system accesses.  Here the {e same
+    encoded program} (fill an array, then sum it) executes on the word
+    machine through each addressing unit of the taxonomy — absolute,
+    relocation/limit, demand-paged, and segmented — and the measured
+    cost of each mechanism (elapsed virtual time, faults taken, words of
+    mapping overhead) is reported side by side.  The program's answer is
+    identical in every row; what changes is everything the taxonomy is
+    about. *)
+
+type row = {
+  unit_label : string;
+  answer : int64;
+  instructions : int;
+  elapsed_us : int;
+  faults : int;  (** page or segment faults taken *)
+  traps : string;  (** what an out-of-bounds name does here *)
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,23 @@
+(** Extension X6 — sizing storage by the space-time product.
+
+    The paper holds up the space-time product as the significant measure
+    of a fetch strategy.  Taken seriously, it is also a {e sizing rule}:
+    run a program's reference string against a range of storage
+    allotments; too few frames and the time term (fault delays)
+    explodes, too many and the space term is waste; the product has an
+    interior minimum that says how much working storage the program is
+    worth.  The experiment draws the curve for programs of different
+    locality and shows the optimum track the program's working-set size. *)
+
+type row = {
+  program : string;
+  frames : int;
+  faults : int;
+  elapsed_us : int;
+  space_time : float;
+  optimal : bool;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

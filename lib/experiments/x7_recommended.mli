@@ -1,0 +1,27 @@
+(** Extension X7 — racing the authors' recommendation.
+
+    "Not all of the more promising choices of a set of characteristics
+    have been tried."  The paper's favourite combination
+    ({!Machines.Recommended}) runs a mixed small-and-large-segment
+    workload against the designs it was arguing with: the B5000, whose
+    1024-word ceiling forces large structures to be chopped (its
+    compiler's matrix-by-rows trick), and a MULTICS-style uniform
+    pager, which maps every access through two table levels.  Two
+    regimes are run: with ample core the recommendation wins outright;
+    under tight core, fetching large segments {e whole} thrashes —
+    demonstrating why the recommendation's own clause (iv) insists that
+    large segments be "allocated using a set of separate blocks". *)
+
+type row = {
+  system : string;
+  regime : string;  (** "ample core" or "tight core" *)
+  faults : int;
+  elapsed_us : int option;
+  map_accesses : int option;
+  external_frag : float option;
+  note : string;
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,23 @@
+(** Extension X8 — scheduling the paging drum.
+
+    F3 and C7 take the page-fetch time as a device constant; in reality
+    it was a queueing outcome.  The paper: the space-time product "will
+    be affected by the time taken to fetch pages, which will depend on
+    the performance of the storage medium".  This experiment loads a
+    sectored drum with page-request streams of rising intensity and
+    measures the mean fetch latency under arrival-order service versus
+    shortest-access-time-first — the scheduling trick that made paging
+    drums viable, and the difference between the "demand paging can be
+    quite effective, when the time taken to fetch a page is very small"
+    regime and the Fig. 3 regime. *)
+
+type row = {
+  policy : string;
+  load : float;  (** requests per revolution *)
+  mean_latency_us : float;
+  revolutions_per_page : float;  (** mean latency / rotation time *)
+}
+
+val measure : ?quick:bool -> unit -> row list
+
+val run : ?quick:bool -> unit -> unit

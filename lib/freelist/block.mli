@@ -1,0 +1,43 @@
+(** Boundary-tag block encoding inside simulated memory.
+
+    A block of [size] words (size includes both tags) is laid out as:
+
+    {v
+      +0          header: (size lsl 1) lor allocated-bit
+      +1          free blocks: offset of next free block (-1 = none)
+      +2          free blocks: offset of previous free block (-1 = none)
+      ...         payload (allocated blocks: words +1 .. size-2)
+      +size-1     footer: same encoding as header
+    v}
+
+    The footer lets [free] find the preceding block for coalescing —
+    the "boundary tag" technique.  All offsets are region-relative word
+    offsets; the minimum representable block is {!min_block} words. *)
+
+val min_block : int
+(** 4: header + two link words + footer. *)
+
+val overhead : int
+(** 2: tag words unavailable to the payload of an allocated block. *)
+
+val null : int
+(** -1, the nil link. *)
+
+type tag = { size : int; allocated : bool }
+
+val read_header : Memstore.Physical.t -> base:int -> int -> tag
+
+val read_footer : Memstore.Physical.t -> base:int -> int -> tag
+(** [read_footer mem ~base off] reads the tag of the block {e ending}
+    just before region offset [off] (i.e. the word at [off - 1]). *)
+
+val write_tags : Memstore.Physical.t -> base:int -> int -> tag -> unit
+(** Write both header and footer of the block at region offset. *)
+
+val read_next : Memstore.Physical.t -> base:int -> int -> int
+
+val read_prev : Memstore.Physical.t -> base:int -> int -> int
+
+val write_next : Memstore.Physical.t -> base:int -> int -> int -> unit
+
+val write_prev : Memstore.Physical.t -> base:int -> int -> int -> unit

@@ -1,0 +1,114 @@
+type t = {
+  words : int;
+  max_order : int;
+  free : (int, unit) Hashtbl.t array;  (* free.(o): offsets of free 2^o blocks *)
+  live : (int, int * int) Hashtbl.t;  (* offset -> (order, requested) *)
+  mutable live_requested : int;
+  mutable live_granted : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let order_of n =
+  let rec loop o v = if v >= n then o else loop (o + 1) (v * 2) in
+  loop 0 1
+
+let granted_size n =
+  assert (n >= 1);
+  1 lsl order_of n
+
+let create ~words =
+  assert (is_power_of_two words);
+  let max_order = order_of words in
+  let free = Array.init (max_order + 1) (fun _ -> Hashtbl.create 16) in
+  Hashtbl.replace free.(max_order) 0 ();
+  { words; max_order; free; live = Hashtbl.create 64; live_requested = 0; live_granted = 0 }
+
+let pop_free t o =
+  let table = t.free.(o) in
+  match Hashtbl.length table with
+  | 0 -> None
+  | _ ->
+    (* Take the lowest offset for determinism. *)
+    let best = Hashtbl.fold (fun off () acc -> min off acc) table max_int in
+    Hashtbl.remove table best;
+    Some best
+
+let alloc t n =
+  assert (n >= 1);
+  let want = order_of n in
+  if want > t.max_order then None
+  else begin
+    (* Find the smallest order >= want with a free block. *)
+    let rec find o = if o > t.max_order then None else if Hashtbl.length t.free.(o) > 0 then Some o else find (o + 1) in
+    match find want with
+    | None -> None
+    | Some o ->
+      let off = match pop_free t o with Some off -> off | None -> assert false in
+      (* Split down to the wanted order, freeing the upper halves. *)
+      let rec split o =
+        if o > want then begin
+          let o' = o - 1 in
+          Hashtbl.replace t.free.(o') (off + (1 lsl o')) ();
+          split o'
+        end
+      in
+      split o;
+      Hashtbl.replace t.live off (want, n);
+      t.live_requested <- t.live_requested + n;
+      t.live_granted <- t.live_granted + (1 lsl want);
+      Some off
+  end
+
+let free t off =
+  match Hashtbl.find_opt t.live off with
+  | None -> invalid_arg "Buddy.free: unknown or already-freed offset"
+  | Some (order, requested) ->
+    Hashtbl.remove t.live off;
+    t.live_requested <- t.live_requested - requested;
+    t.live_granted <- t.live_granted - (1 lsl order);
+    let rec merge off o =
+      if o >= t.max_order then (off, o)
+      else begin
+        let buddy = off lxor (1 lsl o) in
+        if Hashtbl.mem t.free.(o) buddy then begin
+          Hashtbl.remove t.free.(o) buddy;
+          merge (min off buddy) (o + 1)
+        end
+        else (off, o)
+      end
+    in
+    let off, o = merge off order in
+    Hashtbl.replace t.free.(o) off ()
+
+let live_requested t = t.live_requested
+
+let live_granted t = t.live_granted
+
+let free_words t =
+  let total = ref 0 in
+  Array.iteri (fun o table -> total := !total + (Hashtbl.length table * (1 lsl o))) t.free;
+  !total
+
+let largest_free t =
+  let rec loop o = if o < 0 then 0 else if Hashtbl.length t.free.(o) > 0 then 1 lsl o else loop (o - 1) in
+  loop t.max_order
+
+let validate t =
+  if free_words t + t.live_granted <> t.words then
+    failwith "Buddy.validate: free + granted does not tile the store";
+  Array.iteri
+    (fun o table ->
+      Hashtbl.iter
+        (fun off () ->
+          if off mod (1 lsl o) <> 0 then failwith "Buddy.validate: misaligned free block";
+          if o < t.max_order then begin
+            let buddy = off lxor (1 lsl o) in
+            if Hashtbl.mem table buddy then failwith "Buddy.validate: unmerged free buddies"
+          end)
+        table)
+    t.free;
+  Hashtbl.iter
+    (fun off (o, _) ->
+      if off mod (1 lsl o) <> 0 then failwith "Buddy.validate: misaligned live block")
+    t.live

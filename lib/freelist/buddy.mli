@@ -1,0 +1,44 @@
+(** Binary buddy allocator.
+
+    The classical compromise between uniform and variable units of
+    allocation: blocks come only in power-of-two sizes, so a freed block
+    can be merged with its unique "buddy" in O(1), at the cost of
+    rounding every request up to a power of two (internal
+    fragmentation).  Included as a baseline for the C1/C2 experiments:
+    it sits between the boundary-tag allocator (no rounding waste, costly
+    search) and paging (fixed units, no search). *)
+
+type t
+
+val create : words:int -> t
+(** A buddy system over [words] words; [words] must be a power of two
+    and at least 1. *)
+
+val alloc : t -> int -> int option
+(** [alloc t n] returns the offset of a block of [granted_size n] words,
+    or [None] if no block is available. *)
+
+val free : t -> int -> unit
+(** Release a previously allocated offset.  Raises [Invalid_argument]
+    on a double free or unknown offset. *)
+
+val granted_size : int -> int
+(** The power of two a request of [n >= 1] words is rounded up to. *)
+
+val live_requested : t -> int
+(** Sum of requested sizes of live blocks. *)
+
+val live_granted : t -> int
+(** Sum of granted (power-of-two) sizes of live blocks; the difference
+    from {!live_requested} is the buddy system's internal
+    fragmentation. *)
+
+val free_words : t -> int
+
+val largest_free : t -> int
+(** Largest single request currently satisfiable. *)
+
+val validate : t -> unit
+(** Check the free lists tile the store together with live blocks and
+    that no free block coexists with its free buddy.  Raises [Failure]
+    on violation. *)

@@ -1,0 +1,61 @@
+type handle = int
+
+type t = {
+  mutable slots : int array;  (* handle -> address, or -1 for dead *)
+  mutable used : int;
+  mutable free_slots : int list;
+  by_addr : (int, int) Hashtbl.t;  (* address -> handle *)
+}
+
+let dead = -1
+
+let create () = { slots = [||]; used = 0; free_slots = []; by_addr = Hashtbl.create 64 }
+
+let register t addr =
+  let h =
+    match t.free_slots with
+    | h :: rest ->
+      t.free_slots <- rest;
+      h
+    | [] ->
+      if t.used >= Array.length t.slots then begin
+        let grown = Array.make (max 8 (2 * Array.length t.slots)) dead in
+        Array.blit t.slots 0 grown 0 t.used;
+        t.slots <- grown
+      end;
+      let h = t.used in
+      t.used <- t.used + 1;
+      h
+  in
+  t.slots.(h) <- addr;
+  Hashtbl.replace t.by_addr addr h;
+  h
+
+let check t h =
+  if h < 0 || h >= t.used || t.slots.(h) = dead then
+    invalid_arg "Handle_table: dead or unknown handle"
+
+let deref t h =
+  check t h;
+  t.slots.(h)
+
+let release t h =
+  check t h;
+  Hashtbl.remove t.by_addr t.slots.(h);
+  t.slots.(h) <- dead;
+  t.free_slots <- h :: t.free_slots
+
+let live t = Hashtbl.length t.by_addr
+
+let relocate t ~old_addr ~new_addr =
+  match Hashtbl.find_opt t.by_addr old_addr with
+  | None -> invalid_arg "Handle_table.relocate: no live handle at address"
+  | Some h ->
+    Hashtbl.remove t.by_addr old_addr;
+    t.slots.(h) <- new_addr;
+    Hashtbl.replace t.by_addr new_addr h
+
+let iter t f =
+  for h = 0 to t.used - 1 do
+    if t.slots.(h) <> dead then f h t.slots.(h)
+  done

@@ -1,0 +1,37 @@
+(** Relocatable references: the codeword / descriptor discipline.
+
+    The paper observes that relocating information is only convenient
+    when "there are no stored absolute addresses, because all access to
+    information is via, for example, base registers or an address
+    mapping device".  A handle table is the minimal such device: clients
+    hold opaque handles; the table holds the single absolute address per
+    object; compaction updates the table through its [relocate]
+    callback and every outstanding handle stays valid.  This is exactly
+    the role of Rice codewords and B5000 PRT descriptors. *)
+
+type t
+
+type handle = private int
+(** Opaque capability for one stored object. *)
+
+val create : unit -> t
+
+val register : t -> int -> handle
+(** [register t addr] records an object at absolute address [addr]. *)
+
+val deref : t -> handle -> int
+(** Current absolute address.  Raises [Invalid_argument] on a released
+    handle. *)
+
+val release : t -> handle -> unit
+
+val live : t -> int
+(** Number of live handles. *)
+
+val relocate : t -> old_addr:int -> new_addr:int -> unit
+(** Retarget the (unique) live handle whose address is [old_addr];
+    made to be passed to {!Allocator.compact}.  Raises
+    [Invalid_argument] if no live handle has that address. *)
+
+val iter : t -> (handle -> int -> unit) -> unit
+(** Apply to every live (handle, address) pair. *)

@@ -1,0 +1,16 @@
+type t =
+  | First_fit
+  | Next_fit
+  | Best_fit
+  | Worst_fit
+  | Two_ends of { small_max : int }
+
+let to_string = function
+  | First_fit -> "first-fit"
+  | Next_fit -> "next-fit"
+  | Best_fit -> "best-fit"
+  | Worst_fit -> "worst-fit"
+  | Two_ends { small_max } -> Printf.sprintf "two-ends(<=%d)" small_max
+
+let all_standard =
+  [ First_fit; Next_fit; Best_fit; Worst_fit; Two_ends { small_max = 64 } ]

@@ -1,0 +1,24 @@
+(** Placement strategies for variable units of allocation.
+
+    These are the alternatives the paper's "Placement Strategies"
+    section discusses: the "smallest space which is sufficient" rule
+    (best fit), the lower-bookkeeping "large blocks at one end, small at
+    the other" rule (two ends), and the standard fits the later
+    literature measured them against. *)
+
+type t =
+  | First_fit  (** lowest-addressed sufficient hole *)
+  | Next_fit  (** first fit resuming from a roving pointer *)
+  | Best_fit  (** smallest sufficient hole (paper's "common and
+                  frequently satisfactory strategy") *)
+  | Worst_fit  (** largest hole — a deliberate straw man *)
+  | Two_ends of { small_max : int }
+      (** requests up to [small_max] words placed low-end-first; larger
+          requests placed high-end-first (paper's alternative "which
+          involves less bookkeeping") *)
+
+val to_string : t -> string
+
+val all_standard : t list
+(** The policy set the C2 experiment sweeps (two-ends instantiated with
+    a representative threshold). *)

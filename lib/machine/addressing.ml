@@ -1,0 +1,82 @@
+type access = { segment : int; offset : int }
+
+exception No_segments of access
+
+type t = {
+  label : string;
+  read : access -> int64;
+  write : access -> int64 -> unit;
+  advise_will : access -> unit;
+  advise_wont : access -> unit;
+}
+
+let linear_only a = if a.segment <> 0 then raise (No_segments a)
+
+let no_advice (_ : access) = ()
+
+let absolute level =
+  {
+    label = "absolute";
+    read =
+      (fun a ->
+        linear_only a;
+        Memstore.Level.read level a.offset);
+    write =
+      (fun a v ->
+        linear_only a;
+        Memstore.Level.write level a.offset v);
+    advise_will = no_advice;
+    advise_wont = no_advice;
+  }
+
+let relocated level registers =
+  {
+    label = "relocation+limit";
+    read =
+      (fun a ->
+        linear_only a;
+        Memstore.Level.read level (Swapping.Relocation.translate registers a.offset));
+    write =
+      (fun a v ->
+        linear_only a;
+        Memstore.Level.write level (Swapping.Relocation.translate registers a.offset) v);
+    advise_will = no_advice;
+    advise_wont = no_advice;
+  }
+
+let paged engine =
+  (* The pager's name space is word-addressed; advice talks pages. *)
+  let page_of a = a.offset / Paging.Demand.page_size engine in
+  {
+    label = "paged";
+    read =
+      (fun a ->
+        linear_only a;
+        Paging.Demand.read engine a.offset);
+    write =
+      (fun a v ->
+        linear_only a;
+        Paging.Demand.write engine a.offset v);
+    advise_will =
+      (fun a ->
+        linear_only a;
+        Paging.Demand.advise_will_need engine ~page:(page_of a));
+    advise_wont =
+      (fun a ->
+        linear_only a;
+        Paging.Demand.advise_wont_need engine ~page:(page_of a));
+  }
+
+let segmented store ~segments =
+  let id a =
+    if a.segment < 0 || a.segment >= Array.length segments then
+      invalid_arg (Printf.sprintf "Addressing.segmented: unknown segment %d" a.segment);
+    segments.(a.segment)
+  in
+  {
+    label = "segmented";
+    read = (fun a -> Segmentation.Segment_store.read store (id a) a.offset);
+    write = (fun a v -> Segmentation.Segment_store.write store (id a) a.offset v);
+    advise_will = no_advice;
+    advise_wont = no_advice;
+  }

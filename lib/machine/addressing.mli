@@ -1,0 +1,37 @@
+(** Pluggable addressing units: the path from name to location.
+
+    One CPU ({!Cpu}) runs the same encoded program through any of
+    these, so the taxonomy's name-space rows become directly
+    comparable:
+
+    - {!absolute}: names are absolute core addresses (early machines);
+    - {!relocated}: a relocation/limit register pair;
+    - {!paged}: a large linear name space over a demand pager (ATLAS);
+    - {!segmented}: two-part names through a segment store (B5000).
+
+    All variants present the same record of operations; units that have
+    no segments reject a non-zero segment name. *)
+
+type access = { segment : int; offset : int }
+
+exception No_segments of access
+(** Raised by linear units when [segment <> 0]. *)
+
+type t = {
+  label : string;
+  read : access -> int64;
+  write : access -> int64 -> unit;
+  advise_will : access -> unit;  (** no-op where unsupported *)
+  advise_wont : access -> unit;
+}
+
+val absolute : Memstore.Level.t -> t
+
+val relocated : Memstore.Level.t -> Swapping.Relocation.t -> t
+
+val paged : Paging.Demand.t -> t
+(** Advice maps to the pager's will-need / wont-need. *)
+
+val segmented : Segmentation.Segment_store.t -> segments:Segmentation.Segment_store.id array -> t
+(** [segments.(i)] is the store segment behind segment name [i].
+    Unknown segment names raise [Invalid_argument]. *)

@@ -1,0 +1,88 @@
+type operand =
+  | At of { seg : int; off : int; indexed : bool }
+  | Sym of { name : string; disp : int; indexed : bool }
+
+type item =
+  | Label of string
+  | Load of operand
+  | Store of operand
+  | Add of operand
+  | Sub of operand
+  | Loadi of int
+  | Addi of int
+  | Setx of int
+  | Ldx of operand
+  | Addx of int
+  | Jmp of string
+  | Jnz of string
+  | Jlt of string
+  | Jxlt of string
+  | Advise_will of operand
+  | Advise_wont of operand
+  | Halt
+
+exception Assembly_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Assembly_error s)) fmt
+
+let direct ?(seg = 0) off = At { seg; off; indexed = false }
+
+let indexed ?(seg = 0) off = At { seg; off; indexed = true }
+
+let sym ?(disp = 0) name = Sym { name; disp; indexed = false }
+
+let sym_x ?(disp = 0) name = Sym { name; disp; indexed = true }
+
+let assemble ?(symbols = []) items =
+  (* Pass 1: label addresses (instruction indices). *)
+  let labels = Hashtbl.create 16 in
+  let count =
+    List.fold_left
+      (fun index item ->
+        match item with
+        | Label name ->
+          if Hashtbl.mem labels name then error "duplicate label %S" name;
+          Hashtbl.replace labels name index;
+          index
+        | Load _ | Store _ | Add _ | Sub _ | Loadi _ | Addi _ | Setx _ | Ldx _
+        | Addx _ | Jmp _ | Jnz _ | Jlt _ | Jxlt _ | Advise_will _ | Advise_wont _
+        | Halt ->
+          index + 1)
+      0 items
+  in
+  ignore count;
+  let target name =
+    match Hashtbl.find_opt labels name with
+    | Some index -> index
+    | None -> error "undefined label %S" name
+  in
+  let bindings = Hashtbl.create 16 in
+  List.iter (fun (name, binding) -> Hashtbl.replace bindings name binding) symbols;
+  let operand = function
+    | At { seg; off; indexed } -> { Isa.seg; off; indexed }
+    | Sym { name; disp; indexed } ->
+      (match Hashtbl.find_opt bindings name with
+       | Some (seg, off) -> { Isa.seg; off = off + disp; indexed }
+       | None -> error "undefined symbol %S" name)
+  in
+  (* Pass 2: emit. *)
+  let emit = function
+    | Label _ -> None
+    | Load o -> Some (Isa.Load (operand o))
+    | Store o -> Some (Isa.Store (operand o))
+    | Add o -> Some (Isa.Add (operand o))
+    | Sub o -> Some (Isa.Sub (operand o))
+    | Loadi n -> Some (Isa.Loadi n)
+    | Addi n -> Some (Isa.Addi n)
+    | Setx n -> Some (Isa.Setx n)
+    | Ldx o -> Some (Isa.Ldx (operand o))
+    | Addx n -> Some (Isa.Addx n)
+    | Jmp l -> Some (Isa.Jmp (target l))
+    | Jnz l -> Some (Isa.Jnz (target l))
+    | Jlt l -> Some (Isa.Jlt (target l))
+    | Jxlt l -> Some (Isa.Jxlt (target l))
+    | Advise_will o -> Some (Isa.Advise_will (operand o))
+    | Advise_wont o -> Some (Isa.Advise_wont (operand o))
+    | Halt -> Some Isa.Halt
+  in
+  Array.of_list (List.filter_map emit items)

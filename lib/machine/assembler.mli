@@ -1,0 +1,55 @@
+(** A symbolic assembler for the word machine.
+
+    {!Programs} builds instruction arrays with hand-counted jump
+    targets; this assembler resolves labels instead, so programs can be
+    written the way 1960s assembly was: named branch targets and
+    symbolic data names, assigned to concrete names at assembly time —
+    the paper's observation that "assembly programs could be used to
+    permit a programmer to refer to storage locations symbolically.
+    The actual assignment of specific addresses ... would then be
+    performed during the assembly process".
+
+    A source item is a label definition or an instruction whose jump
+    targets are label names and whose operands may name data symbols
+    declared with {!val-symbol}. *)
+
+type operand =
+  | At of { seg : int; off : int; indexed : bool }  (** concrete name *)
+  | Sym of { name : string; disp : int; indexed : bool }
+      (** data symbol + displacement *)
+
+type item =
+  | Label of string
+  | Load of operand
+  | Store of operand
+  | Add of operand
+  | Sub of operand
+  | Loadi of int
+  | Addi of int
+  | Setx of int
+  | Ldx of operand
+  | Addx of int
+  | Jmp of string
+  | Jnz of string
+  | Jlt of string
+  | Jxlt of string
+  | Advise_will of operand
+  | Advise_wont of operand
+  | Halt
+
+exception Assembly_error of string
+
+val direct : ?seg:int -> int -> operand
+
+val indexed : ?seg:int -> int -> operand
+
+val sym : ?disp:int -> string -> operand
+
+val sym_x : ?disp:int -> string -> operand
+(** Indexed symbol reference. *)
+
+val assemble : ?symbols:(string * (int * int)) list -> item list -> Isa.instr array
+(** [assemble ~symbols items] resolves every label to its instruction
+    index and every symbol to its [(seg, off)] binding.  Raises
+    {!Assembly_error} on duplicate labels, undefined labels or
+    symbols. *)

@@ -1,0 +1,76 @@
+exception Out_of_fuel of int
+
+type t = {
+  unit : Addressing.t;
+  code_at : int -> Addressing.access;
+  mutable acc : int64;
+  mutable x : int;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable steps : int;
+}
+
+let create unit ~code_at =
+  { unit; code_at; acc = 0L; x = 0; pc = 0; halted = false; steps = 0 }
+
+let load_program t program =
+  Array.iteri (fun i instr -> t.unit.Addressing.write (t.code_at i) (Isa.encode instr)) program
+
+let reset t =
+  t.acc <- 0L;
+  t.x <- 0;
+  t.pc <- 0;
+  t.halted <- false;
+  t.steps <- 0
+
+let effective t (o : Isa.operand) =
+  let offset = if o.Isa.indexed then o.Isa.off + t.x else o.Isa.off in
+  { Addressing.segment = o.Isa.seg; offset }
+
+let step t =
+  if not t.halted then begin
+    let instr = Isa.decode (t.unit.Addressing.read (t.code_at t.pc)) in
+    t.steps <- t.steps + 1;
+    t.pc <- t.pc + 1;
+    match instr with
+    | Isa.Load o -> t.acc <- t.unit.Addressing.read (effective t o)
+    | Isa.Store o -> t.unit.Addressing.write (effective t o) t.acc
+    | Isa.Add o ->
+      t.acc <- Int64.add t.acc (t.unit.Addressing.read (effective t o))
+    | Isa.Sub o ->
+      t.acc <- Int64.sub t.acc (t.unit.Addressing.read (effective t o))
+    | Isa.Loadi n -> t.acc <- Int64.of_int n
+    | Isa.Addi n -> t.acc <- Int64.add t.acc (Int64.of_int n)
+    | Isa.Setx n -> t.x <- n
+    | Isa.Ldx o -> t.x <- Int64.to_int (t.unit.Addressing.read (effective t o))
+    | Isa.Addx n -> t.x <- t.x + n
+    | Isa.Jmp target -> t.pc <- target
+    | Isa.Jnz target -> if t.acc <> 0L then t.pc <- target
+    | Isa.Jlt target -> if Int64.compare t.acc 0L < 0 then t.pc <- target
+    | Isa.Jxlt target -> if t.x < 0 then t.pc <- target
+    | Isa.Advise_will o -> t.unit.Addressing.advise_will (effective t o)
+    | Isa.Advise_wont o -> t.unit.Addressing.advise_wont (effective t o)
+    | Isa.Halt -> t.halted <- true
+  end
+
+let run ?(fuel = 1_000_000) t =
+  let remaining = ref fuel in
+  while not t.halted do
+    if !remaining <= 0 then raise (Out_of_fuel t.steps);
+    decr remaining;
+    step t
+  done
+
+let halted t = t.halted
+
+let acc t = t.acc
+
+let x t = t.x
+
+let pc t = t.pc
+
+let steps t = t.steps
+
+let read_data t access = t.unit.Addressing.read access
+
+let write_data t access v = t.unit.Addressing.write access v

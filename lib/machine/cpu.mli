@@ -1,0 +1,52 @@
+(** The processor: fetch, decode, execute — all through one addressing
+    unit.
+
+    Instructions live in simulated storage and are fetched through the
+    same {!Addressing.t} as data ("instruction fetching on a 1-address
+    computer is a special case" of needing contiguity, as the paper
+    notes), so a paged CPU takes page faults on its own code and a
+    segmented CPU keeps code in its own segment. *)
+
+exception Out_of_fuel of int
+(** Raised by {!run} when the step budget is exhausted (runaway
+    program). *)
+
+type t
+
+val create : Addressing.t -> code_at:(int -> Addressing.access) -> t
+(** [code_at pc] names the word holding instruction [pc] — e.g.
+    [fun pc -> { segment = 0; offset = code_base + pc }] for a linear
+    name space, or [{ segment = code_seg; offset = pc }] for a
+    segmented one. *)
+
+val load_program : t -> Isa.instr array -> unit
+(** Encode and write the program through the addressing unit.  Raises
+    [Invalid_argument] if an instruction's fields do not fit. *)
+
+val reset : t -> unit
+(** Clear the processor state (acc, X, instruction counter, halt flag,
+    step count); storage contents are untouched, so a second program
+    loaded over the first can run against the data the first left. *)
+
+val step : t -> unit
+(** Execute one instruction.  No-op when halted. *)
+
+val run : ?fuel:int -> t -> unit
+(** Step until [Halt] (default fuel 1_000_000). *)
+
+val halted : t -> bool
+
+val acc : t -> int64
+
+val x : t -> int
+
+val pc : t -> int
+
+val steps : t -> int
+(** Instructions executed. *)
+
+val read_data : t -> Addressing.access -> int64
+(** Read a word through the unit without executing (for inspecting
+    results). *)
+
+val write_data : t -> Addressing.access -> int64 -> unit

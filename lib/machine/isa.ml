@@ -1,0 +1,125 @@
+type operand = {
+  seg : int;
+  off : int;
+  indexed : bool;
+}
+
+type instr =
+  | Load of operand
+  | Store of operand
+  | Add of operand
+  | Sub of operand
+  | Loadi of int
+  | Addi of int
+  | Setx of int
+  | Ldx of operand
+  | Addx of int
+  | Jmp of int
+  | Jnz of int
+  | Jlt of int
+  | Jxlt of int
+  | Advise_will of operand
+  | Advise_wont of operand
+  | Halt
+
+let direct ?(seg = 0) off = { seg; off; indexed = false }
+
+let indexed ?(seg = 0) off = { seg; off; indexed = true }
+
+(* Word layout (low to high bits):
+     bits 0-5   opcode
+     bit  6     indexed flag
+     bits 7-18  segment name (12 bits)
+     bits 19-58 offset / immediate / target (40 bits)
+   Negative immediates (Addx) store magnitude with a sign in bit 59. *)
+
+let seg_bits = 12
+
+let off_bits = 40
+
+let max_seg = (1 lsl seg_bits) - 1
+
+let max_off = (1 lsl off_bits) - 1
+
+let opcode_of = function
+  | Load _ -> 1
+  | Store _ -> 2
+  | Add _ -> 3
+  | Sub _ -> 4
+  | Loadi _ -> 5
+  | Addi _ -> 6
+  | Setx _ -> 7
+  | Ldx _ -> 16
+  | Addx _ -> 8
+  | Jmp _ -> 9
+  | Jnz _ -> 10
+  | Jlt _ -> 11
+  | Jxlt _ -> 15
+  | Advise_will _ -> 12
+  | Advise_wont _ -> 13
+  | Halt -> 14
+
+let operand_of = function
+  | Load o | Store o | Add o | Sub o | Ldx o | Advise_will o | Advise_wont o -> Some o
+  | Loadi _ | Addi _ | Setx _ | Addx _ | Jmp _ | Jnz _ | Jlt _ | Jxlt _ | Halt -> None
+
+let immediate_of = function
+  | Loadi n | Addi n | Setx n | Addx n | Jmp n | Jnz n | Jlt n | Jxlt n -> Some n
+  | Load _ | Store _ | Add _ | Sub _ | Ldx _ | Advise_will _ | Advise_wont _ | Halt -> None
+
+let is_jump = function
+  | Jmp _ | Jnz _ | Jlt _ | Jxlt _ -> true
+  | Load _ | Store _ | Add _ | Sub _ | Loadi _ | Addi _ | Setx _ | Ldx _ | Addx _
+  | Advise_will _ | Advise_wont _ | Halt -> false
+
+let fields_fit instr =
+  (match operand_of instr with
+   | Some o -> o.seg >= 0 && o.seg <= max_seg && o.off >= 0 && o.off <= max_off
+   | None -> true)
+  &&
+  match immediate_of instr with
+  | Some n -> abs n <= max_off && (n >= 0 || not (is_jump instr))
+  | None -> true
+
+let encode instr =
+  if not (fields_fit instr) then invalid_arg "Isa.encode: fields do not fit";
+  let opcode = opcode_of instr in
+  let indexed, seg, off, negative =
+    match operand_of instr, immediate_of instr with
+    | Some o, None -> ((if o.indexed then 1 else 0), o.seg, o.off, 0)
+    | None, Some n -> (0, 0, abs n, if n < 0 then 1 else 0)
+    | None, None -> (0, 0, 0, 0)
+    | Some _, Some _ -> assert false
+  in
+  let low =
+    opcode lor (indexed lsl 6) lor (seg lsl 7) lor (off lsl (7 + seg_bits))
+  in
+  Int64.logor (Int64.of_int low) (Int64.shift_left (Int64.of_int negative) 59)
+
+let decode word =
+  let low = Int64.to_int (Int64.logand word 0x07FF_FFFF_FFFF_FFFFL) in
+  let negative = Int64.logand (Int64.shift_right_logical word 59) 1L = 1L in
+  let opcode = low land 0x3F in
+  let indexed = low land 0x40 <> 0 in
+  let seg = (low lsr 7) land max_seg in
+  let off = (low lsr (7 + seg_bits)) land max_off in
+  let operand = { seg; off; indexed } in
+  let imm = if negative then -off else off in
+  match opcode with
+  | 1 -> Load operand
+  | 2 -> Store operand
+  | 3 -> Add operand
+  | 4 -> Sub operand
+  | 5 -> Loadi imm
+  | 6 -> Addi imm
+  | 7 -> Setx imm
+  | 8 -> Addx imm
+  | 9 -> Jmp imm
+  | 10 -> Jnz imm
+  | 11 -> Jlt imm
+  | 12 -> Advise_will operand
+  | 13 -> Advise_wont operand
+  | 14 -> Halt
+  | 15 -> Jxlt imm
+  | 16 -> Ldx operand
+  | n -> invalid_arg (Printf.sprintf "Isa.decode: invalid opcode %d" n)

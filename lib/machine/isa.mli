@@ -1,0 +1,53 @@
+(** A small word-machine instruction set, encodable into 64-bit words.
+
+    The paper's "Storage Addressing" section is about the path between
+    the {e name} in an instruction and the {e address} of a location.
+    To exercise that path for real, programs here are sequences of
+    encoded words living in simulated storage; every operand carries a
+    (segment, offset) name pair — a linear addressing unit simply
+    requires the segment to be 0, a B5000-style unit treats it as "part
+    of an instruction [that] cannot be manipulated".
+
+    The machine: a 64-bit accumulator, one index register X (the Rice
+    codeword add is the hardware version of [indexed]), an instruction
+    counter, and the M44/44X's two predictive instructions. *)
+
+type operand = {
+  seg : int;  (** segment name; 0 for linear name spaces *)
+  off : int;  (** item name within the segment *)
+  indexed : bool;  (** add X to [off] at execution *)
+}
+
+type instr =
+  | Load of operand  (** acc := mem[operand] *)
+  | Store of operand  (** mem[operand] := acc *)
+  | Add of operand
+  | Sub of operand
+  | Loadi of int  (** acc := immediate *)
+  | Addi of int  (** acc := acc + immediate *)
+  | Setx of int  (** X := immediate *)
+  | Ldx of operand  (** X := mem[operand] — index registers loadable from
+                        storage, as on the Rice machine and B8500 *)
+  | Addx of int  (** X := X + immediate (may be negative) *)
+  | Jmp of int  (** instruction counter := target *)
+  | Jnz of int  (** if acc <> 0 *)
+  | Jlt of int  (** if acc < 0 *)
+  | Jxlt of int  (** if X < 0 — the counting-loop test *)
+  | Advise_will of operand  (** M44: this storage will be needed shortly *)
+  | Advise_wont of operand  (** M44: this storage is not needed for a while *)
+  | Halt
+
+val direct : ?seg:int -> int -> operand
+
+val indexed : ?seg:int -> int -> operand
+
+val encode : instr -> int64
+
+val decode : int64 -> instr
+(** Raises [Invalid_argument] on a word that is not a valid
+    instruction. *)
+
+val fields_fit : instr -> bool
+(** Whether the instruction's fields fit the encoding: segments < 2^12,
+    operand offsets and jump targets in [0, 2^40), immediates in
+    (-2^40, 2^40). *)

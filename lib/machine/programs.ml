@@ -1,0 +1,122 @@
+let sum_array ?(seg = 0) ~data ~n ~scratch () =
+  assert (n >= 1);
+  [|
+    Isa.Setx (n - 1);
+    Isa.Loadi 0;
+    Isa.Store (Isa.direct ~seg scratch);
+    (* loop: *)
+    Isa.Load (Isa.direct ~seg scratch);
+    Isa.Add (Isa.indexed ~seg data);
+    Isa.Store (Isa.direct ~seg scratch);
+    Isa.Addx (-1);
+    Isa.Jxlt 9;
+    Isa.Jmp 3;
+    (* done: *)
+    Isa.Load (Isa.direct ~seg scratch);
+    Isa.Halt;
+  |]
+
+let fill_array ?(seg = 0) ~data ~n ~scratch () =
+  assert (n >= 1);
+  [|
+    Isa.Setx (n - 1);
+    Isa.Loadi (n - 1);
+    Isa.Store (Isa.direct ~seg scratch);
+    (* loop: *)
+    Isa.Load (Isa.direct ~seg scratch);
+    Isa.Store (Isa.indexed ~seg data);
+    Isa.Addi (-1);
+    Isa.Store (Isa.direct ~seg scratch);
+    Isa.Addx (-1);
+    Isa.Jxlt 10;
+    Isa.Jmp 3;
+    Isa.Halt;
+  |]
+
+let copy_array ?(seg = 0) ?dst_seg ~src ~dst ~n () =
+  assert (n >= 1);
+  let dst_seg = match dst_seg with Some s -> s | None -> seg in
+  [|
+    Isa.Setx (n - 1);
+    (* loop: *)
+    Isa.Load (Isa.indexed ~seg src);
+    Isa.Store (Isa.indexed ~seg:dst_seg dst);
+    Isa.Addx (-1);
+    Isa.Jxlt 6;
+    Isa.Jmp 1;
+    Isa.Halt;
+  |]
+
+let stride_sum ?(seg = 0) ~data ~terms ~stride ~scratch () =
+  assert (terms >= 1 && stride >= 1);
+  [|
+    Isa.Setx ((terms - 1) * stride);
+    Isa.Loadi 0;
+    Isa.Store (Isa.direct ~seg scratch);
+    (* loop: *)
+    Isa.Load (Isa.direct ~seg scratch);
+    Isa.Add (Isa.indexed ~seg data);
+    Isa.Store (Isa.direct ~seg scratch);
+    Isa.Addx (-stride);
+    Isa.Jxlt 9;
+    Isa.Jmp 3;
+    (* done: *)
+    Isa.Load (Isa.direct ~seg scratch);
+    Isa.Halt;
+  |]
+
+let gather_sum ?(seg = 0) ~idx ~data ~n ~scratch () =
+  assert (n >= 1);
+  let total = scratch and counter = scratch + 1 and tmp = scratch + 2 in
+  [|
+    Isa.Loadi (n - 1);
+    Isa.Store (Isa.direct ~seg counter);
+    Isa.Loadi 0;
+    Isa.Store (Isa.direct ~seg total);
+    (* loop: *)
+    Isa.Ldx (Isa.direct ~seg counter);
+    Isa.Load (Isa.indexed ~seg idx);
+    Isa.Store (Isa.direct ~seg tmp);
+    Isa.Ldx (Isa.direct ~seg tmp);
+    Isa.Load (Isa.direct ~seg total);
+    Isa.Add (Isa.indexed ~seg data);
+    Isa.Store (Isa.direct ~seg total);
+    Isa.Load (Isa.direct ~seg counter);
+    Isa.Addi (-1);
+    Isa.Store (Isa.direct ~seg counter);
+    Isa.Jlt 16;
+    Isa.Jmp 4;
+    (* done: *)
+    Isa.Load (Isa.direct ~seg total);
+    Isa.Halt;
+  |]
+
+let advised_sweep ?(seg = 0) ~data ~chunk_words ~chunks ~scratch ~advice () =
+  assert (chunks >= 1 && chunk_words >= 1);
+  let code = ref [] in
+  let len = ref 0 in
+  let emit instr =
+    code := instr :: !code;
+    incr len
+  in
+  emit (Isa.Loadi 0);
+  emit (Isa.Store (Isa.direct ~seg scratch));
+  for c = 0 to chunks - 1 do
+    let base = data + (c * chunk_words) in
+    if advice then begin
+      if c + 1 < chunks then
+        emit (Isa.Advise_will (Isa.direct ~seg (base + chunk_words)));
+      if c > 0 then emit (Isa.Advise_wont (Isa.direct ~seg (base - chunk_words)))
+    end;
+    emit (Isa.Setx (chunk_words - 1));
+    let loop = !len in
+    emit (Isa.Load (Isa.direct ~seg scratch));
+    emit (Isa.Add (Isa.indexed ~seg base));
+    emit (Isa.Store (Isa.direct ~seg scratch));
+    emit (Isa.Addx (-1));
+    emit (Isa.Jxlt (loop + 6));
+    emit (Isa.Jmp loop)
+  done;
+  emit (Isa.Load (Isa.direct ~seg scratch));
+  emit Isa.Halt;
+  Array.of_list (List.rev !code)

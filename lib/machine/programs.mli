@@ -1,0 +1,37 @@
+(** Canned programs for the word machine.
+
+    Each builder returns an instruction array positioned at instruction
+    0; data placement is given by the caller in whatever name space the
+    CPU's addressing unit provides ([seg] defaults to 0 for linear
+    units).  [scratch] is one working cell the program may clobber.
+    All loops count down in X and exit through [Jxlt]. *)
+
+val sum_array : ?seg:int -> data:int -> n:int -> scratch:int -> unit -> Isa.instr array
+(** Leaves the sum of [data..data+n-1] in the accumulator ([n >= 1]). *)
+
+val fill_array : ?seg:int -> data:int -> n:int -> scratch:int -> unit -> Isa.instr array
+(** Writes value [i] into [data+i] for each [i < n]. *)
+
+val copy_array :
+  ?seg:int -> ?dst_seg:int -> src:int -> dst:int -> n:int -> unit -> Isa.instr array
+
+val stride_sum :
+  ?seg:int -> data:int -> terms:int -> stride:int -> scratch:int -> unit -> Isa.instr array
+(** Sums [data], [data+stride], ... ([terms] terms) — the column-major
+    pattern that stresses a paged addressing unit. *)
+
+val gather_sum :
+  ?seg:int -> idx:int -> data:int -> n:int -> scratch:int -> unit -> Isa.instr array
+(** Sums [data[idx[0]] .. data[idx[n-1]]] — data-dependent indexing
+    through [Ldx], the access pattern only a loadable index register can
+    express.  Uses three working cells at [scratch..scratch+2]. *)
+
+val advised_sweep :
+  ?seg:int ->
+  data:int -> chunk_words:int -> chunks:int -> scratch:int -> advice:bool -> unit ->
+  Isa.instr array
+(** Sums [chunks * chunk_words] words chunk by chunk.  With [advice]
+    the program issues the M44's predictive instructions: will-need for
+    the next chunk before working the current one, wont-need for the
+    previous chunk after leaving it.  Without, the reference string is
+    identical but unannotated. *)

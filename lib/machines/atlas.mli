@@ -1,0 +1,15 @@
+(** Ferranti ATLAS (appendix A.1).
+
+    "The first to incorporate mapping mechanisms which allowed a
+    heterogeneous physical storage system to be accessed using a large
+    linear address space.  The physical storage consisted of 16,384
+    words of core storage and a 98,304 word drum, while the programmer
+    could use a full 24-bit address representation.  This was also the
+    first use of demand paging as a fetch strategy, storage being
+    allocated in units of 512 words.  The replacement strategy ... is
+    based on a 'learning program'." *)
+
+val system : Dsas.System.t
+
+val notes : string list
+(** Survey remarks beyond the characteristic vector. *)

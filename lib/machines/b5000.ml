@@ -1,0 +1,32 @@
+let system =
+  {
+    Dsas.System.name = "B5000";
+    characteristics =
+      {
+        Namespace.Characteristics.name_space =
+          Namespace.Name_space.Symbolically_segmented { max_extent = 1024 };
+        predictive = Namespace.Characteristics.No_predictions;
+        artificial_contiguity = false;
+        allocation_unit = Namespace.Characteristics.Variable;
+      };
+    core_words = 24_576;  (* "a typical size for working storage is 24,000 words" *)
+    core_device = Memstore.Device.core;
+    backing_words = 1 lsl 18;
+    backing_device = Memstore.Device.drum;
+    mechanism =
+      Dsas.System.Segmented
+        {
+          placement = Freelist.Policy.Best_fit;
+          replacement = Segmentation.Segment_store.Cyclic;
+          max_segment = Some 1024;
+        };
+    compute_us_per_ref = 3;
+  }
+
+let notes =
+  [
+    "Program Reference Table holds one descriptor per segment";
+    "segments compiled from ALGOL blocks / COBOL paragraphs";
+    "1024-word segment limit; compiler splits larger arrays by rows";
+    "smallest-sufficient placement, essentially-cyclical replacement";
+  ]

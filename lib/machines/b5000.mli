@@ -1,0 +1,14 @@
+(** Burroughs B5000 (appendix A.3).
+
+    "One of the first systems to provide programmers with a segmented
+    name space (in fact a symbolically segmented name space).  Segments
+    are dynamic but have a maximum size of 1024 words. ...  The segment
+    is used directly as the unit of allocation.  Each segment is fetched
+    when reference is first made to information in the segment. ...
+    Among those found to be effective were a placement strategy of
+    choosing the smallest available block of sufficient size and a
+    replacement strategy which was essentially cyclical." *)
+
+val system : Dsas.System.t
+
+val notes : string list

@@ -1,0 +1,33 @@
+let system =
+  {
+    Dsas.System.name = "B8500";
+    characteristics =
+      {
+        Namespace.Characteristics.name_space =
+          Namespace.Name_space.Symbolically_segmented { max_extent = 1024 };
+        predictive = Namespace.Characteristics.No_predictions;
+        artificial_contiguity = false;
+        allocation_unit = Namespace.Characteristics.Variable;
+      };
+    core_words = 65_536;
+    core_device = Memstore.Device.fast_core;
+    backing_words = 1 lsl 18;
+    backing_device = Memstore.Device.drum;
+    mechanism =
+      Dsas.System.Segmented
+        {
+          placement = Freelist.Policy.Best_fit;
+          replacement = Segmentation.Segment_store.Cyclic;
+          max_segment = Some 1024;
+        };
+    compute_us_per_ref = 1;
+  }
+
+let scratchpad () = Paging.Tlb.create ~capacity:24 Paging.Tlb.Lru_replacement
+
+let notes =
+  [
+    "44-word thin-film associative memory (16 lookahead / 24 PRT+index / 4 queue)";
+    "any word in storage usable as an index register";
+    "recently used registers and PRT elements retained automatically";
+  ]

@@ -1,0 +1,19 @@
+(** Burroughs B8500 (appendix A.5).
+
+    "The storage allocation system provided in the B8500 is very
+    similar to that of the B5000. ...  The most notable [novel hardware
+    facility] is a 44 word thin film associative memory ... used for
+    instruction and data fetch lookahead (16 words), temporary storage
+    of program reference table elements and index words (24 words) and a
+    4 word storage queue."
+
+    Modelled as the B5000 design on fast core, with the 24-word
+    PRT-element scratchpad available to callers as {!scratchpad}. *)
+
+val system : Dsas.System.t
+
+val scratchpad : unit -> Paging.Tlb.t
+(** A fresh 24-entry associative memory for PRT elements and index
+    words, as the F4 experiment's high end. *)
+
+val notes : string list

@@ -1,0 +1,36 @@
+let system =
+  {
+    Dsas.System.name = "360/67";
+    characteristics =
+      {
+        Namespace.Characteristics.name_space =
+          (* 24-bit byte addressing: 4 segment bits, 20 offset bits. *)
+          Namespace.Name_space.Linearly_segmented { segment_bits = 4; offset_bits = 20 };
+        predictive = Namespace.Characteristics.No_predictions;
+        artificial_contiguity = true;
+        allocation_unit = Namespace.Characteristics.Uniform 512;
+      };
+    core_words = 98_304;  (* 3 x 256K bytes / 8 bytes per word *)
+    core_device = Memstore.Device.core;
+    backing_words = 1 lsl 19;  (* 4M-byte drum *)
+    backing_device = Memstore.Device.drum;
+    mechanism =
+      Dsas.System.Segmented_paged
+        {
+          page_size = 512;  (* 4096-byte pages *)
+          frames = 192;
+          policy = Paging.Spec.Lru;
+          (* Eight associative registers plus the ninth for the
+             instruction counter. *)
+          tlb_capacity = 9;
+        };
+    compute_us_per_ref = 2;
+  }
+
+let notes =
+  [
+    "linearly segmented and used as such; 16 segments with 24-bit addressing";
+    "segmentation shortens page tables rather than conveying structure";
+    "8-register associative memory + 1 for the instruction counter";
+    "automatic recording of use and modification per frame";
+  ]

@@ -1,0 +1,16 @@
+(** IBM System/360 Model 67 (appendix A.7).
+
+    Two processors, three 256K-byte memory modules, 4M-byte drum, ~500M
+    bytes of disk.  A {e linearly} segmented name space "used as such":
+    with 24-bit addressing only 16 segments of up to one million bytes,
+    so independent programs get packed into one segment and segmentation
+    serves to shorten page tables, not to convey structure.  The mapping
+    follows Fig. 4 with an eight-word associative memory plus a ninth
+    register for the instruction counter; use and modification of each
+    frame are recorded automatically.
+
+    Words here are 64-bit, so byte capacities are divided by eight. *)
+
+val system : Dsas.System.t
+
+val notes : string list

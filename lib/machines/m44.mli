@@ -1,0 +1,24 @@
+(** IBM M44/44X (appendix A.2).
+
+    An experimental 7044 with ~200,000 words of directly addressable
+    8-microsecond core and a 9-million-word IBM 1301 disk as backing
+    store.  Each online user sees a "virtual machine" with a 2-million
+    word linear name space — ten times real working storage.  Demand
+    paging with boot-time-variable page size; replacement "selects at
+    random from a set of equally acceptable candidates determined on the
+    basis of frequency of usage and whether or not a page has been
+    modified"; two special instructions convey predictive information.
+
+    Scaling substitution: the disk is scaled from 9M to 1M words to keep
+    the [Bytes] image small; the core/backing speed ratio is
+    preserved. *)
+
+val system : Dsas.System.t
+
+val page_size_variants : int list
+(** "The page size may be varied at system start-up for experimentation
+    purposes." — the C8 experiment sweeps these. *)
+
+val with_page_size : int -> Dsas.System.t
+
+val notes : string list

@@ -1,0 +1,53 @@
+let system =
+  {
+    Dsas.System.name = "MULTICS";
+    characteristics =
+      {
+        Namespace.Characteristics.name_space =
+          Namespace.Name_space.Linearly_segmented { segment_bits = 18; offset_bits = 18 };
+        predictive = Namespace.Characteristics.Programmer_directives;
+        artificial_contiguity = true;
+        allocation_unit = Namespace.Characteristics.Mixed [ 64; 1024 ];
+      };
+    core_words = 131_072;
+    core_device = Memstore.Device.core;
+    backing_words = 1 lsl 20;  (* scaled from the 4M-word drum *)
+    backing_device = Memstore.Device.drum;
+    mechanism =
+      Dsas.System.Segmented_paged
+        { page_size = 1024; frames = 128; policy = Paging.Spec.Lru; tlb_capacity = 16 };
+    compute_us_per_ref = 2;
+  }
+
+let page_sizes = (64, 1024)
+
+let single_page_waste ~page ~object_words =
+  assert (page > 0);
+  List.fold_left
+    (fun waste words ->
+      let frames = (words + page - 1) / page in
+      waste + ((frames * page) - words))
+    0 object_words
+
+let dual_page_waste ~object_words =
+  let small, large = page_sizes in
+  List.fold_left
+    (fun waste words ->
+      (* Whole large pages for the body; the tail rounds up to small
+         pages (never more than one large page's worth). *)
+      let body = words / large * large in
+      let tail = words - body in
+      let tail_granted =
+        if tail = 0 then 0
+        else min large ((tail + small - 1) / small * small)
+      in
+      waste + (body + tail_granted - words))
+    0 object_words
+
+let notes =
+  [
+    "linearly segmented name space used symbolically by convention";
+    "segments to 256K words; two-level mapping (Fig. 4)";
+    "two page sizes, 64 and 1024 words, to cut within-page fragmentation";
+    "keep-resident / will-need / wont-need advice accepted";
+  ]

@@ -1,0 +1,30 @@
+(** MULTICS on the GE 645 (appendix A.6).
+
+    A "small but useful" configuration: two processors, 128K words of
+    core, 4M words of drum, 16M words of disk.  Linearly segmented name
+    space used, by convention, symbolically; dynamic segments up to 256K
+    words; up to 256K segments.  Allocation by paging with {e two} page
+    sizes (64 and 1024 words); two-level mapping through segment and
+    page tables with a small associative memory; demand fetch plus three
+    predictive provisions (keep-resident / will-need / wont-need).
+
+    Scaling substitution: drum scaled 4M -> 1M words; single-processor
+    simulation (the storage system is what is under test).  The dual
+    page size is exercised by experiment C8 via {!dual_page_overhead}. *)
+
+val system : Dsas.System.t
+
+val page_sizes : int * int
+(** (64, 1024). *)
+
+val dual_page_waste : object_words:int list -> int
+(** Internal fragmentation (wasted words) of laying the given objects
+    out with the dual page-size rule: 1024-word pages for the body, a
+    64-word page for the tail — the scheme that "reduce[s] the loss in
+    storage utilization caused by fragmentation occurring within
+    pages". *)
+
+val single_page_waste : page:int -> object_words:int list -> int
+(** Waste of the same objects under one uniform page size. *)
+
+val notes : string list

@@ -1,0 +1,33 @@
+let system =
+  {
+    Dsas.System.name = "recommended";
+    characteristics =
+      {
+        Namespace.Characteristics.name_space =
+          Namespace.Name_space.Symbolically_segmented { max_extent = 1 lsl 16 };
+        predictive = Namespace.Characteristics.Programmer_directives;
+        artificial_contiguity = true;  (* "used if it is essential, to
+                                          provide large segments" *)
+        allocation_unit = Namespace.Characteristics.Variable;
+      };
+    core_words = 32_768;
+    core_device = Memstore.Device.core;
+    backing_words = 1 lsl 19;
+    backing_device = Memstore.Device.drum;
+    mechanism =
+      Dsas.System.Segmented
+        {
+          placement = Freelist.Policy.Best_fit;
+          replacement = Segmentation.Segment_store.Rice_iterative;
+          max_segment = Some (1 lsl 16);
+        };
+    compute_us_per_ref = 2;
+  }
+
+let notes =
+  [
+    "the paper's own untried choice of characteristics, made runnable";
+    "symbolic segment names: no dictionary fragmentation to manage";
+    "small segments are the allocation unit; large segments allowed";
+    "predictions accepted (will-need / wont-need on whole segments)";
+  ]

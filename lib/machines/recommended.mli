@@ -1,0 +1,24 @@
+(** The authors' recommended design — built.
+
+    The paper closes its taxonomy by noting that "not all of the more
+    promising choices of a set of characteristics have been tried" and
+    names its favourite: "(i) a symbolically segmented name space;
+    (ii) provisions for accepting predictions about future use of
+    segments; (iii) artificial contiguity used if it is essential, to
+    provide large segments, but with use of the mapping device avoided
+    in accessing small segments; and (iv) nonuniform units of
+    allocation, corresponding closely to the size of small segments,
+    but with large segments, if allowed, allocated using a set of
+    separate blocks."
+
+    This module realizes that design as a runnable system: symbolic
+    segments with {e no} 1024-word ceiling (large segments are first-
+    class), variable allocation units, second-chance replacement, and
+    predictive directives accepted in its characteristics.  Experiment
+    X7 races it against the B5000 (which must chop large structures)
+    and a MULTICS-style uniform pager (which pays mapping overhead on
+    every access). *)
+
+val system : Dsas.System.t
+
+val notes : string list

@@ -1,0 +1,35 @@
+let system =
+  {
+    Dsas.System.name = "Rice";
+    characteristics =
+      {
+        Namespace.Characteristics.name_space =
+          Namespace.Name_space.Symbolically_segmented { max_extent = 16_384 };
+        predictive = Namespace.Characteristics.No_predictions;
+        artificial_contiguity = false;
+        allocation_unit = Namespace.Characteristics.Variable;
+      };
+    core_words = 32_768;
+    core_device = Memstore.Device.core;
+    backing_words = 1 lsl 18;
+    backing_device = Memstore.Device.drum;
+    mechanism =
+      Dsas.System.Segmented
+        {
+          (* Sequential initial placement + first-fit over the inactive
+             chain; the chain mechanics themselves are exercised in
+             experiment C6 via Rice_chain. *)
+          placement = Freelist.Policy.First_fit;
+          replacement = Segmentation.Segment_store.Rice_iterative;
+          max_segment = Some 16_384;
+        };
+    compute_us_per_ref = 4;
+  }
+
+let notes =
+  [
+    "codewords: descriptors with an automatic index-register add";
+    "blocks carry a back reference to their codeword";
+    "inactive-block chain with combination of adjacent blocks";
+    "iterative replacement honouring backing copies and use bits";
+  ]

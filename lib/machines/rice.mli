@@ -1,0 +1,16 @@
+(** Rice University Computer (appendix A.4).
+
+    Codeword-based segmentation; segments are the unit of allocation and
+    are limited to the size of physical working storage.  Fetch on first
+    access (with explicit fetch/store requests also permitted);
+    placement through the chain of inactive blocks with combination of
+    adjacent blocks ({!Segmentation.Rice_chain}); replacement "applied
+    iteratively until a block of sufficient size is released", taking
+    account of backing copies and use-since-last-considered.
+
+    The machine's only backing store was magnetic tape; following the
+    paper's own proposal, the simulated configuration uses a drum. *)
+
+val system : Dsas.System.t
+
+val notes : string list

@@ -1,0 +1,53 @@
+let all =
+  [
+    (Atlas.system, Atlas.notes);
+    (M44.system, M44.notes);
+    (B5000.system, B5000.notes);
+    (Rice.system, Rice.notes);
+    (B8500.system, B8500.notes);
+    (Multics.system, Multics.notes);
+    (Ibm360_67.system, Ibm360_67.notes);
+  ]
+
+let characteristics_table () =
+  let headers =
+    [ "machine"; "name space"; "predictive"; "artificial contiguity"; "unit" ]
+  in
+  let rows =
+    List.map
+      (fun (s, _) ->
+        let c = s.Dsas.System.characteristics in
+        [
+          s.Dsas.System.name;
+          Namespace.Name_space.describe c.Namespace.Characteristics.name_space;
+          Namespace.Characteristics.predictive_to_string
+            c.Namespace.Characteristics.predictive;
+          (if c.Namespace.Characteristics.artificial_contiguity then "yes" else "no");
+          Namespace.Characteristics.allocation_unit_to_string
+            c.Namespace.Characteristics.allocation_unit;
+        ])
+      all
+  in
+  Metrics.Table.render ~headers rows
+
+let run ?(seed = 7) ?(refs = 20_000) () =
+  List.map
+    (fun (s, _) ->
+      let rng = Sim.Rng.create (seed + Hashtbl.hash s.Dsas.System.name) in
+      (* Working-set locality in 512-word blocks, so that the locality
+         the program exhibits is locality a page-sized unit can see. *)
+      let block = 512 in
+      let extent_blocks = 3 * s.Dsas.System.core_words / block in
+      let block_trace =
+        Workload.Trace.working_set_phases rng ~length:refs ~extent:extent_blocks
+          ~set_size:(max 4 (s.Dsas.System.core_words / block / 2))
+          ~phase_length:(max 1 (refs / 10))
+          ~locality:0.95
+      in
+      let trace = Array.map (fun b -> (b * block) + Sim.Rng.int rng block) block_trace in
+      Dsas.System.run_linear s ~seed trace)
+    all
+
+let render reports =
+  Metrics.Table.render ~headers:Dsas.System.report_headers
+    (Dsas.System.report_rows reports)

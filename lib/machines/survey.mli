@@ -1,0 +1,20 @@
+(** The appendix as a measured survey.
+
+    Runs every machine of the appendix on a comparable signature
+    workload (a phase-structured reference string scaled to put each
+    machine's working storage under the same relative pressure) and
+    tabulates the characteristic vectors next to the measured headline
+    numbers — experiment A1-A7. *)
+
+val all : (Dsas.System.t * string list) list
+(** Every appendix machine with its survey notes, in appendix order. *)
+
+val characteristics_table : unit -> string
+(** The four characteristics of each machine, one row per machine. *)
+
+val run : ?seed:int -> ?refs:int -> unit -> Dsas.System.report list
+(** Signature run for each machine: a working-set-phased trace over
+    3x its working storage. *)
+
+val render : Dsas.System.report list -> string
+(** The survey results as a table. *)

@@ -1,0 +1,23 @@
+type t = {
+  clock : Sim.Clock.t;
+  word_ns : int;
+  mutable words_moved : int;
+  mutable time_spent_us : int;
+}
+
+let create clock ~word_ns =
+  assert (word_ns >= 0);
+  { clock; word_ns; words_moved = 0; time_spent_us = 0 }
+
+let processor_copy clock = create clock ~word_ns:2_000
+
+let move t physical ~src ~dst ~len =
+  Physical.blit ~src:physical ~src_off:src ~dst:physical ~dst_off:dst ~len;
+  let cost_us = (len * t.word_ns + 999) / 1000 in
+  Sim.Clock.advance t.clock cost_us;
+  t.words_moved <- t.words_moved + len;
+  t.time_spent_us <- t.time_spent_us + cost_us
+
+let words_moved t = t.words_moved
+
+let time_spent_us t = t.time_spent_us

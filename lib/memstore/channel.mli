@@ -1,0 +1,26 @@
+(** Autonomous storage-to-storage channel.
+
+    The paper's "Special Hardware Facilities (iii)": fast channel
+    operations provided specifically to speed up storage packing
+    (compaction).  A channel moves words within one store at its own
+    rate, cheaper than a word-at-a-time processor copy, and counts the
+    words moved so compaction cost can be reported. *)
+
+type t
+
+val create : Sim.Clock.t -> word_ns:int -> t
+(** A channel moving one word per [word_ns] nanoseconds. *)
+
+val processor_copy : Sim.Clock.t -> t
+(** A pseudo-channel modelling a plain processor copy loop at core speed
+    (~2 us/word): the baseline the hardware facility improves on. *)
+
+val move : t -> Physical.t -> src:int -> dst:int -> len:int -> unit
+(** Move [len] words within the store (overlap-safe), advancing the
+    clock by the channel cost. *)
+
+val words_moved : t -> int
+(** Total words moved through this channel. *)
+
+val time_spent_us : t -> int
+(** Total simulated time spent moving. *)

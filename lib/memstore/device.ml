@@ -1,0 +1,26 @@
+type t = { label : string; latency_us : int; word_ns : int }
+
+let ceil_div a b = (a + b - 1) / b
+
+let word_access_us t =
+  let ns = (t.latency_us * 1000) + t.word_ns in
+  if ns = 0 then 0 else max 1 (ceil_div ns 1000)
+
+let transfer_us t ~words =
+  assert (words >= 0);
+  let transfer_ns = words * t.word_ns in
+  t.latency_us + ceil_div transfer_ns 1000
+
+let core = { label = "core"; latency_us = 2; word_ns = 0 }
+
+let fast_core = { label = "fast-core"; latency_us = 0; word_ns = 200 }
+
+let slow_core = { label = "slow-core"; latency_us = 8; word_ns = 0 }
+
+let drum = { label = "drum"; latency_us = 6_000; word_ns = 4_000 }
+
+let disk = { label = "disk"; latency_us = 165_000; word_ns = 11_000 }
+
+let custom ~label ~latency_us ~word_ns =
+  assert (latency_us >= 0 && word_ns >= 0);
+  { label; latency_us; word_ns }

@@ -1,0 +1,41 @@
+(** Timing models for the storage devices of the paper's era.
+
+    A device access costs a fixed latency (core cycle time, drum
+    rotational delay, disk seek + rotation) plus a per-word transfer
+    time.  All times are in microseconds; per-word time is kept in
+    nanoseconds so that slow-core/fast-drum ratios stay representable. *)
+
+type t = {
+  label : string;
+  latency_us : int;  (** fixed cost per access (seek / rotational delay) *)
+  word_ns : int;  (** transfer time per word, nanoseconds *)
+}
+
+val word_access_us : t -> int
+(** Time to access a single word, in whole microseconds (>= 1 whenever
+    the device has any cost at all). *)
+
+val transfer_us : t -> words:int -> int
+(** Time for one access moving [words] words: latency + transfer. *)
+
+(** {2 Presets}
+
+    Rounded from the machines in the paper's appendix; the experiments
+    sweep around these values, so only the ratios matter. *)
+
+val core : t
+(** ~2 us cycle core storage (ATLAS/7044-class). *)
+
+val fast_core : t
+(** ~0.2 us large-system core (B8500-class). *)
+
+val slow_core : t
+(** ~8 us bulk core (M44's added 8-microsecond memory). *)
+
+val drum : t
+(** Paging drum: ~6 ms average rotational delay, ~4 us/word transfer. *)
+
+val disk : t
+(** IBM 1301-class disk: ~165 ms average access, ~11 us/word. *)
+
+val custom : label:string -> latency_us:int -> word_ns:int -> t

@@ -1,0 +1,44 @@
+(** A sectored paging drum with request scheduling.
+
+    The paper makes fetch-strategy quality hinge on "the performance of
+    the storage medium on which pages that cannot be held in working
+    storage are kept".  For the drums of the era that performance was
+    made or broken by {e request scheduling}: a drum stores one page per
+    angular sector, so serving requests in arrival order (FIFO) pays
+    about half a revolution of rotational latency each, while picking
+    whichever queued request's sector passes under the heads next
+    (shortest access time first) approaches one sector time per page
+    under load.  Experiment X8 measures the difference and its effect
+    on effective page-fetch time. *)
+
+type policy =
+  | Fifo_order  (** serve strictly in arrival order *)
+  | Shortest_access  (** serve the queued sector that arrives next *)
+
+type request = {
+  id : int;
+  arrival_us : int;
+  sector : int;
+}
+
+type completion = {
+  request : request;
+  start_us : int;  (** when the sector began passing the heads *)
+  finish_us : int;
+}
+
+type t
+
+val create : sectors:int -> rotation_us:int -> policy -> t
+(** [rotation_us] must be divisible by [sectors]. *)
+
+val sector_us : t -> int
+(** Transfer time of one page (one sector passing the heads). *)
+
+val serve : t -> request list -> completion list
+(** Simulate serving the whole batch (arrivals need not be sorted).
+    One request is served at a time; between services the drum keeps
+    rotating.  Completions are returned in service order. *)
+
+val mean_latency_us : completion list -> float
+(** Mean of finish - arrival. *)

@@ -1,0 +1,46 @@
+type t = {
+  clock : Sim.Clock.t;
+  device : Device.t;
+  physical : Physical.t;
+  mutable busy_until : int;
+}
+
+let create clock device physical = { clock; device; physical; busy_until = 0 }
+
+let make clock device ~name ~words = create clock device (Physical.create ~name ~words)
+
+let physical t = t.physical
+
+let device t = t.device
+
+let clock t = t.clock
+
+let size t = Physical.size t.physical
+
+let read t address =
+  Sim.Clock.advance t.clock (Device.word_access_us t.device);
+  Physical.read t.physical address
+
+let write t address v =
+  Sim.Clock.advance t.clock (Device.word_access_us t.device);
+  Physical.write t.physical address v
+
+let read_free t address = Physical.read t.physical address
+
+let slower_cost a b ~len =
+  max (Device.transfer_us a.device ~words:len) (Device.transfer_us b.device ~words:len)
+
+let transfer ~src ~src_off ~dst ~dst_off ~len =
+  Physical.blit ~src:src.physical ~src_off ~dst:dst.physical ~dst_off ~len;
+  Sim.Clock.advance src.clock (slower_cost src dst ~len)
+
+let busy_until t = t.busy_until
+
+let transfer_async ~src ~src_off ~dst ~dst_off ~len =
+  Physical.blit ~src:src.physical ~src_off ~dst:dst.physical ~dst_off ~len;
+  let now = Sim.Clock.now src.clock in
+  let start = max now (max src.busy_until dst.busy_until) in
+  let finish = start + slower_cost src dst ~len in
+  src.busy_until <- finish;
+  dst.busy_until <- finish;
+  finish

@@ -1,0 +1,46 @@
+(** One level of a storage hierarchy: a physical store with a device
+    timing model and a clock that accesses are charged to.
+
+    Reading or writing through a level both performs the access on the
+    underlying {!Physical.t} and advances the shared virtual clock by the
+    device's cost, so higher-level simulators get timing for free. *)
+
+type t
+
+val create : Sim.Clock.t -> Device.t -> Physical.t -> t
+
+val make : Sim.Clock.t -> Device.t -> name:string -> words:int -> t
+(** Convenience: create the physical store too. *)
+
+val physical : t -> Physical.t
+
+val device : t -> Device.t
+
+val clock : t -> Sim.Clock.t
+
+val size : t -> int
+
+val read : t -> int -> int64
+(** Timed word read. *)
+
+val write : t -> int -> int64 -> unit
+(** Timed word write. *)
+
+val read_free : t -> int -> int64
+(** Untimed read, for inspection by tests and debuggers. *)
+
+val transfer : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Move [len] words between levels (or within one), charging the clock
+    the slower device's {!Device.transfer_us} for the block.  This is the
+    page/segment transfer primitive. *)
+
+val busy_until : t -> int
+(** Absolute time at which the device's last initiated transfer
+    completes; used by multiprogramming simulations that overlap fetches
+    with computation instead of blocking the clock. *)
+
+val transfer_async : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> int
+(** Like {!transfer} but instead of advancing the clock, performs the
+    copy immediately (data is available for simulation purposes) and
+    returns the completion time, queueing behind the device's previous
+    transfers.  Updates {!busy_until} on both levels. *)

@@ -1,0 +1,69 @@
+let clamp_nonneg x = if x < 0. then 0. else x
+
+let bars ?(width = 50) data =
+  assert (width > 0);
+  let largest = List.fold_left (fun m (_, v) -> Float.max m (clamp_nonneg v)) 0. data in
+  let label_width = List.fold_left (fun m (l, _) -> max m (String.length l)) 0 data in
+  let bar (label, v) =
+    let v = clamp_nonneg v in
+    let n = if largest = 0. then 0 else int_of_float (v /. largest *. float_of_int width) in
+    Printf.sprintf "%-*s |%s %g" label_width label (String.make n '#') v
+  in
+  String.concat "\n" (List.map bar data @ [ "" ])
+
+let stacked_bars ?(width = 50) ~legend:(a_name, b_name) rows =
+  assert (width > 0);
+  let total (_, a, b) = clamp_nonneg a +. clamp_nonneg b in
+  let largest = List.fold_left (fun m r -> Float.max m (total r)) 0. rows in
+  let label_width = List.fold_left (fun m (l, _, _) -> max m (String.length l)) 0 rows in
+  let scale v = if largest = 0. then 0 else int_of_float (clamp_nonneg v /. largest *. float_of_int width) in
+  let bar (label, a, b) =
+    Printf.sprintf "%-*s |%s%s %g/%g" label_width label
+      (String.make (scale a) '#')
+      (String.make (scale b) '.')
+      a b
+  in
+  let header = Printf.sprintf "legend: '#' = %s, '.' = %s" a_name b_name in
+  String.concat "\n" ((header :: List.map bar rows) @ [ "" ])
+
+let series ?(width = 60) ?(height = 18) ~x_label ~y_label named =
+  assert (width > 1 && height > 1);
+  let marks = [| '*'; 'o'; '+'; 'x'; '@'; '%'; '&'; '$' |] in
+  let all = List.concat_map snd named in
+  if all = [] then "(empty chart)\n"
+  else begin
+    let xs = List.map fst all and ys = List.map snd all in
+    let fmin = List.fold_left Float.min infinity and fmax = List.fold_left Float.max neg_infinity in
+    let x0 = fmin xs and x1 = fmax xs and y0 = fmin ys and y1 = fmax ys in
+    let xspan = if x1 > x0 then x1 -. x0 else 1. in
+    let yspan = if y1 > y0 then y1 -. y0 else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    let plot mark (x, y) =
+      let col = int_of_float ((x -. x0) /. xspan *. float_of_int (width - 1)) in
+      let row = int_of_float ((y -. y0) /. yspan *. float_of_int (height - 1)) in
+      grid.(height - 1 - row).(col) <- mark
+    in
+    List.iteri
+      (fun i (_, points) -> List.iter (plot marks.(i mod Array.length marks)) points)
+      named;
+    let buf = Buffer.create ((width + 12) * (height + 4)) in
+    Buffer.add_string buf (Printf.sprintf "%s (vertical) vs %s (horizontal)\n" y_label x_label);
+    List.iteri
+      (fun i (name, _) ->
+        Buffer.add_string buf (Printf.sprintf "  '%c' = %s\n" marks.(i mod Array.length marks) name))
+      named;
+    Array.iteri
+      (fun i row ->
+        let edge =
+          if i = 0 then Printf.sprintf "%10.3g |" y1
+          else if i = height - 1 then Printf.sprintf "%10.3g |" y0
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf edge;
+        Buffer.add_string buf (String.init width (fun j -> row.(j)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf (Printf.sprintf "%10s  %-10.4g%*.4g\n" "" x0 (width - 10) x1);
+    Buffer.contents buf
+  end

@@ -1,0 +1,22 @@
+(** ASCII charts, used to regenerate the paper's figures in a terminal.
+
+    Two forms: a horizontal bar chart (one bar per labelled value) and a
+    multi-series scatter/line chart on a character grid.  Nothing here is
+    interactive; the output is deterministic text suitable for diffing. *)
+
+val bars : ?width:int -> (string * float) list -> string
+(** [bars data] renders one horizontal bar per entry, scaled so the
+    largest value spans [width] characters (default 50).  Negative values
+    are clamped to 0. *)
+
+val stacked_bars : ?width:int -> legend:string * string -> (string * float * float) list -> string
+(** [stacked_bars ~legend:(a_name, b_name) rows] renders rows of
+    [(label, a, b)] as bars where the [a] component is drawn with ['#']
+    and the [b] component with ['.'] — used for Fig. 3's active/waiting
+    space-time split. *)
+
+val series : ?width:int -> ?height:int -> x_label:string -> y_label:string ->
+  (string * (float * float) list) list -> string
+(** [series named_points] plots each named series of (x, y) points on a
+    shared grid, each series with its own mark character.  Axes are
+    annotated with the data ranges. *)

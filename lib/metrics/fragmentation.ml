@@ -1,0 +1,44 @@
+let external_of_free_blocks sizes =
+  let total = List.fold_left ( + ) 0 sizes in
+  if total = 0 then 0.
+  else
+    let largest = List.fold_left max 0 sizes in
+    1. -. (float_of_int largest /. float_of_int total)
+
+let unusable_for ~request sizes =
+  List.fold_left (fun acc s -> if s < request then acc + s else acc) 0 sizes
+
+module Internal = struct
+  type t = {
+    page_size : int;
+    mutable requested_live : int;
+    mutable granted_live : int;
+  }
+
+  let create ~page_size =
+    assert (page_size > 0);
+    { page_size; requested_live = 0; granted_live = 0 }
+
+  let frames t requested = (requested + t.page_size - 1) / t.page_size
+
+  let record t ~requested =
+    assert (requested >= 0);
+    t.requested_live <- t.requested_live + requested;
+    t.granted_live <- t.granted_live + (frames t requested * t.page_size)
+
+  let release t ~requested =
+    assert (requested >= 0);
+    t.requested_live <- t.requested_live - requested;
+    t.granted_live <- t.granted_live - (frames t requested * t.page_size);
+    assert (t.requested_live >= 0 && t.granted_live >= 0)
+
+  let requested_live t = t.requested_live
+
+  let granted_live t = t.granted_live
+
+  let wasted_live t = t.granted_live - t.requested_live
+
+  let waste_fraction t =
+    if t.granted_live = 0 then 0.
+    else float_of_int (wasted_live t) /. float_of_int t.granted_live
+end

@@ -1,0 +1,44 @@
+(** Fragmentation measures for both allocation disciplines.
+
+    The paper (Conclusions, v) insists that paging does not remove
+    fragmentation, it merely relocates it: variable-unit allocation
+    suffers {e external} fragmentation (free store shattered into
+    unusable shards) while paging suffers {e internal} fragmentation
+    (partly-used page frames).  These measures make the two comparable. *)
+
+val external_of_free_blocks : int list -> float
+(** [external_of_free_blocks sizes] = [1 - largest / total] over the free
+    block sizes; 0. if no free store.  0 means one contiguous hole; values
+    near 1 mean the free store is badly shattered. *)
+
+val unusable_for : request:int -> int list -> int
+(** Words of free store lying in blocks smaller than [request] — free
+    space that cannot satisfy a request of that size without compaction. *)
+
+(** Accumulator for internal fragmentation under a uniform allocation
+    unit: the slack between what was asked for and the whole page frames
+    granted. *)
+module Internal : sig
+  type t
+
+  val create : page_size:int -> t
+
+  val record : t -> requested:int -> unit
+  (** Record one allocation request of [requested] words; the allocator
+      grants [ceil (requested / page_size)] frames. *)
+
+  val release : t -> requested:int -> unit
+  (** Record that a previously recorded request was freed. *)
+
+  val requested_live : t -> int
+  (** Words currently requested and not yet released. *)
+
+  val granted_live : t -> int
+  (** Words currently granted (whole frames). *)
+
+  val wasted_live : t -> int
+  (** [granted_live - requested_live]: current internal fragmentation. *)
+
+  val waste_fraction : t -> float
+  (** [wasted_live / granted_live]; 0. if nothing granted. *)
+end

@@ -1,0 +1,72 @@
+type scheme =
+  | Linear of { lo : int; width : int }
+  | Log2
+
+type t = {
+  scheme : scheme;
+  counts : int array;
+  mutable total : int;
+}
+
+let linear ~lo ~hi ~buckets =
+  assert (lo < hi && buckets > 0);
+  let width = max 1 ((hi - lo + buckets - 1) / buckets) in
+  { scheme = Linear { lo; width }; counts = Array.make buckets 0; total = 0 }
+
+let log2 ~max_exponent =
+  assert (max_exponent >= 0);
+  { scheme = Log2; counts = Array.make (max_exponent + 2) 0; total = 0 }
+
+let clamp n lo hi = if n < lo then lo else if n > hi then hi else n
+
+let bucket_of t x =
+  let n = Array.length t.counts in
+  match t.scheme with
+  | Linear { lo; width } -> clamp ((x - lo) / width) 0 (n - 1)
+  | Log2 ->
+    if x <= 0 then 0
+    else
+      (* bucket i>=1 holds [2^(i-1), 2^i). *)
+      let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+      clamp (bits 0 x) 1 (n - 1)
+
+let add t x =
+  t.counts.(bucket_of t x) <- t.counts.(bucket_of t x) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let lower_bound t i =
+  match t.scheme with
+  | Linear { lo; width } -> lo + (i * width)
+  | Log2 -> if i = 0 then 0 else 1 lsl (i - 1)
+
+let label t i =
+  match t.scheme with
+  | Linear { lo; width } ->
+    Printf.sprintf "[%d,%d)" (lo + (i * width)) (lo + ((i + 1) * width))
+  | Log2 ->
+    if i = 0 then "0"
+    else if i = 1 then "1"
+    else Printf.sprintf "[%d,%d)" (1 lsl (i - 1)) (1 lsl i)
+
+let bucket_counts t = Array.init (Array.length t.counts) (fun i -> (label t i, t.counts.(i)))
+
+let percentile t p =
+  assert (p >= 0. && p <= 1.);
+  if t.total = 0 then 0
+  else begin
+    let threshold = int_of_float (ceil (p *. float_of_int t.total)) in
+    let threshold = max 1 threshold in
+    let acc = ref 0 and result = ref (lower_bound t (Array.length t.counts - 1)) in
+    (try
+       for i = 0 to Array.length t.counts - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= threshold then begin
+           result := lower_bound t i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end

@@ -1,0 +1,29 @@
+(** Fixed-bucket histograms over non-negative integers.
+
+    Two bucketing schemes: linear (equal-width buckets over [lo, hi)) and
+    logarithmic (one bucket per power of two), the latter suited to
+    allocation-size and lifetime distributions which span decades. *)
+
+type t
+
+val linear : lo:int -> hi:int -> buckets:int -> t
+(** Equal-width buckets covering [lo, hi); out-of-range samples are
+    clamped into the first/last bucket.  Requires [lo < hi] and
+    [buckets > 0]. *)
+
+val log2 : max_exponent:int -> t
+(** Buckets [0], [1], [2-3], [4-7], ... up to [2^max_exponent]; larger
+    samples land in the last bucket. *)
+
+val add : t -> int -> unit
+
+val count : t -> int
+(** Total number of samples. *)
+
+val bucket_counts : t -> (string * int) array
+(** Label and count of every bucket, in order. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [0. <= p <= 1.] returns a representative value
+    (bucket lower bound) at or above the [p]-fraction point of the
+    distribution; 0 if empty. *)

@@ -1,0 +1,22 @@
+type t = { mutable active : float; mutable waiting : float }
+
+type state = Active | Waiting
+
+let create () = { active = 0.; waiting = 0. }
+
+let accrue t ~words ~dt state =
+  assert (words >= 0 && dt >= 0);
+  let wt = float_of_int words *. float_of_int dt in
+  match state with
+  | Active -> t.active <- t.active +. wt
+  | Waiting -> t.waiting <- t.waiting +. wt
+
+let active t = t.active
+
+let waiting t = t.waiting
+
+let total t = t.active +. t.waiting
+
+let waiting_fraction t =
+  let sum = total t in
+  if sum = 0. then 0. else t.waiting /. sum

@@ -1,0 +1,32 @@
+(** Space-time product accounting (paper, Fig. 3).
+
+    The paper argues that the significant measure of a fetch strategy is
+    not the amount of storage a program occupies but its {e space-time
+    product}: words occupied integrated over time, split between periods
+    when the program is executing and periods when it occupies storage
+    while suspended awaiting a page.  This accumulator records both
+    components. *)
+
+type t
+
+type state =
+  | Active  (** program executing *)
+  | Waiting  (** program suspended, awaiting a fetch, still holding store *)
+
+val create : unit -> t
+
+val accrue : t -> words:int -> dt:int -> state -> unit
+(** [accrue t ~words ~dt state] records that [words] of working storage
+    were held for [dt] microseconds while in [state]. *)
+
+val active : t -> float
+(** Word-microseconds accrued while executing. *)
+
+val waiting : t -> float
+(** Word-microseconds accrued while awaiting fetches. *)
+
+val total : t -> float
+
+val waiting_fraction : t -> float
+(** [waiting /. total]; 0. if nothing accrued.  The paper's Fig. 3 point:
+    with slow backing store this fraction dominates. *)

@@ -1,0 +1,29 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Accumulates count, mean, variance, min and max of a stream of floats
+    in O(1) space, without storing the samples. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0. if no samples. *)
+
+val variance : t -> float
+(** Population variance; 0. with fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [infinity] if no samples. *)
+
+val max : t -> float
+(** [neg_infinity] if no samples. *)
+
+val total : t -> float
+(** Sum of all samples. *)

@@ -1,0 +1,22 @@
+(** Fixed-width text tables — the "rows the paper reports".
+
+    Every experiment in the benchmark harness prints its results through
+    this module so that output is uniform and diffable. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> headers:string list -> string list list -> string
+(** [render ~headers rows] lays the rows out in columns sized to the
+    widest cell, with a rule under the header.  [align] gives per-column
+    alignment (default: right for cells that parse as numbers is NOT
+    attempted — default is left for the first column, right for the
+    rest). *)
+
+val print : ?align:align list -> headers:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper (default 2 decimals). *)
+
+val fmt_pct : float -> string
+(** Format a [0,1] fraction as a percentage with one decimal. *)

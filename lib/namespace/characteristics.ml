@@ -1,0 +1,48 @@
+type predictive =
+  | No_predictions
+  | Programmer_directives
+  | Compiler_supplied
+  | Program_descriptions
+
+type allocation_unit =
+  | Uniform of int
+  | Mixed of int list
+  | Variable
+
+type t = {
+  name_space : Name_space.t;
+  predictive : predictive;
+  artificial_contiguity : bool;
+  allocation_unit : allocation_unit;
+}
+
+let recommended =
+  {
+    name_space = Name_space.Symbolically_segmented { max_extent = 1 lsl 24 };
+    predictive = Programmer_directives;
+    artificial_contiguity = true;
+    allocation_unit = Variable;
+  }
+
+let uniform_unit t = match t.allocation_unit with Uniform _ -> true | Mixed _ | Variable -> false
+
+let predictive_to_string = function
+  | No_predictions -> "none"
+  | Programmer_directives -> "programmer directives"
+  | Compiler_supplied -> "compiler supplied"
+  | Program_descriptions -> "program descriptions"
+
+let allocation_unit_to_string = function
+  | Uniform size -> Printf.sprintf "uniform (%d-word pages)" size
+  | Mixed sizes ->
+    Printf.sprintf "mixed (%s-word pages)"
+      (String.concat "/" (List.map string_of_int sizes))
+  | Variable -> "variable (fits request)"
+
+let describe t =
+  [
+    ("name space", Name_space.describe t.name_space);
+    ("predictive information", predictive_to_string t.predictive);
+    ("artificial contiguity", if t.artificial_contiguity then "yes" else "no");
+    ("unit of allocation", allocation_unit_to_string t.allocation_unit);
+  ]

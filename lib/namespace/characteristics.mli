@@ -1,0 +1,43 @@
+(** The paper's four basic characteristics of dynamic storage
+    allocation systems, as a value that classifies a whole design.
+
+    "1. Name space.  2. Predictive information.  3. Artificial
+    contiguity.  4. Uniformity of units of storage allocation. ...
+    collectively they have the advantage of being, to a large degree,
+    mutually independent."  Every machine in {!Machines} carries one of
+    these records, and the survey experiment prints them side by
+    side. *)
+
+type predictive =
+  | No_predictions
+  | Programmer_directives  (** e.g. the M44's two special instructions *)
+  | Compiler_supplied
+  | Program_descriptions  (** ACSI-MATIC-style dynamic descriptions *)
+
+type allocation_unit =
+  | Uniform of int  (** page frames of a fixed size *)
+  | Mixed of int list  (** several frame sizes (MULTICS: 64 and 1024) *)
+  | Variable  (** the unit reflects the request (B5000, Rice) *)
+
+type t = {
+  name_space : Name_space.t;
+  predictive : predictive;
+  artificial_contiguity : bool;
+  allocation_unit : allocation_unit;
+}
+
+val recommended : t
+(** The authors' favoured combination: symbolically segmented names,
+    predictions accepted, artificial contiguity only where essential,
+    nonuniform units sized to small segments. *)
+
+val uniform_unit : t -> bool
+(** True when fragmentation is internal (within frames) rather than
+    external. *)
+
+val describe : t -> (string * string) list
+(** Field/value rows for the survey table. *)
+
+val predictive_to_string : predictive -> string
+
+val allocation_unit_to_string : allocation_unit -> string

@@ -1,0 +1,54 @@
+type t =
+  | Linear of { bits : int }
+  | Linearly_segmented of { segment_bits : int; offset_bits : int }
+  | Symbolically_segmented of { max_extent : int }
+
+exception Name_violation of { name_space : string; name : int }
+
+let describe = function
+  | Linear { bits } -> Printf.sprintf "linear (%d-bit)" bits
+  | Linearly_segmented { segment_bits; offset_bits } ->
+    Printf.sprintf "linearly segmented (%d-bit segment, %d-bit offset)" segment_bits
+      offset_bits
+  | Symbolically_segmented { max_extent } ->
+    Printf.sprintf "symbolically segmented (segments <= %d words)" max_extent
+
+let extent = function
+  | Linear { bits } -> Some (1 lsl bits)
+  | Linearly_segmented { segment_bits; offset_bits } -> Some (1 lsl (segment_bits + offset_bits))
+  | Symbolically_segmented _ -> None
+
+let max_segment_extent = function
+  | Linear { bits } -> 1 lsl bits
+  | Linearly_segmented { offset_bits; _ } -> 1 lsl offset_bits
+  | Symbolically_segmented { max_extent } -> max_extent
+
+let violation t name = raise (Name_violation { name_space = describe t; name })
+
+let split t name =
+  match t with
+  | Linear { bits } ->
+    if name < 0 || name >= 1 lsl bits then violation t name;
+    (0, name)
+  | Linearly_segmented { segment_bits; offset_bits } ->
+    if name < 0 || name >= 1 lsl (segment_bits + offset_bits) then violation t name;
+    (name lsr offset_bits, name land ((1 lsl offset_bits) - 1))
+  | Symbolically_segmented _ ->
+    invalid_arg "Name_space.split: symbolic segment names are not integers"
+
+let compose t ~segment ~offset =
+  match t with
+  | Linear { bits } ->
+    if segment <> 0 then invalid_arg "Name_space.compose: linear name space has no segments";
+    if offset < 0 || offset >= 1 lsl bits then violation t offset;
+    offset
+  | Linearly_segmented { segment_bits; offset_bits } ->
+    if segment < 0 || segment >= 1 lsl segment_bits then violation t segment;
+    if offset < 0 || offset >= 1 lsl offset_bits then violation t offset;
+    (segment lsl offset_bits) lor offset
+  | Symbolically_segmented _ ->
+    invalid_arg "Name_space.compose: symbolic segment names are not integers"
+
+let segment_names_orderable = function
+  | Linear _ | Linearly_segmented _ -> true
+  | Symbolically_segmented _ -> false

@@ -1,0 +1,49 @@
+(** Name spaces: "the set of names which can be used by a program to
+    refer to informational items".
+
+    The paper's first basic characteristic.  Three structures are
+    distinguished: the {e linear} name space (names are the integers
+    0..n, as on the 7094 and ATLAS); the {e linearly segmented} name
+    space (a sequence of most-significant bits is the segment name, as
+    on the 360/67 and, formally, MULTICS); and the {e symbolically
+    segmented} name space (segment names are unordered and cannot be
+    manipulated arithmetically, as on the B5000).
+
+    The key structural difference the paper stresses: only in the
+    symbolic case is there no segment-name contiguity, hence no
+    dictionary fragmentation and no segment-name reallocation
+    problem. *)
+
+type t =
+  | Linear of { bits : int }
+      (** names are 0 .. 2^bits - 1 *)
+  | Linearly_segmented of { segment_bits : int; offset_bits : int }
+      (** one packed representation: high bits name the segment *)
+  | Symbolically_segmented of { max_extent : int }
+      (** unordered segment names; item names 0 .. extent-1 within each
+          segment, extent bounded by [max_extent] *)
+
+exception Name_violation of { name_space : string; name : int }
+
+val describe : t -> string
+
+val extent : t -> int option
+(** Total nameable items for the linear cases; [None] for symbolic
+    segmentation (unbounded segment dictionary). *)
+
+val max_segment_extent : t -> int
+(** Largest contiguously nameable run of items. *)
+
+val segment_names_orderable : t -> bool
+(** Whether address arithmetic across segment names is possible — the
+    property that drags in dictionary fragmentation. *)
+
+val split : t -> int -> int * int
+(** [split t name] decomposes a packed name into (segment, offset).
+    For a linear name space the segment is 0.  Raises
+    {!Name_violation} if the name is unrepresentable, and
+    [Invalid_argument] for symbolic name spaces (their names are not
+    integers). *)
+
+val compose : t -> segment:int -> offset:int -> int
+(** Inverse of {!split}, with the same bound checks. *)

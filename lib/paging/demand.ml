@@ -1,0 +1,238 @@
+type config = {
+  page_size : int;
+  frames : int;
+  pages : int;
+  core : Memstore.Level.t;
+  backing : Memstore.Level.t;
+  policy : Replacement.t;
+  tlb : Tlb.t option;
+  compute_us_per_ref : int;
+}
+
+type t = {
+  cfg : config;
+  page_table : Page_table.t;
+  frame_table : Frame_table.t;
+  ready_at : int array;  (* per page: completion time of an in-flight fetch *)
+  space_time : Metrics.Space_time.t;
+  timeline : Metrics.Timeline.t;
+  mutable refs : int;
+  mutable faults : int;
+  mutable writebacks : int;
+  mutable prefetches : int;
+  mutable advice_releases : int;
+}
+
+let create cfg =
+  assert (cfg.page_size > 0 && cfg.frames > 0 && cfg.pages > 0);
+  assert (Memstore.Level.size cfg.core >= cfg.frames * cfg.page_size);
+  assert (Memstore.Level.size cfg.backing >= cfg.pages * cfg.page_size);
+  {
+    cfg;
+    page_table = Page_table.create ~pages:cfg.pages;
+    frame_table = Frame_table.create ~frames:cfg.frames;
+    ready_at = Array.make cfg.pages 0;
+    space_time = Metrics.Space_time.create ();
+    timeline = Metrics.Timeline.create ();
+    refs = 0;
+    faults = 0;
+    writebacks = 0;
+    prefetches = 0;
+    advice_releases = 0;
+  }
+
+let clock t = Memstore.Level.clock t.cfg.core
+
+let resident_count t = Page_table.resident_count t.page_table
+
+let resident_words t = resident_count t * t.cfg.page_size
+
+(* Run [f] and accrue the simulated time it consumes to the space-time
+   product, with the residency held while it ran. *)
+let timed t state f =
+  let words = resident_words t in
+  let before = Sim.Clock.now (clock t) in
+  let result = f () in
+  let dt = Sim.Clock.now (clock t) - before in
+  Metrics.Space_time.accrue t.space_time ~words ~dt state;
+  Metrics.Timeline.record t.timeline ~at:before ~dt ~words state;
+  result
+
+let candidates t =
+  let unlocked =
+    List.filter (fun p -> not (Page_table.locked t.page_table ~page:p))
+      (Page_table.resident t.page_table)
+  in
+  Array.of_list unlocked
+
+let evict_page t page =
+  let frame =
+    match Page_table.frame_of t.page_table page with
+    | Some f -> f
+    | None -> invalid_arg "Demand: evicting non-resident page"
+  in
+  (match t.cfg.tlb with Some tlb -> Tlb.invalidate tlb ~key:page | None -> ());
+  if Page_table.modified t.page_table ~page then begin
+    (* Asynchronous write-back: the program does not wait, but the
+       backing device is busy, delaying any fetch queued behind it. *)
+    ignore
+      (Memstore.Level.transfer_async ~src:t.cfg.core ~src_off:(frame * t.cfg.page_size)
+         ~dst:t.cfg.backing ~dst_off:(page * t.cfg.page_size) ~len:t.cfg.page_size);
+    t.writebacks <- t.writebacks + 1
+  end;
+  Page_table.evict t.page_table ~page;
+  Frame_table.release t.frame_table ~frame;
+  t.cfg.policy.Replacement.on_evict ~page
+
+let free_a_frame t =
+  match Frame_table.find_free t.frame_table with
+  | Some frame -> frame
+  | None ->
+    let pool = candidates t in
+    if Array.length pool = 0 then failwith "Demand: every frame is locked";
+    let victim = t.cfg.policy.Replacement.choose_victim ~candidates:pool in
+    evict_page t victim;
+    (match Frame_table.find_free t.frame_table with
+     | Some frame -> frame
+     | None -> assert false)
+
+(* Start the page moving from backing store into a frame; the returned
+   time is when the data is usable. *)
+let start_fetch t ~page ~frame =
+  let finish =
+    Memstore.Level.transfer_async ~src:t.cfg.backing
+      ~src_off:(page * t.cfg.page_size) ~dst:t.cfg.core
+      ~dst_off:(frame * t.cfg.page_size) ~len:t.cfg.page_size
+  in
+  Frame_table.assign t.frame_table ~frame ~page;
+  Page_table.install t.page_table ~page ~frame;
+  t.ready_at.(page) <- finish;
+  t.cfg.policy.Replacement.on_load ~page
+
+let fault t page =
+  t.faults <- t.faults + 1;
+  let frame = free_a_frame t in
+  start_fetch t ~page ~frame
+
+(* Wait for an in-flight fetch of a now-resident page to land. *)
+let await t page =
+  let ready = t.ready_at.(page) in
+  if ready > Sim.Clock.now (clock t) then
+    timed t Metrics.Space_time.Waiting (fun () ->
+        Sim.Clock.advance_to (clock t) ready)
+
+let translate t page =
+  (* The mapping consult: free on a TLB hit, one working-storage access
+     otherwise (the map lives in core, as on the M44). *)
+  let map_cost () =
+    timed t Metrics.Space_time.Active (fun () ->
+        Sim.Clock.advance (clock t)
+          (Memstore.Device.word_access_us (Memstore.Level.device t.cfg.core)))
+  in
+  match t.cfg.tlb with
+  | None ->
+    map_cost ();
+    Page_table.frame_of t.page_table page
+  | Some tlb ->
+    (match Tlb.lookup tlb page with
+     | Some frame -> Some frame
+     | None ->
+       map_cost ();
+       (match Page_table.frame_of t.page_table page with
+        | Some frame ->
+          Tlb.insert tlb ~key:page ~value:frame;
+          Some frame
+        | None -> None))
+
+let touch t name ~write =
+  let page = name / t.cfg.page_size and offset = name mod t.cfg.page_size in
+  if page < 0 || page >= t.cfg.pages then
+    raise
+      (Memstore.Physical.Bound_violation
+         { store = "name-space"; address = name; extent = t.cfg.pages * t.cfg.page_size });
+  t.refs <- t.refs + 1;
+  timed t Metrics.Space_time.Active (fun () ->
+      Sim.Clock.advance (clock t) t.cfg.compute_us_per_ref);
+  t.cfg.policy.Replacement.on_reference ~page ~write;
+  let frame =
+    match translate t page with
+    | Some frame ->
+      await t page;
+      frame
+    | None ->
+      timed t Metrics.Space_time.Waiting (fun () -> fault t page);
+      await t page;
+      (match Page_table.frame_of t.page_table page with
+       | Some frame ->
+         (match t.cfg.tlb with
+          | Some tlb -> Tlb.insert tlb ~key:page ~value:frame
+          | None -> ());
+         frame
+       | None -> assert false)
+  in
+  if write then Page_table.mark_modified t.page_table ~page
+  else Page_table.mark_used t.page_table ~page;
+  (frame * t.cfg.page_size) + offset
+
+let read t name =
+  let core_addr = touch t name ~write:false in
+  timed t Metrics.Space_time.Active (fun () -> Memstore.Level.read t.cfg.core core_addr)
+
+let write t name v =
+  let core_addr = touch t name ~write:true in
+  timed t Metrics.Space_time.Active (fun () -> Memstore.Level.write t.cfg.core core_addr v)
+
+let run t trace = Array.iter (fun name -> ignore (read t name)) trace
+
+let frame_of t ~page = Page_table.frame_of t.page_table page
+
+let advise_will_need t ~page =
+  if page >= 0 && page < t.cfg.pages && frame_of t ~page = None then begin
+    match Frame_table.find_free t.frame_table with
+    | None -> ()  (* advisory: no free frame, no prefetch *)
+    | Some frame ->
+      start_fetch t ~page ~frame;
+      t.prefetches <- t.prefetches + 1
+  end
+
+let advise_wont_need t ~page =
+  if page >= 0 && page < t.cfg.pages then begin
+    match frame_of t ~page with
+    | Some _ when not (Page_table.locked t.page_table ~page) ->
+      evict_page t page;
+      t.advice_releases <- t.advice_releases + 1
+    | Some _ | None -> ()
+  end
+
+let lock t ~page =
+  (match frame_of t ~page with
+   | None ->
+     let frame = free_a_frame t in
+     start_fetch t ~page ~frame;
+     await t page
+   | Some _ -> ());
+  Page_table.lock t.page_table ~page;
+  if Array.length (candidates t) = 0 && Frame_table.free_count t.frame_table = 0 then begin
+    Page_table.unlock t.page_table ~page;
+    invalid_arg "Demand.lock: would leave no evictable frame"
+  end
+
+let unlock t ~page = Page_table.unlock t.page_table ~page
+
+let refs t = t.refs
+
+let faults t = t.faults
+
+let writebacks t = t.writebacks
+
+let prefetches t = t.prefetches
+
+let advice_releases t = t.advice_releases
+
+let space_time t = t.space_time
+
+let timeline t = t.timeline
+
+let tlb t = t.cfg.tlb
+
+let page_size t = t.cfg.page_size

@@ -1,0 +1,44 @@
+type result = { refs : int; faults : int; cold : int; evictions : int }
+
+let run_writes ~frames ~policy ~write trace =
+  assert (frames > 0);
+  let resident = Hashtbl.create frames in
+  let touched = Hashtbl.create 64 in
+  let faults = ref 0 and cold = ref 0 and evictions = ref 0 in
+  let candidates () =
+    let a = Array.make (Hashtbl.length resident) 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun p () ->
+        a.(!i) <- p;
+        incr i)
+      resident;
+    Array.sort compare a;
+    a
+  in
+  Array.iteri
+    (fun i page ->
+      let w = write i in
+      policy.Replacement.on_reference ~page ~write:w;
+      if not (Hashtbl.mem resident page) then begin
+        incr faults;
+        if not (Hashtbl.mem touched page) then begin
+          incr cold;
+          Hashtbl.replace touched page ()
+        end;
+        if Hashtbl.length resident >= frames then begin
+          let victim = policy.Replacement.choose_victim ~candidates:(candidates ()) in
+          assert (Hashtbl.mem resident victim);
+          Hashtbl.remove resident victim;
+          policy.Replacement.on_evict ~page:victim;
+          incr evictions
+        end;
+        Hashtbl.replace resident page ();
+        policy.Replacement.on_load ~page
+      end)
+    trace;
+  { refs = Array.length trace; faults = !faults; cold = !cold; evictions = !evictions }
+
+let run ~frames ~policy trace = run_writes ~frames ~policy ~write:(fun _ -> false) trace
+
+let fault_rate r = if r.refs = 0 then 0. else float_of_int r.faults /. float_of_int r.refs

@@ -1,0 +1,31 @@
+(** Untimed demand-paging fault simulator.
+
+    Runs a replacement policy over a page-number reference string with a
+    fixed number of frames and counts faults — the measurement behind
+    Belady [1]'s comparisons and our experiment C3.  No data moves and
+    no clock advances, so large parameter sweeps are cheap; the timed
+    engine ({!Demand}) is used when space-time or device behaviour
+    matters. *)
+
+type result = {
+  refs : int;  (** references processed *)
+  faults : int;  (** includes cold (first-touch) faults *)
+  cold : int;  (** faults on first touch of each page *)
+  evictions : int;
+}
+
+val run : frames:int -> policy:Replacement.t -> Workload.Trace.t -> result
+(** Process the trace with demand fetch.  [frames] must be positive.
+    The [policy] must be freshly created (policies carry state). *)
+
+val fault_rate : result -> float
+(** faults / refs (0. for an empty trace). *)
+
+val run_writes :
+  frames:int ->
+  policy:Replacement.t ->
+  write:(int -> bool) ->
+  Workload.Trace.t ->
+  result
+(** Like {!run}, with reference [i] treated as a write when [write i]
+    holds — feeds the modified-bit-sensitive policies. *)

@@ -1,0 +1,38 @@
+type t = { occupants : int option array; mutable free_count : int }
+
+let create ~frames =
+  assert (frames > 0);
+  { occupants = Array.make frames None; free_count = frames }
+
+let frames t = Array.length t.occupants
+
+let check t frame =
+  if frame < 0 || frame >= Array.length t.occupants then
+    invalid_arg "Frame_table: frame out of range"
+
+let occupant t frame =
+  check t frame;
+  t.occupants.(frame)
+
+let find_free t =
+  let n = Array.length t.occupants in
+  let rec loop i = if i >= n then None else if t.occupants.(i) = None then Some i else loop (i + 1) in
+  loop 0
+
+let free_count t = t.free_count
+
+let assign t ~frame ~page =
+  check t frame;
+  (match t.occupants.(frame) with
+   | Some _ -> invalid_arg "Frame_table.assign: frame occupied"
+   | None -> ());
+  t.occupants.(frame) <- Some page;
+  t.free_count <- t.free_count - 1
+
+let release t ~frame =
+  check t frame;
+  (match t.occupants.(frame) with
+   | None -> invalid_arg "Frame_table.release: frame already free"
+   | Some _ -> ());
+  t.occupants.(frame) <- None;
+  t.free_count <- t.free_count + 1

@@ -1,0 +1,25 @@
+(** Page-frame bookkeeping for working storage.
+
+    Tracks which page (if any) occupies each frame and hands out free
+    frames lowest-numbered-first, which keeps simulations
+    deterministic. *)
+
+type t
+
+val create : frames:int -> t
+
+val frames : t -> int
+
+val occupant : t -> int -> int option
+(** Page currently in the given frame. *)
+
+val find_free : t -> int option
+(** Lowest free frame. *)
+
+val free_count : t -> int
+
+val assign : t -> frame:int -> page:int -> unit
+(** Raises [Invalid_argument] if the frame is occupied. *)
+
+val release : t -> frame:int -> unit
+(** Raises [Invalid_argument] if the frame is free. *)

@@ -1,0 +1,123 @@
+type promotion =
+  | Always
+  | After of int
+  | Never
+
+type config = {
+  fast_frames : int;
+  bulk_frames : int;
+  fast_us : int;
+  bulk_us : int;
+  fetch_us : int;
+  promotion : promotion;
+}
+
+(* Per-resident-page state at whichever level holds it. *)
+type entry = { mutable last_use : int; mutable touches : int }
+
+type t = {
+  cfg : config;
+  fast : (int, entry) Hashtbl.t;
+  bulk : (int, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable refs : int;
+  mutable faults : int;
+  mutable promotions : int;
+  mutable fast_hits : int;
+  mutable elapsed_us : int;
+}
+
+let create cfg =
+  assert (cfg.fast_frames >= 0 && cfg.bulk_frames > 0);
+  {
+    cfg;
+    fast = Hashtbl.create 64;
+    bulk = Hashtbl.create 64;
+    tick = 0;
+    refs = 0;
+    faults = 0;
+    promotions = 0;
+    fast_hits = 0;
+    elapsed_us = 0;
+  }
+
+let lru_victim table =
+  let best = ref None in
+  Hashtbl.iter
+    (fun page entry ->
+      match !best with
+      | Some (_, e) when e.last_use <= entry.last_use -> ()
+      | Some _ | None -> best := Some (page, entry))
+    table;
+  match !best with
+  | Some (page, _) -> page
+  | None -> invalid_arg "Hierarchy: eviction from an empty level"
+
+(* Make room in bulk core, pushing the LRU page back to the drum. *)
+let ensure_bulk_room t =
+  if Hashtbl.length t.bulk >= t.cfg.bulk_frames then
+    Hashtbl.remove t.bulk (lru_victim t.bulk)
+
+(* Demote fast core's LRU page into bulk core. *)
+let demote t =
+  let page = lru_victim t.fast in
+  let entry = Hashtbl.find t.fast page in
+  Hashtbl.remove t.fast page;
+  ensure_bulk_room t;
+  entry.touches <- 0;
+  Hashtbl.replace t.bulk page entry
+
+let promote t page entry =
+  if t.cfg.fast_frames > 0 then begin
+    Hashtbl.remove t.bulk page;
+    if Hashtbl.length t.fast >= t.cfg.fast_frames then demote t;
+    entry.touches <- 0;
+    Hashtbl.replace t.fast page entry;
+    t.promotions <- t.promotions + 1
+  end
+
+let should_promote t entry =
+  match t.cfg.promotion with
+  | Always -> true
+  | After k -> entry.touches >= k
+  | Never -> false
+
+let touch t ~page =
+  t.refs <- t.refs + 1;
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.fast page with
+  | Some entry ->
+    entry.last_use <- t.tick;
+    entry.touches <- entry.touches + 1;
+    t.fast_hits <- t.fast_hits + 1;
+    t.elapsed_us <- t.elapsed_us + t.cfg.fast_us
+  | None ->
+    (match Hashtbl.find_opt t.bulk page with
+     | Some entry ->
+       entry.last_use <- t.tick;
+       entry.touches <- entry.touches + 1;
+       t.elapsed_us <- t.elapsed_us + t.cfg.bulk_us;
+       if should_promote t entry then promote t page entry
+     | None ->
+       (* Drum fault: always lands in the bulk level first. *)
+       t.faults <- t.faults + 1;
+       t.elapsed_us <- t.elapsed_us + t.cfg.fetch_us + t.cfg.bulk_us;
+       ensure_bulk_room t;
+       let entry = { last_use = t.tick; touches = 1 } in
+       Hashtbl.replace t.bulk page entry;
+       if should_promote t entry then promote t page entry)
+
+let run t trace = Array.iter (fun page -> touch t ~page) trace
+
+let refs t = t.refs
+
+let faults t = t.faults
+
+let promotions t = t.promotions
+
+let fast_hits t = t.fast_hits
+
+let elapsed_us t = t.elapsed_us
+
+let effective_access_us t =
+  if t.refs = 0 then 0. else float_of_int t.elapsed_us /. float_of_int t.refs

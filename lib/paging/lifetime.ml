@@ -1,0 +1,101 @@
+let fault_curve spec ~frames trace =
+  List.map
+    (fun m ->
+      let policy = Spec.instantiate spec ~rng:(Sim.Rng.create 1) ~trace:(Some trace) in
+      (m, (Fault_sim.run ~frames:m ~policy trace).Fault_sim.faults))
+    frames
+
+let working_set_sizes ~tau trace =
+  assert (tau > 0);
+  let n = Array.length trace in
+  let sizes = Array.make n 0 in
+  let counts = Hashtbl.create 64 in
+  let distinct = ref 0 in
+  let bump page delta =
+    let c = match Hashtbl.find_opt counts page with Some c -> c | None -> 0 in
+    let c' = c + delta in
+    if c = 0 && c' > 0 then incr distinct;
+    if c > 0 && c' = 0 then decr distinct;
+    if c' = 0 then Hashtbl.remove counts page else Hashtbl.replace counts page c'
+  in
+  for i = 0 to n - 1 do
+    bump trace.(i) 1;
+    if i >= tau then bump trace.(i - tau) (-1);
+    sizes.(i) <- !distinct
+  done;
+  sizes
+
+let mean_working_set ~tau trace =
+  let sizes = working_set_sizes ~tau trace in
+  if Array.length sizes = 0 then 0.
+  else
+    Array.fold_left (fun acc s -> acc +. float_of_int s) 0. sizes
+    /. float_of_int (Array.length sizes)
+
+type space_time_point = {
+  frames : int;
+  faults : int;
+  elapsed_us : int;
+  space_time : float;
+}
+
+let space_time_curve spec ~frames ~page_size ~compute_us_per_ref ~fetch_us trace =
+  assert (page_size > 0 && compute_us_per_ref >= 0 && fetch_us >= 0);
+  let refs = Array.length trace in
+  List.map
+    (fun (m, faults) ->
+      let elapsed_us = (refs * compute_us_per_ref) + (faults * fetch_us) in
+      {
+        frames = m;
+        faults;
+        elapsed_us;
+        space_time = float_of_int (m * page_size) *. float_of_int elapsed_us;
+      })
+    (fault_curve spec ~frames trace)
+
+type working_set_run = {
+  tau : int;
+  ws_faults : int;
+  mean_resident : float;
+  ws_elapsed_us : int;
+  ws_space_time : float;
+}
+
+let working_set_run ~tau ~page_size ~compute_us_per_ref ~fetch_us trace =
+  assert (tau > 0 && page_size > 0);
+  let n = Array.length trace in
+  (* Sliding window of the last [tau] references: a page faults when its
+     count rises from zero. *)
+  let counts = Hashtbl.create 64 in
+  let resident = ref 0 in
+  let faults = ref 0 in
+  let resident_integral = ref 0. in
+  let bump page delta =
+    let c = match Hashtbl.find_opt counts page with Some c -> c | None -> 0 in
+    let c' = c + delta in
+    if c = 0 && c' > 0 then begin
+      incr resident;
+      incr faults
+    end;
+    if c > 0 && c' = 0 then decr resident;
+    if c' = 0 then Hashtbl.remove counts page else Hashtbl.replace counts page c'
+  in
+  for i = 0 to n - 1 do
+    bump trace.(i) 1;
+    if i >= tau then bump trace.(i - tau) (-1);
+    resident_integral := !resident_integral +. float_of_int !resident
+  done;
+  let elapsed = (n * compute_us_per_ref) + (!faults * fetch_us) in
+  let mean_resident = if n = 0 then 0. else !resident_integral /. float_of_int n in
+  {
+    tau;
+    ws_faults = !faults;
+    mean_resident;
+    ws_elapsed_us = elapsed;
+    ws_space_time = mean_resident *. float_of_int page_size *. float_of_int elapsed;
+  }
+
+let optimal_allotment = function
+  | [] -> invalid_arg "Lifetime.optimal_allotment: no points"
+  | first :: rest ->
+    List.fold_left (fun best p -> if p.space_time < best.space_time then p else best) first rest

@@ -1,0 +1,62 @@
+(** Lifetime curves, working-set measurement, and the space-time
+    product as a sizing tool.
+
+    The paper: "a more significant measure of a strategy's effectiveness
+    is the space-time product.  A program which is awaiting arrival of a
+    further page will ... continue to occupy working storage."  Given a
+    reference string, these functions compute the classical curves that
+    measure makes possible: faults as a function of allotted frames (the
+    lifetime/parachor curve), the working-set size over time, and the
+    space-time product of running the program in a fixed allotment —
+    whose minimum tells the scheduler how much storage the program is
+    {e worth}. *)
+
+val fault_curve :
+  Spec.t -> frames:int list -> Workload.Trace.t -> (int * int) list
+(** Faults at each allotment (policy instantiated fresh per point). *)
+
+val working_set_sizes : tau:int -> Workload.Trace.t -> int array
+(** [working_set_sizes ~tau trace].(i) is |W(i, tau)|: distinct pages
+    among references [max 0 (i-tau+1) .. i].  O(n) sliding window. *)
+
+val mean_working_set : tau:int -> Workload.Trace.t -> float
+
+type space_time_point = {
+  frames : int;
+  faults : int;
+  elapsed_us : int;  (** refs * compute + faults * fetch *)
+  space_time : float;  (** frames * page_size words x elapsed *)
+}
+
+val space_time_curve :
+  Spec.t ->
+  frames:int list ->
+  page_size:int ->
+  compute_us_per_ref:int ->
+  fetch_us:int ->
+  Workload.Trace.t ->
+  space_time_point list
+(** The space-time product of running the whole trace in each fixed
+    allotment: too few frames and fault delays dominate the time term;
+    too many and the space term is waste.  *)
+
+val optimal_allotment : space_time_point list -> space_time_point
+(** The point with the smallest space-time product.  Raises
+    [Invalid_argument] on an empty list. *)
+
+type working_set_run = {
+  tau : int;
+  ws_faults : int;
+  mean_resident : float;  (** time-averaged |W(t, tau)| *)
+  ws_elapsed_us : int;
+  ws_space_time : float;  (** resident pages x page_size, integrated *)
+}
+
+val working_set_run :
+  tau:int -> page_size:int -> compute_us_per_ref:int -> fetch_us:int ->
+  Workload.Trace.t -> working_set_run
+(** A {e variable}-allotment pager: the resident set at each reference
+    is exactly the working set W(t, tau) (pages referenced in the last
+    [tau] references); touching a page outside it faults.  Holding just
+    the working set is the natural competitor to every fixed allotment
+    in the space-time race of experiment X6. *)

@@ -1,0 +1,78 @@
+(** Replacement strategies.
+
+    The paper: "When it is necessary to make room in working storage for
+    some new information, a replacement strategy is used to determine
+    which informational units should be overlayed.  The strategy should
+    seek to avoid the overlaying of information which may be required
+    again in the near future."  The canon evaluated by Belady [1] —
+    RANDOM, FIFO, LRU, the unrealizable optimum — is implemented here
+    together with the machine-specific strategies of the appendix: the
+    ATLAS "learning program" (A.1), the M44's class-random rule (A.2),
+    plus CLOCK, NRU, LFU and working-set as the standard points of
+    comparison.
+
+    A policy is a record of callbacks driven by the paging engine:
+    [on_reference] fires for {e every} reference in trace order (hit or
+    fault), [on_load]/[on_evict] on residency changes, and
+    [choose_victim] must return one of the [candidates] it is given
+    (already filtered for locked pages). *)
+
+type t = {
+  name : string;
+  on_reference : page:int -> write:bool -> unit;
+  on_load : page:int -> unit;
+  on_evict : page:int -> unit;
+  choose_victim : candidates:int array -> int;
+}
+
+val fifo : unit -> t
+(** Evict the page resident longest. *)
+
+val lru : unit -> t
+(** Evict the page unreferenced longest. *)
+
+val clock_sweep : unit -> t
+(** Second chance: a hand sweeps pages in load order, clearing use bits;
+    the first page found with its bit clear is the victim. *)
+
+val random : Sim.Rng.t -> t
+(** Uniform choice among candidates. *)
+
+val nru : Sim.Rng.t -> t
+(** Not-recently-used classes: prefer (unused, unmodified), then
+    (unused, modified), then used classes; random within a class.  Use
+    bits are cleared after every victim choice, emulating the periodic
+    sensor reset. *)
+
+val lfu : unit -> t
+(** Evict the page with the fewest references since load. *)
+
+val atlas_learning : unit -> t
+(** The ATLAS drum-transfer learning program (Kilburn et al. [14]): for
+    each resident page keep [t], the time since last use, and [T], the
+    length of its previous period of inactivity.  A page with [t > T + 1]
+    is believed out of use and the one with greatest [t] is taken;
+    otherwise the page maximising [T - t] (longest expected time until
+    next use) is taken.  Time is measured in references. *)
+
+val m44 : Sim.Rng.t -> t
+(** The M44/44X rule (appendix A.2, after Belady): select at random from
+    the set of equally acceptable candidates, determined on the basis of
+    frequency of usage and whether or not the page has been modified —
+    i.e. random among the least-frequently-used, preferring unmodified
+    pages within that set. *)
+
+val working_set : tau:int -> t
+(** Evict a page outside the working-set window of [tau] references
+    (the one longest out), falling back to LRU when every candidate is
+    inside the window. *)
+
+val opt : Workload.Trace.t -> t
+(** Belady's unrealizable optimum for the given page-number trace: evict
+    the page whose next use is farthest in the future.  The policy
+    counts references via [on_reference] to know its position, so it
+    must only be driven by exactly this trace. *)
+
+val all_practical : Sim.Rng.t -> t list
+(** The realizable policies compared in experiment C3 (fresh instances):
+    FIFO, LRU, CLOCK, RANDOM, NRU, LFU, ATLAS, M44, working-set. *)

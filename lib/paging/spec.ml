@@ -1,0 +1,43 @@
+type t =
+  | Fifo
+  | Lru
+  | Clock
+  | Random
+  | Nru
+  | Lfu
+  | Atlas
+  | M44
+  | Working_set of int
+  | Opt
+
+let to_string = function
+  | Fifo -> "FIFO"
+  | Lru -> "LRU"
+  | Clock -> "CLOCK"
+  | Random -> "RANDOM"
+  | Nru -> "NRU"
+  | Lfu -> "LFU"
+  | Atlas -> "ATLAS"
+  | M44 -> "M44"
+  | Working_set tau -> Printf.sprintf "WS(%d)" tau
+  | Opt -> "OPT"
+
+let all_practical =
+  [ Fifo; Lru; Clock; Random; Nru; Lfu; Atlas; M44; Working_set 64 ]
+
+let instantiate spec ~rng ~trace =
+  let rng = Sim.Rng.split rng in
+  match spec with
+  | Fifo -> Replacement.fifo ()
+  | Lru -> Replacement.lru ()
+  | Clock -> Replacement.clock_sweep ()
+  | Random -> Replacement.random rng
+  | Nru -> Replacement.nru rng
+  | Lfu -> Replacement.lfu ()
+  | Atlas -> Replacement.atlas_learning ()
+  | M44 -> Replacement.m44 rng
+  | Working_set tau -> Replacement.working_set ~tau
+  | Opt ->
+    (match trace with
+     | Some trace -> Replacement.opt trace
+     | None -> invalid_arg "Spec.instantiate: OPT requires the reference trace")

@@ -1,0 +1,28 @@
+(** Declarative replacement-policy specifications.
+
+    {!Replacement.t} values are stateful and single-use; a [Spec.t] is a
+    pure description that can be stored in a machine definition or swept
+    in an experiment and instantiated fresh for every run. *)
+
+type t =
+  | Fifo
+  | Lru
+  | Clock
+  | Random
+  | Nru
+  | Lfu
+  | Atlas
+  | M44
+  | Working_set of int
+  | Opt
+
+val to_string : t -> string
+
+val all_practical : t list
+(** Everything except [Opt]. *)
+
+val instantiate : t -> rng:Sim.Rng.t -> trace:Workload.Trace.t option -> Replacement.t
+(** Build a fresh policy.  [trace] (the page-number reference string) is
+    required by [Opt] and ignored by the rest; [rng] seeds the stochastic
+    policies (split off, so the caller's stream is perturbed identically
+    regardless of the spec). *)

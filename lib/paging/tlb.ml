@@ -1,0 +1,98 @@
+type replacement = Fifo_replacement | Lru_replacement
+
+type slot = { mutable key : int; mutable value : int; mutable stamp : int }
+
+type t = {
+  capacity : int;
+  policy : replacement;
+  slots : slot array;
+  mutable filled : int;
+  mutable tick : int;  (* insertion counter (FIFO) / access counter (LRU) *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity policy =
+  assert (capacity >= 0);
+  {
+    capacity;
+    policy;
+    slots = Array.init capacity (fun _ -> { key = min_int; value = 0; stamp = 0 });
+    filled = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.capacity
+
+let find_slot t key =
+  let rec loop i =
+    if i >= t.filled then None
+    else if t.slots.(i).key = key then Some t.slots.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let lookup t key =
+  match find_slot t key with
+  | Some slot ->
+    t.hits <- t.hits + 1;
+    (match t.policy with
+     | Lru_replacement ->
+       t.tick <- t.tick + 1;
+       slot.stamp <- t.tick
+     | Fifo_replacement -> ());
+    Some slot.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let insert t ~key ~value =
+  if t.capacity > 0 then begin
+    t.tick <- t.tick + 1;
+    match find_slot t key with
+    | Some slot ->
+      slot.value <- value;
+      slot.stamp <- t.tick
+    | None ->
+      if t.filled < t.capacity then begin
+        let slot = t.slots.(t.filled) in
+        t.filled <- t.filled + 1;
+        slot.key <- key;
+        slot.value <- value;
+        slot.stamp <- t.tick
+      end
+      else begin
+        (* Evict the slot with the oldest stamp: insertion time under
+           FIFO, last-access time under LRU. *)
+        let victim = ref t.slots.(0) in
+        Array.iter (fun s -> if s.stamp < !victim.stamp then victim := s) t.slots;
+        !victim.key <- key;
+        !victim.value <- value;
+        !victim.stamp <- t.tick
+      end
+  end
+
+let remove_at t i =
+  t.slots.(i).key <- t.slots.(t.filled - 1).key;
+  t.slots.(i).value <- t.slots.(t.filled - 1).value;
+  t.slots.(i).stamp <- t.slots.(t.filled - 1).stamp;
+  t.filled <- t.filled - 1
+
+let invalidate t ~key =
+  let rec loop i =
+    if i < t.filled then
+      if t.slots.(i).key = key then remove_at t i else loop (i + 1)
+  in
+  loop 0
+
+let flush t = t.filled <- 0
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let hit_ratio t =
+  let probes = t.hits + t.misses in
+  if probes = 0 then 0. else float_of_int t.hits /. float_of_int probes

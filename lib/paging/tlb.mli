@@ -1,0 +1,42 @@
+(** Associative memory for recently used page locations.
+
+    The paper's "Special Hardware Facilities (vi)": "a small associative
+    memory in which recently-used segment and/or page locations are
+    kept.  If it were not for such mechanisms, the cost in extra
+    addressing time caused by the provision of, say, segmentation and
+    artificial name contiguity, would often be unacceptable."
+
+    This models ATLAS's direct-mapping store, the 360/67's 8+1-register
+    associative array and the B8500's 44-word scratchpad: a small
+    fully-associative cache of (key -> value) translations with FIFO or
+    LRU replacement and hit/miss accounting.  Keys are page numbers (or
+    packed segment/page keys for two-level mappings). *)
+
+type t
+
+type replacement = Fifo_replacement | Lru_replacement
+
+val create : capacity:int -> replacement -> t
+(** [capacity] of 0 gives an always-missing TLB (for no-TLB baselines). *)
+
+val capacity : t -> int
+
+val lookup : t -> int -> int option
+(** Probe for a key, recording a hit or a miss. *)
+
+val insert : t -> key:int -> value:int -> unit
+(** Install a translation, evicting per the replacement rule if full.
+    No-op on a 0-capacity TLB. *)
+
+val invalidate : t -> key:int -> unit
+(** Drop one translation (on page eviction). *)
+
+val flush : t -> unit
+(** Drop everything (on address-space switch). *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val hit_ratio : t -> float
+(** 0. if never probed. *)

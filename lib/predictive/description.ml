@@ -1,0 +1,39 @@
+type medium =
+  | Working_storage
+  | Backing_storage
+
+type entry = {
+  pages : int list;
+  medium : medium;
+  overlayable : bool;
+}
+
+type t = entry list
+
+let analyse entries =
+  List.concat_map
+    (fun e ->
+      match e.medium, e.overlayable with
+      | Working_storage, false -> List.map (fun p -> Directive.Keep_resident p) e.pages
+      | Working_storage, true -> List.map (fun p -> Directive.Will_need p) e.pages
+      | Backing_storage, _ -> [])
+    entries
+
+let same_group a b =
+  match a.pages, b.pages with
+  | p :: _, q :: _ -> p = q
+  | [], _ | _, [] -> false
+
+let revise entries entry =
+  let replaced = ref false in
+  let updated =
+    List.map
+      (fun e ->
+        if same_group e entry then begin
+          replaced := true;
+          entry
+        end
+        else e)
+      entries
+  in
+  if !replaced then updated else updated @ [ entry ]

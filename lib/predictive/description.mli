@@ -1,0 +1,37 @@
+(** ACSI-MATIC-style program descriptions.
+
+    "Pioneering work on the concepts of segmentation and the use of
+    predictive information ... was done in connection with Project
+    ACSI-MATIC.  In this system programs were accompanied by 'program
+    descriptions', which could be varied dynamically, and which
+    specified, for example, (i) which storage medium a particular
+    segment was to be in when it was used, and (ii) permissions and
+    restrictions on the overlaying of groups of segments.  Storage
+    allocation strategies were then based on the analysis of these
+    descriptions."
+
+    Here a description names, per group of pages, the medium it should
+    occupy when in use and whether the group may be overlaid; analysing
+    a description yields the directive stream the allocator acts on. *)
+
+type medium =
+  | Working_storage  (** must be in core when used *)
+  | Backing_storage  (** may live on the drum until demanded *)
+
+type entry = {
+  pages : int list;  (** the group of pages described *)
+  medium : medium;
+  overlayable : bool;  (** whether the group may be overlaid once in core *)
+}
+
+type t = entry list
+
+val analyse : t -> Directive.t list
+(** The allocation actions implied at the moment the description comes
+    into force: working-storage groups that must not be overlaid are
+    pinned; overlayable working-storage groups are prefetched; backing
+    groups imply nothing until demanded. *)
+
+val revise : t -> entry -> t
+(** "Program descriptions ... could be varied dynamically": replace the
+    entry describing the same page group (by head page), or add it. *)

@@ -1,0 +1,28 @@
+type t =
+  | Will_need of int
+  | Wont_need of int
+  | Keep_resident of int
+  | Release_resident of int
+
+type step =
+  | Reference of int
+  | Advice of t
+
+let apply engine = function
+  | Will_need page -> Paging.Demand.advise_will_need engine ~page
+  | Wont_need page -> Paging.Demand.advise_wont_need engine ~page
+  | Keep_resident page -> Paging.Demand.lock engine ~page
+  | Release_resident page -> Paging.Demand.unlock engine ~page
+
+let run_annotated engine steps =
+  Array.iter
+    (function
+      | Reference addr -> ignore (Paging.Demand.read engine addr)
+      | Advice directive -> apply engine directive)
+    steps
+
+let strip steps =
+  Array.of_list
+    (List.filter_map
+       (function Reference addr -> Some addr | Advice _ -> None)
+       (Array.to_list steps))

@@ -1,0 +1,33 @@
+(** Predictive-information directives.
+
+    The paper's second basic characteristic: "directives predicting the
+    probable uses of storage over the next short time interval. ...
+    the directives are essentially advisory."  The concrete vocabulary
+    is taken from the appendix — the M44's two special instructions
+    (A.2) and MULTICS's three provisions (A.6):
+
+    - certain information will be accessed shortly ([Will_need]);
+    - certain information will not be accessed again soon ([Wont_need]);
+    - certain procedures or data are to be kept permanently in working
+      storage ([Keep_resident] / [Release_resident]). *)
+
+type t =
+  | Will_need of int  (** page number *)
+  | Wont_need of int
+  | Keep_resident of int
+  | Release_resident of int
+
+(** One step of an annotated program: a word reference or advice. *)
+type step =
+  | Reference of int  (** word address in the linear name space *)
+  | Advice of t
+
+val apply : Paging.Demand.t -> t -> unit
+(** Map a directive onto the demand engine's advisory interface. *)
+
+val run_annotated : Paging.Demand.t -> step array -> unit
+(** Execute a program: references become timed reads, advice is
+    applied where it appears. *)
+
+val strip : step array -> Workload.Trace.t
+(** The bare reference string, for a no-advice baseline run. *)

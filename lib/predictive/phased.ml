@@ -1,0 +1,39 @@
+type t = {
+  steps : Directive.step array;
+  phases : int array array;
+}
+
+let generate rng ~page_size ~phases ~refs_per_phase ~pages_per_phase ~total_pages ~lead =
+  assert (phases > 0 && refs_per_phase > 0);
+  assert (pages_per_phase > 0 && pages_per_phase <= total_pages);
+  assert (lead >= 0 && lead < refs_per_phase);
+  let draw_set () =
+    let pool = Array.init total_pages (fun i -> i) in
+    Sim.Rng.shuffle rng pool;
+    Array.sub pool 0 pages_per_phase
+  in
+  let sets = Array.init phases (fun _ -> draw_set ()) in
+  let steps = ref [] in
+  let reference phase =
+    let page = Sim.Rng.pick rng sets.(phase) in
+    let offset = Sim.Rng.int rng page_size in
+    steps := Directive.Reference ((page * page_size) + offset) :: !steps
+  in
+  for phase = 0 to phases - 1 do
+    for r = 0 to refs_per_phase - 1 do
+      if phase > 0 && r = 0 then
+        (* The old phase's pages will not be needed again. *)
+        Array.iter
+          (fun page ->
+            if not (Array.mem page sets.(phase)) then
+              steps := Directive.Advice (Directive.Wont_need page) :: !steps)
+          sets.(phase - 1);
+      reference phase;
+      if phase < phases - 1 && r = refs_per_phase - 1 - lead then
+        (* Advance notice: the next phase's pages will be needed. *)
+        Array.iter
+          (fun page -> steps := Directive.Advice (Directive.Will_need page) :: !steps)
+          sets.(phase + 1)
+    done
+  done;
+  { steps = Array.of_list (List.rev !steps); phases = sets }

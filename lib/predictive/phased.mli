@@ -1,0 +1,27 @@
+(** Phase-structured programs with advance notice of phase changes.
+
+    Experiment C4's workload: the program computes in phases, each
+    phase working over its own small set of pages.  The annotated
+    variant issues [Will_need] for the next phase's pages [lead]
+    references before the switch — early enough for prefetches to
+    overlap with the tail of the current phase — and [Wont_need] for
+    the old pages right after the switch.  Stripping the advice gives
+    the identical reference string for the demand-only baseline. *)
+
+type t = {
+  steps : Directive.step array;  (** the annotated program *)
+  phases : int array array;  (** the page set of each phase *)
+}
+
+val generate :
+  Sim.Rng.t ->
+  page_size:int ->
+  phases:int ->
+  refs_per_phase:int ->
+  pages_per_phase:int ->
+  total_pages:int ->
+  lead:int ->
+  t
+(** [lead] is how many references before a phase boundary the advice for
+    the next phase is issued; it must be < [refs_per_phase].  Word
+    addresses are uniform within each phase's page set. *)

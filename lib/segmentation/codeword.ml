@@ -1,0 +1,35 @@
+type t = {
+  mutable present : bool;
+  mutable base : int;
+  mutable extent : int;
+  index_register : int;
+  mutable in_backing : bool;
+  mutable used : bool;
+}
+
+module Registers = struct
+  type file = int array
+
+  let create ~count =
+    assert (count > 0);
+    Array.make count 0
+
+  let get file i = file.(i)
+
+  let set file i v = file.(i) <- v
+end
+
+exception Segment_absent of int
+
+let make ~extent ~index_register =
+  assert (extent >= 0 && index_register >= 0);
+  { present = false; base = -1; extent; index_register; in_backing = false; used = false }
+
+let address registers ~codeword_id cw ~offset =
+  if not cw.present then raise (Segment_absent codeword_id);
+  let effective = offset + Registers.get registers cw.index_register in
+  if effective < 0 || effective >= cw.extent then
+    invalid_arg
+      (Printf.sprintf "Codeword: index %d outside extent %d" effective cw.extent);
+  cw.used <- true;
+  cw.base + effective

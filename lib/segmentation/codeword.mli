@@ -1,0 +1,43 @@
+(** Rice University Computer codewords (appendix A.4, Iliffe & Jodeit).
+
+    "Codewords are used to provide a compact characterization of
+    individual program or data segments, and are thus approximately
+    analogous to the descriptors, or PRT elements, used in the B5000
+    system.  Probably the major difference ... is that codewords
+    contain an index register address.  When the codeword is used to
+    access a segment, the contents of the specified index register are
+    automatically added to the segment base address given in the
+    codeword.  The equivalent operation on the B5000 would have to be
+    programmed explicitly." *)
+
+type t = {
+  mutable present : bool;
+  mutable base : int;
+  mutable extent : int;
+  index_register : int;  (** which index register is added on access *)
+  mutable in_backing : bool;  (** a copy exists in backing storage *)
+  mutable used : bool;  (** used since last considered for replacement *)
+}
+
+(** A file of index registers.  "In the B8500 any word in storage can be
+    used as an index register"; here a plain register array suffices. *)
+module Registers : sig
+  type file
+
+  val create : count:int -> file
+
+  val get : file -> int -> int
+
+  val set : file -> int -> int -> unit
+end
+
+exception Segment_absent of int
+
+val make : extent:int -> index_register:int -> t
+
+val address : Registers.file -> codeword_id:int -> t -> offset:int -> int
+(** Core address for [offset] words past the indexed base: checks
+    presence (raising {!Segment_absent} with [codeword_id]), adds the
+    index register contents automatically, bound-checks the effective
+    index against the extent, and sets the use bit.  Raises
+    [Invalid_argument] on a bound violation. *)

@@ -1,0 +1,54 @@
+type t = {
+  mutable present : bool;
+  mutable base : int;
+  mutable extent : int;
+  mutable used : bool;
+  mutable modified : bool;
+}
+
+exception Segment_absent of int
+
+exception Subscript_violation of { segment : int; index : int; extent : int }
+
+let make ~extent =
+  assert (extent >= 0);
+  { present = false; base = -1; extent; used = false; modified = false }
+
+module Prt = struct
+  type table = { mutable descriptors : t array; mutable count : int }
+
+  let create () = { descriptors = [||]; count = 0 }
+
+  let add table ~extent =
+    if table.count >= Array.length table.descriptors then begin
+      let grown = Array.make (max 8 (2 * Array.length table.descriptors)) (make ~extent:0) in
+      Array.blit table.descriptors 0 grown 0 table.count;
+      table.descriptors <- grown
+    end;
+    let segment = table.count in
+    table.descriptors.(segment) <- make ~extent;
+    table.count <- table.count + 1;
+    segment
+
+  let descriptor table segment =
+    if segment < 0 || segment >= table.count then
+      invalid_arg (Printf.sprintf "Prt: unknown segment %d" segment);
+    table.descriptors.(segment)
+
+  let size table = table.count
+
+  let address table ~segment ~index =
+    let d = descriptor table segment in
+    if index < 0 || index >= d.extent then
+      raise (Subscript_violation { segment; index; extent = d.extent });
+    if not d.present then raise (Segment_absent segment);
+    d.used <- true;
+    d.base + index
+
+  let resident table =
+    let acc = ref [] in
+    for segment = table.count - 1 downto 0 do
+      if table.descriptors.(segment).present then acc := segment :: !acc
+    done;
+    !acc
+end

@@ -1,0 +1,52 @@
+(** Segment descriptors and the B5000 Program Reference Table.
+
+    "Each program in the system has associated with it a Program
+    Reference Table (PRT). ...  Every segment of the program is
+    represented by an entry in this table.  This entry gives the base
+    address and extent of the segment, and an indication of whether the
+    segment is currently in working storage." (appendix A.3)
+
+    Accessing a word through a descriptor checks the index against the
+    extent (the automatic subscript check the paper credits to
+    segmentation) and traps to {!Segment_absent} when the presence bit
+    is off — the hardware event a segment-fetch strategy hangs off. *)
+
+type t = {
+  mutable present : bool;
+  mutable base : int;  (** core address of word 0 while present *)
+  mutable extent : int;  (** words *)
+  mutable used : bool;
+  mutable modified : bool;
+}
+
+exception Segment_absent of int
+(** Raised with the segment number on access through a non-present
+    descriptor. *)
+
+exception Subscript_violation of { segment : int; index : int; extent : int }
+
+val make : extent:int -> t
+(** A non-present descriptor of the given extent. *)
+
+(** The Program Reference Table: descriptors indexed by segment
+    number. *)
+module Prt : sig
+  type table
+
+  val create : unit -> table
+
+  val add : table -> extent:int -> int
+  (** Allocate the next segment number and its descriptor. *)
+
+  val descriptor : table -> int -> t
+  (** Raises [Invalid_argument] on an unknown segment number. *)
+
+  val size : table -> int
+
+  val address : table -> segment:int -> index:int -> int
+  (** Core address of [segment[index]]: bound-checks the index, traps
+      {!Segment_absent} if non-present, and marks the use bit. *)
+
+  val resident : table -> int list
+  (** Present segment numbers, ascending. *)
+end

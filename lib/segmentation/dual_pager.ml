@@ -1,0 +1,123 @@
+type config = {
+  small_page : int;
+  large_page : int;
+  small_frames : int;
+  large_frames : int;
+}
+
+(* One frame pool with LRU replacement over packed page keys. *)
+type pool = {
+  capacity : int;
+  resident : (int, int) Hashtbl.t;  (* key -> last use *)
+  mutable faults : int;
+}
+
+type seg = { length : int }
+
+type t = {
+  cfg : config;
+  small : pool;
+  large : pool;
+  mutable segments : seg array;
+  mutable seg_count : int;
+  mutable tick : int;
+  mutable refs : int;
+}
+
+let key_bits = 24
+
+let create cfg =
+  assert (cfg.small_page > 0 && cfg.large_page mod cfg.small_page = 0);
+  assert (cfg.small_frames >= 0 && cfg.large_frames >= 0);
+  let pool capacity = { capacity; resident = Hashtbl.create 64; faults = 0 } in
+  {
+    cfg;
+    small = pool cfg.small_frames;
+    large = pool cfg.large_frames;
+    segments = [||];
+    seg_count = 0;
+    tick = 0;
+    refs = 0;
+  }
+
+let add_segment t ~length =
+  assert (length >= 1);
+  if t.seg_count >= Array.length t.segments then begin
+    let grown = Array.make (max 8 (2 * Array.length t.segments)) { length = 0 } in
+    Array.blit t.segments 0 grown 0 t.seg_count;
+    t.segments <- grown
+  end;
+  let id = t.seg_count in
+  t.seg_count <- t.seg_count + 1;
+  t.segments.(id) <- { length };
+  id
+
+let pool_touch t pool key =
+  t.tick <- t.tick + 1;
+  if Hashtbl.mem pool.resident key then Hashtbl.replace pool.resident key t.tick
+  else begin
+    pool.faults <- pool.faults + 1;
+    if pool.capacity = 0 then ()
+    else begin
+      if Hashtbl.length pool.resident >= pool.capacity then begin
+        (* LRU victim. *)
+        let victim = ref (-1) and oldest = ref max_int in
+        Hashtbl.iter
+          (fun k last ->
+            if last < !oldest || (last = !oldest && k < !victim) then begin
+              victim := k;
+              oldest := last
+            end)
+          pool.resident;
+        Hashtbl.remove pool.resident !victim
+      end;
+      Hashtbl.replace pool.resident key t.tick
+    end
+  end
+
+(* A segment's body (whole large pages) then its tail (small pages). *)
+let body_words t length = length / t.cfg.large_page * t.cfg.large_page
+
+let touch t ~segment ~offset ~write =
+  ignore write;
+  if segment < 0 || segment >= t.seg_count then invalid_arg "Dual_pager: unknown segment";
+  let s = t.segments.(segment) in
+  if offset < 0 || offset >= s.length then
+    raise (Descriptor.Subscript_violation { segment; index = offset; extent = s.length });
+  t.refs <- t.refs + 1;
+  let body = body_words t s.length in
+  if offset < body then
+    pool_touch t t.large ((segment lsl key_bits) lor (offset / t.cfg.large_page))
+  else
+    pool_touch t t.small
+      ((segment lsl key_bits) lor ((offset - body) / t.cfg.small_page))
+
+let refs t = t.refs
+
+let small_faults t = t.small.faults
+
+let large_faults t = t.large.faults
+
+let faults t = t.small.faults + t.large.faults
+
+let resident_words t =
+  (Hashtbl.length t.small.resident * t.cfg.small_page)
+  + (Hashtbl.length t.large.resident * t.cfg.large_page)
+
+let resident_useful_words t =
+  let useful = ref 0 in
+  let count pool page_words tail_of =
+    Hashtbl.iter
+      (fun key _ ->
+        let segment = key lsr key_bits and page = key land ((1 lsl key_bits) - 1) in
+        let s = t.segments.(segment) in
+        let base = tail_of s + (page * page_words) in
+        useful := !useful + min page_words (s.length - base))
+      pool.resident
+  in
+  count t.large t.cfg.large_page (fun _ -> 0);
+  count t.small t.cfg.small_page (fun s -> body_words t s.length);
+  !useful
+
+let core_words t =
+  (t.cfg.small_frames * t.cfg.small_page) + (t.cfg.large_frames * t.cfg.large_page)

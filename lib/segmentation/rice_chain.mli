@@ -1,0 +1,58 @@
+(** The Rice University Computer storage allocation scheme (appendix
+    A.4, after Iliffe & Jodeit).
+
+    "Segments are initially placed sequentially in storage in a block of
+    contiguous locations, the first of which is a 'back reference' to
+    the codeword of the segment.  When a segment loses its significance
+    the block in which it was stored is designated as 'inactive', and
+    its first word set up with the size of the block and the location of
+    the next inactive block in storage.  When space is required for a
+    segment, the chain of inactive blocks is searched sequentially for
+    one of sufficient size.  If one is found, the requested amount of
+    space is allocated, and if any unused space is left over it replaces
+    the original inactive block in the chain.  If an inactive block of
+    sufficient size cannot be found, an attempt is made to make one by
+    finding groups of adjacent inactive blocks which can be combined."
+
+    The iterative replacement algorithm the paper describes next lives
+    in {!Segment_store}; this module is the placement machinery.  (On
+    the real machine the block size of an active segment lived in its
+    codeword; we shadow it in a side table.) *)
+
+type t
+
+val create : Memstore.Physical.t -> base:int -> len:int -> t
+
+val alloc : t -> payload:int -> codeword:int -> int option
+(** Claim a block for [payload >= 1] words plus the back-reference word.
+    Returns the block offset (payload starts one word later), or [None]
+    when neither the sequential frontier, the inactive chain, nor
+    combining adjacent inactive blocks can supply the space — at which
+    point the caller must release something and retry. *)
+
+val free : t -> int -> unit
+(** Designate a previously allocated block inactive and push it on the
+    chain.  Raises [Invalid_argument] on a double free or foreign
+    offset. *)
+
+val payload_base : int -> int
+(** Core offset of the first payload word of a block. *)
+
+val back_reference : t -> int -> int
+(** The codeword id stored in the block's back-reference word. *)
+
+val frontier : t -> int
+(** First never-allocated offset (sequential placement point). *)
+
+val chain_blocks : t -> (int * int) list
+(** Inactive (offset, size) pairs in chain order. *)
+
+val combines : t -> int
+(** How many times adjacent-block combination was attempted. *)
+
+val chain_search_stats : t -> Metrics.Stats.t
+(** Chain nodes examined per allocation. *)
+
+val validate : t -> unit
+(** Active blocks and chain blocks must exactly tile [0, frontier).
+    Raises [Failure] on violation. *)

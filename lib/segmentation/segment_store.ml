@@ -1,0 +1,303 @@
+type replacement = Cyclic | Lru_segments | Rice_iterative
+
+type config = {
+  core : Memstore.Level.t;
+  backing : Memstore.Level.t;
+  placement : Freelist.Policy.t;
+  replacement : replacement;
+  max_segment : int option;
+}
+
+type seg = {
+  seg_name : string;
+  descriptor : Descriptor.t;
+  mutable backing_addr : int;
+  mutable last_touch : int;
+  mutable dead : bool;
+}
+
+type id = int
+
+type t = {
+  cfg : config;
+  allocator : Freelist.Allocator.t;
+  mutable segs : seg array;
+  mutable count : int;
+  mutable backing_frontier : int;
+  mutable rotor : int;  (* cyclic / Rice sweep position *)
+  mutable tick : int;
+  mutable segment_faults : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  space_time : Metrics.Space_time.t;
+  timeline : Metrics.Timeline.t;
+}
+
+let create cfg =
+  let core_words = Memstore.Level.size cfg.core in
+  {
+    cfg;
+    allocator =
+      Freelist.Allocator.create
+        (Memstore.Level.physical cfg.core)
+        ~base:0 ~len:core_words ~policy:cfg.placement;
+    segs = [||];
+    count = 0;
+    backing_frontier = 0;
+    rotor = 0;
+    tick = 0;
+    segment_faults = 0;
+    evictions = 0;
+    writebacks = 0;
+    space_time = Metrics.Space_time.create ();
+    timeline = Metrics.Timeline.create ();
+  }
+
+(* Run [f], charging the simulated time it takes to the space-time
+   product at the current occupancy. *)
+let timed t state f =
+  let clock = Memstore.Level.clock t.cfg.core in
+  let words = Freelist.Allocator.live_words t.allocator in
+  let before = Sim.Clock.now clock in
+  let result = f () in
+  let dt = Sim.Clock.now clock - before in
+  Metrics.Space_time.accrue t.space_time ~words ~dt state;
+  Metrics.Timeline.record t.timeline ~at:before ~dt ~words state;
+  result
+
+let seg t id =
+  if id < 0 || id >= t.count then invalid_arg "Segment_store: unknown segment";
+  let s = t.segs.(id) in
+  if s.dead then invalid_arg "Segment_store: segment has ceased to exist";
+  s
+
+let alloc_backing t words =
+  let addr = t.backing_frontier in
+  if addr + words > Memstore.Level.size t.cfg.backing then
+    failwith "Segment_store: backing storage exhausted";
+  t.backing_frontier <- addr + words;
+  addr
+
+let define t ?name ~length () =
+  if length < 1 then invalid_arg "Segment_store.define: length must be positive";
+  (match t.cfg.max_segment with
+   | Some m when length > m ->
+     invalid_arg (Printf.sprintf "Segment_store.define: %d exceeds maximum segment %d" length m)
+   | Some _ | None -> ());
+  if t.count >= Array.length t.segs then begin
+    let dummy =
+      {
+        seg_name = "";
+        descriptor = Descriptor.make ~extent:0;
+        backing_addr = 0;
+        last_touch = 0;
+        dead = true;
+      }
+    in
+    let grown = Array.make (max 8 (2 * Array.length t.segs)) dummy in
+    Array.blit t.segs 0 grown 0 t.count;
+    t.segs <- grown
+  end;
+  let id = t.count in
+  t.count <- t.count + 1;
+  let seg_name = match name with Some n -> n | None -> Printf.sprintf "seg%d" id in
+  t.segs.(id) <-
+    {
+      seg_name;
+      descriptor = Descriptor.make ~extent:length;
+      backing_addr = alloc_backing t length;
+      last_touch = 0;
+      dead = false;
+    };
+  id
+
+let evict_segment t id =
+  let s = t.segs.(id) in
+  let d = s.descriptor in
+  assert d.Descriptor.present;
+  if d.Descriptor.modified then begin
+    Memstore.Level.transfer ~src:t.cfg.core ~src_off:d.Descriptor.base ~dst:t.cfg.backing
+      ~dst_off:s.backing_addr ~len:d.Descriptor.extent;
+    t.writebacks <- t.writebacks + 1;
+    d.Descriptor.modified <- false
+  end;
+  Freelist.Allocator.free t.allocator d.Descriptor.base;
+  d.Descriptor.present <- false;
+  d.Descriptor.base <- -1;
+  t.evictions <- t.evictions + 1
+
+let resident t =
+  let acc = ref [] in
+  for id = t.count - 1 downto 0 do
+    if (not t.segs.(id).dead) && t.segs.(id).descriptor.Descriptor.present then
+      acc := id :: !acc
+  done;
+  !acc
+
+(* Pick one victim under the configured rule; [avoid] is the segment
+   being fetched (never resident here, but guards growth-in-place). *)
+let choose_victim t ~avoid =
+  let live = List.filter (fun id -> id <> avoid) (resident t) in
+  match live with
+  | [] -> None
+  | _ :: _ ->
+    (match t.cfg.replacement with
+     | Lru_segments ->
+       Some
+         (List.fold_left
+            (fun best id -> if t.segs.(id).last_touch < t.segs.(best).last_touch then id else best)
+            (List.hd live) live)
+     | Cyclic ->
+       (* Advance the rotor to the next resident segment. *)
+       let n = t.count in
+       let rec sweep steps =
+         if steps > n then Some (List.hd live)
+         else begin
+           let id = t.rotor in
+           t.rotor <- (t.rotor + 1) mod n;
+           if List.mem id live then Some id else sweep (steps + 1)
+         end
+       in
+       sweep 0
+     | Rice_iterative ->
+       (* Second chance over the rotor: a segment used since last
+          considered is passed over (bit cleared); first unused one is
+          taken. *)
+       let n = t.count in
+       let rec sweep steps =
+         if steps > 2 * n then Some (List.hd live)
+         else begin
+           let id = t.rotor in
+           t.rotor <- (t.rotor + 1) mod n;
+           if not (List.mem id live) then sweep (steps + 1)
+           else if t.segs.(id).descriptor.Descriptor.used then begin
+             t.segs.(id).descriptor.Descriptor.used <- false;
+             sweep (steps + 1)
+           end
+           else Some id
+         end
+       in
+       sweep 0)
+
+(* Allocate a core block of [words], evicting segments (never [avoid])
+   until placement succeeds. *)
+let alloc_core t ~words ~avoid =
+  let rec attempt () =
+    match Freelist.Allocator.alloc t.allocator words with
+    | Some addr -> addr
+    | None ->
+      (match choose_victim t ~avoid with
+       | Some victim ->
+         evict_segment t victim;
+         attempt ()
+       | None ->
+         failwith
+           (Printf.sprintf
+              "Segment_store: segment of %d words cannot fit in working storage" words))
+  in
+  attempt ()
+
+let fetch t id =
+  let s = t.segs.(id) in
+  let d = s.descriptor in
+  t.segment_faults <- t.segment_faults + 1;
+  let base = timed t Metrics.Space_time.Waiting (fun () -> alloc_core t ~words:d.Descriptor.extent ~avoid:id) in
+  timed t Metrics.Space_time.Waiting (fun () ->
+      Memstore.Level.transfer ~src:t.cfg.backing ~src_off:s.backing_addr ~dst:t.cfg.core
+        ~dst_off:base ~len:d.Descriptor.extent);
+  d.Descriptor.base <- base;
+  d.Descriptor.present <- true;
+  d.Descriptor.used <- true;
+  d.Descriptor.modified <- false
+
+let touch t id index ~write =
+  let s = seg t id in
+  let d = s.descriptor in
+  if index < 0 || index >= d.Descriptor.extent then
+    raise (Descriptor.Subscript_violation { segment = id; index; extent = d.Descriptor.extent });
+  if not d.Descriptor.present then fetch t id;
+  t.tick <- t.tick + 1;
+  s.last_touch <- t.tick;
+  d.Descriptor.used <- true;
+  if write then d.Descriptor.modified <- true;
+  d.Descriptor.base + index
+
+let read t id index =
+  let addr = touch t id index ~write:false in
+  timed t Metrics.Space_time.Active (fun () -> Memstore.Level.read t.cfg.core addr)
+
+let write t id index v =
+  let addr = touch t id index ~write:true in
+  timed t Metrics.Space_time.Active (fun () -> Memstore.Level.write t.cfg.core addr v)
+
+let delete t id =
+  let s = seg t id in
+  if s.descriptor.Descriptor.present then begin
+    Freelist.Allocator.free t.allocator s.descriptor.Descriptor.base;
+    s.descriptor.Descriptor.present <- false
+  end;
+  s.dead <- true
+
+let grow t id ~new_length =
+  let s = seg t id in
+  let d = s.descriptor in
+  if new_length <= d.Descriptor.extent then
+    invalid_arg "Segment_store.grow: new length not larger";
+  (match t.cfg.max_segment with
+   | Some m when new_length > m -> invalid_arg "Segment_store.grow: exceeds maximum segment"
+   | Some _ | None -> ());
+  let old_length = d.Descriptor.extent in
+  (* Grow via a fresh, larger backing image: write the authoritative
+     copy there, release any core block, and let the next touch fetch
+     the enlarged segment (evicting others as needed).  Keeping the old
+     core block while placing the new one could fail on fragmentation
+     the old block itself causes. *)
+  let new_backing = alloc_backing t new_length in
+  if d.Descriptor.present then begin
+    Memstore.Level.transfer ~src:t.cfg.core ~src_off:d.Descriptor.base ~dst:t.cfg.backing
+      ~dst_off:new_backing ~len:old_length;
+    Freelist.Allocator.free t.allocator d.Descriptor.base;
+    d.Descriptor.present <- false;
+    d.Descriptor.base <- -1;
+    d.Descriptor.modified <- false
+  end
+  else
+    Memstore.Level.transfer ~src:t.cfg.backing ~src_off:s.backing_addr ~dst:t.cfg.backing
+      ~dst_off:new_backing ~len:old_length;
+  s.backing_addr <- new_backing;
+  d.Descriptor.extent <- new_length
+
+let shrink t id ~new_length =
+  let s = seg t id in
+  let d = s.descriptor in
+  if new_length < 1 || new_length > d.Descriptor.extent then
+    invalid_arg "Segment_store.shrink: bad length";
+  (* Truncation in place: the tail words are abandoned.  The core block
+     keeps its size until the segment is next evicted and refetched. *)
+  d.Descriptor.extent <- new_length;
+  ignore s
+
+let length t id = (seg t id).descriptor.Descriptor.extent
+
+let is_resident t id = (seg t id).descriptor.Descriptor.present
+
+let name t id = (seg t id).seg_name
+
+let segment_faults t = t.segment_faults
+
+let evictions t = t.evictions
+
+let writebacks t = t.writebacks
+
+let core_live_words t = Freelist.Allocator.live_words t.allocator
+
+let core_free_sizes t = Freelist.Allocator.free_block_sizes t.allocator
+
+let external_fragmentation t =
+  Metrics.Fragmentation.external_of_free_blocks (core_free_sizes t)
+
+let search_stats t = Freelist.Allocator.search_stats t.allocator
+
+let space_time t = t.space_time
+
+let timeline t = t.timeline

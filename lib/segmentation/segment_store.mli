@@ -1,0 +1,93 @@
+(** Segment-as-unit-of-allocation storage management (B5000-style).
+
+    "The segment is used directly as the unit of allocation.  Each
+    segment is fetched when reference is first made to information in
+    the segment." (appendix A.3)
+
+    Core storage is managed by the variable-unit {!Freelist.Allocator}
+    under a pluggable placement policy; segment images live in backing
+    storage; a reference to an absent segment triggers a timed fetch,
+    evicting resident segments under the chosen replacement rule until
+    the newcomer fits.  Segments are {e dynamic}: they can be created,
+    destroyed, grown and shrunk during execution, with contents
+    preserved. *)
+
+type replacement =
+  | Cyclic  (** B5000: "a replacement strategy which was essentially cyclical" *)
+  | Lru_segments  (** least recently touched segment *)
+  | Rice_iterative
+      (** Rice A.4: sweep cyclically; a segment used since last
+          considered gets its use bit cleared and is passed over;
+          applied iteratively until enough space is released *)
+
+type config = {
+  core : Memstore.Level.t;  (** working storage *)
+  backing : Memstore.Level.t;  (** drum/tape image store *)
+  placement : Freelist.Policy.t;
+  replacement : replacement;
+  max_segment : int option;  (** e.g. Some 1024 on the B5000 *)
+}
+
+type t
+
+type id = int
+
+val create : config -> t
+
+val define : t -> ?name:string -> length:int -> unit -> id
+(** Declare a new (dynamic) segment of [length] words, initially
+    zero-filled in backing storage and absent from core.  Raises
+    [Invalid_argument] if [length] exceeds [max_segment] or is < 1. *)
+
+val read : t -> id -> int -> int64
+(** [read t seg i] fetches the segment on first touch (timed transfer),
+    bound-checks [i], and returns word [i]. *)
+
+val write : t -> id -> int -> int64 -> unit
+
+val delete : t -> id -> unit
+(** The segment ceases to exist; its core space (if any) is released.
+    Further access raises [Invalid_argument]. *)
+
+val grow : t -> id -> new_length:int -> unit
+(** Extend the segment, preserving contents.  The enlarged image is
+    written to backing storage and the segment becomes absent; the next
+    touch fetches it at its new size (evicting others as needed).
+    [new_length] must exceed the current length and respect
+    [max_segment]. *)
+
+val shrink : t -> id -> new_length:int -> unit
+(** Truncate the segment in place (no data movement). *)
+
+val length : t -> id -> int
+
+val resident : t -> id list
+
+val is_resident : t -> id -> bool
+
+val name : t -> id -> string
+
+(** {2 Measurements} *)
+
+val segment_faults : t -> int
+
+val evictions : t -> int
+
+val writebacks : t -> int
+
+val core_live_words : t -> int
+
+val core_free_sizes : t -> int list
+
+val external_fragmentation : t -> float
+
+val search_stats : t -> Metrics.Stats.t
+(** Placement search lengths, from the underlying allocator. *)
+
+val space_time : t -> Metrics.Space_time.t
+(** The paper's central metric, for segments: core words held,
+    integrated over time, split between Active (program accessing) and
+    Waiting (segment fetches and write-backs in progress). *)
+
+val timeline : t -> Metrics.Timeline.t
+(** The Fig.-3-style time profile of this store's occupancy. *)

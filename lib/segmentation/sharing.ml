@@ -1,0 +1,56 @@
+type right =
+  | Read
+  | Write
+  | Execute
+
+exception Protection_violation of { program : string; segment : int; needed : right }
+
+exception Not_granted of { program : string; segment : int }
+
+type program = { name : string; access : (int, right list) Hashtbl.t }
+
+type t = { store : Segment_store.t; mutable programs : program list }
+
+let create store = { store; programs = [] }
+
+let store t = t.store
+
+let add_program t ~name =
+  let p = { name; access = Hashtbl.create 16 } in
+  t.programs <- p :: t.programs;
+  p
+
+let program_name p = p.name
+
+let grant _t p ~segment ~rights = Hashtbl.replace p.access segment rights
+
+let revoke _t p ~segment = Hashtbl.remove p.access segment
+
+let rights _t p ~segment =
+  match Hashtbl.find_opt p.access segment with Some r -> r | None -> []
+
+let require t p segment needed =
+  match Hashtbl.find_opt p.access segment with
+  | None -> raise (Not_granted { program = p.name; segment })
+  | Some granted ->
+    if not (List.mem needed granted) then
+      raise (Protection_violation { program = p.name; segment; needed });
+    ignore t
+
+let read t p segment index =
+  require t p segment Read;
+  Segment_store.read t.store segment index
+
+let write t p segment index v =
+  require t p segment Write;
+  Segment_store.write t.store segment index v
+
+let fetch_for_execute t p segment =
+  require t p segment Execute;
+  ignore (Segment_store.read t.store segment 0)
+
+let sharers t ~segment =
+  List.rev
+    (List.filter_map
+       (fun p -> if Hashtbl.mem p.access segment then Some p.name else None)
+       t.programs)

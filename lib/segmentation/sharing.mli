@@ -1,0 +1,54 @@
+(** Inter-program sharing and protection of segments.
+
+    The paper lists among segmentation's advantages: "Segments form a
+    very convenient unit for purposes of information protection and
+    sharing, between programs."  This module adds both on top of
+    {!Segment_store}: one shared store of segments, with each program
+    holding its own {e access list} granting per-segment rights.  A
+    shared segment is fetched once and every sharer reaches the same
+    copy; an access outside a program's rights traps. *)
+
+type right =
+  | Read
+  | Write
+  | Execute
+
+exception Protection_violation of { program : string; segment : int; needed : right }
+
+exception Not_granted of { program : string; segment : int }
+
+type t
+(** The sharing layer over one segment store. *)
+
+type program
+
+val create : Segment_store.t -> t
+
+val store : t -> Segment_store.t
+
+val add_program : t -> name:string -> program
+
+val program_name : program -> string
+
+val grant : t -> program -> segment:Segment_store.id -> rights:right list -> unit
+(** Give [program] the listed rights on [segment].  Re-granting
+    replaces the rights. *)
+
+val revoke : t -> program -> segment:Segment_store.id -> unit
+
+val rights : t -> program -> segment:Segment_store.id -> right list
+(** [] if not granted. *)
+
+val read : t -> program -> Segment_store.id -> int -> int64
+(** Checked access: requires [Read].  Raises {!Not_granted} if the
+    program has no entry for the segment, {!Protection_violation} if it
+    lacks the right. *)
+
+val write : t -> program -> Segment_store.id -> int -> int64 -> unit
+(** Requires [Write]. *)
+
+val fetch_for_execute : t -> program -> Segment_store.id -> unit
+(** Requires [Execute]; touches word 0 (instruction fetch). *)
+
+val sharers : t -> segment:Segment_store.id -> string list
+(** Programs currently granted any right on the segment. *)

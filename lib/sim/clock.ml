@@ -1,0 +1,11 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+
+let now t = t.now
+
+let advance t dt =
+  assert (dt >= 0);
+  t.now <- t.now + dt
+
+let advance_to t at = if at > t.now then t.now <- at

@@ -1,0 +1,20 @@
+(** A virtual clock counting simulated microseconds.
+
+    The simulator is untethered from wall-clock time: every device access
+    advances a clock explicitly.  Time is a plain [int] of microseconds,
+    which at 2^62 us gives ~146 millennia of simulated time. *)
+
+type t
+
+val create : unit -> t
+(** A clock reading 0. *)
+
+val now : t -> int
+(** Current simulated time in microseconds. *)
+
+val advance : t -> int -> unit
+(** [advance t dt] moves time forward by [dt] us.  [dt] must be >= 0. *)
+
+val advance_to : t -> int -> unit
+(** [advance_to t at] moves time forward to absolute time [at]; a no-op if
+    [at] is in the past. *)

@@ -1,0 +1,33 @@
+type t = { clock : Clock.t; queue : (unit -> unit) Heap.t }
+
+let create clock = { clock; queue = Heap.create () }
+
+let clock t = t.clock
+
+let schedule t ~at f =
+  assert (at >= Clock.now t.clock);
+  Heap.add t.queue at f
+
+let schedule_after t dt f = schedule t ~at:(Clock.now t.clock + dt) f
+
+let pending t = Heap.size t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+    Clock.advance_to t.clock at;
+    f ();
+    true
+
+let run t = while step t do () done
+
+let run_until t bound =
+  let rec loop () =
+    match Heap.min t.queue with
+    | Some (at, _) when at <= bound ->
+      ignore (step t);
+      loop ()
+    | Some _ | None -> Clock.advance_to t.clock bound
+  in
+  loop ()

@@ -1,0 +1,32 @@
+(** Discrete-event simulation driver.
+
+    Events are thunks scheduled at absolute virtual times; running the
+    queue pops the earliest event, advances the shared {!Clock.t} to its
+    time, and executes it.  Handlers may schedule further events. *)
+
+type t
+
+val create : Clock.t -> t
+
+val clock : t -> Clock.t
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs [f] when simulated time reaches [at]; [at]
+    must not be in the past. *)
+
+val schedule_after : t -> int -> (unit -> unit) -> unit
+(** [schedule_after t dt f] schedules [f] at [now + dt]. *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val step : t -> bool
+(** Execute the earliest pending event, advancing the clock to its time.
+    Returns [false] if the queue was empty. *)
+
+val run : t -> unit
+(** Run until the queue drains. *)
+
+val run_until : t -> int -> unit
+(** Run events with time <= the given bound, then advance the clock to the
+    bound. *)

@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = bits64 t }
+
+(* A non-negative 62-bit int, safe on 64-bit OCaml's 63-bit [int]. *)
+let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t n =
+  assert (n > 0);
+  nonneg t mod n
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let unit_float t =
+  (* 53 random bits into [0, 1). *)
+  let mantissa = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int mantissa *. 0x1p-53
+
+let float t x = unit_float t *. x
+
+let exponential t mean =
+  assert (mean > 0.);
+  let u = unit_float t in
+  -.mean *. log (1. -. u)
+
+let geometric t p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 0
+  else
+    let u = unit_float t in
+    int_of_float (floor (log (1. -. u) /. log (1. -. p)))
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

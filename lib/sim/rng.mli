@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    [Rng.t] so that experiments are reproducible from a single seed and
+    independent components can be given independent streams via {!split}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is independent of the
+    subsequent outputs of [t] (it is seeded from [t]'s next output). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [0, n-1].  [n] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on [lo, hi] inclusive.  Requires
+    [lo <= hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [0, x). *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples an exponential distribution with the
+    given mean.  [mean] must be positive. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success in
+    Bernoulli trials with success probability [p] (so the result is >= 0
+    with mean [(1-p)/p]).  Requires [0 < p <= 1]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,23 @@
+type t = { mutable base : int; mutable limit : int }
+
+exception Limit_violation of { name : int; limit : int }
+
+let create ~base ~limit =
+  assert (base >= 0 && limit >= 0);
+  { base; limit }
+
+let base t = t.base
+
+let limit t = t.limit
+
+let translate t name =
+  if name < 0 || name >= t.limit then raise (Limit_violation { name; limit = t.limit });
+  t.base + name
+
+let relocate t ~base =
+  assert (base >= 0);
+  t.base <- base
+
+let resize t ~limit =
+  assert (limit >= 0);
+  t.limit <- limit

@@ -1,0 +1,34 @@
+(** The relocation register / limit register pair.
+
+    The paper's "next level in sophistication" above absolute
+    addressing: "All name representations are checked against the
+    contents of the limit register and then have the contents of the
+    relocation register added to them, in order to produce an absolute
+    address.  Thus a linear name space, whose size can be smaller than
+    that provided by the absolute address representation, can be used to
+    access items starting at an arbitrary address in storage."
+
+    Because every access goes through the pair, a program can be moved
+    (swapped out and back to a different address, or slid by
+    compaction) by updating one register — the relocation problem
+    solved by construction. *)
+
+type t
+
+exception Limit_violation of { name : int; limit : int }
+
+val create : base:int -> limit:int -> t
+
+val base : t -> int
+
+val limit : t -> int
+
+val translate : t -> int -> int
+(** [translate t name] checks [0 <= name < limit] and returns
+    [base + name].  Raises {!Limit_violation} otherwise. *)
+
+val relocate : t -> base:int -> unit
+(** Point the pair at the program's new location. *)
+
+val resize : t -> limit:int -> unit
+(** Change the accessible extent (e.g. after the program grows). *)

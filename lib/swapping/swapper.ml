@@ -1,0 +1,196 @@
+type config = {
+  core : Memstore.Level.t;
+  backing : Memstore.Level.t;
+  placement : Freelist.Policy.t;
+  compact_on_failure : bool;
+}
+
+type program = {
+  prog_name : string;
+  size : int;
+  registers : Relocation.t;
+  backing_addr : int;
+  mutable resident : bool;
+  mutable modified : bool;
+  mutable last_used : int;
+}
+
+type id = int
+
+type t = {
+  cfg : config;
+  allocator : Freelist.Allocator.t;
+  channel : Memstore.Channel.t;
+  mutable programs : program array;
+  mutable count : int;
+  mutable backing_frontier : int;
+  mutable tick : int;
+  mutable swap_ins : int;
+  mutable swap_outs : int;
+  mutable words_swapped : int;
+  mutable compactions : int;
+}
+
+let create cfg =
+  let core_words = Memstore.Level.size cfg.core in
+  {
+    cfg;
+    allocator =
+      Freelist.Allocator.create
+        (Memstore.Level.physical cfg.core)
+        ~base:0 ~len:core_words ~policy:cfg.placement;
+    channel = Memstore.Channel.create (Memstore.Level.clock cfg.core) ~word_ns:500;
+    programs = [||];
+    count = 0;
+    backing_frontier = 0;
+    tick = 0;
+    swap_ins = 0;
+    swap_outs = 0;
+    words_swapped = 0;
+    compactions = 0;
+  }
+
+let program t id =
+  if id < 0 || id >= t.count then invalid_arg "Swapper: unknown program";
+  t.programs.(id)
+
+let add_program t ~name ~size =
+  assert (size > 0);
+  if t.backing_frontier + size > Memstore.Level.size t.cfg.backing then
+    failwith "Swapper: backing storage exhausted";
+  if t.count >= Array.length t.programs then begin
+    let dummy =
+      {
+        prog_name = "";
+        size = 0;
+        registers = Relocation.create ~base:0 ~limit:0;
+        backing_addr = 0;
+        resident = false;
+        modified = false;
+        last_used = 0;
+      }
+    in
+    let grown = Array.make (max 8 (2 * Array.length t.programs)) dummy in
+    Array.blit t.programs 0 grown 0 t.count;
+    t.programs <- grown
+  end;
+  let id = t.count in
+  t.count <- t.count + 1;
+  t.programs.(id) <-
+    {
+      prog_name = name;
+      size;
+      registers = Relocation.create ~base:0 ~limit:size;
+      backing_addr = t.backing_frontier;
+      resident = false;
+      modified = false;
+      last_used = 0;
+    };
+  t.backing_frontier <- t.backing_frontier + size;
+  id
+
+let swap_out t id =
+  let p = program t id in
+  if p.resident then begin
+    if p.modified then begin
+      Memstore.Level.transfer ~src:t.cfg.core ~src_off:(Relocation.base p.registers)
+        ~dst:t.cfg.backing ~dst_off:p.backing_addr ~len:p.size;
+      t.words_swapped <- t.words_swapped + p.size;
+      p.modified <- false
+    end;
+    Freelist.Allocator.free t.allocator (Relocation.base p.registers);
+    p.resident <- false;
+    t.swap_outs <- t.swap_outs + 1
+  end
+
+(* The least recently used resident program other than [keep]. *)
+let lru_resident t ~keep =
+  let best = ref None in
+  for id = 0 to t.count - 1 do
+    let p = t.programs.(id) in
+    if p.resident && id <> keep then
+      match !best with
+      | Some b when t.programs.(b).last_used <= p.last_used -> ()
+      | Some _ | None -> best := Some id
+  done;
+  !best
+
+let compact t =
+  t.compactions <- t.compactions + 1;
+  (* The relocation registers are the only stored absolute addresses:
+     retarget the register whose base matches each moved block. *)
+  let by_base = Hashtbl.create 16 in
+  for id = 0 to t.count - 1 do
+    let p = t.programs.(id) in
+    if p.resident then Hashtbl.replace by_base (Relocation.base p.registers) id
+  done;
+  Freelist.Allocator.compact t.allocator t.channel ~relocate:(fun old_addr new_addr ->
+      match Hashtbl.find_opt by_base old_addr with
+      | Some id ->
+        Relocation.relocate t.programs.(id).registers ~base:new_addr;
+        Hashtbl.remove by_base old_addr;
+        Hashtbl.replace by_base new_addr id
+      | None -> invalid_arg "Swapper.compact: moved block owned by no program")
+
+let swap_in t id =
+  let p = program t id in
+  assert (not p.resident);
+  let rec place () =
+    match Freelist.Allocator.alloc t.allocator p.size with
+    | Some addr -> addr
+    | None ->
+      if
+        t.cfg.compact_on_failure
+        && Freelist.Allocator.free_words t.allocator > p.size + 8
+      then begin
+        (* Enough total space exists; only its shattering is in the way. *)
+        compact t;
+        match Freelist.Allocator.alloc t.allocator p.size with
+        | Some addr -> addr
+        | None -> evict_and_retry ()
+      end
+      else evict_and_retry ()
+  and evict_and_retry () =
+    match lru_resident t ~keep:id with
+    | Some victim ->
+      swap_out t victim;
+      place ()
+    | None -> failwith "Swapper: program larger than working storage"
+  in
+  let addr = place () in
+  Memstore.Level.transfer ~src:t.cfg.backing ~src_off:p.backing_addr ~dst:t.cfg.core
+    ~dst_off:addr ~len:p.size;
+  t.words_swapped <- t.words_swapped + p.size;
+  Relocation.relocate p.registers ~base:addr;
+  p.resident <- true;
+  t.swap_ins <- t.swap_ins + 1
+
+let touch t id name ~write =
+  let p = program t id in
+  if not p.resident then swap_in t id;
+  t.tick <- t.tick + 1;
+  p.last_used <- t.tick;
+  if write then p.modified <- true;
+  Relocation.translate p.registers name
+
+let read t id name = Memstore.Level.read t.cfg.core (touch t id name ~write:false)
+
+let write t id name v = Memstore.Level.write t.cfg.core (touch t id name ~write:true) v
+
+let in_core t id = (program t id).resident
+
+let base_of t id =
+  let p = program t id in
+  if p.resident then Some (Relocation.base p.registers) else None
+
+let swap_ins t = t.swap_ins
+
+let swap_outs t = t.swap_outs
+
+let words_swapped t = t.words_swapped
+
+let compactions t = t.compactions
+
+let external_fragmentation t =
+  Metrics.Fragmentation.external_of_free_blocks
+    (Freelist.Allocator.free_block_sizes t.allocator)

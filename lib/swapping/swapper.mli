@@ -1,0 +1,56 @@
+(** Whole-program swapping: time-sharing before paging.
+
+    The paper's introduction: coexistence in working storage is wanted
+    for throughput and response time, and "the storage resources
+    provided for an individual program must vary from run to run".  The
+    pre-paging answer was to keep each program contiguous, address it
+    through a relocation/limit pair, and swap {e entire programs}
+    between core and drum as the scheduler demanded.  Variable-size
+    contiguous allocation brings external fragmentation, so the swapper
+    can optionally compact core (updating the relocation registers —
+    the point of having them) when a swap-in cannot be placed.
+
+    Experiment X4 compares this discipline against demand paging. *)
+
+type config = {
+  core : Memstore.Level.t;
+  backing : Memstore.Level.t;
+  placement : Freelist.Policy.t;
+  compact_on_failure : bool;
+}
+
+type t
+
+type id = int
+
+val create : config -> t
+
+val add_program : t -> name:string -> size:int -> id
+(** Declare a program of [size] words, initially swapped out with a
+    zero-filled backing image. *)
+
+val read : t -> id -> int -> int64
+(** [read t prog name] translates [name] through the program's
+    relocation/limit pair, swapping the program in first if needed. *)
+
+val write : t -> id -> int -> int64 -> unit
+
+val in_core : t -> id -> bool
+
+val base_of : t -> id -> int option
+(** Current core base, for observing relocation at work. *)
+
+val swap_out : t -> id -> unit
+(** Explicitly release a program's core (write-back if modified). *)
+
+(** {2 Measurements} *)
+
+val swap_ins : t -> int
+
+val swap_outs : t -> int
+
+val words_swapped : t -> int
+
+val compactions : t -> int
+
+val external_fragmentation : t -> float

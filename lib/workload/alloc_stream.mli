@@ -1,0 +1,41 @@
+(** Allocation-request streams for the variable-unit allocators.
+
+    The classic allocator benchmark shape: objects are born in sequence,
+    each with a size drawn from a distribution and a lifetime measured in
+    subsequent births; the stream interleaves the resulting [Alloc] and
+    [Free] events.  Experiment C2 feeds these to each placement policy. *)
+
+type event =
+  | Alloc of { id : int; size : int }
+  | Free of { id : int }
+
+type size_dist =
+  | Exact of int
+  | Uniform of int * int  (** inclusive bounds *)
+  | Geometric of { mean : float; min_size : int }
+      (** heavily small-skewed, as real allocation mixes are *)
+  | Bimodal of { small : int; large : int; large_fraction : float }
+      (** the paper's "place large blocks at one end, small at the other"
+          scenario *)
+
+val sample_size : Sim.Rng.t -> size_dist -> int
+
+val generate :
+  Sim.Rng.t -> objects:int -> size:size_dist -> mean_lifetime:float -> event list
+(** [generate rng ~objects ~size ~mean_lifetime] births [objects]
+    objects; object [i]'s [Free] is emitted just before birth
+    [i + lifetime] where lifetime is geometric with the given mean.
+    Objects outliving the stream are freed at the end, so every [Alloc]
+    has a matching [Free]. *)
+
+val live_stream :
+  Sim.Rng.t -> steps:int -> size:size_dist -> target_live:int -> event list
+(** Steady-state stream: at each step allocate if fewer than
+    [target_live] objects are live (or with probability 1/2 when at
+    target), else free a uniformly random live object.  No final frees
+    are appended: the stream ends with ~[target_live] objects live,
+    which is the state in which fragmentation is measured. *)
+
+val peak_live_words : event list -> int
+(** Maximum over time of the total words live, a lower bound on the
+    store size any allocator needs. *)

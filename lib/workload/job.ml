@@ -1,0 +1,21 @@
+type t = { name : string; refs : Trace.t; compute_us_per_ref : int }
+
+let make ~name ~refs ~compute_us_per_ref =
+  assert (compute_us_per_ref >= 0);
+  { name; refs; compute_us_per_ref }
+
+let pages_touched t =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun p -> Hashtbl.replace seen p ()) t.refs;
+  Hashtbl.length seen
+
+let mix rng ~jobs ~refs_per_job ~pages_per_job ~locality ~compute_us_per_ref =
+  assert (jobs > 0);
+  List.init jobs (fun i ->
+      let refs =
+        Trace.working_set_phases rng ~length:refs_per_job ~extent:pages_per_job
+          ~set_size:(max 1 (pages_per_job / 4))
+          ~phase_length:(max 1 (refs_per_job / 8))
+          ~locality
+      in
+      make ~name:(Printf.sprintf "job%d" i) ~refs ~compute_us_per_ref)

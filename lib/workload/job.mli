@@ -1,0 +1,24 @@
+(** Multiprogramming job descriptions.
+
+    A job is a page-reference trace plus the compute time spent per
+    reference; the multiprogramming simulator (experiment C7) interleaves
+    several of these, overlapping one job's page fetches with another's
+    execution, as ATLAS and the M44/44X did. *)
+
+type t = {
+  name : string;
+  refs : Trace.t;  (** page-number reference string *)
+  compute_us_per_ref : int;  (** processor time consumed per reference *)
+}
+
+val make : name:string -> refs:Trace.t -> compute_us_per_ref:int -> t
+
+val pages_touched : t -> int
+(** Number of distinct pages the job references. *)
+
+val mix :
+  Sim.Rng.t ->
+  jobs:int -> refs_per_job:int -> pages_per_job:int -> locality:float ->
+  compute_us_per_ref:int -> t list
+(** A homogeneous mix of [jobs] working-set-phased jobs, each over its
+    own [pages_per_job]-page name space. *)

@@ -1,0 +1,71 @@
+type t = int array
+
+let sequential ~length ~extent =
+  assert (extent > 0);
+  Array.init length (fun i -> i mod extent)
+
+let uniform rng ~length ~extent =
+  assert (extent > 0);
+  Array.init length (fun _ -> Sim.Rng.int rng extent)
+
+let loop ~length ~extent ~working_set =
+  assert (working_set > 0 && working_set <= extent);
+  Array.init length (fun i -> i mod working_set)
+
+let zipf rng ~length ~extent ~skew =
+  assert (extent > 0 && skew >= 0.);
+  let weights = Array.init extent (fun i -> 1. /. ((float_of_int (i + 1)) ** skew)) in
+  let cdf = Array.make extent 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cdf.(i) <- !acc)
+    weights;
+  let total = !acc in
+  let sample () =
+    let u = Sim.Rng.float rng total in
+    (* Binary search for the first cdf entry >= u. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (extent - 1)
+  in
+  Array.init length (fun _ -> sample ())
+
+let working_set_phases rng ~length ~extent ~set_size ~phase_length ~locality =
+  assert (set_size > 0 && set_size <= extent);
+  assert (phase_length > 0);
+  assert (locality >= 0. && locality <= 1.);
+  let draw_set () =
+    (* Sample [set_size] distinct addresses by shuffling a candidate pool. *)
+    let pool = Array.init extent (fun i -> i) in
+    Sim.Rng.shuffle rng pool;
+    Array.sub pool 0 set_size
+  in
+  let current = ref (draw_set ()) in
+  Array.init length (fun i ->
+      if i > 0 && i mod phase_length = 0 then current := draw_set ();
+      if Sim.Rng.float rng 1. < locality then Sim.Rng.pick rng !current
+      else Sim.Rng.int rng extent)
+
+let matrix_row_major ~rows ~cols ~base =
+  assert (rows > 0 && cols > 0);
+  Array.init (rows * cols) (fun i -> base + i)
+
+let matrix_col_major ~rows ~cols ~base =
+  assert (rows > 0 && cols > 0);
+  Array.init (rows * cols) (fun i ->
+      let c = i / rows and r = i mod rows in
+      base + (r * cols) + c)
+
+let belady_anomaly_trace = [| 1; 2; 3; 4; 1; 2; 5; 1; 2; 3; 4; 5 |]
+
+let to_pages ~page_size trace =
+  assert (page_size > 0);
+  Array.map (fun a -> a / page_size) trace
+
+let extent trace = Array.fold_left (fun m a -> max m (a + 1)) 0 trace

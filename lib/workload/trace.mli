@@ -1,0 +1,52 @@
+(** Synthetic reference traces.
+
+    A trace is an array of addresses (word numbers or page numbers,
+    depending on how the consumer interprets them).  The generators cover
+    the locality structures the 1960s literature used to evaluate
+    replacement strategies: pure sequence, uniform random, tight loops,
+    phase-structured working sets, and skewed (Zipf) popularity, plus
+    matrix traversals whose row/column order makes paging behave well or
+    catastrophically. *)
+
+type t = int array
+
+val sequential : length:int -> extent:int -> t
+(** 0, 1, ..., extent-1, 0, 1, ... *)
+
+val uniform : Sim.Rng.t -> length:int -> extent:int -> t
+(** Independent uniform references over [0, extent). *)
+
+val loop : length:int -> extent:int -> working_set:int -> t
+(** Cyclic sweep over the first [working_set] addresses of the extent —
+    the access pattern for which FIFO and LRU behave worst when memory is
+    one frame short.  Requires [working_set <= extent]. *)
+
+val zipf : Sim.Rng.t -> length:int -> extent:int -> skew:float -> t
+(** Zipf-distributed popularity with exponent [skew] (1.0 is classic);
+    address [i] has probability proportional to [1/(i+1)^skew]. *)
+
+val working_set_phases :
+  Sim.Rng.t ->
+  length:int -> extent:int -> set_size:int -> phase_length:int -> locality:float -> t
+(** Phase/transition behaviour: during each phase of [phase_length]
+    references a random set of [set_size] addresses receives fraction
+    [locality] of the references, the rest going anywhere in the extent;
+    a new set is drawn each phase. *)
+
+val matrix_row_major : rows:int -> cols:int -> base:int -> t
+(** Word addresses of a row-by-row sweep of a [rows] x [cols] matrix of
+    one-word elements stored row-major starting at [base]. *)
+
+val matrix_col_major : rows:int -> cols:int -> base:int -> t
+(** Column-by-column sweep of the same row-major matrix: the classic
+    pattern that touches a different page every reference. *)
+
+val belady_anomaly_trace : t
+(** The canonical 12-reference string 1 2 3 4 1 2 5 1 2 3 4 5 for which
+    FIFO faults more with 4 frames than with 3. *)
+
+val to_pages : page_size:int -> t -> t
+(** Map a word-address trace to its page-number trace. *)
+
+val extent : t -> int
+(** 1 + the largest address in the trace (0 for an empty trace). *)

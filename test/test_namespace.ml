@@ -1,0 +1,84 @@
+(* Tests for the namespace library: name-space structures and the
+   four-characteristic classification. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let linear = Namespace.Name_space.Linear { bits = 10 }
+
+let seg = Namespace.Name_space.Linearly_segmented { segment_bits = 4; offset_bits = 8 }
+
+let sym = Namespace.Name_space.Symbolically_segmented { max_extent = 1024 }
+
+let test_extents () =
+  check_bool "linear" true (Namespace.Name_space.extent linear = Some 1024);
+  check_bool "segmented" true (Namespace.Name_space.extent seg = Some 4096);
+  check_bool "symbolic unbounded" true (Namespace.Name_space.extent sym = None);
+  check_int "linear max run" 1024 (Namespace.Name_space.max_segment_extent linear);
+  check_int "segmented max run" 256 (Namespace.Name_space.max_segment_extent seg);
+  check_int "symbolic max run" 1024 (Namespace.Name_space.max_segment_extent sym)
+
+let test_split_compose_roundtrip () =
+  for name = 0 to 4095 do
+    let s, o = Namespace.Name_space.split seg name in
+    check_int "roundtrip" name (Namespace.Name_space.compose seg ~segment:s ~offset:o)
+  done;
+  let s, o = Namespace.Name_space.split seg 0x5A3 in
+  check_int "segment = high bits" 5 s;
+  check_int "offset = low bits" 0xA3 o
+
+let test_linear_split () =
+  check_bool "segment always 0" true (Namespace.Name_space.split linear 37 = (0, 37));
+  check_bool "violation trapped" true
+    (match Namespace.Name_space.split linear 1024 with
+     | _ -> false
+     | exception Namespace.Name_space.Name_violation _ -> true)
+
+let test_symbolic_names_not_integers () =
+  check_bool "split rejected" true
+    (match Namespace.Name_space.split sym 0 with
+     | _ -> false
+     | exception Invalid_argument _ -> true);
+  check_bool "not orderable" false (Namespace.Name_space.segment_names_orderable sym);
+  check_bool "linear orderable" true (Namespace.Name_space.segment_names_orderable linear)
+
+let test_compose_bounds () =
+  check_bool "segment overflow" true
+    (match Namespace.Name_space.compose seg ~segment:16 ~offset:0 with
+     | _ -> false
+     | exception Namespace.Name_space.Name_violation _ -> true);
+  check_bool "offset overflow" true
+    (match Namespace.Name_space.compose seg ~segment:0 ~offset:256 with
+     | _ -> false
+     | exception Namespace.Name_space.Name_violation _ -> true)
+
+let test_characteristics () =
+  let r = Namespace.Characteristics.recommended in
+  check_bool "recommends symbolic segmentation" false
+    (Namespace.Name_space.segment_names_orderable r.Namespace.Characteristics.name_space);
+  check_bool "recommends variable units" false (Namespace.Characteristics.uniform_unit r);
+  let atlas_like =
+    {
+      Namespace.Characteristics.name_space = Namespace.Name_space.Linear { bits = 24 };
+      predictive = Namespace.Characteristics.No_predictions;
+      artificial_contiguity = true;
+      allocation_unit = Namespace.Characteristics.Uniform 512;
+    }
+  in
+  check_bool "uniform detected" true (Namespace.Characteristics.uniform_unit atlas_like);
+  check_int "four rows" 4 (List.length (Namespace.Characteristics.describe atlas_like))
+
+let () =
+  Alcotest.run "namespace"
+    [
+      ( "name_space",
+        [
+          Alcotest.test_case "extents" `Quick test_extents;
+          Alcotest.test_case "split/compose" `Quick test_split_compose_roundtrip;
+          Alcotest.test_case "linear split" `Quick test_linear_split;
+          Alcotest.test_case "symbolic names" `Quick test_symbolic_names_not_integers;
+          Alcotest.test_case "compose bounds" `Quick test_compose_bounds;
+        ] );
+      ( "characteristics",
+        [ Alcotest.test_case "classification" `Quick test_characteristics ] );
+    ]

@@ -1,0 +1,539 @@
+(* Tests for the paging library: page/frame tables, TLB, replacement
+   policies, the fault simulator and the timed demand engine. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Page_table --- *)
+
+let test_page_table_lifecycle () =
+  let pt = Paging.Page_table.create ~pages:8 in
+  check_bool "absent" true (Paging.Page_table.frame_of pt 3 = None);
+  Paging.Page_table.install pt ~page:3 ~frame:1;
+  check_bool "present" true (Paging.Page_table.frame_of pt 3 = Some 1);
+  check_int "resident" 1 (Paging.Page_table.resident_count pt);
+  Paging.Page_table.mark_modified pt ~page:3;
+  check_bool "modified implies used" true (Paging.Page_table.used pt ~page:3);
+  Paging.Page_table.evict pt ~page:3;
+  check_bool "gone" true (Paging.Page_table.frame_of pt 3 = None);
+  check_int "none resident" 0 (Paging.Page_table.resident_count pt)
+
+let test_page_table_bounds () =
+  let pt = Paging.Page_table.create ~pages:4 in
+  check_bool "out of range" true
+    (match Paging.Page_table.frame_of pt 4 with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_page_table_lock () =
+  let pt = Paging.Page_table.create ~pages:4 in
+  Paging.Page_table.install pt ~page:0 ~frame:0;
+  Paging.Page_table.lock pt ~page:0;
+  check_bool "locked eviction rejected" true
+    (match Paging.Page_table.evict pt ~page:0 with
+     | () -> false
+     | exception Invalid_argument _ -> true);
+  Paging.Page_table.unlock pt ~page:0;
+  Paging.Page_table.evict pt ~page:0;
+  check_int "evictable after unlock" 0 (Paging.Page_table.resident_count pt)
+
+(* --- Frame_table --- *)
+
+let test_frame_table () =
+  let ft = Paging.Frame_table.create ~frames:3 in
+  check_bool "lowest free" true (Paging.Frame_table.find_free ft = Some 0);
+  Paging.Frame_table.assign ft ~frame:0 ~page:9;
+  check_bool "next free" true (Paging.Frame_table.find_free ft = Some 1);
+  check_bool "occupant" true (Paging.Frame_table.occupant ft 0 = Some 9);
+  check_int "free count" 2 (Paging.Frame_table.free_count ft);
+  check_bool "double assign" true
+    (match Paging.Frame_table.assign ft ~frame:0 ~page:1 with
+     | () -> false
+     | exception Invalid_argument _ -> true);
+  Paging.Frame_table.release ft ~frame:0;
+  check_int "released" 3 (Paging.Frame_table.free_count ft)
+
+(* --- Tlb --- *)
+
+let test_tlb_hit_miss () =
+  let tlb = Paging.Tlb.create ~capacity:2 Paging.Tlb.Lru_replacement in
+  check_bool "cold miss" true (Paging.Tlb.lookup tlb 5 = None);
+  Paging.Tlb.insert tlb ~key:5 ~value:1;
+  check_bool "hit" true (Paging.Tlb.lookup tlb 5 = Some 1);
+  check_int "hits" 1 (Paging.Tlb.hits tlb);
+  check_int "misses" 1 (Paging.Tlb.misses tlb);
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Paging.Tlb.hit_ratio tlb)
+
+let test_tlb_lru_eviction () =
+  let tlb = Paging.Tlb.create ~capacity:2 Paging.Tlb.Lru_replacement in
+  Paging.Tlb.insert tlb ~key:1 ~value:10;
+  Paging.Tlb.insert tlb ~key:2 ~value:20;
+  ignore (Paging.Tlb.lookup tlb 1);  (* make 2 the LRU entry *)
+  Paging.Tlb.insert tlb ~key:3 ~value:30;
+  check_bool "1 survives" true (Paging.Tlb.lookup tlb 1 = Some 10);
+  check_bool "2 evicted" true (Paging.Tlb.lookup tlb 2 = None);
+  check_bool "3 present" true (Paging.Tlb.lookup tlb 3 = Some 30)
+
+let test_tlb_fifo_eviction () =
+  let tlb = Paging.Tlb.create ~capacity:2 Paging.Tlb.Fifo_replacement in
+  Paging.Tlb.insert tlb ~key:1 ~value:10;
+  Paging.Tlb.insert tlb ~key:2 ~value:20;
+  ignore (Paging.Tlb.lookup tlb 1);  (* FIFO ignores recency *)
+  Paging.Tlb.insert tlb ~key:3 ~value:30;
+  check_bool "1 evicted despite recency" true (Paging.Tlb.lookup tlb 1 = None);
+  check_bool "2 survives" true (Paging.Tlb.lookup tlb 2 = Some 20)
+
+let test_tlb_invalidate_flush_zero () =
+  let tlb = Paging.Tlb.create ~capacity:4 Paging.Tlb.Lru_replacement in
+  Paging.Tlb.insert tlb ~key:1 ~value:10;
+  Paging.Tlb.insert tlb ~key:2 ~value:20;
+  Paging.Tlb.invalidate tlb ~key:1;
+  check_bool "invalidated" true (Paging.Tlb.lookup tlb 1 = None);
+  Paging.Tlb.flush tlb;
+  check_bool "flushed" true (Paging.Tlb.lookup tlb 2 = None);
+  let none = Paging.Tlb.create ~capacity:0 Paging.Tlb.Lru_replacement in
+  Paging.Tlb.insert none ~key:1 ~value:1;
+  check_bool "zero-capacity never hits" true (Paging.Tlb.lookup none 1 = None)
+
+(* Property: a TLB big enough for the key set never misses after each
+   key's first probe-and-insert. *)
+let tlb_capacity_covers_property =
+  QCheck.Test.make ~name:"TLB with capacity >= distinct keys misses once per key" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_bound 15))
+    (fun keys ->
+      let tlb = Paging.Tlb.create ~capacity:16 Paging.Tlb.Lru_replacement in
+      List.iter
+        (fun k ->
+          match Paging.Tlb.lookup tlb k with
+          | Some _ -> ()
+          | None -> Paging.Tlb.insert tlb ~key:k ~value:k)
+        keys;
+      let distinct = List.length (List.sort_uniq compare keys) in
+      Paging.Tlb.misses tlb = distinct
+      && Paging.Tlb.hits tlb = List.length keys - distinct)
+
+(* --- Fault_sim + Replacement: known reference strings --- *)
+
+let belady = Workload.Trace.belady_anomaly_trace
+
+let faults ~frames policy trace =
+  (Paging.Fault_sim.run ~frames ~policy trace).Paging.Fault_sim.faults
+
+let test_fifo_known_counts () =
+  check_int "FIFO/3" 9 (faults ~frames:3 (Paging.Replacement.fifo ()) belady);
+  check_int "FIFO/4" 10 (faults ~frames:4 (Paging.Replacement.fifo ()) belady)
+
+let test_belady_anomaly () =
+  let f3 = faults ~frames:3 (Paging.Replacement.fifo ()) belady in
+  let f4 = faults ~frames:4 (Paging.Replacement.fifo ()) belady in
+  check_bool "more frames, more faults" true (f4 > f3)
+
+let test_lru_known_counts () =
+  check_int "LRU/3" 10 (faults ~frames:3 (Paging.Replacement.lru ()) belady);
+  check_int "LRU/4" 8 (faults ~frames:4 (Paging.Replacement.lru ()) belady)
+
+let test_opt_known_counts () =
+  check_int "OPT/3" 7 (faults ~frames:3 (Paging.Replacement.opt belady) belady);
+  check_int "OPT/4" 6 (faults ~frames:4 (Paging.Replacement.opt belady) belady)
+
+let test_lru_loop_thrash_and_fit () =
+  let trace = Workload.Trace.loop ~length:400 ~extent:100 ~working_set:4 in
+  (* Working set fits: only the 4 cold faults. *)
+  check_int "fits" 4 (faults ~frames:4 (Paging.Replacement.lru ()) trace);
+  (* One frame short: LRU faults on every reference of a cyclic sweep. *)
+  check_int "thrashes" 400 (faults ~frames:3 (Paging.Replacement.lru ()) trace)
+
+let test_cold_and_eviction_accounting () =
+  let r = Paging.Fault_sim.run ~frames:3 ~policy:(Paging.Replacement.fifo ()) belady in
+  check_int "refs" 12 r.Paging.Fault_sim.refs;
+  check_int "cold = distinct pages" 5 r.Paging.Fault_sim.cold;
+  check_int "evictions = faults - frames" (r.Paging.Fault_sim.faults - 3)
+    r.Paging.Fault_sim.evictions
+
+let test_all_policies_run () =
+  let rng = Sim.Rng.create 99 in
+  let trace =
+    Workload.Trace.working_set_phases (Sim.Rng.split rng) ~length:2000 ~extent:64
+      ~set_size:8 ~phase_length:250 ~locality:0.9
+  in
+  List.iter
+    (fun policy ->
+      let r = Paging.Fault_sim.run ~frames:12 ~policy trace in
+      check_bool
+        (Printf.sprintf "%s fault bounds" policy.Paging.Replacement.name)
+        true
+        (r.Paging.Fault_sim.faults >= r.Paging.Fault_sim.cold
+        && r.Paging.Fault_sim.faults <= r.Paging.Fault_sim.refs))
+    (Paging.Replacement.all_practical rng)
+
+(* Property: LRU obeys the stack-inclusion property (faults monotone
+   non-increasing in memory size), which FIFO famously violates. *)
+let lru_stack_property =
+  QCheck.Test.make ~name:"LRU faults are monotone in frames" ~count:60
+    QCheck.(pair small_int (list_of_size Gen.(int_range 10 120) (int_bound 12)))
+    (fun (_, refs) ->
+      let trace = Array.of_list refs in
+      let rec check prev frames =
+        if frames > 6 then true
+        else begin
+          let f = faults ~frames (Paging.Replacement.lru ()) trace in
+          f <= prev && check f (frames + 1)
+        end
+      in
+      check max_int 1)
+
+(* Property: no practical policy beats Belady's OPT. *)
+let opt_optimality =
+  QCheck.Test.make ~name:"OPT lower-bounds every policy" ~count:60
+    QCheck.(pair (int_range 1 6) (list_of_size Gen.(int_range 10 120) (int_bound 12)))
+    (fun (frames, refs) ->
+      let trace = Array.of_list refs in
+      let opt_faults = faults ~frames (Paging.Replacement.opt trace) trace in
+      let rng = Sim.Rng.create 7 in
+      List.for_all
+        (fun policy -> faults ~frames policy trace >= opt_faults)
+        (Paging.Replacement.all_practical rng))
+
+(* --- Demand engine --- *)
+
+let make_demand ?(frames = 4) ?(pages = 16) ?(page_size = 64) ?(tlb = None)
+    ?(backing_device = Memstore.Device.drum) ?policy () =
+  let clock = Sim.Clock.create () in
+  let core =
+    Memstore.Level.make clock Memstore.Device.core ~name:"core" ~words:(frames * page_size)
+  in
+  let backing =
+    Memstore.Level.make clock backing_device ~name:"backing" ~words:(pages * page_size)
+  in
+  let policy = match policy with Some p -> p | None -> Paging.Replacement.lru () in
+  let cfg =
+    {
+      Paging.Demand.page_size;
+      frames;
+      pages;
+      core;
+      backing;
+      policy;
+      tlb;
+      compute_us_per_ref = 1;
+    }
+  in
+  (Paging.Demand.create cfg, core, backing)
+
+let test_demand_reads_backing_data () =
+  let t, _, backing = make_demand () in
+  (* Pre-load backing store with a recognizable pattern. *)
+  for w = 0 to (16 * 64) - 1 do
+    Memstore.Physical.write (Memstore.Level.physical backing) w (Int64.of_int (w * 3))
+  done;
+  Alcotest.(check int64) "word 0" 0L (Paging.Demand.read t 0);
+  Alcotest.(check int64) "word 100" (Int64.of_int 300) (Paging.Demand.read t 100);
+  Alcotest.(check int64) "word 1000" (Int64.of_int 3000) (Paging.Demand.read t 1000);
+  check_int "three pages faulted" 3 (Paging.Demand.faults t)
+
+let test_demand_write_survives_eviction () =
+  let t, _, _ = make_demand ~frames:2 () in
+  Paging.Demand.write t 5 12345L;
+  (* Touch enough other pages to force page 0 out (2 frames). *)
+  List.iter (fun w -> ignore (Paging.Demand.read t w)) [ 100; 200; 300; 400 ];
+  check_bool "page 0 evicted" true (Paging.Demand.frame_of t ~page:0 = None);
+  check_bool "writeback happened" true (Paging.Demand.writebacks t >= 1);
+  Alcotest.(check int64) "modified data round-trips" 12345L (Paging.Demand.read t 5)
+
+let test_demand_fault_counting_matches_fault_sim () =
+  let rng = Sim.Rng.create 17 in
+  let word_trace = Workload.Trace.uniform rng ~length:500 ~extent:(16 * 64) in
+  let t, _, _ = make_demand ~policy:(Paging.Replacement.fifo ()) () in
+  Paging.Demand.run t word_trace;
+  let page_trace = Workload.Trace.to_pages ~page_size:64 word_trace in
+  let expected = Paging.Fault_sim.run ~frames:4 ~policy:(Paging.Replacement.fifo ()) page_trace in
+  check_int "same faults as untimed sim" expected.Paging.Fault_sim.faults
+    (Paging.Demand.faults t);
+  check_int "refs counted" 500 (Paging.Demand.refs t)
+
+let test_demand_space_time_tracks_device_speed () =
+  let rng = Sim.Rng.create 23 in
+  let word_trace = Workload.Trace.uniform rng ~length:300 ~extent:(16 * 64) in
+  let run device =
+    let t, _, _ = make_demand ~backing_device:device () in
+    Paging.Demand.run t word_trace;
+    Metrics.Space_time.waiting_fraction (Paging.Demand.space_time t)
+  in
+  let drum = run Memstore.Device.drum and disk = run Memstore.Device.disk in
+  check_bool "slow store means more waiting space-time" true (disk > drum);
+  check_bool "disk waiting dominates" true (disk > 0.5)
+
+let test_demand_tlb_saves_time () =
+  let trace = Workload.Trace.loop ~length:2000 ~extent:(4 * 64) ~working_set:128 in
+  let run tlb =
+    let t, core, _ = make_demand ~tlb () in
+    Paging.Demand.run t trace;
+    Sim.Clock.now (Memstore.Level.clock core)
+  in
+  let without = run None in
+  let with_tlb = run (Some (Paging.Tlb.create ~capacity:8 Paging.Tlb.Lru_replacement)) in
+  check_bool "TLB reduces elapsed time" true (with_tlb < without)
+
+let test_demand_prefetch_avoids_fault () =
+  let t, _, _ = make_demand ~frames:4 () in
+  ignore (Paging.Demand.read t 0);
+  check_int "one cold fault" 1 (Paging.Demand.faults t);
+  Paging.Demand.advise_will_need t ~page:1;
+  check_int "prefetch issued" 1 (Paging.Demand.prefetches t);
+  (* Burn compute time on page 0 so the prefetch completes. *)
+  for _ = 1 to 100 do
+    ignore (Paging.Demand.read t 0)
+  done;
+  ignore (Paging.Demand.read t 64);
+  check_int "no demand fault for prefetched page" 1 (Paging.Demand.faults t)
+
+let test_demand_wont_need_frees_frame () =
+  let t, _, _ = make_demand ~frames:4 () in
+  ignore (Paging.Demand.read t 0);
+  ignore (Paging.Demand.read t 64);
+  check_int "two resident" 2 (Paging.Demand.resident_count t);
+  Paging.Demand.advise_wont_need t ~page:0;
+  check_int "one resident" 1 (Paging.Demand.resident_count t);
+  check_int "release recorded" 1 (Paging.Demand.advice_releases t);
+  check_bool "page gone" true (Paging.Demand.frame_of t ~page:0 = None)
+
+let test_demand_lock_pins_page () =
+  let t, _, _ = make_demand ~frames:2 () in
+  Paging.Demand.lock t ~page:0;
+  (* Stream many other pages through the single remaining frame. *)
+  List.iter (fun p -> ignore (Paging.Demand.read t (p * 64))) [ 1; 2; 3; 4; 5; 6 ];
+  check_bool "locked page still resident" true (Paging.Demand.frame_of t ~page:0 <> None);
+  Paging.Demand.unlock t ~page:0
+
+let test_demand_bound_violation () =
+  let t, _, _ = make_demand () in
+  check_bool "out of name space" true
+    (match Paging.Demand.read t (16 * 64) with
+     | _ -> false
+     | exception Memstore.Physical.Bound_violation _ -> true)
+
+(* --- Lifetime --- *)
+
+let test_working_set_sizes () =
+  let trace = [| 1; 2; 1; 3; 3; 4 |] in
+  Alcotest.(check (array int)) "w(t,3)" [| 1; 2; 2; 3; 2; 2 |]
+    (Paging.Lifetime.working_set_sizes ~tau:3 trace);
+  Alcotest.(check (array int)) "w(t,1)" [| 1; 1; 1; 1; 1; 1 |]
+    (Paging.Lifetime.working_set_sizes ~tau:1 trace);
+  Alcotest.(check (float 1e-9)) "mean" 2.
+    (Paging.Lifetime.mean_working_set ~tau:3 trace)
+
+let test_fault_curve_monotone_for_lru () =
+  let trace = Workload.Trace.loop ~length:500 ~extent:20 ~working_set:10 in
+  let curve = Paging.Lifetime.fault_curve Paging.Spec.Lru ~frames:[ 2; 4; 8; 12 ] trace in
+  let rec nonincreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && nonincreasing rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "monotone" true (nonincreasing curve)
+
+let test_space_time_optimum () =
+  let trace = Workload.Trace.loop ~length:2000 ~extent:64 ~working_set:8 in
+  let points =
+    Paging.Lifetime.space_time_curve Paging.Spec.Lru ~frames:[ 2; 8; 64 ] ~page_size:64
+      ~compute_us_per_ref:1 ~fetch_us:5000 trace
+  in
+  let best = Paging.Lifetime.optimal_allotment points in
+  (* 8 frames hold the loop exactly: fewer thrash, more waste space. *)
+  check_int "optimum at the working set" 8 best.Paging.Lifetime.frames;
+  check_bool "empty rejected" true
+    (match Paging.Lifetime.optimal_allotment [] with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_working_set_run () =
+  let trace = Workload.Trace.loop ~length:2000 ~extent:64 ~working_set:8 in
+  let r =
+    Paging.Lifetime.working_set_run ~tau:100 ~page_size:64 ~compute_us_per_ref:1
+      ~fetch_us:5000 trace
+  in
+  check_int "faults = cold only (loop fits window)" 8 r.Paging.Lifetime.ws_faults;
+  check_bool "mean resident ~ 8" true
+    (r.Paging.Lifetime.mean_resident > 7. && r.Paging.Lifetime.mean_resident <= 8.);
+  (* Consistency with the window-size measurement. *)
+  Alcotest.(check (float 1e-9)) "matches mean_working_set"
+    (Paging.Lifetime.mean_working_set ~tau:100 trace)
+    r.Paging.Lifetime.mean_resident;
+  (* Variable allotment never holds more than the fixed optimum needs,
+     so its space-time is at least as good here. *)
+  let fixed =
+    Paging.Lifetime.optimal_allotment
+      (Paging.Lifetime.space_time_curve Paging.Spec.Lru ~frames:[ 4; 8; 16; 64 ]
+         ~page_size:64 ~compute_us_per_ref:1 ~fetch_us:5000 trace)
+  in
+  check_bool "WS space-time <= best fixed" true
+    (r.Paging.Lifetime.ws_space_time <= fixed.Paging.Lifetime.space_time +. 1e-6)
+
+(* --- Hierarchy --- *)
+
+let make_hierarchy promotion =
+  Paging.Hierarchy.create
+    {
+      Paging.Hierarchy.fast_frames = 2;
+      bulk_frames = 4;
+      fast_us = 1;
+      bulk_us = 10;
+      fetch_us = 1000;
+      promotion;
+    }
+
+let test_hierarchy_promotion_rules () =
+  (* Touch page 0 repeatedly: after the threshold it must serve from
+     fast core. *)
+  let h = make_hierarchy (Paging.Hierarchy.After 3) in
+  for _ = 1 to 2 do
+    Paging.Hierarchy.touch h ~page:0
+  done;
+  check_int "not yet promoted" 0 (Paging.Hierarchy.promotions h);
+  Paging.Hierarchy.touch h ~page:0;
+  check_int "promoted at threshold" 1 (Paging.Hierarchy.promotions h);
+  let before = Paging.Hierarchy.fast_hits h in
+  Paging.Hierarchy.touch h ~page:0;
+  check_int "served from fast core" (before + 1) (Paging.Hierarchy.fast_hits h)
+
+let test_hierarchy_never_vs_always () =
+  let trace = Workload.Trace.loop ~length:100 ~extent:8 ~working_set:2 in
+  let never = make_hierarchy Paging.Hierarchy.Never in
+  Paging.Hierarchy.run never trace;
+  check_int "never promotes" 0 (Paging.Hierarchy.promotions never);
+  check_int "never has fast hits" 0 (Paging.Hierarchy.fast_hits never);
+  let always = make_hierarchy Paging.Hierarchy.Always in
+  Paging.Hierarchy.run always trace;
+  check_bool "always is faster on a tight loop" true
+    (Paging.Hierarchy.elapsed_us always < Paging.Hierarchy.elapsed_us never)
+
+let test_hierarchy_demotion_and_capacity () =
+  let h = make_hierarchy Paging.Hierarchy.Always in
+  (* Three pages through 2 fast frames: one gets demoted to bulk, no
+     crash, counts stay consistent. *)
+  List.iter (fun p -> Paging.Hierarchy.touch h ~page:p) [ 0; 1; 2; 0; 1; 2 ];
+  check_int "three cold faults" 3 (Paging.Hierarchy.faults h);
+  check_int "six refs" 6 (Paging.Hierarchy.refs h);
+  (* Evict through the bulk level: 7 distinct pages > 2+4 total frames,
+     so page 0 must re-fault. *)
+  List.iter (fun p -> Paging.Hierarchy.touch h ~page:p) [ 3; 4; 5; 6; 3; 4; 5; 6 ];
+  let faults = Paging.Hierarchy.faults h in
+  Paging.Hierarchy.touch h ~page:0;
+  check_bool "page 0 was pushed to the drum" true (Paging.Hierarchy.faults h > faults)
+
+(* Property: the timed engine agrees with the untimed fault simulator
+   and never loses data, on arbitrary traces with interleaved writes. *)
+let demand_model_property =
+  QCheck.Test.make ~name:"demand engine preserves data and matches fault counts" ~count:40
+    QCheck.(pair (int_range 1 6)
+              (list_of_size Gen.(int_range 20 150) (pair (int_bound 1023) bool)))
+    (fun (frames, ops) ->
+      let page_size = 64 and pages = 16 in
+      let clock = Sim.Clock.create () in
+      let core =
+        Memstore.Level.make clock Memstore.Device.core ~name:"core"
+          ~words:(frames * page_size)
+      in
+      let backing =
+        Memstore.Level.make clock Memstore.Device.drum ~name:"drum"
+          ~words:(pages * page_size)
+      in
+      (* Model: backing starts as w -> 31w; writes overwrite. *)
+      let model = Hashtbl.create 64 in
+      for w = 0 to (pages * page_size) - 1 do
+        Memstore.Physical.write (Memstore.Level.physical backing) w (Int64.of_int (31 * w))
+      done;
+      let expected w =
+        match Hashtbl.find_opt model w with
+        | Some v -> v
+        | None -> Int64.of_int (31 * w)
+      in
+      let engine =
+        Paging.Demand.create
+          {
+            Paging.Demand.page_size;
+            frames;
+            pages;
+            core;
+            backing;
+            policy = Paging.Replacement.lru ();
+            tlb = None;
+            compute_us_per_ref = 1;
+          }
+      in
+      let ok = ref true in
+      List.iteri
+        (fun i (addr, is_write) ->
+          if is_write then begin
+            let v = Int64.of_int ((i * 7919) + 1) in
+            Paging.Demand.write engine addr v;
+            Hashtbl.replace model addr v
+          end
+          else if Paging.Demand.read engine addr <> expected addr then ok := false)
+        ops;
+      (* Cross-check fault counts against the untimed simulator. *)
+      let page_trace = Array.of_list (List.map (fun (a, _) -> a / page_size) ops) in
+      let writes = Array.of_list (List.map snd ops) in
+      let r =
+        Paging.Fault_sim.run_writes ~frames ~policy:(Paging.Replacement.lru ())
+          ~write:(fun i -> writes.(i)) page_trace
+      in
+      !ok && r.Paging.Fault_sim.faults = Paging.Demand.faults engine)
+
+let () =
+  Alcotest.run "paging"
+    [
+      ( "page_table",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_page_table_lifecycle;
+          Alcotest.test_case "bounds" `Quick test_page_table_bounds;
+          Alcotest.test_case "lock" `Quick test_page_table_lock;
+        ] );
+      ("frame_table", [ Alcotest.test_case "lifecycle" `Quick test_frame_table ]);
+      ( "tlb",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
+          Alcotest.test_case "lru eviction" `Quick test_tlb_lru_eviction;
+          Alcotest.test_case "fifo eviction" `Quick test_tlb_fifo_eviction;
+          Alcotest.test_case "invalidate/flush/zero" `Quick test_tlb_invalidate_flush_zero;
+          QCheck_alcotest.to_alcotest tlb_capacity_covers_property;
+        ] );
+      ( "replacement",
+        [
+          Alcotest.test_case "FIFO known counts" `Quick test_fifo_known_counts;
+          Alcotest.test_case "Belady anomaly" `Quick test_belady_anomaly;
+          Alcotest.test_case "LRU known counts" `Quick test_lru_known_counts;
+          Alcotest.test_case "OPT known counts" `Quick test_opt_known_counts;
+          Alcotest.test_case "LRU loop fit/thrash" `Quick test_lru_loop_thrash_and_fit;
+          Alcotest.test_case "accounting" `Quick test_cold_and_eviction_accounting;
+          Alcotest.test_case "all policies run" `Quick test_all_policies_run;
+          QCheck_alcotest.to_alcotest lru_stack_property;
+          QCheck_alcotest.to_alcotest opt_optimality;
+          QCheck_alcotest.to_alcotest demand_model_property;
+        ] );
+      ( "lifetime",
+        [
+          Alcotest.test_case "working set sizes" `Quick test_working_set_sizes;
+          Alcotest.test_case "fault curve monotone" `Quick test_fault_curve_monotone_for_lru;
+          Alcotest.test_case "space-time optimum" `Quick test_space_time_optimum;
+          Alcotest.test_case "working-set run" `Quick test_working_set_run;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "promotion rules" `Quick test_hierarchy_promotion_rules;
+          Alcotest.test_case "never vs always" `Quick test_hierarchy_never_vs_always;
+          Alcotest.test_case "demotion+capacity" `Quick test_hierarchy_demotion_and_capacity;
+        ] );
+      ( "demand",
+        [
+          Alcotest.test_case "reads backing data" `Quick test_demand_reads_backing_data;
+          Alcotest.test_case "write survives eviction" `Quick test_demand_write_survives_eviction;
+          Alcotest.test_case "matches fault_sim" `Quick test_demand_fault_counting_matches_fault_sim;
+          Alcotest.test_case "space-time vs device" `Quick test_demand_space_time_tracks_device_speed;
+          Alcotest.test_case "tlb saves time" `Quick test_demand_tlb_saves_time;
+          Alcotest.test_case "prefetch avoids fault" `Quick test_demand_prefetch_avoids_fault;
+          Alcotest.test_case "wont-need frees frame" `Quick test_demand_wont_need_frees_frame;
+          Alcotest.test_case "lock pins page" `Quick test_demand_lock_pins_page;
+          Alcotest.test_case "bound violation" `Quick test_demand_bound_violation;
+        ] );
+    ]

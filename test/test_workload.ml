@@ -1,0 +1,260 @@
+(* Tests for the workload library: traces, allocation streams, jobs. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Trace --- *)
+
+let test_sequential () =
+  let t = Workload.Trace.sequential ~length:7 ~extent:3 in
+  Alcotest.(check (array int)) "wraps" [| 0; 1; 2; 0; 1; 2; 0 |] t
+
+let test_uniform_bounds () =
+  let rng = Sim.Rng.create 1 in
+  let t = Workload.Trace.uniform rng ~length:1000 ~extent:17 in
+  Array.iter (fun a -> check_bool "in range" true (a >= 0 && a < 17)) t;
+  check_bool "uses several addresses" true (Workload.Trace.extent t > 10)
+
+let test_loop () =
+  let t = Workload.Trace.loop ~length:10 ~extent:100 ~working_set:4 in
+  Alcotest.(check (array int)) "loops" [| 0; 1; 2; 3; 0; 1; 2; 3; 0; 1 |] t
+
+let test_zipf_skewed () =
+  let rng = Sim.Rng.create 5 in
+  let t = Workload.Trace.zipf rng ~length:10_000 ~extent:100 ~skew:1.2 in
+  Array.iter (fun a -> check_bool "in range" true (a >= 0 && a < 100)) t;
+  let count0 = Array.fold_left (fun acc a -> if a = 0 then acc + 1 else acc) 0 t in
+  let count50 = Array.fold_left (fun acc a -> if a = 50 then acc + 1 else acc) 0 t in
+  check_bool "address 0 much hotter than 50" true (count0 > 10 * max 1 count50)
+
+let test_working_set_phases_locality () =
+  let rng = Sim.Rng.create 8 in
+  let t =
+    Workload.Trace.working_set_phases rng ~length:2000 ~extent:1000 ~set_size:10
+      ~phase_length:500 ~locality:1.0
+  in
+  (* With locality 1.0, each 500-reference phase touches at most 10 pages. *)
+  let distinct lo hi =
+    let seen = Hashtbl.create 16 in
+    for i = lo to hi do
+      Hashtbl.replace seen t.(i) ()
+    done;
+    Hashtbl.length seen
+  in
+  check_bool "phase 1 small" true (distinct 0 499 <= 10);
+  check_bool "phase 2 small" true (distinct 500 999 <= 10)
+
+let test_matrix_traversals () =
+  let row = Workload.Trace.matrix_row_major ~rows:3 ~cols:4 ~base:100 in
+  let col = Workload.Trace.matrix_col_major ~rows:3 ~cols:4 ~base:100 in
+  check_int "row first" 100 row.(0);
+  check_int "row second is adjacent" 101 row.(1);
+  check_int "col first" 100 col.(0);
+  check_int "col second jumps a row" 104 col.(1);
+  let sorted a = let c = Array.copy a in Array.sort compare c; c in
+  Alcotest.(check (array int)) "same footprint" (sorted row) (sorted col)
+
+let test_to_pages () =
+  let t = [| 0; 511; 512; 1024; 1535 |] in
+  Alcotest.(check (array int)) "page numbers" [| 0; 0; 1; 2; 2 |]
+    (Workload.Trace.to_pages ~page_size:512 t)
+
+let test_belady_trace () =
+  check_int "length 12" 12 (Array.length Workload.Trace.belady_anomaly_trace)
+
+(* --- Alloc_stream --- *)
+
+let events_are_well_formed events =
+  let live = Hashtbl.create 16 in
+  let ok = ref true in
+  List.iter
+    (function
+      | Workload.Alloc_stream.Alloc { id; size } ->
+        if size < 1 || Hashtbl.mem live id then ok := false;
+        Hashtbl.replace live id ()
+      | Workload.Alloc_stream.Free { id } ->
+        if not (Hashtbl.mem live id) then ok := false;
+        Hashtbl.remove live id)
+    events;
+  !ok
+
+let test_generate_well_formed () =
+  let rng = Sim.Rng.create 21 in
+  let events =
+    Workload.Alloc_stream.generate rng ~objects:500
+      ~size:(Workload.Alloc_stream.Uniform (1, 64)) ~mean_lifetime:20.
+  in
+  check_bool "well formed" true (events_are_well_formed events);
+  let allocs =
+    List.length
+      (List.filter (function Workload.Alloc_stream.Alloc _ -> true | _ -> false) events)
+  in
+  let frees = List.length events - allocs in
+  check_int "500 allocs" 500 allocs;
+  check_int "every object freed" 500 frees
+
+let test_live_stream_reaches_target () =
+  let rng = Sim.Rng.create 22 in
+  let events =
+    Workload.Alloc_stream.live_stream rng ~steps:2000
+      ~size:(Workload.Alloc_stream.Exact 8) ~target_live:50
+  in
+  check_bool "well formed" true (events_are_well_formed events);
+  let live =
+    List.fold_left
+      (fun n -> function
+        | Workload.Alloc_stream.Alloc _ -> n + 1
+        | Workload.Alloc_stream.Free _ -> n - 1)
+      0 events
+  in
+  check_bool "ends near target" true (live >= 40 && live <= 60)
+
+let test_size_distributions () =
+  let rng = Sim.Rng.create 23 in
+  check_int "exact" 7 (Workload.Alloc_stream.sample_size rng (Exact 7));
+  for _ = 1 to 100 do
+    let v = Workload.Alloc_stream.sample_size rng (Uniform (3, 9)) in
+    check_bool "uniform bounds" true (v >= 3 && v <= 9);
+    let g = Workload.Alloc_stream.sample_size rng (Geometric { mean = 16.; min_size = 2 }) in
+    check_bool "geometric min" true (g >= 2);
+    let b =
+      Workload.Alloc_stream.sample_size rng
+        (Bimodal { small = 8; large = 512; large_fraction = 0.1 })
+    in
+    check_bool "bimodal values" true (b = 8 || b = 512)
+  done
+
+let test_peak_live_words () =
+  let open Workload.Alloc_stream in
+  let events =
+    [ Alloc { id = 0; size = 10 }; Alloc { id = 1; size = 20 }; Free { id = 0 };
+      Alloc { id = 2; size = 5 } ]
+  in
+  check_int "peak" 30 (peak_live_words events)
+
+(* --- Job --- *)
+
+let test_job_mix () =
+  let rng = Sim.Rng.create 31 in
+  let jobs =
+    Workload.Job.mix rng ~jobs:3 ~refs_per_job:400 ~pages_per_job:32 ~locality:0.9
+      ~compute_us_per_ref:5
+  in
+  check_int "three jobs" 3 (List.length jobs);
+  List.iter
+    (fun j ->
+      check_int "trace length" 400 (Array.length j.Workload.Job.refs);
+      check_bool "touches pages" true (Workload.Job.pages_touched j > 1);
+      Array.iter
+        (fun p -> check_bool "page in range" true (p >= 0 && p < 32))
+        j.Workload.Job.refs)
+    jobs
+
+(* --- Trace_io --- *)
+
+let temp_file () = Filename.temp_file "dsas_test" ".trace"
+
+let test_trace_roundtrip () =
+  let rng = Sim.Rng.create 41 in
+  let trace = Workload.Trace.uniform rng ~length:500 ~extent:1000 in
+  let file = temp_file () in
+  Workload.Trace_io.save_trace file trace;
+  let back = Workload.Trace_io.load_trace file in
+  Sys.remove file;
+  Alcotest.(check (array int)) "roundtrip" trace back
+
+let test_events_roundtrip () =
+  let rng = Sim.Rng.create 43 in
+  let events =
+    Workload.Alloc_stream.generate rng ~objects:200
+      ~size:(Workload.Alloc_stream.Uniform (1, 99)) ~mean_lifetime:15.
+  in
+  let file = temp_file () in
+  Workload.Trace_io.save_events file events;
+  let back = Workload.Trace_io.load_events file in
+  Sys.remove file;
+  check_bool "roundtrip" true (events = back)
+
+let test_load_skips_comments_and_blanks () =
+  let file = temp_file () in
+  let oc = open_out file in
+  output_string oc "# header\n42\n\n  7  \n# tail\n";
+  close_out oc;
+  let trace = Workload.Trace_io.load_trace file in
+  Sys.remove file;
+  Alcotest.(check (array int)) "parsed" [| 42; 7 |] trace
+
+let test_load_rejects_garbage_with_line_number () =
+  let file = temp_file () in
+  let oc = open_out file in
+  output_string oc "1\n2\nnot-a-number\n";
+  close_out oc;
+  let result =
+    match Workload.Trace_io.load_trace file with
+    | _ -> "no error"
+    | exception Failure msg -> msg
+  in
+  Sys.remove file;
+  check_bool "names line 3" true
+    (String.length result > 0
+    && (let rec find i =
+          i + 6 <= String.length result
+          && (String.sub result i 6 = "line 3" || find (i + 1))
+        in
+        find 0))
+
+let trace_io_roundtrip_property =
+  QCheck.Test.make ~name:"trace file roundtrip for arbitrary traces" ~count:50
+    QCheck.(list (int_bound 1_000_000))
+    (fun addrs ->
+      let trace = Array.of_list addrs in
+      let file = Filename.temp_file "dsas_prop" ".trace" in
+      Workload.Trace_io.save_trace file trace;
+      let back = Workload.Trace_io.load_trace file in
+      Sys.remove file;
+      back = trace)
+
+let alloc_stream_property =
+  QCheck.Test.make ~name:"generate is well-formed for any params" ~count:50
+    QCheck.(triple (int_range 1 200) (int_range 1 100) (int_range 1 50))
+    (fun (objects, max_size, lifetime) ->
+      let rng = Sim.Rng.create (objects + max_size + lifetime) in
+      let events =
+        Workload.Alloc_stream.generate rng ~objects
+          ~size:(Workload.Alloc_stream.Uniform (1, max_size))
+          ~mean_lifetime:(float_of_int lifetime)
+      in
+      events_are_well_formed events)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "sequential" `Quick test_sequential;
+          Alcotest.test_case "uniform" `Quick test_uniform_bounds;
+          Alcotest.test_case "loop" `Quick test_loop;
+          Alcotest.test_case "zipf" `Quick test_zipf_skewed;
+          Alcotest.test_case "working set phases" `Quick test_working_set_phases_locality;
+          Alcotest.test_case "matrix" `Quick test_matrix_traversals;
+          Alcotest.test_case "to_pages" `Quick test_to_pages;
+          Alcotest.test_case "belady trace" `Quick test_belady_trace;
+        ] );
+      ( "alloc_stream",
+        [
+          Alcotest.test_case "generate" `Quick test_generate_well_formed;
+          Alcotest.test_case "live stream" `Quick test_live_stream_reaches_target;
+          Alcotest.test_case "size distributions" `Quick test_size_distributions;
+          Alcotest.test_case "peak live" `Quick test_peak_live_words;
+          QCheck_alcotest.to_alcotest alloc_stream_property;
+          QCheck_alcotest.to_alcotest trace_io_roundtrip_property;
+        ] );
+      ("job", [ Alcotest.test_case "mix" `Quick test_job_mix ]);
+      ( "trace_io",
+        [
+          Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "events roundtrip" `Quick test_events_roundtrip;
+          Alcotest.test_case "comments/blanks" `Quick test_load_skips_comments_and_blanks;
+          Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage_with_line_number;
+        ] );
+    ]
