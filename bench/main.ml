@@ -98,6 +98,15 @@ let substrate_kernels =
     fun () ->
       ignore (Paging.Fault_sim.run ~frames:32 ~policy:(Paging.Replacement.lru ()) trace)
   in
+  (* The tracing-overhead ablation (DESIGN.md): same run, ring sink. *)
+  let fault_sim_traced =
+    let trace = Workload.Trace.loop ~length:1000 ~extent:64 ~working_set:40 in
+    let ring = Obs.Sink.ring ~capacity:1024 in
+    fun () ->
+      ignore
+        (Paging.Fault_sim.run ~obs:ring ~frames:32 ~policy:(Paging.Replacement.lru ())
+           trace)
+  in
   let tlb_lookup =
     let tlb = Paging.Tlb.create ~capacity:8 Paging.Tlb.Lru_replacement in
     for k = 0 to 7 do
@@ -138,6 +147,8 @@ let substrate_kernels =
     Test.make ~name:"substrate/buddy cycle" (Staged.stage buddy_cycle);
     Test.make ~name:"substrate/rice-chain cycle" (Staged.stage rice_cycle);
     Test.make ~name:"substrate/fault-sim 1000 refs (LRU)" (Staged.stage fault_sim_ref);
+    Test.make ~name:"substrate/fault-sim 1000 refs (LRU, ring sink)"
+      (Staged.stage fault_sim_traced);
     Test.make ~name:"substrate/tlb lookup" (Staged.stage tlb_lookup);
     Test.make ~name:"substrate/demand-engine read" (Staged.stage demand_read);
   ]

@@ -1,8 +1,10 @@
 (* dsas_sim: run the paper's experiments from the command line.
 
-   `dsas_sim list`            enumerate experiments
-   `dsas_sim run fig3`        run one experiment at full scale
-   `dsas_sim run --quick all` smoke-run everything *)
+   `dsas_sim list`                        enumerate experiments
+   `dsas_sim run fig3`                    run one experiment at full scale
+   `dsas_sim run fig3 --trace f.jsonl`    ... recording its event stream
+   `dsas_sim run --quick all`             smoke-run everything
+   `dsas_sim stats f.jsonl`               aggregate a recorded stream *)
 
 open Cmdliner
 
@@ -29,20 +31,54 @@ let id_arg =
 let run_cmd =
   let doc = "Run one experiment (or all of them)." in
   let info = Cmd.info "run" ~doc in
-  let action quick id =
-    if String.lowercase_ascii id = "all" then begin
-      Experiments.Registry.run_all ~quick ();
-      `Ok ()
-    end
-    else
-      match Experiments.Registry.find id with
-      | Some e ->
-        e.Experiments.Registry.run ~quick ();
-        `Ok ()
-      | None ->
-        `Error (false, Printf.sprintf "unknown experiment %S; try `dsas_sim list`" id)
+  let trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the experiment's event stream as JSON Lines into $(docv) \
+                 (one event object per line; inspect with `dsas_sim stats`). \
+                 Only valid for a single traced experiment — see `dsas_sim list`.")
   in
-  Cmd.v info Term.(ret (const action $ quick_flag $ id_arg))
+  let action quick id trace_out =
+    match trace_out with
+    | None ->
+      if String.lowercase_ascii id = "all" then begin
+        Experiments.Registry.run_all ~quick ();
+        `Ok ()
+      end
+      else
+        (match Experiments.Registry.find id with
+         | Some e ->
+           e.Experiments.Registry.run ~quick ();
+           `Ok ()
+         | None ->
+           `Error (false, Printf.sprintf "unknown experiment %S; try `dsas_sim list`" id))
+    | Some file ->
+      if String.lowercase_ascii id = "all" then
+        `Error (false, "--trace needs a single experiment, not `all`")
+      else
+        (match Experiments.Registry.find id with
+         | None ->
+           `Error (false, Printf.sprintf "unknown experiment %S; try `dsas_sim list`" id)
+         | Some e when not (Experiments.Registry.is_traced e.Experiments.Registry.id) ->
+           `Error
+             ( false,
+               Printf.sprintf "experiment %S does not emit events; traced ones: %s"
+                 id
+                 (String.concat ", " Experiments.Registry.traced) )
+         | Some e ->
+           let oc = open_out file in
+           let obs = Obs.Sink.jsonl oc in
+           Fun.protect
+             ~finally:(fun () ->
+               Obs.Sink.flush obs;
+               close_out oc)
+             (fun () -> e.Experiments.Registry.run ~quick ~obs ());
+           `Ok ())
+  in
+  Cmd.v info Term.(ret (const action $ quick_flag $ id_arg $ trace_out_arg))
+
+let json_flag =
+  let doc = "Emit the result as a single JSON object on stdout." in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
 let replay_cmd =
   let doc = "Replay a reference trace file (see tracegen) through the fault simulator." in
@@ -67,7 +103,7 @@ let replay_cmd =
     Arg.(value & opt (enum policies) Paging.Spec.Lru & info [ "policy"; "p" ]
            ~doc:"Replacement policy: fifo, lru, clock, random, nru, lfu, atlas, m44, opt.")
   in
-  let action file frames page_size policy_spec =
+  let action file frames page_size policy_spec json =
     let word_trace = Workload.Trace_io.load_trace file in
     let trace =
       if page_size = 1 then word_trace else Workload.Trace.to_pages ~page_size word_trace
@@ -76,17 +112,46 @@ let replay_cmd =
       Paging.Spec.instantiate policy_spec ~rng:(Sim.Rng.create 1) ~trace:(Some trace)
     in
     let r = Paging.Fault_sim.run ~frames ~policy trace in
-    Printf.printf "%s over %d refs with %d frames: %d faults (%.2f%%), %d cold, %d evictions\n"
-      (Paging.Spec.to_string policy_spec)
-      r.Paging.Fault_sim.refs frames r.Paging.Fault_sim.faults
-      (100. *. Paging.Fault_sim.fault_rate r)
-      r.Paging.Fault_sim.cold r.Paging.Fault_sim.evictions
+    let summary =
+      {
+        Obs.Summary.policy = Paging.Spec.to_string policy_spec;
+        frames;
+        refs = r.Paging.Fault_sim.refs;
+        faults = r.Paging.Fault_sim.faults;
+        cold = r.Paging.Fault_sim.cold;
+        evictions = r.Paging.Fault_sim.evictions;
+      }
+    in
+    if json then print_endline (Obs.Summary.replay_to_json summary)
+    else
+      Printf.printf "%s over %d refs with %d frames: %d faults (%.2f%%), %d cold, %d evictions\n"
+        summary.Obs.Summary.policy summary.Obs.Summary.refs frames
+        summary.Obs.Summary.faults
+        (100. *. Obs.Summary.replay_fault_rate summary)
+        summary.Obs.Summary.cold summary.Obs.Summary.evictions
   in
-  Cmd.v info Term.(const action $ trace_arg $ frames_arg $ page_arg $ policy_arg)
+  Cmd.v info Term.(const action $ trace_arg $ frames_arg $ page_arg $ policy_arg $ json_flag)
+
+let stats_cmd =
+  let doc = "Aggregate a recorded JSONL event stream (from `run --trace`)." in
+  let info = Cmd.info "stats" ~doc in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace file, one event object per line.")
+  in
+  let action file json =
+    match Obs.Summary.scan_jsonl file with
+    | stats ->
+      if json then print_endline (Obs.Summary.trace_stats_to_json stats)
+      else Obs.Summary.print_trace_stats stats;
+      `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  Cmd.v info Term.(ret (const action $ file_arg $ json_flag))
 
 let main =
   let doc = "Dynamic storage allocation systems (Randell & Kuehner, 1967) — reproduction" in
   let info = Cmd.info "dsas_sim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; replay_cmd ]
+  Cmd.group info [ list_cmd; run_cmd; replay_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval main)

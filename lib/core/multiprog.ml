@@ -26,8 +26,9 @@ let key_bits = 32
 
 let key ~job ~page = (job lsl key_bits) lor page
 
-let run ?(quantum_refs = 50) ~frames ~policy ~fetch_us specs =
+let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ~frames ~policy ~fetch_us specs =
   assert (frames > 0 && fetch_us >= 0 && quantum_refs > 0);
+  let tracing = Obs.Sink.is_active obs in
   let jobs =
     Array.of_list
       (List.mapi
@@ -42,6 +43,8 @@ let run ?(quantum_refs = 50) ~frames ~policy ~fetch_us specs =
   Array.iter (fun j -> Queue.add j.index ready) jobs;
   let now = ref 0 and busy = ref 0 and device_free_at = ref 0 in
   let finished = ref 0 in
+  let emit kind = Obs.Sink.emit obs (Obs.Event.make ~t_us:!now kind) in
+  if tracing then Array.iter (fun j -> emit (Obs.Event.Job_start { job = j.index })) jobs;
   let candidates () =
     (* Frames whose fetch has completed; in-flight pages are pinned. *)
     let pool =
@@ -52,6 +55,7 @@ let run ?(quantum_refs = 50) ~frames ~policy ~fetch_us specs =
   in
   let start_fetch j k =
     j.faults <- j.faults + 1;
+    if tracing then emit (Obs.Event.Fault { page = k });
     let start = max !now !device_free_at in
     let finish = start + fetch_us in
     device_free_at := finish;
@@ -62,7 +66,8 @@ let run ?(quantum_refs = 50) ~frames ~policy ~fetch_us specs =
   let finish_job j =
     j.finished <- true;
     j.finish_us <- !now;
-    incr finished
+    incr finished;
+    if tracing then emit (Obs.Event.Job_stop { job = j.index })
   in
   (* Run job [j] until it faults, exhausts its quantum, or finishes.
      Returns true if it should be requeued as ready. *)
@@ -100,6 +105,7 @@ let run ?(quantum_refs = 50) ~frames ~policy ~fetch_us specs =
               let victim = policy.Paging.Replacement.choose_victim ~candidates:pool in
               Hashtbl.remove resident victim;
               policy.Paging.Replacement.on_evict ~page:victim;
+              if tracing then emit (Obs.Event.Eviction { page = victim });
               start_fetch j k;
               false
             end

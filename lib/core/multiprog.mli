@@ -26,6 +26,7 @@ type report = {
 
 val run :
   ?quantum_refs:int ->
+  ?obs:Obs.Sink.t ->
   frames:int ->
   policy:Paging.Replacement.t ->
   fetch_us:int ->
@@ -35,4 +36,8 @@ val run :
     (page identities are job-tagged).  [policy] arbitrates the shared
     pool.  [fetch_us] is the page fetch time; fetches queue on a single
     channel.  [quantum_refs] (default 50) bounds how long a job keeps
-    the processor without faulting. *)
+    the processor without faulting.
+
+    With a sink, the scheduler reports job_start / job_stop plus fault
+    and eviction events on the shared simulated clock; fault and
+    eviction pages are the job-tagged keys. *)

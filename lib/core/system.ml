@@ -70,7 +70,7 @@ let ceil_div a b = (a + b - 1) / b
 
 (* Build a fresh timed paging engine sized for [pages] pages of name
    space under this system's devices. *)
-let paged_engine t ~page_size ~frames ~policy_spec ~tlb_capacity ~pages ~page_trace ~seed =
+let paged_engine t ~obs ~page_size ~frames ~policy_spec ~tlb_capacity ~pages ~page_trace ~seed =
   let clock = Sim.Clock.create () in
   let rng = Sim.Rng.create seed in
   let core =
@@ -82,7 +82,7 @@ let paged_engine t ~page_size ~frames ~policy_spec ~tlb_capacity ~pages ~page_tr
       ~words:(max t.backing_words (pages * page_size))
   in
   let policy = Paging.Spec.instantiate policy_spec ~rng ~trace:page_trace in
-  Paging.Demand.create
+  Paging.Demand.create ~obs
     {
       Paging.Demand.page_size;
       frames;
@@ -108,14 +108,14 @@ let paged_report t engine =
     external_fragmentation = None;
   }
 
-let segment_store t ~placement ~replacement ~max_segment ~total_words =
+let segment_store t ~obs ~placement ~replacement ~max_segment ~total_words =
   let clock = Sim.Clock.create () in
   let core = Memstore.Level.make clock t.core_device ~name:"core" ~words:t.core_words in
   let backing =
     Memstore.Level.make clock t.backing_device ~name:"backing"
       ~words:(max t.backing_words (2 * total_words))
   in
-  ( Segmentation.Segment_store.create
+  ( Segmentation.Segment_store.create ~obs
       { Segmentation.Segment_store.core; backing; placement; replacement; max_segment },
     clock )
 
@@ -168,13 +168,13 @@ let chop ~chunk trace =
 
 let default_chunk = 1 lsl 18
 
-let rec run_linear t ?(seed = 1) trace =
+let rec run_linear t ?(seed = 1) ?(obs = Obs.Sink.null) trace =
   match t.mechanism with
   | Paged { page_size; frames; policy; tlb_capacity } ->
     let pages = max 1 (ceil_div (Workload.Trace.extent trace) page_size) in
     let page_trace = Some (Workload.Trace.to_pages ~page_size trace) in
     let engine =
-      paged_engine t ~page_size ~frames ~policy_spec:policy ~tlb_capacity ~pages
+      paged_engine t ~obs ~page_size ~frames ~policy_spec:policy ~tlb_capacity ~pages
         ~page_trace ~seed
     in
     Paging.Demand.run engine trace;
@@ -185,12 +185,12 @@ let rec run_linear t ?(seed = 1) trace =
        actual limit, rather than a machine's theoretical maximum. *)
     let chunk = match max_segment with Some m -> min m 1024 | None -> 1024 in
     let segments, refs = chop ~chunk trace in
-    run_segmented t ~seed ~segments refs
+    run_segmented t ~seed ~obs ~segments refs
   | Segmented_paged _ ->
     let segments, refs = chop ~chunk:default_chunk trace in
-    run_segmented t ~seed ~segments refs
+    run_segmented t ~seed ~obs ~segments refs
 
-and run_segmented t ?(seed = 1) ~segments refs =
+and run_segmented t ?(seed = 1) ?(obs = Obs.Sink.null) ~segments refs =
   match t.mechanism with
   | Paged { page_size; frames; policy; tlb_capacity } ->
     (* Segments packed contiguously into the linear name space: address
@@ -205,7 +205,7 @@ and run_segmented t ?(seed = 1) ~segments refs =
     let word_trace = Array.map (fun (s, off) -> bases.(s) + off) refs in
     let pages = max 1 (ceil_div !total page_size) in
     let engine =
-      paged_engine t ~page_size ~frames ~policy_spec:policy ~tlb_capacity ~pages
+      paged_engine t ~obs ~page_size ~frames ~policy_spec:policy ~tlb_capacity ~pages
         ~page_trace:(Some (Workload.Trace.to_pages ~page_size word_trace))
         ~seed
     in
@@ -213,7 +213,9 @@ and run_segmented t ?(seed = 1) ~segments refs =
     paged_report t engine
   | Segmented { placement; replacement; max_segment } ->
     let total_words = Array.fold_left ( + ) 0 segments in
-    let store, clock = segment_store t ~placement ~replacement ~max_segment ~total_words in
+    let store, clock =
+      segment_store t ~obs ~placement ~replacement ~max_segment ~total_words
+    in
     let ids =
       Array.map (fun len -> Segmentation.Segment_store.define store ~length:len ()) segments
     in
@@ -229,13 +231,13 @@ and run_segmented t ?(seed = 1) ~segments refs =
       refs;
     two_level_report t engine
 
-let run_annotated t ?(seed = 1) steps =
+let run_annotated t ?(seed = 1) ?(obs = Obs.Sink.null) steps =
   match t.mechanism with
   | Paged { page_size; frames; policy; tlb_capacity } ->
     let trace = Predictive.Directive.strip steps in
     let pages = max 1 (ceil_div (Workload.Trace.extent trace) page_size) in
     let engine =
-      paged_engine t ~page_size ~frames ~policy_spec:policy ~tlb_capacity ~pages
+      paged_engine t ~obs ~page_size ~frames ~policy_spec:policy ~tlb_capacity ~pages
         ~page_trace:(Some (Workload.Trace.to_pages ~page_size trace))
         ~seed
     in

@@ -61,20 +61,25 @@ val report_headers : string list
 
 (** {2 Running workloads} *)
 
-val run_linear : t -> ?seed:int -> Workload.Trace.t -> report
+val run_linear : t -> ?seed:int -> ?obs:Obs.Sink.t -> Workload.Trace.t -> report
 (** Drive a word-address trace through a [Paged] system.  A [Segmented]
     system treats the linear space as compiler-sized segments (at most
     1024 words, the B5000 limit — the matrix trick); [Segmented_paged]
     maps it as one large segment per 2^18 words.  [seed] feeds
-    stochastic policies. *)
+    stochastic policies.
 
-val run_annotated : t -> ?seed:int -> Predictive.Directive.step array -> report
+    [obs] is handed to the underlying engine ({!Paging.Demand} or
+    {!Segmentation.Segment_store}); two-level engines are not yet
+    instrumented.  The default no-op sink changes nothing. *)
+
+val run_annotated :
+  t -> ?seed:int -> ?obs:Obs.Sink.t -> Predictive.Directive.step array -> report
 (** Like {!run_linear} with predictive directives interleaved.  Only
     [Paged] systems accept advice; raises [Invalid_argument]
     otherwise. *)
 
 val run_segmented :
-  t -> ?seed:int -> segments:int array -> (int * int) array -> report
+  t -> ?seed:int -> ?obs:Obs.Sink.t -> segments:int array -> (int * int) array -> report
 (** Drive (segment, offset) references over declared segment lengths.
     Works for every mechanism: a [Paged] system lays the segments out
     contiguously in its linear name space (no bound checking between

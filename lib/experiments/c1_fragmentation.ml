@@ -111,7 +111,7 @@ let measure ?(quick = false) () =
   (boundary_tag_row events :: buddy_row events
    :: List.map (paged_row events) page_sizes)
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== C1: fragmentation is obscured, not prevented, by paging ==";
   print_endline "(one allocation mix; waste as a fraction of storage claimed)\n";

@@ -22,10 +22,10 @@ let mixes ~steps =
           ~target_live:400 );
   ]
 
-let serve policy events =
+let serve ?(obs = Obs.Sink.null) policy events =
   let words = 1 lsl 16 in
   let mem = Memstore.Physical.create ~name:"core" ~words in
-  let a = Freelist.Allocator.create mem ~base:0 ~len:words ~policy in
+  let a = Freelist.Allocator.create ~obs mem ~base:0 ~len:words ~policy in
   let table = Hashtbl.create 512 in
   List.iter
     (function
@@ -42,15 +42,20 @@ let serve policy events =
     events;
   a
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   let steps = if quick then 2_000 else 25_000 in
+  (* A clockless allocator stamps events with its operation counter
+     (at most one per stream event); shifting each policy's run by the
+     events already served keeps the spliced stream monotone. *)
+  let t_base = ref 0 in
   List.concat_map
     (fun (mix_name, make_events) ->
       List.map
         (fun policy ->
           (* Same stream for every policy: same seed. *)
           let events = make_events (Sim.Rng.create 77) in
-          let a = serve policy events in
+          let a = serve ~obs:(Obs.Sink.shift ~offset:!t_base obs) policy events in
+          t_base := !t_base + List.length events;
           let sizes = Freelist.Allocator.free_block_sizes a in
           {
             policy = Freelist.Policy.to_string policy;
@@ -64,8 +69,8 @@ let measure ?(quick = false) () =
         Freelist.Policy.all_standard)
     (mixes ~steps)
 
-let run ?quick () =
-  let rows = measure ?quick () in
+let run ?quick ?obs () =
+  let rows = measure ?quick ?obs () in
   print_endline "== C2: placement strategies (variable unit of allocation) ==";
   print_endline "(same request stream to every policy; fixed 64K-word store)\n";
   Metrics.Table.print

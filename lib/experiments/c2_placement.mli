@@ -18,6 +18,9 @@ type row = {
   largest_free : int;
 }
 
-val measure : ?quick:bool -> unit -> row list
+val measure : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> row list
+(** With a sink, each allocator run reports alloc / free / split /
+    coalesce events; runs are spliced with {!Obs.Sink.shift} so
+    timestamps stay monotone. *)
 
-val run : ?quick:bool -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit

@@ -19,8 +19,11 @@ let frame_points ~quick =
 
 let specs = Paging.Spec.all_practical @ [ Paging.Spec.Opt ]
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   let rng = Sim.Rng.create 555 in
+  (* Fault_sim stamps events with the reference index; shifting each run
+     by the references already replayed keeps the stream monotone. *)
+  let t_base = ref 0 in
   List.concat_map
     (fun (trace_name, trace) ->
       List.map
@@ -31,7 +34,12 @@ let measure ?(quick = false) () =
                 let policy =
                   Paging.Spec.instantiate spec ~rng:(Sim.Rng.create 9) ~trace:(Some trace)
                 in
-                let r = Paging.Fault_sim.run ~frames ~policy trace in
+                let r =
+                  Paging.Fault_sim.run
+                    ~obs:(Obs.Sink.shift ~offset:!t_base obs)
+                    ~frames ~policy trace
+                in
+                t_base := !t_base + Array.length trace;
                 (frames, Paging.Fault_sim.fault_rate r))
               (frame_points ~quick)
           in
@@ -48,8 +56,8 @@ let anomaly_rows () =
       (frames, fifo.Paging.Fault_sim.faults, lru.Paging.Fault_sim.faults))
     [ 1; 2; 3; 4; 5 ]
 
-let run ?quick () =
-  let curves = measure ?quick () in
+let run ?quick ?obs () =
+  let curves = measure ?quick ?obs () in
   print_endline "== C3: replacement strategies — fault rate vs memory size ==";
   let by_trace =
     List.sort_uniq compare (List.map (fun c -> c.trace_name) curves)

@@ -65,7 +65,7 @@ let measure ?(quick = false) () =
          stats (Printf.sprintf "advice, lead=%d refs" lead) engine)
        leads
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== C4: predictive information vs pure demand fetch ==";
   print_endline "(phased program; will-need issued before each phase switch)\n";

@@ -98,7 +98,7 @@ let measure ?(quick = false) () =
   in
   seg_row :: page_rows
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== C5: unit of allocation — whole segments vs page frames ==";
   print_endline "(same segment-structured workload, same core size)\n";

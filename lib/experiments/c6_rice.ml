@@ -91,7 +91,7 @@ let measure ?(quick = false) () =
       [ rice_row ~pressure events; boundary_row ~pressure events ])
     [ 0.5; 0.8; 0.95 ]
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== C6: Rice inactive-block chain vs immediate coalescing ==";
   print_endline "(same churn stream; chain combines only on demand)\n";

@@ -20,4 +20,4 @@ type row = {
 
 val measure : ?quick:bool -> unit -> row list
 
-val run : ?quick:bool -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit

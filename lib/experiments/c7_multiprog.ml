@@ -9,10 +9,13 @@ type row = {
 
 let pages_per_job = 24
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   let refs_per_job = if quick then 300 else 2_000 in
   let ks = if quick then [ 1; 4 ] else [ 1; 2; 3; 4; 6; 8 ] in
   let fetches = [ 500; 5_000 ] in
+  (* Each scheduler run has its own simulated clock from 0; shifting by
+     the accumulated elapsed time keeps the spliced stream monotone. *)
+  let t_base = ref 0 in
   let one ~regime ~frames k fetch_us =
     let rng = Sim.Rng.create (k + (fetch_us * 7)) in
     let jobs =
@@ -20,8 +23,11 @@ let measure ?(quick = false) () =
         ~compute_us_per_ref:15
     in
     let report =
-      Dsas.Multiprog.run ~frames ~policy:(Paging.Replacement.lru ()) ~fetch_us jobs
+      Dsas.Multiprog.run
+        ~obs:(Obs.Sink.shift ~offset:!t_base obs)
+        ~frames ~policy:(Paging.Replacement.lru ()) ~fetch_us jobs
     in
+    t_base := !t_base + report.Dsas.Multiprog.elapsed_us;
     {
       jobs = k;
       fetch_us;
@@ -42,8 +48,8 @@ let measure ?(quick = false) () =
         ks)
     fetches
 
-let run ?quick () =
-  let rows = measure ?quick () in
+let run ?quick ?obs () =
+  let rows = measure ?quick ?obs () in
   print_endline "== C7: multiprogramming vs processor utilization ==";
   print_endline "(one processor, one backing-store channel, LRU over a shared pool)\n";
   Metrics.Table.print

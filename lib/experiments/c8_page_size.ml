@@ -183,7 +183,7 @@ let measure_operational ?(quick = false) () =
   in
   [ dual; uniform 64; uniform 1024 ]
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== C8: choosing the page size ==";
   print_endline "(M44 page-size sweep: small pages cost table overhead, large pages waste space)\n";

@@ -38,4 +38,4 @@ val measure_operational : ?quick:bool -> unit -> operational_row list
     against uniform pagers at each size, all given the same words of
     core on a mixed small/large segment workload. *)
 
-val run : ?quick:bool -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit

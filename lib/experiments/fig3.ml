@@ -20,7 +20,7 @@ let devices =
     Memstore.Device.disk;
   ]
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   let refs = if quick then 2_000 else 20_000 in
   let rng = Sim.Rng.create 42 in
   let pages = 24 in
@@ -33,6 +33,9 @@ let measure ?(quick = false) () =
       ~phase_length:(refs / 8) ~locality:0.98
   in
   let trace = Array.map (fun p -> (p * page_size) + Sim.Rng.int rng page_size) page_trace in
+  (* Each device run starts a fresh clock; shifting by the accumulated
+     elapsed time splices the runs into one monotone event stream. *)
+  let t_base = ref 0 in
   let one device =
     let clock = Sim.Clock.create () in
     let core =
@@ -42,6 +45,7 @@ let measure ?(quick = false) () =
     let backing = Memstore.Level.make clock device ~name:device.Memstore.Device.label ~words:extent in
     let engine =
       Paging.Demand.create
+        ~obs:(Obs.Sink.shift ~offset:!t_base obs)
         {
           Paging.Demand.page_size;
           frames;
@@ -54,6 +58,7 @@ let measure ?(quick = false) () =
         }
     in
     Paging.Demand.run engine trace;
+    t_base := !t_base + Sim.Clock.now clock;
     let st = Paging.Demand.space_time engine in
     {
       device = device.Memstore.Device.label;
@@ -66,8 +71,8 @@ let measure ?(quick = false) () =
   in
   List.map one devices
 
-let run ?quick () =
-  let rows = measure ?quick () in
+let run ?quick ?obs () =
+  let rows = measure ?quick ?obs () in
   print_endline "== F3: space-time product under demand paging ==";
   print_endline "(space occupied while awaiting pages vs while executing)\n";
   Metrics.Table.print

@@ -60,7 +60,7 @@ let measure ?(quick = false) () =
   in
   List.map one capacities
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== F4: two-level mapping overhead vs associative memory size ==";
   print_endline "(segment table + page table walked on every associative miss)\n";

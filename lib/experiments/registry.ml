@@ -2,7 +2,7 @@ type entry = {
   id : string;
   title : string;
   paper_source : string;
-  run : ?quick:bool -> unit -> unit;
+  run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit;
 }
 
 let all =
@@ -139,3 +139,7 @@ let run_all ?quick () =
       e.run ?quick ();
       print_newline ())
     all
+
+let traced = [ "fig3"; "c2"; "c3"; "c7"; "x1" ]
+
+let is_traced id = List.mem (String.lowercase_ascii id) traced

@@ -5,7 +5,9 @@ type entry = {
   id : string;  (** e.g. "fig3", "c1" *)
   title : string;
   paper_source : string;  (** where in the paper the claim lives *)
-  run : ?quick:bool -> unit -> unit;
+  run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit;
+      (** Every experiment accepts a sink; those listed in {!traced}
+          actually report events through it, the rest ignore it. *)
 }
 
 val all : entry list
@@ -14,3 +16,8 @@ val find : string -> entry option
 (** Look up by id, case-insensitively. *)
 
 val run_all : ?quick:bool -> unit -> unit
+
+val traced : string list
+(** Ids whose [run] genuinely emits events when given a sink. *)
+
+val is_traced : string -> bool

@@ -26,9 +26,11 @@ let stream rng ~steps ~period =
          else [ e ])
        base)
 
-let serve ~compacting events =
+let serve ?(obs = Obs.Sink.null) ~compacting events =
   let mem = Memstore.Physical.create ~name:"core" ~words in
-  let a = Freelist.Allocator.create mem ~base:0 ~len:words ~policy:Freelist.Policy.Best_fit in
+  let a =
+    Freelist.Allocator.create ~obs mem ~base:0 ~len:words ~policy:Freelist.Policy.Best_fit
+  in
   let clock = Sim.Clock.create () in
   let channel = Memstore.Channel.create clock ~word_ns:500 in
   let handles = Freelist.Handle_table.create () in
@@ -73,10 +75,10 @@ let serve ~compacting events =
       Metrics.Fragmentation.external_of_free_blocks (Freelist.Allocator.free_block_sizes a);
   }
 
-let serve_two_ends events =
+let serve_two_ends ?(obs = Obs.Sink.null) events =
   let mem = Memstore.Physical.create ~name:"core" ~words in
   let a =
-    Freelist.Allocator.create mem ~base:0 ~len:words
+    Freelist.Allocator.create ~obs mem ~base:0 ~len:words
       ~policy:(Freelist.Policy.Two_ends { small_max = 128 })
   in
   let by_id = Hashtbl.create 512 in
@@ -107,17 +109,28 @@ let serve_two_ends events =
       Metrics.Fragmentation.external_of_free_blocks (Freelist.Allocator.free_block_sizes a);
   }
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   let steps = if quick then 2_000 else 20_000 in
   let events () = stream (Sim.Rng.create 313) ~steps ~period:200 in
+  (* Clockless allocators stamp events with their operation counter; a
+     compacting alloc can retry, so each variant advances time by at
+     most twice its event count.  Shift keeps the spliced stream
+     monotone. *)
+  let t_base = ref 0 in
+  let spliced serve_variant =
+    let evs = events () in
+    let row = serve_variant ~obs:(Obs.Sink.shift ~offset:!t_base obs) evs in
+    t_base := !t_base + (2 * List.length evs);
+    row
+  in
   [
-    serve ~compacting:false (events ());
-    serve ~compacting:true (events ());
-    serve_two_ends (events ());
+    spliced (fun ~obs evs -> serve ~obs ~compacting:false evs);
+    spliced (fun ~obs evs -> serve ~obs ~compacting:true evs);
+    spliced (fun ~obs evs -> serve_two_ends ~obs evs);
   ]
 
-let run ?quick () =
-  let rows = measure ?quick () in
+let run ?quick ?obs () =
+  let rows = measure ?quick ?obs () in
   print_endline "== X1 (extension): compaction ablation ==";
   print_endline "(small-object churn + periodic large requests; best fit 32K words)\n";
   Metrics.Table.print

@@ -45,7 +45,7 @@ let measure ?(quick = false) () =
       })
     rules
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== X2 (extension): several levels of working storage ==";
   print_endline

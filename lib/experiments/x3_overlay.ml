@@ -87,7 +87,7 @@ let measure ?(quick = false) () =
     demand_paging ~workload:"sparse phases" sparse;
   ]
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== X3 (extension): preplanned overlays vs dynamic allocation ==";
   print_endline

@@ -112,7 +112,7 @@ let measure ?(quick = false) () =
     paging_run ~touched:"~8% of program" sparse;
   ]
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== X4 (extension): whole-program swapping vs demand paging ==";
   print_endline

@@ -49,7 +49,7 @@ let measure ?(quick = false) () =
         points)
     (programs ~quick rng)
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?obs:_ () =
   let rows = measure ~quick () in
   print_endline "== X6 (extension): sizing storage by the space-time product ==";
   print_endline

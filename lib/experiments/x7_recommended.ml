@@ -105,7 +105,7 @@ let measure ?(quick = false) () =
   regime_rows ~core_words:28_672 ~regime:"ample core" ~segments ~refs
   @ regime_rows ~core_words:16_384 ~regime:"tight core" ~segments ~refs
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== X7 (extension): the authors' recommendation, raced ==";
   print_endline "(48 small + 4 large segments, zipf popularity; two core sizes)\n";

@@ -43,7 +43,7 @@ let measure ?(quick = false) () =
           ("shortest access first", Memstore.Drum.Shortest_access) ])
     loads
 
-let run ?quick () =
+let run ?quick ?obs:_ () =
   let rows = measure ?quick () in
   print_endline "== X8 (extension): scheduling the paging drum ==";
   Printf.printf "(%d sectors, %d us per revolution; exponential arrivals)\n\n" sectors

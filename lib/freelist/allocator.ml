@@ -9,11 +9,15 @@ type t = {
   mutable live_blocks : int;
   mutable failures : int;
   searches : Metrics.Stats.t;
+  obs : Obs.Sink.t;
+  tracing : bool;
+  clock : Sim.Clock.t option;  (* event timestamps; operation count if absent *)
+  mutable ops : int;
 }
 
 let null = Block.null
 
-let create mem ~base ~len ~policy =
+let create ?(obs = Obs.Sink.null) ?clock mem ~base ~len ~policy =
   assert (len >= Block.min_block);
   assert (base >= 0 && base + len <= Memstore.Physical.size mem);
   let t =
@@ -28,12 +32,20 @@ let create mem ~base ~len ~policy =
       live_blocks = 0;
       failures = 0;
       searches = Metrics.Stats.create ();
+      obs;
+      tracing = Obs.Sink.is_active obs;
+      clock;
+      ops = 0;
     }
   in
   Block.write_tags mem ~base 0 { size = len; allocated = false };
   Block.write_next mem ~base 0 null;
   Block.write_prev mem ~base 0 null;
   t
+
+let emit t kind =
+  let t_us = match t.clock with Some c -> Sim.Clock.now c | None -> t.ops in
+  Obs.Sink.emit t.obs (Obs.Event.make ~t_us kind)
 
 let policy t = t.policy
 
@@ -175,6 +187,7 @@ let find_hole t ~request ~needed ~examined =
 
 let alloc t request =
   assert (request >= 1);
+  t.ops <- t.ops + 1;
   let needed = max Block.min_block (request + Block.overhead) in
   let examined = ref 0 in
   let result =
@@ -217,6 +230,14 @@ let alloc t request =
        | Policy.First_fit | Policy.Best_fit | Policy.Worst_fit | Policy.Two_ends _ -> ());
       t.live_words <- t.live_words + granted_size - Block.overhead;
       t.live_blocks <- t.live_blocks + 1;
+      if t.tracing then begin
+        if remainder >= Block.min_block then
+          emit t
+            (Split { addr = t.base + off; size = granted_size; remainder });
+        emit t
+          (Alloc
+             { addr = t.base + granted_off + 1; size = granted_size - Block.overhead })
+      end;
       Some (t.base + granted_off + 1)
   in
   Metrics.Stats.add t.searches (float_of_int !examined);
@@ -237,8 +258,10 @@ let payload_size t addr =
 
 let free t addr =
   let off, size = block_of_payload t addr in
+  t.ops <- t.ops + 1;
   t.live_words <- t.live_words - (size - Block.overhead);
   t.live_blocks <- t.live_blocks - 1;
+  if t.tracing then emit t (Free { addr; size = size - Block.overhead });
   let new_off = ref off and new_size = ref size in
   let after = off + size in
   if after < t.len then begin
@@ -257,6 +280,8 @@ let free t addr =
       new_size := !new_size + prev.Block.size
     end
   end;
+  if t.tracing && !new_size > size then
+    emit t (Coalesce { addr = t.base + !new_off; size = !new_size });
   mark_free t !new_off !new_size
 
 let live_words t = t.live_words
@@ -299,7 +324,10 @@ let compact t channel ~relocate =
       if b.off > dst then begin
         Memstore.Channel.move channel t.mem ~src:(t.base + b.off)
           ~dst:(t.base + dst) ~len:b.size;
-        relocate (t.base + b.off + 1) (t.base + dst + 1)
+        relocate (t.base + b.off + 1) (t.base + dst + 1);
+        if t.tracing then
+          emit t
+            (Compaction_move { src = t.base + b.off; dst = t.base + dst; len = b.size })
       end;
       dst + b.size
     end

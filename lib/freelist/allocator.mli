@@ -14,9 +14,23 @@
 
 type t
 
-val create : Memstore.Physical.t -> base:int -> len:int -> policy:Policy.t -> t
+val create :
+  ?obs:Obs.Sink.t ->
+  ?clock:Sim.Clock.t ->
+  Memstore.Physical.t ->
+  base:int ->
+  len:int ->
+  policy:Policy.t ->
+  t
 (** Manage the [len] words of [mem] starting at absolute offset [base].
-    [len] must be at least {!Block.min_block}. *)
+    [len] must be at least {!Block.min_block}.
+
+    With a sink, the allocator reports alloc / free (payload address
+    and words), split (block address, words granted, words left),
+    coalesce (merged block address and total words) and
+    compaction_move events.  Timestamps come from [clock] when given
+    (e.g. the owning store's virtual clock), else from a per-allocator
+    operation counter. *)
 
 val policy : t -> Policy.t
 

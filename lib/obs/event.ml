@@ -1,0 +1,114 @@
+type direction = In | Out
+
+type kind =
+  | Fault of { page : int }
+  | Cold_fault of { page : int }
+  | Eviction of { page : int }
+  | Writeback of { page : int }
+  | Tlb_hit of { key : int }
+  | Tlb_miss of { key : int }
+  | Alloc of { addr : int; size : int }
+  | Free of { addr : int; size : int }
+  | Split of { addr : int; size : int; remainder : int }
+  | Coalesce of { addr : int; size : int }
+  | Compaction_move of { src : int; dst : int; len : int }
+  | Segment_swap of { segment : int; words : int; direction : direction }
+  | Job_start of { job : int }
+  | Job_stop of { job : int }
+
+type t = { t_us : int; kind : kind }
+
+let make ~t_us kind = { t_us; kind }
+
+let kind_name = function
+  | Fault _ -> "fault"
+  | Cold_fault _ -> "cold_fault"
+  | Eviction _ -> "eviction"
+  | Writeback _ -> "writeback"
+  | Tlb_hit _ -> "tlb_hit"
+  | Tlb_miss _ -> "tlb_miss"
+  | Alloc _ -> "alloc"
+  | Free _ -> "free"
+  | Split _ -> "split"
+  | Coalesce _ -> "coalesce"
+  | Compaction_move _ -> "compaction_move"
+  | Segment_swap _ -> "segment_swap"
+  | Job_start _ -> "job_start"
+  | Job_stop _ -> "job_stop"
+
+let all_kind_names =
+  [ "fault"; "cold_fault"; "eviction"; "writeback"; "tlb_hit"; "tlb_miss"; "alloc";
+    "free"; "split"; "coalesce"; "compaction_move"; "segment_swap"; "job_start";
+    "job_stop" ]
+
+let fields_of_kind = function
+  | Fault { page } | Cold_fault { page } | Eviction { page } | Writeback { page } ->
+    [ ("page", Json.Int page) ]
+  | Tlb_hit { key } | Tlb_miss { key } -> [ ("key", Json.Int key) ]
+  | Alloc { addr; size } | Free { addr; size } | Coalesce { addr; size } ->
+    [ ("addr", Json.Int addr); ("size", Json.Int size) ]
+  | Split { addr; size; remainder } ->
+    [ ("addr", Json.Int addr); ("size", Json.Int size); ("remainder", Json.Int remainder) ]
+  | Compaction_move { src; dst; len } ->
+    [ ("src", Json.Int src); ("dst", Json.Int dst); ("len", Json.Int len) ]
+  | Segment_swap { segment; words; direction } ->
+    [ ("segment", Json.Int segment); ("words", Json.Int words);
+      ("dir", Json.String (match direction with In -> "in" | Out -> "out")) ]
+  | Job_start { job } | Job_stop { job } -> [ ("job", Json.Int job) ]
+
+let to_json t =
+  Json.obj
+    (("t_us", Json.Int t.t_us)
+     :: ("ev", Json.String (kind_name t.kind))
+     :: fields_of_kind t.kind)
+
+let of_json line =
+  match Json.parse_obj line with
+  | None -> None
+  | Some fields ->
+    let int k = Json.mem_int fields k in
+    let kind =
+      match Json.mem_string fields "ev" with
+      | Some "fault" -> Option.map (fun page -> Fault { page }) (int "page")
+      | Some "cold_fault" -> Option.map (fun page -> Cold_fault { page }) (int "page")
+      | Some "eviction" -> Option.map (fun page -> Eviction { page }) (int "page")
+      | Some "writeback" -> Option.map (fun page -> Writeback { page }) (int "page")
+      | Some "tlb_hit" -> Option.map (fun key -> Tlb_hit { key }) (int "key")
+      | Some "tlb_miss" -> Option.map (fun key -> Tlb_miss { key }) (int "key")
+      | Some "alloc" ->
+        (match (int "addr", int "size") with
+         | Some addr, Some size -> Some (Alloc { addr; size })
+         | _ -> None)
+      | Some "free" ->
+        (match (int "addr", int "size") with
+         | Some addr, Some size -> Some (Free { addr; size })
+         | _ -> None)
+      | Some "split" ->
+        (match (int "addr", int "size", int "remainder") with
+         | Some addr, Some size, Some remainder -> Some (Split { addr; size; remainder })
+         | _ -> None)
+      | Some "coalesce" ->
+        (match (int "addr", int "size") with
+         | Some addr, Some size -> Some (Coalesce { addr; size })
+         | _ -> None)
+      | Some "compaction_move" ->
+        (match (int "src", int "dst", int "len") with
+         | Some src, Some dst, Some len -> Some (Compaction_move { src; dst; len })
+         | _ -> None)
+      | Some "segment_swap" ->
+        (match (int "segment", int "words", Json.mem_string fields "dir") with
+         | Some segment, Some words, Some dir ->
+           (match dir with
+            | "in" -> Some (Segment_swap { segment; words; direction = In })
+            | "out" -> Some (Segment_swap { segment; words; direction = Out })
+            | _ -> None)
+         | _ -> None)
+      | Some "job_start" -> Option.map (fun job -> Job_start { job }) (int "job")
+      | Some "job_stop" -> Option.map (fun job -> Job_stop { job }) (int "job")
+      | Some _ | None -> None
+    in
+    (match (kind, int "t_us") with
+     | Some kind, Some t_us when t_us >= 0 -> Some { t_us; kind }
+     | _ -> None)
+
+let pp fmt t = Format.pp_print_string fmt (to_json t)

@@ -1,0 +1,55 @@
+(** The structured event vocabulary.
+
+    Every allocation engine reports what it is doing as a stream of
+    these events, stamped with the simulated clock ({!Sim.Clock}) time
+    at which they happened.  Untimed engines (e.g.
+    [Paging.Fault_sim]) stamp events with the reference index instead;
+    either way [t_us] is monotone non-decreasing over a run.
+
+    The vocabulary maps onto the paper's concepts: [Fault] and the
+    waiting intervals of Fig. 3; [Cold_fault] for first-touch
+    ("demand") fetches; [Compaction_move] for the block moves behind
+    artificial contiguity; [Segment_swap] for whole-segment transfers
+    between working and auxiliary storage. *)
+
+type direction = In | Out
+
+type kind =
+  | Fault of { page : int }  (** reference missed working storage *)
+  | Cold_fault of { page : int }  (** first-ever touch (emitted with [Fault]) *)
+  | Eviction of { page : int }
+  | Writeback of { page : int }  (** modified victim copied back *)
+  | Tlb_hit of { key : int }
+  | Tlb_miss of { key : int }
+  | Alloc of { addr : int; size : int }  (** payload address and words granted *)
+  | Free of { addr : int; size : int }
+  | Split of { addr : int; size : int; remainder : int }
+      (** a hole at [addr] was carved: [size] granted, [remainder] left free *)
+  | Coalesce of { addr : int; size : int }  (** merged free block *)
+  | Compaction_move of { src : int; dst : int; len : int }
+  | Segment_swap of { segment : int; words : int; direction : direction }
+  | Job_start of { job : int }
+  | Job_stop of { job : int }
+
+type t = { t_us : int; kind : kind }
+
+val make : t_us:int -> kind -> t
+
+val kind_name : kind -> string
+(** The wire name: ["fault"], ["cold_fault"], ["eviction"],
+    ["writeback"], ["tlb_hit"], ["tlb_miss"], ["alloc"], ["free"],
+    ["split"], ["coalesce"], ["compaction_move"], ["segment_swap"],
+    ["job_start"], ["job_stop"]. *)
+
+val all_kind_names : string list
+(** Every wire name, in declaration order. *)
+
+val to_json : t -> string
+(** One compact JSON object, e.g.
+    [{"t_us":1200,"ev":"fault","page":7}]. *)
+
+val of_json : string -> t option
+(** Inverse of {!to_json}; [None] on malformed input or an unknown
+    event name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,170 @@
+type value =
+  | Int of int
+  | Float of float
+  | String of string
+  | Raw of string
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest %g form that still round-trips; %.17g always does. *)
+let float_repr f =
+  let rec shortest prec =
+    if prec > 17 then Printf.sprintf "%.17g" f
+    else
+      let s = Printf.sprintf "%.*g" prec f in
+      if float_of_string s = f then s else shortest (prec + 1)
+  in
+  shortest 12
+
+let add_value buf = function
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (float_repr f)
+  | String s -> add_escaped buf s
+  | Raw s -> Buffer.add_string buf s
+
+let obj fields =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_escaped buf k;
+      Buffer.add_char buf ':';
+      add_value buf v)
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let array values =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_value buf v)
+    values;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+exception Bad
+
+let parse_obj s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise Bad in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () <> c then raise Bad else advance () in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'; advance ()
+         | '\\' -> Buffer.add_char buf '\\'; advance ()
+         | '/' -> Buffer.add_char buf '/'; advance ()
+         | 'n' -> Buffer.add_char buf '\n'; advance ()
+         | 'r' -> Buffer.add_char buf '\r'; advance ()
+         | 't' -> Buffer.add_char buf '\t'; advance ()
+         | 'u' ->
+           advance ();
+           if !pos + 4 > n then raise Bad;
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           if code > 0xff then raise Bad;  (* we only ever emit control chars *)
+           Buffer.add_char buf (Char.chr code);
+           pos := !pos + 4
+         | _ -> raise Bad);
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let numeric = function
+      | '0' .. '9' | '-' | '+' -> true
+      | '.' | 'e' | 'E' ->
+        is_float := true;
+        true
+      | _ -> false
+    in
+    while !pos < n && numeric s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt tok with Some f -> Float f | None -> raise Bad
+    else
+      match int_of_string_opt tok with Some i -> Int i | None -> raise Bad
+  in
+  let parse_value () =
+    match peek () with
+    | '"' -> String (parse_string ())
+    | '-' | '0' .. '9' -> parse_number ()
+    | _ -> raise Bad  (* flat objects only: no nesting, no bool/null *)
+  in
+  try
+    skip_ws ();
+    expect '{';
+    skip_ws ();
+    let fields = ref [] in
+    if peek () = '}' then advance ()
+    else begin
+      let rec loop () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        skip_ws ();
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); loop ()
+        | '}' -> advance ()
+        | _ -> raise Bad
+      in
+      loop ()
+    end;
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    Some (List.rev !fields)
+  with Bad | Invalid_argument _ | Failure _ -> None
+
+let mem_int fields k =
+  match List.assoc_opt k fields with Some (Int n) -> Some n | _ -> None
+
+let mem_string fields k =
+  match List.assoc_opt k fields with Some (String s) -> Some s | _ -> None

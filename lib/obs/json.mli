@@ -1,0 +1,31 @@
+(** Minimal flat JSON, for the event stream and machine-readable
+    summaries.
+
+    Only what the observability layer needs: encoding objects whose
+    fields are integers, floats, strings, or pre-encoded fragments, and
+    parsing the single-level objects our own encoders emit.  Not a
+    general JSON library — nested values parse only via [Raw] fragments
+    produced by our own encoders. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | String of string
+  | Raw of string  (** pre-encoded JSON, injected verbatim (nesting) *)
+
+val obj : (string * value) list -> string
+(** [obj fields] is a compact one-line JSON object, fields in the order
+    given. *)
+
+val array : value list -> string
+(** A compact JSON array. *)
+
+val parse_obj : string -> (string * value) list option
+(** Parse a flat object of int, float, and string fields.  Returns
+    [None] on anything else (nesting, malformed input, trailing
+    garbage).  Numbers with a ['.'], ['e'] or ['E'] parse as [Float],
+    others as [Int]. *)
+
+val mem_int : (string * value) list -> string -> int option
+
+val mem_string : (string * value) list -> string -> string option

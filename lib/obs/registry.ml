@@ -1,0 +1,107 @@
+type counter = { mutable n : int }
+
+type gauge = { mutable v : float }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  stats : (string, Metrics.Stats.t) Hashtbl.t;
+  histograms : (string, Metrics.Histogram.t) Hashtbl.t;
+  series : (string, Series.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    stats = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+  }
+
+let get_or_create tbl name build =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+    let v = build () in
+    Hashtbl.replace tbl name v;
+    v
+
+let counter t name = get_or_create t.counters name (fun () -> { n = 0 })
+
+let gauge t name = get_or_create t.gauges name (fun () -> { v = 0. })
+
+let stats t name = get_or_create t.stats name Metrics.Stats.create
+
+let histogram t name ~default = get_or_create t.histograms name default
+
+let series t name = get_or_create t.series name Series.create
+
+let incr ?(by = 1) c = c.n <- c.n + by
+
+let counter_value c = c.n
+
+let set g v = g.v <- v
+
+let gauge_value g = g.v
+
+type distribution = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  distributions : (string * distribution) list;
+  series_lengths : (string * int) list;
+}
+
+let sorted_bindings tbl value =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl [])
+
+let distribution_of_stats s =
+  let count = Metrics.Stats.count s in
+  {
+    count;
+    mean = Metrics.Stats.mean s;
+    min = (if count = 0 then 0. else Metrics.Stats.min s);
+    max = (if count = 0 then 0. else Metrics.Stats.max s);
+    total = Metrics.Stats.total s;
+  }
+
+let snapshot (t : t) =
+  {
+    counters = sorted_bindings t.counters (fun c -> c.n);
+    gauges = sorted_bindings t.gauges (fun g -> g.v);
+    distributions = sorted_bindings t.stats distribution_of_stats;
+    series_lengths = sorted_bindings t.series Series.length;
+  }
+
+let snapshot_to_json s =
+  let obj_of fields = Json.Raw (Json.obj fields) in
+  Json.obj
+    [
+      ("counters", obj_of (List.map (fun (k, n) -> (k, Json.Int n)) s.counters));
+      ("gauges", obj_of (List.map (fun (k, v) -> (k, Json.Float v)) s.gauges));
+      ( "distributions",
+        obj_of
+          (List.map
+             (fun (k, d) ->
+               ( k,
+                 obj_of
+                   [
+                     ("count", Json.Int d.count);
+                     ("mean", Json.Float d.mean);
+                     ("min", Json.Float d.min);
+                     ("max", Json.Float d.max);
+                     ("total", Json.Float d.total);
+                   ] ))
+             s.distributions) );
+      ("series", obj_of (List.map (fun (k, n) -> (k, Json.Int n)) s.series_lengths));
+    ]

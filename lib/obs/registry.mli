@@ -1,0 +1,64 @@
+(** A named-metrics registry: counters, gauges, distributions, and time
+    series, snapshottable mid-run.
+
+    One registry per run (or per engine) gives instrumentation a place
+    to accumulate without threading a record of every metric through
+    the code.  Handles returned by the accessors are stable: look a
+    metric up once, update it on the hot path for free.  Distributions
+    are built over {!Metrics.Stats} (streaming moments) and
+    {!Metrics.Histogram}; series over {!Series}. *)
+
+type t
+
+type counter
+
+type gauge
+
+val create : unit -> t
+
+(** {2 Handles} — get-or-create by name} *)
+
+val counter : t -> string -> counter
+
+val gauge : t -> string -> gauge
+
+val stats : t -> string -> Metrics.Stats.t
+
+val histogram : t -> string -> default:(unit -> Metrics.Histogram.t) -> Metrics.Histogram.t
+(** [default] builds the histogram (choosing its bucketing scheme) the
+    first time the name is seen. *)
+
+val series : t -> string -> Series.t
+
+(** {2 Updates} *)
+
+val incr : ?by:int -> counter -> unit
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** {2 Snapshots} *)
+
+type distribution = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  distributions : (string * distribution) list;
+  series_lengths : (string * int) list;
+}
+
+val snapshot : t -> snapshot
+(** A consistent view of every registered metric, taken mid-run or at
+    the end.  Cheap: proportional to the number of metrics. *)
+
+val snapshot_to_json : snapshot -> string

@@ -1,0 +1,106 @@
+type replay = {
+  policy : string;
+  frames : int;
+  refs : int;
+  faults : int;
+  cold : int;
+  evictions : int;
+}
+
+let replay_fault_rate r =
+  if r.refs = 0 then 0. else float_of_int r.faults /. float_of_int r.refs
+
+let replay_to_json r =
+  Json.obj
+    [
+      ("policy", Json.String r.policy);
+      ("frames", Json.Int r.frames);
+      ("refs", Json.Int r.refs);
+      ("faults", Json.Int r.faults);
+      ("fault_rate", Json.Float (replay_fault_rate r));
+      ("cold", Json.Int r.cold);
+      ("evictions", Json.Int r.evictions);
+    ]
+
+type trace_stats = {
+  events : int;
+  t_first_us : int;
+  t_last_us : int;
+  kinds : (string * int) list;
+}
+
+let count t name = match List.assoc_opt name t.kinds with Some n -> n | None -> 0
+
+(* Fold events into an accumulator keyed by kind name. *)
+type acc = {
+  mutable n : int;
+  mutable first : int;
+  mutable last : int;
+  table : (string, int ref) Hashtbl.t;
+}
+
+let acc_create () = { n = 0; first = 0; last = 0; table = Hashtbl.create 16 }
+
+let acc_add acc ev =
+  if acc.n = 0 then acc.first <- ev.Event.t_us;
+  acc.last <- ev.Event.t_us;
+  acc.n <- acc.n + 1;
+  let name = Event.kind_name ev.Event.kind in
+  match Hashtbl.find_opt acc.table name with
+  | Some r -> incr r
+  | None -> Hashtbl.replace acc.table name (ref 1)
+
+let acc_finish acc =
+  {
+    events = acc.n;
+    t_first_us = acc.first;
+    t_last_us = acc.last;
+    kinds =
+      List.sort compare (Hashtbl.fold (fun k r l -> (k, !r) :: l) acc.table []);
+  }
+
+let of_events events =
+  let acc = acc_create () in
+  List.iter (acc_add acc) events;
+  acc_finish acc
+
+let scan_jsonl filename =
+  let ic = open_in filename in
+  let acc = acc_create () in
+  let lineno = ref 0 in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | line ->
+         incr lineno;
+         let trimmed = String.trim line in
+         if trimmed <> "" && trimmed.[0] <> '#' then begin
+           match Event.of_json trimmed with
+           | Some ev -> acc_add acc ev
+           | None ->
+             failwith
+               (Printf.sprintf "%s: line %d: not an event: %S" filename !lineno trimmed)
+         end;
+         loop ()
+       | exception End_of_file -> ()
+     in
+     loop ();
+     close_in ic
+   with e ->
+     close_in_noerr ic;
+     raise e);
+  acc_finish acc
+
+let trace_stats_to_json t =
+  Json.obj
+    [
+      ("events", Json.Int t.events);
+      ("t_first_us", Json.Int t.t_first_us);
+      ("t_last_us", Json.Int t.t_last_us);
+      ("kinds", Json.Raw (Json.obj (List.map (fun (k, n) -> (k, Json.Int n)) t.kinds)));
+    ]
+
+let print_trace_stats t =
+  Printf.printf "%d events spanning %d us (t_us %d .. %d)\n" t.events
+    (t.t_last_us - t.t_first_us) t.t_first_us t.t_last_us;
+  List.iter (fun (k, n) -> Printf.printf "  %-16s %d\n" k n) t.kinds

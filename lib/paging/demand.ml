@@ -16,6 +16,9 @@ type t = {
   ready_at : int array;  (* per page: completion time of an in-flight fetch *)
   space_time : Metrics.Space_time.t;
   timeline : Metrics.Timeline.t;
+  obs : Obs.Sink.t;
+  tracing : bool;
+  touched : Bytes.t;  (* cold-fault tracking; empty unless tracing *)
   mutable refs : int;
   mutable faults : int;
   mutable writebacks : int;
@@ -23,10 +26,11 @@ type t = {
   mutable advice_releases : int;
 }
 
-let create cfg =
+let create ?(obs = Obs.Sink.null) cfg =
   assert (cfg.page_size > 0 && cfg.frames > 0 && cfg.pages > 0);
   assert (Memstore.Level.size cfg.core >= cfg.frames * cfg.page_size);
   assert (Memstore.Level.size cfg.backing >= cfg.pages * cfg.page_size);
+  let tracing = Obs.Sink.is_active obs in
   {
     cfg;
     page_table = Page_table.create ~pages:cfg.pages;
@@ -34,6 +38,9 @@ let create cfg =
     ready_at = Array.make cfg.pages 0;
     space_time = Metrics.Space_time.create ();
     timeline = Metrics.Timeline.create ();
+    obs;
+    tracing;
+    touched = (if tracing then Bytes.make cfg.pages '\000' else Bytes.empty);
     refs = 0;
     faults = 0;
     writebacks = 0;
@@ -42,6 +49,8 @@ let create cfg =
   }
 
 let clock t = Memstore.Level.clock t.cfg.core
+
+let emit t kind = Obs.Sink.emit t.obs (Obs.Event.make ~t_us:(Sim.Clock.now (clock t)) kind)
 
 let resident_count t = Page_table.resident_count t.page_table
 
@@ -78,11 +87,13 @@ let evict_page t page =
     ignore
       (Memstore.Level.transfer_async ~src:t.cfg.core ~src_off:(frame * t.cfg.page_size)
          ~dst:t.cfg.backing ~dst_off:(page * t.cfg.page_size) ~len:t.cfg.page_size);
-    t.writebacks <- t.writebacks + 1
+    t.writebacks <- t.writebacks + 1;
+    if t.tracing then emit t (Writeback { page })
   end;
   Page_table.evict t.page_table ~page;
   Frame_table.release t.frame_table ~frame;
-  t.cfg.policy.Replacement.on_evict ~page
+  t.cfg.policy.Replacement.on_evict ~page;
+  if t.tracing then emit t (Eviction { page })
 
 let free_a_frame t =
   match Frame_table.find_free t.frame_table with
@@ -111,6 +122,13 @@ let start_fetch t ~page ~frame =
 
 let fault t page =
   t.faults <- t.faults + 1;
+  if t.tracing then begin
+    emit t (Fault { page });
+    if Bytes.get t.touched page = '\000' then begin
+      Bytes.set t.touched page '\001';
+      emit t (Cold_fault { page })
+    end
+  end;
   let frame = free_a_frame t in
   start_fetch t ~page ~frame
 
@@ -135,8 +153,11 @@ let translate t page =
     Page_table.frame_of t.page_table page
   | Some tlb ->
     (match Tlb.lookup tlb page with
-     | Some frame -> Some frame
+     | Some frame ->
+       if t.tracing then emit t (Tlb_hit { key = page });
+       Some frame
      | None ->
+       if t.tracing then emit t (Tlb_miss { key = page });
        map_cost ();
        (match Page_table.frame_of t.page_table page with
         | Some frame ->

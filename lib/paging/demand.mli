@@ -27,9 +27,15 @@ type config = {
 
 type t
 
-val create : config -> t
+val create : ?obs:Obs.Sink.t -> config -> t
 (** Page [p] of the name space lives at backing offset [p * page_size];
-    frame [f] occupies core offset [f * page_size]. *)
+    frame [f] occupies core offset [f * page_size].
+
+    With a sink, the engine reports fault / cold-fault / eviction /
+    writeback and (when a TLB is configured) tlb_hit / tlb_miss events,
+    stamped with the shared virtual clock.  The default no-op sink
+    leaves results bit-identical and costs one branch per emission
+    site. *)
 
 val read : t -> int -> int64
 (** [read t name] references word [name] of the linear name space,

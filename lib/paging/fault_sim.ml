@@ -1,7 +1,8 @@
 type result = { refs : int; faults : int; cold : int; evictions : int }
 
-let run_writes ~frames ~policy ~write trace =
+let run_writes ?(obs = Obs.Sink.null) ~frames ~policy ~write trace =
   assert (frames > 0);
+  let tracing = Obs.Sink.is_active obs in
   let resident = Hashtbl.create frames in
   let touched = Hashtbl.create 64 in
   let faults = ref 0 and cold = ref 0 and evictions = ref 0 in
@@ -22,8 +23,11 @@ let run_writes ~frames ~policy ~write trace =
       policy.Replacement.on_reference ~page ~write:w;
       if not (Hashtbl.mem resident page) then begin
         incr faults;
+        if tracing then Obs.Sink.emit obs (Obs.Event.make ~t_us:i (Fault { page }));
         if not (Hashtbl.mem touched page) then begin
           incr cold;
+          if tracing then
+            Obs.Sink.emit obs (Obs.Event.make ~t_us:i (Cold_fault { page }));
           Hashtbl.replace touched page ()
         end;
         if Hashtbl.length resident >= frames then begin
@@ -31,7 +35,9 @@ let run_writes ~frames ~policy ~write trace =
           assert (Hashtbl.mem resident victim);
           Hashtbl.remove resident victim;
           policy.Replacement.on_evict ~page:victim;
-          incr evictions
+          incr evictions;
+          if tracing then
+            Obs.Sink.emit obs (Obs.Event.make ~t_us:i (Eviction { page = victim }))
         end;
         Hashtbl.replace resident page ();
         policy.Replacement.on_load ~page
@@ -39,6 +45,7 @@ let run_writes ~frames ~policy ~write trace =
     trace;
   { refs = Array.length trace; faults = !faults; cold = !cold; evictions = !evictions }
 
-let run ~frames ~policy trace = run_writes ~frames ~policy ~write:(fun _ -> false) trace
+let run ?obs ~frames ~policy trace =
+  run_writes ?obs ~frames ~policy ~write:(fun _ -> false) trace
 
 let fault_rate r = if r.refs = 0 then 0. else float_of_int r.faults /. float_of_int r.refs

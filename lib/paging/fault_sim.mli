@@ -5,7 +5,12 @@
     Belady [1]'s comparisons and our experiment C3.  No data moves and
     no clock advances, so large parameter sweeps are cheap; the timed
     engine ({!Demand}) is used when space-time or device behaviour
-    matters. *)
+    matters.
+
+    When an observability sink is supplied, fault / cold-fault /
+    eviction events are emitted with the {e reference index} as their
+    timestamp (this engine has no clock); the default no-op sink costs
+    one branch per emission site. *)
 
 type result = {
   refs : int;  (** references processed *)
@@ -14,7 +19,8 @@ type result = {
   evictions : int;
 }
 
-val run : frames:int -> policy:Replacement.t -> Workload.Trace.t -> result
+val run :
+  ?obs:Obs.Sink.t -> frames:int -> policy:Replacement.t -> Workload.Trace.t -> result
 (** Process the trace with demand fetch.  [frames] must be positive.
     The [policy] must be freshly created (policies carry state). *)
 
@@ -22,6 +28,7 @@ val fault_rate : result -> float
 (** faults / refs (0. for an empty trace). *)
 
 val run_writes :
+  ?obs:Obs.Sink.t ->
   frames:int ->
   policy:Replacement.t ->
   write:(int -> bool) ->

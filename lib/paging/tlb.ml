@@ -10,9 +10,12 @@ type t = {
   mutable tick : int;  (* insertion counter (FIFO) / access counter (LRU) *)
   mutable hits : int;
   mutable misses : int;
+  obs : Obs.Sink.t;
+  tracing : bool;
+  clock : Sim.Clock.t option;  (* event timestamps; probe count if absent *)
 }
 
-let create ~capacity policy =
+let create ?(obs = Obs.Sink.null) ?clock ~capacity policy =
   assert (capacity >= 0);
   {
     capacity;
@@ -22,6 +25,9 @@ let create ~capacity policy =
     tick = 0;
     hits = 0;
     misses = 0;
+    obs;
+    tracing = Obs.Sink.is_active obs;
+    clock;
   }
 
 let capacity t = t.capacity
@@ -34,10 +40,17 @@ let find_slot t key =
   in
   loop 0
 
+let event_time t =
+  match t.clock with
+  | Some clock -> Sim.Clock.now clock
+  | None -> t.hits + t.misses  (* probe count: monotone by construction *)
+
 let lookup t key =
   match find_slot t key with
   | Some slot ->
     t.hits <- t.hits + 1;
+    if t.tracing then
+      Obs.Sink.emit t.obs (Obs.Event.make ~t_us:(event_time t) (Tlb_hit { key }));
     (match t.policy with
      | Lru_replacement ->
        t.tick <- t.tick + 1;
@@ -46,6 +59,8 @@ let lookup t key =
     Some slot.value
   | None ->
     t.misses <- t.misses + 1;
+    if t.tracing then
+      Obs.Sink.emit t.obs (Obs.Event.make ~t_us:(event_time t) (Tlb_miss { key }));
     None
 
 let insert t ~key ~value =

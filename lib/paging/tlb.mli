@@ -16,8 +16,12 @@ type t
 
 type replacement = Fifo_replacement | Lru_replacement
 
-val create : capacity:int -> replacement -> t
-(** [capacity] of 0 gives an always-missing TLB (for no-TLB baselines). *)
+val create : ?obs:Obs.Sink.t -> ?clock:Sim.Clock.t -> capacity:int -> replacement -> t
+(** [capacity] of 0 gives an always-missing TLB (for no-TLB baselines).
+    With a sink, every probe emits a [Tlb_hit]/[Tlb_miss] event stamped
+    from [clock], or with the probe count when no clock is given.  (The
+    {!Demand} engine also reports its TLB's probes itself, on its own
+    clock, so a TLB embedded there needs no sink of its own.) *)
 
 val capacity : t -> int
 

@@ -31,14 +31,19 @@ type t = {
   mutable writebacks : int;
   space_time : Metrics.Space_time.t;
   timeline : Metrics.Timeline.t;
+  obs : Obs.Sink.t;
+  tracing : bool;
 }
 
-let create cfg =
+let create ?(obs = Obs.Sink.null) cfg =
   let core_words = Memstore.Level.size cfg.core in
   {
     cfg;
+    (* The core allocator shares our sink and clock, so placement-level
+       alloc/free/split/coalesce events interleave with segment events. *)
     allocator =
-      Freelist.Allocator.create
+      Freelist.Allocator.create ~obs
+        ~clock:(Memstore.Level.clock cfg.core)
         (Memstore.Level.physical cfg.core)
         ~base:0 ~len:core_words ~policy:cfg.placement;
     segs = [||];
@@ -51,7 +56,13 @@ let create cfg =
     writebacks = 0;
     space_time = Metrics.Space_time.create ();
     timeline = Metrics.Timeline.create ();
+    obs;
+    tracing = Obs.Sink.is_active obs;
   }
+
+let emit t kind =
+  Obs.Sink.emit t.obs
+    (Obs.Event.make ~t_us:(Sim.Clock.now (Memstore.Level.clock t.cfg.core)) kind)
 
 (* Run [f], charging the simulated time it takes to the space-time
    product at the current occupancy. *)
@@ -119,12 +130,16 @@ let evict_segment t id =
     Memstore.Level.transfer ~src:t.cfg.core ~src_off:d.Descriptor.base ~dst:t.cfg.backing
       ~dst_off:s.backing_addr ~len:d.Descriptor.extent;
     t.writebacks <- t.writebacks + 1;
+    if t.tracing then emit t (Writeback { page = id });
     d.Descriptor.modified <- false
   end;
   Freelist.Allocator.free t.allocator d.Descriptor.base;
   d.Descriptor.present <- false;
   d.Descriptor.base <- -1;
-  t.evictions <- t.evictions + 1
+  t.evictions <- t.evictions + 1;
+  if t.tracing then
+    emit t
+      (Segment_swap { segment = id; words = d.Descriptor.extent; direction = Obs.Event.Out })
 
 let resident t =
   let acc = ref [] in
@@ -201,6 +216,7 @@ let fetch t id =
   let s = t.segs.(id) in
   let d = s.descriptor in
   t.segment_faults <- t.segment_faults + 1;
+  if t.tracing then emit t (Fault { page = id });
   let base = timed t Metrics.Space_time.Waiting (fun () -> alloc_core t ~words:d.Descriptor.extent ~avoid:id) in
   timed t Metrics.Space_time.Waiting (fun () ->
       Memstore.Level.transfer ~src:t.cfg.backing ~src_off:s.backing_addr ~dst:t.cfg.core
@@ -208,7 +224,10 @@ let fetch t id =
   d.Descriptor.base <- base;
   d.Descriptor.present <- true;
   d.Descriptor.used <- true;
-  d.Descriptor.modified <- false
+  d.Descriptor.modified <- false;
+  if t.tracing then
+    emit t
+      (Segment_swap { segment = id; words = d.Descriptor.extent; direction = Obs.Event.In })
 
 let touch t id index ~write =
   let s = seg t id in

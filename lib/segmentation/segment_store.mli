@@ -32,7 +32,12 @@ type t
 
 type id = int
 
-val create : config -> t
+val create : ?obs:Obs.Sink.t -> config -> t
+(** With a sink, the store reports fault (segment id), segment_swap
+    in/out and writeback events on the core level's clock, and its
+    internal {!Freelist.Allocator} shares the sink, so placement-level
+    alloc / free / split / coalesce events interleave in the same
+    stream. *)
 
 val define : t -> ?name:string -> length:int -> unit -> id
 (** Declare a new (dynamic) segment of [length] words, initially

@@ -203,6 +203,60 @@ let test_load_rejects_garbage_with_line_number () =
         in
         find 0))
 
+let test_load_events_skips_comments_and_blanks () =
+  let file = temp_file () in
+  let oc = open_out file in
+  output_string oc "# alloc stream\na 1 10\n\n  f 1  \n# tail\n";
+  close_out oc;
+  let events = Workload.Trace_io.load_events file in
+  Sys.remove file;
+  check_bool "parsed" true
+    (events
+    = [ Workload.Alloc_stream.Alloc { id = 1; size = 10 }; Workload.Alloc_stream.Free { id = 1 } ])
+
+let names_line msg n =
+  let needle = Printf.sprintf "line %d" n in
+  let nl = String.length needle in
+  let rec find i =
+    i + nl <= String.length msg && (String.sub msg i nl = needle || find (i + 1))
+  in
+  find 0
+
+let test_load_events_rejects_garbage_with_line_number () =
+  let failure_of text =
+    let file = temp_file () in
+    let oc = open_out file in
+    output_string oc text;
+    close_out oc;
+    let result =
+      match Workload.Trace_io.load_events file with
+      | _ -> "no error"
+      | exception Failure msg -> msg
+    in
+    Sys.remove file;
+    result
+  in
+  check_bool "unknown verb, line 2" true (names_line (failure_of "a 1 10\nx 2 5\n") 2);
+  check_bool "truncated alloc, line 1" true (names_line (failure_of "a 1\n") 1);
+  check_bool "non-numeric size, line 3" true
+    (names_line (failure_of "a 1 10\nf 1\na 2 big\n") 3)
+
+let events_io_roundtrip_property =
+  QCheck.Test.make ~name:"events file roundtrip for arbitrary streams" ~count:50
+    QCheck.(
+      list
+        (map
+           (fun (alloc, id, size) ->
+             if alloc then Workload.Alloc_stream.Alloc { id; size = 1 + size }
+             else Workload.Alloc_stream.Free { id })
+           (triple bool (int_bound 10_000) (int_bound 5_000))))
+    (fun events ->
+      let file = Filename.temp_file "dsas_prop" ".events" in
+      Workload.Trace_io.save_events file events;
+      let back = Workload.Trace_io.load_events file in
+      Sys.remove file;
+      back = events)
+
 let trace_io_roundtrip_property =
   QCheck.Test.make ~name:"trace file roundtrip for arbitrary traces" ~count:50
     QCheck.(list (int_bound 1_000_000))
@@ -256,5 +310,10 @@ let () =
           Alcotest.test_case "events roundtrip" `Quick test_events_roundtrip;
           Alcotest.test_case "comments/blanks" `Quick test_load_skips_comments_and_blanks;
           Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage_with_line_number;
+          Alcotest.test_case "events comments/blanks" `Quick
+            test_load_events_skips_comments_and_blanks;
+          Alcotest.test_case "events garbage rejected" `Quick
+            test_load_events_rejects_garbage_with_line_number;
+          QCheck_alcotest.to_alcotest events_io_roundtrip_property;
         ] );
     ]
