@@ -55,6 +55,8 @@ let experiment_kernels =
       (Staged.stage (fun () -> Experiments.X7_recommended.measure ~quick:true ()));
     Test.make ~name:"x8/drum"
       (Staged.stage (fun () -> Experiments.X8_drum.measure ~quick:true ()));
+    Test.make ~name:"x8d/devices"
+      (Staged.stage (fun () -> Experiments.X8_devices.measure_multiprog ~quick:true ()));
     Test.make ~name:"a/survey"
       (Staged.stage (fun () -> Machines.Survey.run ~refs:500 ()));
   ]
@@ -117,6 +119,25 @@ let substrate_kernels =
       incr i;
       ignore (Paging.Tlb.lookup tlb (!i land 15))
   in
+  let drum_queue =
+    (* The lib/device hot path: a burst of scattered-sector requests
+       submitted at once, then drained through the SATF pick loop. *)
+    let model =
+      Device.Model.create
+        (Device.Model.config ~sched:Device.Sched.Satf ~channels:1
+           Device.Geometry.atlas_drum)
+    in
+    let page = ref 0 in
+    fun () ->
+      let ids =
+        List.init 8 (fun k ->
+            page := (!page + 5) land 255;
+            ignore k;
+            Device.Model.submit model ~now:0 ~kind:Device.Request.Demand ~page:!page
+              ~words:256)
+      in
+      List.iter (fun id -> ignore (Device.Model.completion_us model id)) ids
+  in
   let demand_read =
     let clock = Sim.Clock.create () in
     let core = Memstore.Level.make clock Memstore.Device.core ~name:"core" ~words:4096 in
@@ -150,6 +171,7 @@ let substrate_kernels =
     Test.make ~name:"substrate/fault-sim 1000 refs (LRU, ring sink)"
       (Staged.stage fault_sim_traced);
     Test.make ~name:"substrate/tlb lookup" (Staged.stage tlb_lookup);
+    Test.make ~name:"substrate/drum queue burst (SATF x8)" (Staged.stage drum_queue);
     Test.make ~name:"substrate/demand-engine read" (Staged.stage demand_read);
   ]
 

@@ -28,6 +28,14 @@ let id_arg =
   let doc = "Experiment id from `dsas_sim list`, or `all`." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
 
+(* A wrong experiment id must fail loudly (non-zero exit) and say what
+   would have worked. *)
+let unknown_id id =
+  `Error
+    ( false,
+      Printf.sprintf "unknown experiment %S; valid ids: %s (or `all`)" id
+        (String.concat ", " Experiments.Registry.ids) )
+
 let run_cmd =
   let doc = "Run one experiment (or all of them)." in
   let info = Cmd.info "run" ~doc in
@@ -37,9 +45,33 @@ let run_cmd =
                  (one event object per line; inspect with `dsas_sim stats`). \
                  Only valid for a single traced experiment — see `dsas_sim list`.")
   in
-  let action quick id trace_out =
-    match trace_out with
-    | None ->
+  let device_arg =
+    Arg.(value & opt (some string) None & info [ "device" ] ~docv:"DEVICE"
+           ~doc:"Backing-store geometry for x8_devices: fixed, drum, or disk.")
+  in
+  let sched_arg =
+    Arg.(value & opt (some string) None & info [ "io-sched" ] ~docv:"POLICY"
+           ~doc:"I/O scheduling policy for x8_devices: fifo, satf, or priority.")
+  in
+  let channels_arg =
+    Arg.(value & opt (some int) None & info [ "channels" ] ~docv:"N"
+           ~doc:"Device channels for x8_devices (>= 1).")
+  in
+  let action quick id trace_out device sched channels =
+    match (trace_out, device, sched, channels) with
+    | _, Some _, _, _ | _, _, Some _, _ | _, _, _, Some _
+      when String.lowercase_ascii id <> "x8_devices" ->
+      `Error
+        (false, "--device/--io-sched/--channels select an x8_devices configuration; \
+                 use them with `run x8_devices`")
+    | _, Some _, _, _ | _, _, Some _, _ | _, _, _, Some _ ->
+      let device = Option.value device ~default:"drum" in
+      let sched = Option.value sched ~default:"fifo" in
+      let channels = Option.value channels ~default:1 in
+      (match Experiments.X8_devices.run_custom ~quick ~device ~sched ~channels () with
+       | Ok () -> `Ok ()
+       | Error msg -> `Error (false, msg))
+    | None, None, None, None ->
       if String.lowercase_ascii id = "all" then begin
         Experiments.Registry.run_all ~quick ();
         `Ok ()
@@ -49,15 +81,13 @@ let run_cmd =
          | Some e ->
            e.Experiments.Registry.run ~quick ();
            `Ok ()
-         | None ->
-           `Error (false, Printf.sprintf "unknown experiment %S; try `dsas_sim list`" id))
-    | Some file ->
+         | None -> unknown_id id)
+    | Some file, None, None, None ->
       if String.lowercase_ascii id = "all" then
         `Error (false, "--trace needs a single experiment, not `all`")
       else
         (match Experiments.Registry.find id with
-         | None ->
-           `Error (false, Printf.sprintf "unknown experiment %S; try `dsas_sim list`" id)
+         | None -> unknown_id id
          | Some e when not (Experiments.Registry.is_traced e.Experiments.Registry.id) ->
            `Error
              ( false,
@@ -74,7 +104,11 @@ let run_cmd =
              (fun () -> e.Experiments.Registry.run ~quick ~obs ());
            `Ok ())
   in
-  Cmd.v info Term.(ret (const action $ quick_flag $ id_arg $ trace_out_arg))
+  Cmd.v info
+    Term.(
+      ret
+        (const action $ quick_flag $ id_arg $ trace_out_arg $ device_arg $ sched_arg
+         $ channels_arg))
 
 let json_flag =
   let doc = "Emit the result as a single JSON object on stdout." in

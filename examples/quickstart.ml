@@ -23,7 +23,13 @@ let () =
       backing_device = Memstore.Device.drum;
       mechanism =
         Dsas.System.Paged
-          { page_size = 256; frames = 16; policy = Paging.Spec.Lru; tlb_capacity = 8 };
+          {
+            page_size = 256;
+            frames = 16;
+            policy = Paging.Spec.Lru;
+            tlb_capacity = 8;
+            device = Device.Spec.legacy;
+          };
       compute_us_per_ref = 2;
     }
   in

@@ -26,7 +26,8 @@ let key_bits = 32
 
 let key ~job ~page = (job lsl key_bits) lor page
 
-let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ~frames ~policy ~fetch_us specs =
+let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fetch_us
+    specs =
   assert (frames > 0 && fetch_us >= 0 && quantum_refs > 0);
   let tracing = Obs.Sink.is_active obs in
   let jobs =
@@ -40,9 +41,26 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ~frames ~policy ~fetch_us sp
   let resident : (int, int) Hashtbl.t = Hashtbl.create frames in  (* key -> ready_at *)
   let ready : int Queue.t = Queue.create () in
   let blocked : int Sim.Heap.t = Sim.Heap.create () in
+  (* Device mode only: which job is waiting on each request, and jobs
+     stalled because every frame held an in-flight page (woken on any
+     completion, which makes a frame evictable again). *)
+  let req_owner : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let stalled : int Queue.t = Queue.create () in
   Array.iter (fun j -> Queue.add j.index ready) jobs;
   let now = ref 0 and busy = ref 0 and device_free_at = ref 0 in
   let finished = ref 0 in
+  (* An in-flight fetch whose completion the device has not yet
+     committed to a time (requests queue and may be reordered). *)
+  let in_flight = max_int in
+  let deliver req fin =
+    match Hashtbl.find_opt req_owner req with
+    | None -> ()
+    | Some (idx, k) ->
+      Hashtbl.remove req_owner req;
+      Hashtbl.replace resident k fin;
+      Queue.add idx ready;
+      Queue.transfer stalled ready
+  in
   let emit kind = Obs.Sink.emit obs (Obs.Event.make ~t_us:!now kind) in
   if tracing then Array.iter (fun j -> emit (Obs.Event.Job_start { job = j.index })) jobs;
   let candidates () =
@@ -56,12 +74,20 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ~frames ~policy ~fetch_us sp
   let start_fetch j k =
     j.faults <- j.faults + 1;
     if tracing then emit (Obs.Event.Fault { page = k });
-    let start = max !now !device_free_at in
-    let finish = start + fetch_us in
-    device_free_at := finish;
-    Hashtbl.replace resident k finish;
-    policy.Paging.Replacement.on_load ~page:k;
-    Sim.Heap.add blocked finish j.index
+    (match device with
+     | None ->
+       let start = max !now !device_free_at in
+       let finish = start + fetch_us in
+       device_free_at := finish;
+       Hashtbl.replace resident k finish;
+       Sim.Heap.add blocked finish j.index
+     | Some m ->
+       let req =
+         Device.Model.submit m ~now:!now ~kind:Device.Request.Demand ~page:k ~words:0
+       in
+       Hashtbl.replace resident k in_flight;
+       Hashtbl.replace req_owner req (j.index, k));
+    policy.Paging.Replacement.on_load ~page:k
   in
   let finish_job j =
     j.finished <- true;
@@ -90,15 +116,21 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ~frames ~policy ~fetch_us sp
           step (quantum - 1)
         | Some ready_at ->
           (* Our own page is still in flight; wait for it. *)
-          Sim.Heap.add blocked ready_at j.index;
+          if ready_at = in_flight then Queue.add j.index stalled
+          else Sim.Heap.add blocked ready_at j.index;
           false
         | None ->
           if Hashtbl.length resident >= frames then begin
             let pool = candidates () in
             if Array.length pool = 0 then begin
-              (* Everything in flight: stall until the earliest arrival. *)
-              let earliest = Hashtbl.fold (fun _ r acc -> min r acc) resident max_int in
-              Sim.Heap.add blocked earliest j.index;
+              (* Everything in flight: stall until something arrives. *)
+              (match device with
+               | Some _ -> Queue.add j.index stalled
+               | None ->
+                 let earliest =
+                   Hashtbl.fold (fun _ r acc -> min r acc) resident max_int
+                 in
+                 Sim.Heap.add blocked earliest j.index);
               false
             end
             else begin
@@ -131,12 +163,23 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ~frames ~policy ~fetch_us sp
     loop ()
   in
   while !finished < Array.length jobs do
+    (match device with
+     | Some m -> Device.Model.deliver_due m ~now:!now deliver
+     | None -> ());
     wake_due ();
     if Queue.is_empty ready then begin
       (* Processor idle until the next fetch completes. *)
-      match Sim.Heap.min blocked with
-      | Some (at, _) -> now := max !now at
-      | None -> assert false  (* unfinished jobs must be ready or blocked *)
+      match device with
+      | Some m ->
+        (match Device.Model.take_completion m with
+         | Some (req, fin) ->
+           now := max !now fin;
+           deliver req fin
+         | None -> assert false  (* unfinished jobs must await some request *))
+      | None ->
+        (match Sim.Heap.min blocked with
+         | Some (at, _) -> now := max !now at
+         | None -> assert false  (* unfinished jobs must be ready or blocked *))
     end
     else begin
       let idx = Queue.pop ready in

@@ -27,6 +27,7 @@ type report = {
 val run :
   ?quantum_refs:int ->
   ?obs:Obs.Sink.t ->
+  ?device:Device.Model.t ->
   frames:int ->
   policy:Paging.Replacement.t ->
   fetch_us:int ->
@@ -37,6 +38,13 @@ val run :
     pool.  [fetch_us] is the page fetch time; fetches queue on a single
     channel.  [quantum_refs] (default 50) bounds how long a job keeps
     the processor without faulting.
+
+    With a [device], fetches become queued requests against the timed
+    backing-store model instead of the flat [fetch_us] channel: a
+    faulting job sleeps until the device commits and completes its
+    request, so rotational position, multiple channels, and the
+    scheduling policy all shape utilization.  Without it, behaviour is
+    bit-identical to before the device subsystem existed.
 
     With a sink, the scheduler reports job_start / job_stop plus fault
     and eviction events on the shared simulated clock; fault and

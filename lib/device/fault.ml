@@ -1,0 +1,37 @@
+type config = { seed : int; read_error_prob : float; max_retries : int }
+
+let config ?(seed = 0x10ca1) ?(max_retries = 2) ~read_error_prob () =
+  assert (read_error_prob >= 0. && read_error_prob <= 1. && max_retries >= 0);
+  { seed; read_error_prob; max_retries }
+
+type t = {
+  cfg : config;
+  rng : Sim.Rng.t;
+  mutable injected : int;
+  mutable retried : int;
+  mutable degraded : int;
+}
+
+let create cfg = { cfg; rng = Sim.Rng.create cfg.seed; injected = 0; retried = 0; degraded = 0 }
+
+let max_retries t = t.cfg.max_retries
+
+(* One Bernoulli roll per service attempt.  Reads only: a writeback that
+   fails would need shadow-copy semantics the engines don't model, and
+   the paper's concern is fetch latency. *)
+let attempt_fails t ~kind =
+  Request.is_read kind
+  && t.cfg.read_error_prob > 0.
+  && Sim.Rng.float t.rng 1.0 < t.cfg.read_error_prob
+  && (t.injected <- t.injected + 1;
+      true)
+
+let note_retry t = t.retried <- t.retried + 1
+
+let note_degraded t = t.degraded <- t.degraded + 1
+
+let injected t = t.injected
+
+let retried t = t.retried
+
+let degraded t = t.degraded

@@ -1,0 +1,36 @@
+(** Transient read-error injection.
+
+    Each service {e attempt} of a read (demand or prefetch) fails
+    independently with probability [read_error_prob], drawn from a
+    dedicated deterministic {!Sim.Rng} stream seeded by [seed] — fault
+    decisions never perturb workload randomness.  A failed attempt is
+    retried (a full re-service at the device's then-current state) up
+    to [max_retries] times; if every retry also fails the request is
+    served in degraded mode: one final worst-case-cost pass
+    ({!Geometry.worst_us}) that always succeeds.  Errors are
+    timing-only — the data a request moves is never corrupted. *)
+
+type config = { seed : int; read_error_prob : float; max_retries : int }
+
+val config : ?seed:int -> ?max_retries:int -> read_error_prob:float -> unit -> config
+(** Defaults: [seed = 0x10ca1], [max_retries = 2]. *)
+
+type t
+
+val create : config -> t
+
+val max_retries : t -> int
+
+val attempt_fails : t -> kind:Request.kind -> bool
+(** Roll for one attempt.  Always [false] for writebacks.  Counts the
+    injection when it returns [true]. *)
+
+val note_retry : t -> unit
+
+val note_degraded : t -> unit
+
+val injected : t -> int
+
+val retried : t -> int
+
+val degraded : t -> int

@@ -1,0 +1,13 @@
+type kind = Obs.Event.io = Demand | Prefetch | Writeback
+
+type t = { id : int; kind : kind; page : int; words : int; arrival_us : int }
+
+let kind_name = Obs.Event.io_name
+
+let rank = function Demand -> 0 | Prefetch -> 1 | Writeback -> 2
+
+let is_read = function Demand | Prefetch -> true | Writeback -> false
+
+let make ~id ~kind ~page ~words ~arrival_us =
+  assert (id >= 0 && words >= 0 && arrival_us >= 0);
+  { id; kind; page; words; arrival_us }

@@ -1,0 +1,20 @@
+(** A single backing-store transfer request.
+
+    [kind] is an alias of {!Obs.Event.io} so engines and the event
+    stream share one vocabulary: [Demand] is a fault the program is
+    blocked on, [Prefetch] an advisory fetch, [Writeback] a modified
+    page going out. *)
+
+type kind = Obs.Event.io = Demand | Prefetch | Writeback
+
+type t = { id : int; kind : kind; page : int; words : int; arrival_us : int }
+
+val kind_name : kind -> string
+
+val rank : kind -> int
+(** Priority class: [Demand] = 0 (most urgent) < [Prefetch] = 1 <
+    [Writeback] = 2. *)
+
+val is_read : kind -> bool
+
+val make : id:int -> kind:kind -> page:int -> words:int -> arrival_us:int -> t

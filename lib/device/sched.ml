@@ -1,0 +1,34 @@
+type t = Fifo | Satf | Priority
+
+let name = function Fifo -> "fifo" | Satf -> "satf" | Priority -> "priority"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "fifo" -> Ok Fifo
+  | "satf" -> Ok Satf
+  | "priority" -> Ok Priority
+  | _ -> Error (Printf.sprintf "unknown I/O scheduler %S; valid: fifo, satf, priority" s)
+
+let all = [ Fifo; Satf; Priority ]
+
+(* Stable tie-break: submission order.  ids are issued monotonically, so
+   (arrival_us, id) is a total order matching FIFO. *)
+let older (a : Request.t) (b : Request.t) =
+  a.arrival_us < b.arrival_us || (a.arrival_us = b.arrival_us && a.id < b.id)
+
+let pick t ~geometry ~at ~head candidates =
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    let better a b =
+      match t with
+      | Fifo -> older a b
+      | Satf ->
+        let sa = Geometry.start_us geometry ~at ~head ~page:a.Request.page ~words:a.words in
+        let sb = Geometry.start_us geometry ~at ~head ~page:b.Request.page ~words:b.words in
+        sa < sb || (sa = sb && older a b)
+      | Priority ->
+        let ra = Request.rank a.Request.kind and rb = Request.rank b.Request.kind in
+        ra < rb || (ra = rb && older a b)
+    in
+    Some (List.fold_left (fun best r -> if better r best then r else best) first rest)

@@ -1,0 +1,28 @@
+type t = {
+  geometry : Geometry.t option;
+  sched : Sched.t;
+  channels : int;
+  writeback_batch : int;
+  fault : Fault.config option;
+}
+
+let legacy =
+  { geometry = None; sched = Sched.Fifo; channels = 1; writeback_batch = 1; fault = None }
+
+let make ?(sched = Sched.Fifo) ?(channels = 1) ?(writeback_batch = 1) ?fault geometry =
+  assert (channels >= 1 && writeback_batch >= 1);
+  { geometry = Some geometry; sched; channels; writeback_batch; fault }
+
+let instantiate ?obs t =
+  match t.geometry with
+  | None -> None
+  | Some geometry ->
+    Some
+      (Model.create ?obs
+         (Model.config ~sched:t.sched ~channels:t.channels
+            ~writeback_batch:t.writeback_batch ?fault:t.fault geometry))
+
+let label t =
+  match t.geometry with
+  | None -> "legacy"
+  | Some g -> Printf.sprintf "%s/%s/%dch" (Geometry.label g) (Sched.name t.sched) t.channels

@@ -1,0 +1,31 @@
+(** Declarative device choice for engine configuration records.
+
+    [legacy] (no geometry) means "keep the engine's original flat
+    [fetch_us] arithmetic": {!instantiate} returns [None] and the
+    engine takes its pre-device code path, bit-identical to before the
+    subsystem existed.  Any other spec instantiates a fresh
+    {!Model.t}. *)
+
+type t = {
+  geometry : Geometry.t option;
+  sched : Sched.t;
+  channels : int;
+  writeback_batch : int;
+  fault : Fault.config option;
+}
+
+val legacy : t
+
+val make :
+  ?sched:Sched.t ->
+  ?channels:int ->
+  ?writeback_batch:int ->
+  ?fault:Fault.config ->
+  Geometry.t ->
+  t
+(** Defaults: FIFO, 1 channel, no batching, no faults. *)
+
+val instantiate : ?obs:Obs.Sink.t -> t -> Model.t option
+(** [None] exactly for {!legacy}-style specs (no geometry). *)
+
+val label : t -> string

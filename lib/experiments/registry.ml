@@ -122,6 +122,12 @@ let all =
       run = X8_drum.run;
     };
     {
+      id = "x8_devices";
+      title = "timed backing-store devices: geometry x scheduling x channels (extension)";
+      paper_source = "Fetch Strategies (storage-medium performance); A.1 drum";
+      run = X8_devices.run;
+    };
+    {
       id = "survey";
       title = "the appendix machines, measured";
       paper_source = "appendix A.1-A.7";
@@ -133,6 +139,8 @@ let find id =
   let id = String.lowercase_ascii id in
   List.find_opt (fun e -> e.id = id) all
 
+let ids = List.map (fun e -> e.id) all
+
 let run_all ?quick () =
   List.iter
     (fun e ->
@@ -140,6 +148,6 @@ let run_all ?quick () =
       print_newline ())
     all
 
-let traced = [ "fig3"; "c2"; "c3"; "c7"; "x1" ]
+let traced = [ "fig3"; "c2"; "c3"; "c7"; "x1"; "x8_devices" ]
 
 let is_traced id = List.mem (String.lowercase_ascii id) traced

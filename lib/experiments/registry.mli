@@ -15,6 +15,9 @@ val all : entry list
 val find : string -> entry option
 (** Look up by id, case-insensitively. *)
 
+val ids : string list
+(** Every experiment id, in registry order (for CLI error messages). *)
+
 val run_all : ?quick:bool -> unit -> unit
 
 val traced : string list

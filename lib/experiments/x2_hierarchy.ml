@@ -32,6 +32,7 @@ let measure ?(quick = false) () =
             bulk_us = 8;
             fetch_us = 10_000;
             promotion;
+            device = None;
           }
       in
       Paging.Hierarchy.run h trace;

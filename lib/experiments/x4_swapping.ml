@@ -44,6 +44,7 @@ let swapping_run ~touched schedule =
         backing;
         placement = Freelist.Policy.First_fit;
         compact_on_failure = true;
+        device = None;
       }
   in
   let ids =

@@ -1,0 +1,54 @@
+(** X8d (extension): the timed backing-store subsystem, swept.
+
+    Device geometry (fixed / drum / disk) x scheduling policy (fifo /
+    satf / priority) x channel count, read through the paper's two
+    lenses — C7's processor utilization and F3's space-time waiting
+    share — plus a transient-read-error table demonstrating bounded
+    retry and degraded-mode fallback with unchanged memory contents. *)
+
+type mp_row = {
+  device : string;
+  sched : string;
+  channels : int;
+  cpu_utilization : float;
+  elapsed_us : int;
+  mean_latency_us : float;  (** submission -> completion, demand fetches *)
+  mean_depth : float;
+  max_depth : int;
+}
+
+type st_row = {
+  config : string;
+  waiting_fraction : float;
+  fetch_latency_us : float;
+  faults : int;
+}
+
+type fault_row = {
+  error_prob : float;
+  injected : int;
+  retries : int;
+  degraded : int;
+  latency_us : float;
+  run_faults : int;
+  checksum : int64;  (** sum of every word the trace reads back *)
+}
+
+val measure_multiprog : ?quick:bool -> unit -> mp_row list
+
+val measure_spacetime : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> st_row list
+
+val measure_faults : ?quick:bool -> unit -> fault_row list
+
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+
+val run_custom :
+  ?quick:bool ->
+  device:string ->
+  sched:string ->
+  channels:int ->
+  unit ->
+  (unit, string) result
+(** The [dsas_sim run x8_devices --device ... --io-sched ... --channels ...]
+    entry point: one multiprogramming run of the chosen configuration.
+    [Error] explains an unknown device/scheduler name. *)

@@ -1,5 +1,18 @@
 type direction = In | Out
 
+type io = Demand | Prefetch | Writeback
+
+let io_name = function
+  | Demand -> "demand"
+  | Prefetch -> "prefetch"
+  | Writeback -> "writeback"
+
+let io_of_name = function
+  | "demand" -> Some Demand
+  | "prefetch" -> Some Prefetch
+  | "writeback" -> Some Writeback
+  | _ -> None
+
 type kind =
   | Fault of { page : int }
   | Cold_fault of { page : int }
@@ -15,6 +28,9 @@ type kind =
   | Segment_swap of { segment : int; words : int; direction : direction }
   | Job_start of { job : int }
   | Job_stop of { job : int }
+  | Io_start of { req : int; page : int; io : io }
+  | Io_done of { req : int; page : int; io : io }
+  | Io_retry of { req : int; attempt : int }
 
 type t = { t_us : int; kind : kind }
 
@@ -35,11 +51,14 @@ let kind_name = function
   | Segment_swap _ -> "segment_swap"
   | Job_start _ -> "job_start"
   | Job_stop _ -> "job_stop"
+  | Io_start _ -> "io_start"
+  | Io_done _ -> "io_done"
+  | Io_retry _ -> "io_retry"
 
 let all_kind_names =
   [ "fault"; "cold_fault"; "eviction"; "writeback"; "tlb_hit"; "tlb_miss"; "alloc";
     "free"; "split"; "coalesce"; "compaction_move"; "segment_swap"; "job_start";
-    "job_stop" ]
+    "job_stop"; "io_start"; "io_done"; "io_retry" ]
 
 let fields_of_kind = function
   | Fault { page } | Cold_fault { page } | Eviction { page } | Writeback { page } ->
@@ -55,6 +74,9 @@ let fields_of_kind = function
     [ ("segment", Json.Int segment); ("words", Json.Int words);
       ("dir", Json.String (match direction with In -> "in" | Out -> "out")) ]
   | Job_start { job } | Job_stop { job } -> [ ("job", Json.Int job) ]
+  | Io_start { req; page; io } | Io_done { req; page; io } ->
+    [ ("req", Json.Int req); ("page", Json.Int page); ("io", Json.String (io_name io)) ]
+  | Io_retry { req; attempt } -> [ ("req", Json.Int req); ("attempt", Json.Int attempt) ]
 
 let to_json t =
   Json.obj
@@ -105,6 +127,16 @@ let of_json line =
          | _ -> None)
       | Some "job_start" -> Option.map (fun job -> Job_start { job }) (int "job")
       | Some "job_stop" -> Option.map (fun job -> Job_stop { job }) (int "job")
+      | Some (("io_start" | "io_done") as which) ->
+        (match (int "req", int "page", Option.bind (Json.mem_string fields "io") io_of_name) with
+         | Some req, Some page, Some io ->
+           if which = "io_start" then Some (Io_start { req; page; io })
+           else Some (Io_done { req; page; io })
+         | _ -> None)
+      | Some "io_retry" ->
+        (match (int "req", int "attempt") with
+         | Some req, Some attempt -> Some (Io_retry { req; attempt })
+         | _ -> None)
       | Some _ | None -> None
     in
     (match (kind, int "t_us") with

@@ -4,7 +4,11 @@
     these events, stamped with the simulated clock ({!Sim.Clock}) time
     at which they happened.  Untimed engines (e.g.
     [Paging.Fault_sim]) stamp events with the reference index instead;
-    either way [t_us] is monotone non-decreasing over a run.
+    either way [t_us] is monotone non-decreasing over a run — with one
+    exception: [Io_*] events from a timed device model are stamped with
+    the {e planned} service times, which the device computes ahead of
+    the engine's clock, so they may interleave out of order with the
+    engine's own events.
 
     The vocabulary maps onto the paper's concepts: [Fault] and the
     waiting intervals of Fig. 3; [Cold_fault] for first-touch
@@ -13,6 +17,16 @@
     between working and auxiliary storage. *)
 
 type direction = In | Out
+
+type io = Demand | Prefetch | Writeback
+(** What a backing-store request is for: a demand fault the program is
+    waiting on, an advisory prefetch, or a modified-page write-back.
+    [Device.Request.kind] is an alias of this type. *)
+
+val io_name : io -> string
+(** ["demand"], ["prefetch"], ["writeback"] — the wire spelling. *)
+
+val io_of_name : string -> io option
 
 type kind =
   | Fault of { page : int }  (** reference missed working storage *)
@@ -30,6 +44,14 @@ type kind =
   | Segment_swap of { segment : int; words : int; direction : direction }
   | Job_start of { job : int }
   | Job_stop of { job : int }
+  | Io_start of { req : int; page : int; io : io }
+      (** a device channel began servicing request [req] (positioning
+          included); [t_us] is the dispatch instant *)
+  | Io_done of { req : int; page : int; io : io }
+      (** the transfer completed; [t_us] is the completion time *)
+  | Io_retry of { req : int; attempt : int }
+      (** attempt [attempt] of request [req] hit a transient read error
+          and will be retried (or served degraded, past the bound) *)
 
 type t = { t_us : int; kind : kind }
 
@@ -39,7 +61,8 @@ val kind_name : kind -> string
 (** The wire name: ["fault"], ["cold_fault"], ["eviction"],
     ["writeback"], ["tlb_hit"], ["tlb_miss"], ["alloc"], ["free"],
     ["split"], ["coalesce"], ["compaction_move"], ["segment_swap"],
-    ["job_start"], ["job_stop"]. *)
+    ["job_start"], ["job_stop"], ["io_start"], ["io_done"],
+    ["io_retry"]. *)
 
 val all_kind_names : string list
 (** Every wire name, in declaration order. *)

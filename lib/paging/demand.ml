@@ -11,6 +11,7 @@ type config = {
 
 type t = {
   cfg : config;
+  device : Device.Model.t option;  (* timed backing store; None = flat latency *)
   page_table : Page_table.t;
   frame_table : Frame_table.t;
   ready_at : int array;  (* per page: completion time of an in-flight fetch *)
@@ -26,13 +27,14 @@ type t = {
   mutable advice_releases : int;
 }
 
-let create ?(obs = Obs.Sink.null) cfg =
+let create ?(obs = Obs.Sink.null) ?device cfg =
   assert (cfg.page_size > 0 && cfg.frames > 0 && cfg.pages > 0);
   assert (Memstore.Level.size cfg.core >= cfg.frames * cfg.page_size);
   assert (Memstore.Level.size cfg.backing >= cfg.pages * cfg.page_size);
   let tracing = Obs.Sink.is_active obs in
   {
     cfg;
+    device;
     page_table = Page_table.create ~pages:cfg.pages;
     frame_table = Frame_table.create ~frames:cfg.frames;
     ready_at = Array.make cfg.pages 0;
@@ -84,9 +86,21 @@ let evict_page t page =
   if Page_table.modified t.page_table ~page then begin
     (* Asynchronous write-back: the program does not wait, but the
        backing device is busy, delaying any fetch queued behind it. *)
-    ignore
-      (Memstore.Level.transfer_async ~src:t.cfg.core ~src_off:(frame * t.cfg.page_size)
-         ~dst:t.cfg.backing ~dst_off:(page * t.cfg.page_size) ~len:t.cfg.page_size);
+    (match t.device with
+     | None ->
+       ignore
+         (Memstore.Level.transfer_async ~src:t.cfg.core
+            ~src_off:(frame * t.cfg.page_size) ~dst:t.cfg.backing
+            ~dst_off:(page * t.cfg.page_size) ~len:t.cfg.page_size)
+     | Some m ->
+       Memstore.Physical.blit
+         ~src:(Memstore.Level.physical t.cfg.core)
+         ~src_off:(frame * t.cfg.page_size)
+         ~dst:(Memstore.Level.physical t.cfg.backing)
+         ~dst_off:(page * t.cfg.page_size) ~len:t.cfg.page_size;
+       ignore
+         (Device.Model.submit m ~now:(Sim.Clock.now (clock t))
+            ~kind:Device.Request.Writeback ~page ~words:t.cfg.page_size));
     t.writebacks <- t.writebacks + 1;
     if t.tracing then emit t (Writeback { page })
   end;
@@ -107,13 +121,26 @@ let free_a_frame t =
      | Some frame -> frame
      | None -> assert false)
 
-(* Start the page moving from backing store into a frame; the returned
-   time is when the data is usable. *)
-let start_fetch t ~page ~frame =
+(* Start the page moving from backing store into a frame; the recorded
+   ready time is when the data is usable.  With a device model the
+   completion is forced now: queued traffic the policy puts ahead (an
+   earlier write-back under FIFO, say) delays it, exactly the
+   contention the flat path approximated with [busy_until]. *)
+let start_fetch t ~kind ~page ~frame =
   let finish =
-    Memstore.Level.transfer_async ~src:t.cfg.backing
-      ~src_off:(page * t.cfg.page_size) ~dst:t.cfg.core
-      ~dst_off:(frame * t.cfg.page_size) ~len:t.cfg.page_size
+    match t.device with
+    | None ->
+      Memstore.Level.transfer_async ~src:t.cfg.backing
+        ~src_off:(page * t.cfg.page_size) ~dst:t.cfg.core
+        ~dst_off:(frame * t.cfg.page_size) ~len:t.cfg.page_size
+    | Some m ->
+      Memstore.Physical.blit
+        ~src:(Memstore.Level.physical t.cfg.backing)
+        ~src_off:(page * t.cfg.page_size)
+        ~dst:(Memstore.Level.physical t.cfg.core)
+        ~dst_off:(frame * t.cfg.page_size) ~len:t.cfg.page_size;
+      Device.Model.fetch m ~now:(Sim.Clock.now (clock t)) ~kind ~page
+        ~words:t.cfg.page_size
   in
   Frame_table.assign t.frame_table ~frame ~page;
   Page_table.install t.page_table ~page ~frame;
@@ -130,7 +157,7 @@ let fault t page =
     end
   end;
   let frame = free_a_frame t in
-  start_fetch t ~page ~frame
+  start_fetch t ~kind:Device.Request.Demand ~page ~frame
 
 (* Wait for an in-flight fetch of a now-resident page to land. *)
 let await t page =
@@ -212,7 +239,7 @@ let advise_will_need t ~page =
     match Frame_table.find_free t.frame_table with
     | None -> ()  (* advisory: no free frame, no prefetch *)
     | Some frame ->
-      start_fetch t ~page ~frame;
+      start_fetch t ~kind:Device.Request.Prefetch ~page ~frame;
       t.prefetches <- t.prefetches + 1
   end
 
@@ -229,7 +256,7 @@ let lock t ~page =
   (match frame_of t ~page with
    | None ->
      let frame = free_a_frame t in
-     start_fetch t ~page ~frame;
+     start_fetch t ~kind:Device.Request.Prefetch ~page ~frame;
      await t page
    | Some _ -> ());
   Page_table.lock t.page_table ~page;
@@ -257,3 +284,5 @@ let timeline t = t.timeline
 let tlb t = t.cfg.tlb
 
 let page_size t = t.cfg.page_size
+
+let device t = t.device

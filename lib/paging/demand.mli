@@ -27,7 +27,7 @@ type config = {
 
 type t
 
-val create : ?obs:Obs.Sink.t -> config -> t
+val create : ?obs:Obs.Sink.t -> ?device:Device.Model.t -> config -> t
 (** Page [p] of the name space lives at backing offset [p * page_size];
     frame [f] occupies core offset [f * page_size].
 
@@ -35,7 +35,15 @@ val create : ?obs:Obs.Sink.t -> config -> t
     writeback and (when a TLB is configured) tlb_hit / tlb_miss events,
     stamped with the shared virtual clock.  The default no-op sink
     leaves results bit-identical and costs one branch per emission
-    site. *)
+    site.
+
+    With a [device], transfer timing comes from the timed backing-store
+    model instead of [backing]'s flat {!Memstore.Device.transfer_us}:
+    fetches are demand or prefetch requests whose completion reflects
+    rotational position, queueing, and scheduling policy, and evictions
+    of modified pages enqueue write-back requests that compete with
+    later fetches.  Without it (the default) timing is bit-identical to
+    the pre-device engine. *)
 
 val read : t -> int -> int64
 (** [read t name] references word [name] of the linear name space,
@@ -97,3 +105,7 @@ val clock : t -> Sim.Clock.t
 val tlb : t -> Tlb.t option
 
 val page_size : t -> int
+
+val device : t -> Device.Model.t option
+(** The timed backing-store model, when one was supplied to {!create}
+    (for end-of-run {!Device.Model.stats}). *)

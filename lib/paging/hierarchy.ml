@@ -10,6 +10,7 @@ type config = {
   bulk_us : int;
   fetch_us : int;
   promotion : promotion;
+  device : Device.Model.t option;
 }
 
 (* Per-resident-page state at whichever level holds it. *)
@@ -101,7 +102,14 @@ let touch t ~page =
      | None ->
        (* Drum fault: always lands in the bulk level first. *)
        t.faults <- t.faults + 1;
-       t.elapsed_us <- t.elapsed_us + t.cfg.fetch_us + t.cfg.bulk_us;
+       (match t.cfg.device with
+        | None -> t.elapsed_us <- t.elapsed_us + t.cfg.fetch_us + t.cfg.bulk_us
+        | Some m ->
+          let fin =
+            Device.Model.fetch m ~now:t.elapsed_us ~kind:Device.Request.Demand ~page
+              ~words:0
+          in
+          t.elapsed_us <- fin + t.cfg.bulk_us);
        ensure_bulk_room t;
        let entry = { last_use = t.tick; touches = 1 } in
        Hashtbl.replace t.bulk page entry;

@@ -23,8 +23,12 @@ type config = {
   bulk_frames : int;
   fast_us : int;  (** access cost when served from fast core *)
   bulk_us : int;  (** access cost when served from bulk core *)
-  fetch_us : int;  (** drum fault cost *)
+  fetch_us : int;  (** drum fault cost (ignored when [device] is set) *)
   promotion : promotion;
+  device : Device.Model.t option;
+      (** timed drum/disk model; faults are then charged its actual
+          (position- and queue-dependent) completion latency instead of
+          the flat [fetch_us] *)
 }
 
 type t

@@ -3,6 +3,7 @@ type config = {
   backing : Memstore.Level.t;
   placement : Freelist.Policy.t;
   compact_on_failure : bool;
+  device : Device.Model.t option;
 }
 
 type program = {
@@ -54,6 +55,22 @@ let program t id =
   if id < 0 || id >= t.count then invalid_arg "Swapper: unknown program";
   t.programs.(id)
 
+(* A whole-program transfer: the blit always happens; timing comes from
+   the device model when one is configured (the swap waits for the
+   timed completion), else from the flat [Level.transfer] charge. *)
+let timed_transfer t ~kind ~id ~src ~src_off ~dst ~dst_off ~len =
+  match t.cfg.device with
+  | None -> Memstore.Level.transfer ~src ~src_off ~dst ~dst_off ~len
+  | Some m ->
+    Memstore.Physical.blit
+      ~src:(Memstore.Level.physical src)
+      ~src_off
+      ~dst:(Memstore.Level.physical dst)
+      ~dst_off ~len;
+    let clock = Memstore.Level.clock t.cfg.core in
+    let fin = Device.Model.fetch m ~now:(Sim.Clock.now clock) ~kind ~page:id ~words:len in
+    Sim.Clock.advance_to clock fin
+
 let add_program t ~name ~size =
   assert (size > 0);
   if t.backing_frontier + size > Memstore.Level.size t.cfg.backing then
@@ -93,8 +110,9 @@ let swap_out t id =
   let p = program t id in
   if p.resident then begin
     if p.modified then begin
-      Memstore.Level.transfer ~src:t.cfg.core ~src_off:(Relocation.base p.registers)
-        ~dst:t.cfg.backing ~dst_off:p.backing_addr ~len:p.size;
+      timed_transfer t ~kind:Device.Request.Writeback ~id ~src:t.cfg.core
+        ~src_off:(Relocation.base p.registers) ~dst:t.cfg.backing
+        ~dst_off:p.backing_addr ~len:p.size;
       t.words_swapped <- t.words_swapped + p.size;
       p.modified <- false
     end;
@@ -158,8 +176,8 @@ let swap_in t id =
     | None -> failwith "Swapper: program larger than working storage"
   in
   let addr = place () in
-  Memstore.Level.transfer ~src:t.cfg.backing ~src_off:p.backing_addr ~dst:t.cfg.core
-    ~dst_off:addr ~len:p.size;
+  timed_transfer t ~kind:Device.Request.Demand ~id ~src:t.cfg.backing
+    ~src_off:p.backing_addr ~dst:t.cfg.core ~dst_off:addr ~len:p.size;
   t.words_swapped <- t.words_swapped + p.size;
   Relocation.relocate p.registers ~base:addr;
   p.resident <- true;

@@ -17,6 +17,10 @@ type config = {
   backing : Memstore.Level.t;
   placement : Freelist.Policy.t;
   compact_on_failure : bool;
+  device : Device.Model.t option;
+      (** timed drum/disk model for whole-program transfers; [None]
+          keeps the flat [Level.transfer] charge, bit-identical to the
+          pre-device engine *)
 }
 
 type t

@@ -18,7 +18,9 @@ let toy_paged ?(policy = Paging.Spec.Lru) ?(tlb_capacity = 0) () =
     core_device = Memstore.Device.core;
     backing_words = 4096;
     backing_device = Memstore.Device.drum;
-    mechanism = Dsas.System.Paged { page_size = 64; frames = 4; policy; tlb_capacity };
+    mechanism =
+      Dsas.System.Paged
+        { page_size = 64; frames = 4; policy; tlb_capacity; device = Device.Spec.legacy };
     compute_us_per_ref = 1;
   }
 

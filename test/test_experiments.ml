@@ -3,6 +3,7 @@
    conclusions are guarded by the test suite. *)
 
 let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
 
 (* F1/F2: name contiguity without address contiguity. *)
 let test_fig1_2_scattered () =
@@ -320,6 +321,78 @@ let test_x8_drum_scheduling () =
   check_bool "SATF stays near a couple of revolutions" true
     ((get satf 6.0).Experiments.X8_drum.revolutions_per_page < 3.)
 
+(* X8d: the timed device subsystem, read through the C7 lens.  SATF
+   must strictly beat FIFO on the drum once the queue is deeper than
+   one request, and injected read errors must cost time, not data. *)
+let test_x8_devices_satf_beats_fifo () =
+  let rows = Experiments.X8_devices.measure_multiprog ~quick:true () in
+  let get device sched channels =
+    List.find
+      (fun r ->
+        r.Experiments.X8_devices.device = device
+        && r.Experiments.X8_devices.sched = sched
+        && r.Experiments.X8_devices.channels = channels)
+      rows
+  in
+  let latency r = r.Experiments.X8_devices.mean_latency_us in
+  check_bool "queue is actually contended" true
+    ((get "drum" "fifo" 1).Experiments.X8_devices.mean_depth > 1.);
+  check_bool "drum: satf < fifo (1 channel)" true
+    (latency (get "drum" "satf" 1) < latency (get "drum" "fifo" 1));
+  check_bool "drum: satf < fifo (2 channels)" true
+    (latency (get "drum" "satf" 2) < latency (get "drum" "fifo" 2));
+  check_bool "second channel helps fifo" true
+    (latency (get "drum" "fifo" 2) < latency (get "drum" "fifo" 1))
+
+let test_x8_devices_faults_cost_time_not_data () =
+  let rows = Experiments.X8_devices.measure_faults ~quick:true () in
+  let base = List.hd rows in
+  check_int "baseline injects nothing" 0 base.Experiments.X8_devices.injected;
+  List.iter
+    (fun r ->
+      if r.Experiments.X8_devices.error_prob > 0. then begin
+        check_bool "errors injected" true (r.Experiments.X8_devices.injected > 0);
+        check_bool "and retried" true (r.Experiments.X8_devices.retries > 0);
+        check_int "page-fault count unchanged" base.Experiments.X8_devices.run_faults
+          r.Experiments.X8_devices.run_faults;
+        check_bool "memory contents unchanged" true
+          (Int64.equal base.Experiments.X8_devices.checksum
+             r.Experiments.X8_devices.checksum)
+      end)
+    rows
+
+let test_x8_devices_run_custom_validates () =
+  let ok = function Ok () -> true | Error _ -> false in
+  let devnull = open_out "/dev/null" in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel devnull) Unix.stdout;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    close_out devnull
+  in
+  let good =
+    try
+      Experiments.X8_devices.run_custom ~quick:true ~device:"drum" ~sched:"satf"
+        ~channels:2 ()
+    with e -> restore (); raise e
+  in
+  restore ();
+  check_bool "valid configuration runs" true (ok good);
+  check_bool "unknown device rejected" true
+    (not
+       (ok (Experiments.X8_devices.run_custom ~quick:true ~device:"tape" ~sched:"fifo"
+              ~channels:1 ())));
+  check_bool "unknown sched rejected" true
+    (not
+       (ok (Experiments.X8_devices.run_custom ~quick:true ~device:"drum"
+              ~sched:"elevator" ~channels:1 ())));
+  check_bool "channels >= 1 enforced" true
+    (not
+       (ok (Experiments.X8_devices.run_custom ~quick:true ~device:"drum" ~sched:"fifo"
+              ~channels:0 ())))
+
 (* Registry: all experiments run end-to-end at quick scale without
    raising, with output going somewhere harmless. *)
 let test_registry_all_run () =
@@ -337,7 +410,10 @@ let test_registry_all_run () =
    | exception e ->
      restore ();
      raise e);
-  check_bool "twenty experiments" true (List.length Experiments.Registry.all = 20);
+  check_bool "twenty-one experiments" true (List.length Experiments.Registry.all = 21);
+  check_bool "ids match the registry" true
+    (Experiments.Registry.ids
+    = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all);
   check_bool "find is case-insensitive" true
     (Experiments.Registry.find "FIG3" <> None);
   check_bool "unknown id" true (Experiments.Registry.find "nope" = None)
@@ -372,6 +448,11 @@ let () =
           Alcotest.test_case "x6 optimum tracks working set" `Quick test_x6_optimum_tracks_working_set;
           Alcotest.test_case "x7 recommendation regimes" `Quick test_x7_recommendation_regimes;
           Alcotest.test_case "x8 drum scheduling" `Quick test_x8_drum_scheduling;
+          Alcotest.test_case "x8d satf beats fifo" `Quick test_x8_devices_satf_beats_fifo;
+          Alcotest.test_case "x8d faults cost time only" `Quick
+            test_x8_devices_faults_cost_time_not_data;
+          Alcotest.test_case "x8d run_custom validates" `Quick
+            test_x8_devices_run_custom_validates;
         ] );
       ("registry", [ Alcotest.test_case "all run" `Quick test_registry_all_run ]);
     ]

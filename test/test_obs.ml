@@ -27,6 +27,9 @@ let one_of_each =
       ev ~t_us:13 (Segment_swap { segment = 2; words = 300; direction = Out });
       ev ~t_us:14 (Job_start { job = 0 });
       ev ~t_us:15 (Job_stop { job = 0 });
+      ev ~t_us:16 (Io_start { req = 4; page = 9; io = Demand });
+      ev ~t_us:17 (Io_done { req = 4; page = 9; io = Writeback });
+      ev ~t_us:18 (Io_retry { req = 4; attempt = 1 });
     ]
 
 (* --- Event JSON --- *)
@@ -97,6 +100,17 @@ let event_gen =
           nat nat bool;
         map (fun job -> Job_start { job }) nat;
         map (fun job -> Job_stop { job }) nat;
+        map3
+          (fun req page io ->
+            Io_start
+              { req; page; io = (match io with 0 -> Demand | 1 -> Prefetch | _ -> Writeback) })
+          nat nat (int_bound 2);
+        map3
+          (fun req page io ->
+            Io_done
+              { req; page; io = (match io with 0 -> Demand | 1 -> Prefetch | _ -> Writeback) })
+          nat nat (int_bound 2);
+        map2 (fun req attempt -> Io_retry { req; attempt }) nat nat;
       ]
   in
   map2
@@ -385,7 +399,7 @@ let test_summary_of_events () =
   let stats = Obs.Summary.of_events one_of_each in
   check_int "events" (List.length one_of_each) stats.Obs.Summary.events;
   check_int "first" 0 stats.Obs.Summary.t_first_us;
-  check_int "last" 15 stats.Obs.Summary.t_last_us;
+  check_int "last" 18 stats.Obs.Summary.t_last_us;
   check_int "faults" 1 (Obs.Summary.count stats "fault");
   check_int "swaps" 2 (Obs.Summary.count stats "segment_swap");
   check_int "absent kind" 0 (Obs.Summary.count stats "no_such");

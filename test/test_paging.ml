@@ -380,6 +380,7 @@ let make_hierarchy promotion =
       bulk_us = 10;
       fetch_us = 1000;
       promotion;
+      device = None;
     }
 
 let test_hierarchy_promotion_rules () =

@@ -103,6 +103,23 @@ let heap_property =
       in
       drain min_int)
 
+(* Stronger than nondecreasing keys: among equal keys, values must come
+   back in insertion order — the stability the device model's
+   completion heap and the event queue both lean on. *)
+let heap_fifo_property =
+  QCheck.Test.make ~name:"heap is FIFO among equal keys" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i k -> Sim.Heap.add h k i) keys;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> List.rev acc | Some kv -> drain (kv :: acc)
+      in
+      drain []
+      = List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i k -> (k, i)) keys))
+
 (* --- Events --- *)
 
 let test_events_run_in_time_order () =
@@ -159,6 +176,7 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_on_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           QCheck_alcotest.to_alcotest heap_property;
+          QCheck_alcotest.to_alcotest heap_fifo_property;
         ] );
       ( "events",
         [

@@ -44,6 +44,7 @@ let make_swapper ?(core_words = 1024) ?(compact = false) () =
       backing;
       placement = Freelist.Policy.First_fit;
       compact_on_failure = compact;
+      device = None;
     }
 
 let test_swapper_lazy_swap_in () =

@@ -184,6 +184,28 @@ let test_load_skips_comments_and_blanks () =
   Sys.remove file;
   Alcotest.(check (array int)) "parsed" [| 42; 7 |] trace
 
+(* Traces edited on (or exported from) DOS-style tools arrive with
+   CRLF endings and often a blank line or two at the end. *)
+let test_load_tolerates_crlf_and_trailing_blanks () =
+  let file = temp_file () in
+  let oc = open_out_bin file in
+  output_string oc "# dos header\r\n42\r\n  7 \r\n\r\n\n";
+  close_out oc;
+  let trace = Workload.Trace_io.load_trace file in
+  Sys.remove file;
+  Alcotest.(check (array int)) "parsed" [| 42; 7 |] trace
+
+let test_load_events_tolerates_crlf_and_trailing_blanks () =
+  let file = temp_file () in
+  let oc = open_out_bin file in
+  output_string oc "a 1 10\r\nf 1\r\n\r\n\n";
+  close_out oc;
+  let events = Workload.Trace_io.load_events file in
+  Sys.remove file;
+  check_bool "parsed" true
+    (events
+    = [ Workload.Alloc_stream.Alloc { id = 1; size = 10 }; Workload.Alloc_stream.Free { id = 1 } ])
+
 let test_load_rejects_garbage_with_line_number () =
   let file = temp_file () in
   let oc = open_out file in
@@ -309,6 +331,10 @@ let () =
           Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
           Alcotest.test_case "events roundtrip" `Quick test_events_roundtrip;
           Alcotest.test_case "comments/blanks" `Quick test_load_skips_comments_and_blanks;
+          Alcotest.test_case "crlf/trailing blanks" `Quick
+            test_load_tolerates_crlf_and_trailing_blanks;
+          Alcotest.test_case "events crlf/trailing blanks" `Quick
+            test_load_events_tolerates_crlf_and_trailing_blanks;
           Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage_with_line_number;
           Alcotest.test_case "events comments/blanks" `Quick
             test_load_events_skips_comments_and_blanks;
