@@ -175,17 +175,79 @@ let stats_cmd =
   in
   let action file json =
     match Obs.Summary.scan_jsonl file with
-    | stats ->
+    | Ok stats ->
       if json then print_endline (Obs.Summary.trace_stats_to_json stats)
       else Obs.Summary.print_trace_stats stats;
       `Ok ()
-    | exception Failure msg -> `Error (false, msg)
+    | Error msg -> `Error (false, msg)
   in
   Cmd.v info Term.(ret (const action $ file_arg $ json_flag))
+
+let check_cmd =
+  let doc = "Validate a recorded JSONL event stream against the trace invariants." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays a trace recorded by $(b,run --trace) against the typed event \
+         schema and the cross-event invariants below.  Exits non-zero, with a \
+         per-invariant failure summary, if any invariant is violated.  \
+         Invariants are scoped to run segments: a $(b,run_start) event marks \
+         where an experiment restarted its engine (fresh clock, fresh request \
+         ids).";
+      `S "INVARIANTS";
+    ]
+    @ List.concat_map
+        (fun i ->
+          [ `I (Printf.sprintf "$(b,%s)" (Obs.Check.invariant_id i), Obs.Check.invariant_doc i) ])
+        Obs.Check.all_invariants
+  in
+  let info = Cmd.info "check" ~doc ~man in
+  let file_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace file, one event object per line.")
+  in
+  let list_flag =
+    let doc = "List every invariant id with its description and exit." in
+    Arg.(value & flag & info [ "list-invariants" ] ~doc)
+  in
+  let limit_arg =
+    Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N"
+           ~doc:"Report at most $(docv) individual violations (totals are always exact).")
+  in
+  let action file list_invariants limit json =
+    if list_invariants then begin
+      List.iter
+        (fun i -> Printf.printf "%-12s %s\n" (Obs.Check.invariant_id i) (Obs.Check.invariant_doc i))
+        Obs.Check.all_invariants;
+      `Ok ()
+    end
+    else
+      match file with
+      | None -> `Error (true, "a trace FILE is required (or --list-invariants)")
+      | Some file ->
+        (match Obs.Check.check_jsonl ~limit file with
+         | Error msg -> `Error (false, msg)
+         | Ok report ->
+           if json then print_endline (Obs.Check.to_json report)
+           else Obs.Check.print report;
+           if Obs.Check.ok report then `Ok ()
+           else
+             `Error
+               ( false,
+                 Printf.sprintf "%s: %d invariant violation(s): %s" file
+                   (List.fold_left (fun acc (_, n) -> acc + n) 0 report.Obs.Check.counts)
+                   (String.concat ", "
+                      (List.map
+                         (fun (i, n) ->
+                           Printf.sprintf "%s x%d" (Obs.Check.invariant_id i) n)
+                         report.Obs.Check.counts)) ))
+  in
+  Cmd.v info Term.(ret (const action $ file_arg $ list_flag $ limit_arg $ json_flag))
 
 let main =
   let doc = "Dynamic storage allocation systems (Randell & Kuehner, 1967) — reproduction" in
   let info = Cmd.info "dsas_sim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; replay_cmd; stats_cmd ]
+  Cmd.group info [ list_cmd; run_cmd; replay_cmd; stats_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

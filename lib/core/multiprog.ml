@@ -66,6 +66,7 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
   let candidates () =
     (* Frames whose fetch has completed; in-flight pages are pinned. *)
     let pool =
+      (* lint: allow L3 — the pool is sorted on the next line *)
       Hashtbl.fold (fun k ready_at acc -> if ready_at <= !now then k :: acc else acc)
         resident []
     in
@@ -128,6 +129,7 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
                | Some _ -> Queue.add j.index stalled
                | None ->
                  let earliest =
+                   (* lint: allow L3 — min over all bindings is order-independent *)
                    Hashtbl.fold (fun _ r acc -> min r acc) resident max_int
                  in
                  Sim.Heap.add blocked earliest j.index);

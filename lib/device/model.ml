@@ -116,12 +116,8 @@ let serve t chan (r : Request.t) ~td =
     if attempt = 1 && t.obs_on then
       emit t ~t_us:start (Io_start { req = r.id; page = r.page; io = r.kind });
     chan.head <- head';
-    let failed =
-      match t.fault with Some f -> Fault.attempt_fails f ~kind:r.kind | None -> false
-    in
-    if not failed then fin
-    else begin
-      let f = Option.get t.fault in
+    match t.fault with
+    | Some f when Fault.attempt_fails f ~kind:r.kind ->
       if t.obs_on then emit t ~t_us:fin (Io_retry { req = r.id; attempt });
       if attempt <= Fault.max_retries f then begin
         Fault.note_retry f;
@@ -131,7 +127,7 @@ let serve t chan (r : Request.t) ~td =
         Fault.note_degraded f;
         fin + Geometry.worst_us g ~words:r.words
       end
-    end
+    | _ -> fin
   in
   go td 1
 
@@ -194,8 +190,9 @@ let next_plan t =
     let td = max chan.free_at min_arrival in
     let candidates = List.filter (fun (r : Request.t) -> r.arrival_us <= td) q in
     let r =
-      Sched.pick t.cfg.sched ~geometry:t.cfg.geometry ~at:td ~head:chan.head candidates
-      |> Option.get
+      match Sched.pick t.cfg.sched ~geometry:t.cfg.geometry ~at:td ~head:chan.head candidates with
+      | Some r -> r
+      | None -> assert false (* candidates holds the earliest arrival by construction of td *)
     in
     Some (chan, r, td)
 

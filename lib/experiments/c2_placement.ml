@@ -46,15 +46,22 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   let steps = if quick then 2_000 else 25_000 in
   (* A clockless allocator stamps events with its operation counter
      (at most one per stream event); shifting each policy's run by the
-     events already served keeps the spliced stream monotone. *)
+     events already served keeps the spliced stream monotone; segment
+     boundaries mark where each policy's fresh store begins. *)
   let t_base = ref 0 in
+  let runs = ref 0 in
+  let seg () =
+    let s = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+    incr runs;
+    s
+  in
   List.concat_map
     (fun (mix_name, make_events) ->
       List.map
         (fun policy ->
           (* Same stream for every policy: same seed. *)
           let events = make_events (Sim.Rng.create 77) in
-          let a = serve ~obs:(Obs.Sink.shift ~offset:!t_base obs) policy events in
+          let a = serve ~obs:(seg ()) policy events in
           t_base := !t_base + List.length events;
           let sizes = Freelist.Allocator.free_block_sizes a in
           {

@@ -22,8 +22,15 @@ let specs = Paging.Spec.all_practical @ [ Paging.Spec.Opt ]
 let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   let rng = Sim.Rng.create 555 in
   (* Fault_sim stamps events with the reference index; shifting each run
-     by the references already replayed keeps the stream monotone. *)
+     by the references already replayed keeps the stream monotone;
+     segment boundaries mark where each policy/frame run restarts. *)
   let t_base = ref 0 in
+  let runs = ref 0 in
+  let seg () =
+    let s = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+    incr runs;
+    s
+  in
   List.concat_map
     (fun (trace_name, trace) ->
       List.map
@@ -35,9 +42,7 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
                   Paging.Spec.instantiate spec ~rng:(Sim.Rng.create 9) ~trace:(Some trace)
                 in
                 let r =
-                  Paging.Fault_sim.run
-                    ~obs:(Obs.Sink.shift ~offset:!t_base obs)
-                    ~frames ~policy trace
+                  Paging.Fault_sim.run ~obs:(seg ()) ~frames ~policy trace
                 in
                 t_base := !t_base + Array.length trace;
                 (frames, Paging.Fault_sim.fault_rate r))

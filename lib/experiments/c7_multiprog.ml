@@ -14,8 +14,15 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   let ks = if quick then [ 1; 4 ] else [ 1; 2; 3; 4; 6; 8 ] in
   let fetches = [ 500; 5_000 ] in
   (* Each scheduler run has its own simulated clock from 0; shifting by
-     the accumulated elapsed time keeps the spliced stream monotone. *)
+     the accumulated elapsed time keeps the spliced stream monotone;
+     segment boundaries mark where each scheduler run restarts. *)
   let t_base = ref 0 in
+  let runs = ref 0 in
+  let seg () =
+    let s = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+    incr runs;
+    s
+  in
   let one ~regime ~frames k fetch_us =
     let rng = Sim.Rng.create (k + (fetch_us * 7)) in
     let jobs =
@@ -23,9 +30,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
         ~compute_us_per_ref:15
     in
     let report =
-      Dsas.Multiprog.run
-        ~obs:(Obs.Sink.shift ~offset:!t_base obs)
-        ~frames ~policy:(Paging.Replacement.lru ()) ~fetch_us jobs
+      Dsas.Multiprog.run ~obs:(seg ()) ~frames
+        ~policy:(Paging.Replacement.lru ()) ~fetch_us jobs
     in
     t_base := !t_base + report.Dsas.Multiprog.elapsed_us;
     {

@@ -34,8 +34,15 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   in
   let trace = Array.map (fun p -> (p * page_size) + Sim.Rng.int rng page_size) page_trace in
   (* Each device run starts a fresh clock; shifting by the accumulated
-     elapsed time splices the runs into one monotone event stream. *)
+     elapsed time splices the runs into one monotone event stream, and
+     the segment boundary tells `dsas_sim check` where engines restart. *)
   let t_base = ref 0 in
+  let runs = ref 0 in
+  let seg () =
+    let s = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+    incr runs;
+    s
+  in
   let one device =
     let clock = Sim.Clock.create () in
     let core =
@@ -44,8 +51,7 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
     in
     let backing = Memstore.Level.make clock device ~name:device.Memstore.Device.label ~words:extent in
     let engine =
-      Paging.Demand.create
-        ~obs:(Obs.Sink.shift ~offset:!t_base obs)
+      Paging.Demand.create ~obs:(seg ())
         {
           Paging.Demand.page_size;
           frames;

@@ -117,9 +117,11 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
      most twice its event count.  Shift keeps the spliced stream
      monotone. *)
   let t_base = ref 0 in
+  let runs = ref 0 in
   let spliced serve_variant =
     let evs = events () in
-    let row = serve_variant ~obs:(Obs.Sink.shift ~offset:!t_base obs) evs in
+    let row = serve_variant ~obs:(Obs.Sink.segment ~run:!runs ~offset:!t_base obs) evs in
+    incr runs;
     t_base := !t_base + (2 * List.length evs);
     row
   in

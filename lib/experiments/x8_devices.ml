@@ -141,8 +141,10 @@ let measure_spacetime ?(quick = false) ?(obs = Obs.Sink.null) () =
   let refs = if quick then 2_000 else 10_000 in
   let trace = st_trace ~refs in
   let t_base = ref 0 in
+  let runs = ref 0 in
   let one config device_of =
-    let sink = Obs.Sink.shift ~offset:!t_base obs in
+    let sink = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+    incr runs;
     let engine = demand_engine ~obs:sink ?device:(device_of sink) () in
     run_trace engine trace;
     t_base := !t_base + Sim.Clock.now (Paging.Demand.clock engine);
@@ -187,8 +189,8 @@ let measure_faults ?(quick = false) () =
   List.map
     (fun error_prob ->
       let fault =
-        if error_prob = 0. then None
-        else Some (Device.Fault.config ~read_error_prob:error_prob ())
+        if error_prob > 0. then Some (Device.Fault.config ~read_error_prob:error_prob ())
+        else None
       in
       let model =
         Device.Model.create

@@ -357,6 +357,7 @@ let compact t channel ~relocate =
       t.live_words <- t.live_words + remainder
   end
 
+(* lint: allow L4 — validate below is a documented test-facing checker that raises Failure *)
 let fail fmt = Printf.ksprintf failwith fmt
 
 let validate t =

@@ -30,6 +30,7 @@ let pop_free t o =
   | 0 -> None
   | _ ->
     (* Take the lowest offset for determinism. *)
+    (* lint: allow L3 — min over all bindings is order-independent *)
     let best = Hashtbl.fold (fun off () acc -> min off acc) table max_int in
     Hashtbl.remove table best;
     Some best
@@ -94,21 +95,55 @@ let largest_free t =
   let rec loop o = if o < 0 then 0 else if Hashtbl.length t.free.(o) > 0 then 1 lsl o else loop (o - 1) in
   loop t.max_order
 
+type invariant_error =
+  | Tiling_mismatch of { free : int; granted : int; words : int }
+  | Misaligned_free of { offset : int; order : int }
+  | Unmerged_buddies of { offset : int; buddy : int; order : int }
+  | Misaligned_live of { offset : int; order : int }
+
+let describe_error = function
+  | Tiling_mismatch { free; granted; words } ->
+    Printf.sprintf "free %d + granted %d does not tile the %d-word store" free granted words
+  | Misaligned_free { offset; order } ->
+    Printf.sprintf "free block at %d misaligned for order %d" offset order
+  | Unmerged_buddies { offset; buddy; order } ->
+    Printf.sprintf "order-%d blocks %d and %d are free buddies left unmerged" order offset buddy
+  | Misaligned_live { offset; order } ->
+    Printf.sprintf "live block at %d misaligned for order %d" offset order
+
+let sorted_keys table = Hashtbl.to_seq_keys table |> List.of_seq |> List.sort compare
+
 let validate t =
-  if free_words t + t.live_granted <> t.words then
-    failwith "Buddy.validate: free + granted does not tile the store";
-  Array.iteri
-    (fun o table ->
-      Hashtbl.iter
-        (fun off () ->
-          if off mod (1 lsl o) <> 0 then failwith "Buddy.validate: misaligned free block";
-          if o < t.max_order then begin
-            let buddy = off lxor (1 lsl o) in
-            if Hashtbl.mem table buddy then failwith "Buddy.validate: unmerged free buddies"
-          end)
-        table)
-    t.free;
-  Hashtbl.iter
-    (fun off (o, _) ->
-      if off mod (1 lsl o) <> 0 then failwith "Buddy.validate: misaligned live block")
-    t.live
+  let ( let* ) = Result.bind in
+  let rec first_error check = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = check x in
+      first_error check rest
+  in
+  let free = free_words t in
+  let* () =
+    if free + t.live_granted <> t.words then
+      Error (Tiling_mismatch { free; granted = t.live_granted; words = t.words })
+    else Ok ()
+  in
+  let* () =
+    first_error
+      (fun o ->
+        let table = t.free.(o) in
+        first_error
+          (fun off ->
+            if off mod (1 lsl o) <> 0 then Error (Misaligned_free { offset = off; order = o })
+            else if o < t.max_order && Hashtbl.mem table (off lxor (1 lsl o)) then
+              Error (Unmerged_buddies { offset = off; buddy = off lxor (1 lsl o); order = o })
+            else Ok ())
+          (sorted_keys table))
+      (List.init (t.max_order + 1) Fun.id)
+  in
+  first_error
+    (fun off ->
+      match Hashtbl.find_opt t.live off with
+      | Some (o, _) when off mod (1 lsl o) <> 0 ->
+        Error (Misaligned_live { offset = off; order = o })
+      | _ -> Ok ())
+    (sorted_keys t.live)

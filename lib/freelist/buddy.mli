@@ -38,7 +38,17 @@ val free_words : t -> int
 val largest_free : t -> int
 (** Largest single request currently satisfiable. *)
 
-val validate : t -> unit
+type invariant_error =
+  | Tiling_mismatch of { free : int; granted : int; words : int }
+      (** Free words plus granted words no longer cover the store. *)
+  | Misaligned_free of { offset : int; order : int }
+  | Unmerged_buddies of { offset : int; buddy : int; order : int }
+      (** Two free buddies coexist instead of merging. *)
+  | Misaligned_live of { offset : int; order : int }
+
+val describe_error : invariant_error -> string
+
+val validate : t -> (unit, invariant_error) result
 (** Check the free lists tile the store together with live blocks and
-    that no free block coexists with its free buddy.  Raises [Failure]
-    on violation. *)
+    that no free block coexists with its free buddy.  Returns the first
+    violation in deterministic (offset-sorted) order. *)

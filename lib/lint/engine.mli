@@ -1,0 +1,35 @@
+(** The static-analysis pass behind [dsas_lint].
+
+    Parses OCaml sources with the compiler's own parser
+    ([compiler-libs]) and walks the untyped AST enforcing the
+    repo-specific rules {!Rule.t}.  Everything is syntactic — rules fire
+    on the spelling of identifiers ([Random.int], [Hashtbl.fold],
+    [failwith], float literals under [=]), which is exactly the
+    discipline the repo wants: the blessed alternatives ([Sim.Rng],
+    sorted iteration, typed errors) spell differently. *)
+
+type config = { boundary_dirs : string list }
+(** Path components (directory basenames) under which L4 does not
+    apply: boundary modules are allowed to crash with a message. *)
+
+val default_config : config
+(** [experiments], [bin], [test], [bench]. *)
+
+val is_boundary : config -> string -> bool
+
+val lint_source : ?config:config -> file:string -> string -> Diagnostic.t list
+(** Lint source text as [file] (the name decides boundary status and
+    appears in diagnostics).  A file that fails to parse yields exactly
+    one [Parse_error] diagnostic.  Otherwise: rule violations not
+    suppressed by {!Pragma} allowlisting, plus a [Bad_pragma] for every
+    malformed or suppression-free pragma.  Sorted by position. *)
+
+val lint_file : ?config:config -> string -> Diagnostic.t list
+
+val ml_files_under : string -> string list
+(** Every [.ml] file under a directory (or the file itself), sorted;
+    skips dot- and underscore-prefixed directories ([_build], [.git]). *)
+
+val lint_paths : ?config:config -> string list -> string list * Diagnostic.t list
+(** Lint every [.ml] under the given paths; returns (files seen,
+    diagnostics). *)

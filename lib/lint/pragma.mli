@@ -1,0 +1,33 @@
+(** Inline allowlist pragmas.
+
+    A violation is suppressed by a comment on the same line or the line
+    directly above it:
+
+    {[
+      (* lint: allow L4 — validate is a test-only invariant checker *)
+      if bad then failwith "corrupt"
+    ]}
+
+    [allow-file] at any line suppresses the rule for the whole file:
+
+    {[
+      (* lint: allow-file L3 — every fold in here is order-independent *)
+    ]}
+
+    The reason after the rule id is mandatory: an allowlist entry
+    without a why is reported as a [pragma] diagnostic, and so is a
+    pragma that suppresses nothing (stale allowlists rot). *)
+
+type scope = Line | File
+
+type t = { line : int; scope : scope; rule : Rule.t }
+
+type scan_result = {
+  pragmas : t list;  (** well-formed pragmas, in line order *)
+  malformed : (int * string) list  (** line and complaint, in line order *)
+}
+
+val scan : string -> scan_result
+(** Scan raw source text line by line.  Only a [lint:] marker that
+    opens a comment is recognised — the bare word inside a string
+    literal or mid-comment prose is ignored. *)

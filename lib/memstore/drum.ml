@@ -41,7 +41,7 @@ let serve t requests =
     | [] ->
       (* Idle until the next arrival. *)
       now := List.fold_left (fun m r -> min m r.arrival_us) max_int future
-    | _ :: _ ->
+    | first :: rest ->
       let better a b =
         match t.policy with
         | Fifo_order ->
@@ -52,8 +52,7 @@ let serve t requests =
           pa < pb || (pa = pb && a.id < b.id)
       in
       let chosen =
-        List.fold_left (fun best r -> if better r best then r else best)
-          (List.hd arrived) (List.tl arrived)
+        List.fold_left (fun best r -> if better r best then r else best) first rest
       in
       let start_us = next_pass t ~now:!now ~sector:chosen.sector in
       let finish_us = start_us + t.sector_us in

@@ -6,6 +6,7 @@ let bars ?(width = 50) data =
   let label_width = List.fold_left (fun m (l, _) -> max m (String.length l)) 0 data in
   let bar (label, v) =
     let v = clamp_nonneg v in
+    (* lint: allow L5 — exact-zero sentinel guarding division; largest is a max of clamped values *)
     let n = if largest = 0. then 0 else int_of_float (v /. largest *. float_of_int width) in
     Printf.sprintf "%-*s |%s %g" label_width label (String.make n '#') v
   in
@@ -16,6 +17,7 @@ let stacked_bars ?(width = 50) ~legend:(a_name, b_name) rows =
   let total (_, a, b) = clamp_nonneg a +. clamp_nonneg b in
   let largest = List.fold_left (fun m r -> Float.max m (total r)) 0. rows in
   let label_width = List.fold_left (fun m (l, _, _) -> max m (String.length l)) 0 rows in
+  (* lint: allow L5 — exact-zero sentinel guarding division; largest is a max of clamped values *)
   let scale v = if largest = 0. then 0 else int_of_float (clamp_nonneg v /. largest *. float_of_int width) in
   let bar (label, a, b) =
     Printf.sprintf "%-*s |%s%s %g/%g" label_width label

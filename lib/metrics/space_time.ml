@@ -19,4 +19,5 @@ let total t = t.active +. t.waiting
 
 let waiting_fraction t =
   let sum = total t in
+  (* lint: allow L5 — exact-zero sentinel guarding division; sum is a monotone accumulator *)
   if sum = 0. then 0. else t.waiting /. sum

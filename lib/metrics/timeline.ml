@@ -42,6 +42,7 @@ let render ?(width = 64) ?(height = 12) t =
     List.iter spread t.segments;
     let mean_words c =
       let busy = active_time.(c) +. waiting_time.(c) in
+      (* lint: allow L5 — exact-zero sentinel guarding division over nonnegative sums *)
       if busy = 0. then 0. else words_area.(c) /. busy
     in
     let peak = ref 1. in

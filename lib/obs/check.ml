@@ -1,0 +1,373 @@
+type invariant = Schema | Clock | Io_pair | Queue_depth | Frames | Heap | Vocab
+
+let all_invariants = [ Schema; Clock; Io_pair; Queue_depth; Frames; Heap; Vocab ]
+
+let invariant_id = function
+  | Schema -> "schema"
+  | Clock -> "clock"
+  | Io_pair -> "io-pair"
+  | Queue_depth -> "queue-depth"
+  | Frames -> "frames"
+  | Heap -> "heap"
+  | Vocab -> "vocab"
+
+let invariant_of_id s =
+  List.find_opt (fun i -> invariant_id i = s) all_invariants
+
+let invariant_doc = function
+  | Schema ->
+    "every line is a well-formed event object with sane fields (known event \
+     name, non-negative ids and timestamps, positive sizes, increasing run ids)"
+  | Clock ->
+    "within a run segment, the timestamps of engine events are monotone \
+     non-decreasing (io_* events are exempt: a device stamps them with planned \
+     service times, which may interleave out of order)"
+  | Io_pair ->
+    "every io_start is answered by exactly one io_done with the same request \
+     id, page and kind, not earlier than the start; io_retry refers to a \
+     request that is in flight; nothing is left in flight at a run boundary"
+  | Queue_depth ->
+    "the number of in-flight device requests (io_start minus io_done, in \
+     stream order) never goes negative"
+  | Frames ->
+    "frame-count conservation: a fault fetches only an absent page, an \
+     eviction or writeback names a resident one, and a cold_fault marks \
+     exactly the first fetch of its page in the run"
+  | Heap ->
+    "words conservation: within a run, the running sum of freed words never \
+     exceeds the words allocated so far"
+  | Vocab ->
+    "each run speaks one engine's event vocabulary (paging, allocator or \
+     segmentation) — kinds from different engines never mix in a segment"
+
+type violation = { line : int; invariant : invariant; message : string }
+
+type report = {
+  events : int;
+  runs : int;
+  counts : (invariant * int) list;
+  violations : violation list;
+}
+
+let ok r = r.counts = []
+
+(* The event vocabularies engines actually speak.  [run_start] is the
+   segment boundary itself and belongs to none. *)
+let profiles =
+  [
+    ( "paging",
+      [ "fault"; "cold_fault"; "eviction"; "writeback"; "tlb_hit"; "tlb_miss";
+        "job_start"; "job_stop"; "io_start"; "io_done"; "io_retry" ] );
+    ("allocator", [ "alloc"; "free"; "split"; "coalesce"; "compaction_move" ]);
+    ( "segmentation",
+      [ "segment_swap"; "compaction_move"; "job_start"; "job_stop"; "io_start";
+        "io_done"; "io_retry" ] );
+  ]
+
+(* Mutable per-run state, reset at every run_start. *)
+type run_state = {
+  mutable prev_t : int option;  (* last engine (non-io) timestamp *)
+  opens : (int, int * int * Event.io) Hashtbl.t;  (* req -> line, page, kind *)
+  mutable depth : int;  (* io_start minus io_done, in stream order *)
+  resident : (int, unit) Hashtbl.t;
+  fault_count : (int, int) Hashtbl.t;
+  mutable balance : int;  (* allocated minus freed words *)
+  mutable kinds : string list;  (* distinct kind names, first-seen order *)
+}
+
+let fresh_run () =
+  {
+    prev_t = None;
+    opens = Hashtbl.create 16;
+    depth = 0;
+    resident = Hashtbl.create 64;
+    fault_count = Hashtbl.create 64;
+    balance = 0;
+    kinds = [];
+  }
+
+type checker = {
+  limit : int;
+  mutable events : int;
+  mutable runs : int;
+  mutable last_run_id : int option;
+  mutable kept : violation list;  (* newest first, capped at [limit] *)
+  tally : (invariant, int) Hashtbl.t;
+  mutable run : run_state;
+}
+
+let create ?(limit = 50) () =
+  {
+    limit;
+    events = 0;
+    runs = 1;
+    last_run_id = None;
+    kept = [];
+    tally = Hashtbl.create 8;
+    run = fresh_run ();
+  }
+
+let report_violation c ~line invariant fmt =
+  Printf.ksprintf
+    (fun message ->
+      let n = match Hashtbl.find_opt c.tally invariant with Some n -> n | None -> 0 in
+      Hashtbl.replace c.tally invariant (n + 1);
+      if List.length c.kept < c.limit then
+        c.kept <- { line; invariant; message } :: c.kept)
+    fmt
+
+(* Close out the current segment: dangling requests and the vocabulary
+   test only make sense once the segment's events have all been seen. *)
+let finish_run c ~line =
+  (* lint: allow L3 — diagnostics are sorted by request id below *)
+  let dangling = Hashtbl.fold (fun req (l, _, _) acc -> (req, l) :: acc) c.run.opens [] in
+  List.iter
+    (fun (req, start_line) ->
+      report_violation c ~line Io_pair
+        "request %d (io_start at line %d) never completed" req start_line)
+    (List.sort compare dangling);
+  (match c.run.kinds with
+   | [] -> ()
+   | kinds ->
+     let fits (_, profile) = List.for_all (fun k -> List.mem k profile) kinds in
+     if not (List.exists fits profiles) then
+       report_violation c ~line Vocab
+         "run mixes event vocabularies: {%s} fits no engine profile (%s)"
+         (String.concat ", " (List.sort compare kinds))
+         (String.concat ", " (List.map fst profiles)));
+  c.run <- fresh_run ()
+
+let non_negative c ~line fields =
+  List.iter
+    (fun (name, v) ->
+      if v < 0 then
+        report_violation c ~line Schema "field %S is negative (%d)" name v)
+    fields
+
+let positive c ~line fields =
+  List.iter
+    (fun (name, v) ->
+      if v < 1 then
+        report_violation c ~line Schema "field %S must be positive (got %d)" name v)
+    fields
+
+let check_clock c ~line t_us =
+  (match c.run.prev_t with
+   | Some prev when t_us < prev ->
+     report_violation c ~line Clock "clock went backwards: %d after %d" t_us prev
+   | Some _ | None -> ());
+  c.run.prev_t <- Some t_us
+
+let feed c ~line (ev : Event.t) =
+  c.events <- c.events + 1;
+  let r = c.run in
+  let name = Event.kind_name ev.kind in
+  (match ev.kind with
+   | Event.Run_start { run } ->
+     finish_run c ~line;
+     c.runs <- c.runs + 1;
+     non_negative c ~line [ ("run", run) ];
+     (match c.last_run_id with
+      | Some prev when run <= prev ->
+        report_violation c ~line Schema "run id %d not above previous run %d" run prev
+      | Some _ | None -> ());
+     c.last_run_id <- Some run
+   | Event.Io_start { req; page; io } ->
+     non_negative c ~line [ ("req", req); ("page", page) ];
+     r.depth <- r.depth + 1;
+     (match Hashtbl.find_opt r.opens req with
+      | Some (l, _, _) ->
+        report_violation c ~line Io_pair
+          "second io_start for request %d (already open since line %d)" req l
+      | None -> Hashtbl.replace r.opens req (line, page, io));
+     ignore ev.t_us
+   | Event.Io_done { req; page; io } ->
+     non_negative c ~line [ ("req", req); ("page", page) ];
+     r.depth <- r.depth - 1;
+     if r.depth < 0 then
+       report_violation c ~line Queue_depth
+         "in-flight request count went negative (io_done for request %d)" req;
+     (match Hashtbl.find_opt r.opens req with
+      | None ->
+        report_violation c ~line Io_pair "io_done for request %d never started" req
+      | Some (start_line, start_page, start_io) ->
+        Hashtbl.remove r.opens req;
+        if start_page <> page then
+          report_violation c ~line Io_pair
+            "request %d done with page %d but started with page %d (line %d)" req
+            page start_page start_line;
+        if start_io <> io then
+          report_violation c ~line Io_pair
+            "request %d done as %s but started as %s (line %d)" req
+            (Event.io_name io) (Event.io_name start_io) start_line)
+   | Event.Io_retry { req; attempt } ->
+     non_negative c ~line [ ("req", req) ];
+     positive c ~line [ ("attempt", attempt) ];
+     if not (Hashtbl.mem r.opens req) then
+       report_violation c ~line Io_pair "io_retry for request %d not in flight" req
+   | Event.Fault { page } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("page", page) ];
+     if Hashtbl.mem r.resident page then
+       report_violation c ~line Frames "fault fetches page %d, which is resident" page;
+     Hashtbl.replace r.resident page ();
+     let n = match Hashtbl.find_opt r.fault_count page with Some n -> n | None -> 0 in
+     Hashtbl.replace r.fault_count page (n + 1)
+   | Event.Cold_fault { page } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("page", page) ];
+     if not (Hashtbl.mem r.resident page) then
+       report_violation c ~line Frames "cold_fault for absent page %d" page
+     else begin
+       match Hashtbl.find_opt r.fault_count page with
+       | Some 1 -> ()
+       | Some n ->
+         report_violation c ~line Frames
+           "cold_fault for page %d, already fetched %d times this run" page (n - 1)
+       | None -> report_violation c ~line Frames "cold_fault for unfetched page %d" page
+     end
+   | Event.Eviction { page } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("page", page) ];
+     if not (Hashtbl.mem r.resident page) then
+       report_violation c ~line Frames "eviction of non-resident page %d" page
+     else Hashtbl.remove r.resident page
+   | Event.Writeback { page } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("page", page) ];
+     if not (Hashtbl.mem r.resident page) then
+       report_violation c ~line Frames "writeback of non-resident page %d" page
+   | Event.Tlb_hit { key } | Event.Tlb_miss { key } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("key", key) ]
+   | Event.Alloc { addr; size } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("addr", addr) ];
+     positive c ~line [ ("size", size) ];
+     r.balance <- r.balance + size
+   | Event.Free { addr; size } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("addr", addr) ];
+     positive c ~line [ ("size", size) ];
+     r.balance <- r.balance - size;
+     if r.balance < 0 then
+       report_violation c ~line Heap
+         "freed words exceed allocated words by %d after free at %d" (-r.balance)
+         addr
+   | Event.Split { addr; size; remainder } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("addr", addr); ("remainder", remainder) ];
+     positive c ~line [ ("size", size) ]
+   | Event.Coalesce { addr; size } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("addr", addr) ];
+     positive c ~line [ ("size", size) ]
+   | Event.Compaction_move { src; dst; len } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("src", src); ("dst", dst) ];
+     positive c ~line [ ("len", len) ]
+   | Event.Segment_swap { segment; words; direction = _ } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("segment", segment) ];
+     positive c ~line [ ("words", words) ]
+   | Event.Job_start { job } | Event.Job_stop { job } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("job", job) ]);
+  (match ev.kind with
+   | Event.Run_start _ -> ()
+   | _ -> if not (List.mem name r.kinds) then r.kinds <- name :: r.kinds)
+
+let finish c ~line =
+  finish_run c ~line;
+  let counts =
+    List.filter_map
+      (fun i ->
+        match Hashtbl.find_opt c.tally i with
+        | Some n when n > 0 -> Some (i, n)
+        | Some _ | None -> None)
+      all_invariants
+  in
+  {
+    events = c.events;
+    runs = c.runs;
+    counts;
+    violations = List.rev c.kept;
+  }
+
+let check_events ?limit events =
+  let c = create ?limit () in
+  List.iteri (fun i ev -> feed c ~line:(i + 1) ev) events;
+  finish c ~line:(List.length events)
+
+let check_jsonl ?limit filename =
+  match open_in filename with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let c = create ?limit () in
+    let lineno = ref 0 in
+    (try
+       let rec loop () =
+         match input_line ic with
+         | line ->
+           incr lineno;
+           let trimmed = String.trim line in
+           if trimmed <> "" && trimmed.[0] <> '#' then begin
+             match Event.of_json trimmed with
+             | Some ev -> feed c ~line:!lineno ev
+             | None ->
+               report_violation c ~line:!lineno Schema "not an event: %s"
+                 (if String.length trimmed > 60 then String.sub trimmed 0 60 ^ "..."
+                  else trimmed)
+           end;
+           loop ()
+         | exception End_of_file -> ()
+       in
+       loop ();
+       close_in ic
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    Ok (finish c ~line:!lineno)
+
+let to_json (r : report) =
+  Json.obj
+    [
+      ("events", Json.Int r.events);
+      ("runs", Json.Int r.runs);
+      ("ok", Json.Raw (if ok r then "true" else "false"));
+      ( "counts",
+        Json.Raw
+          (Json.obj
+             (List.map (fun (i, n) -> (invariant_id i, Json.Int n)) r.counts)) );
+      ( "violations",
+        Json.Raw
+          (Json.array
+             (List.map
+                (fun v ->
+                  Json.Raw
+                    (Json.obj
+                       [
+                         ("line", Json.Int v.line);
+                         ("invariant", Json.String (invariant_id v.invariant));
+                         ("message", Json.String v.message);
+                       ]))
+                r.violations)) );
+    ]
+
+let print (r : report) =
+  Printf.printf "%d events in %d run segment(s)\n" r.events r.runs;
+  if ok r then print_endline "all invariants hold"
+  else begin
+    print_endline "invariant violations:";
+    List.iter
+      (fun (i, n) -> Printf.printf "  %-12s %d\n" (invariant_id i) n)
+      r.counts;
+    List.iter
+      (fun v ->
+        Printf.printf "  line %d [%s]: %s\n" v.line (invariant_id v.invariant)
+          v.message)
+      r.violations;
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 r.counts in
+    let shown = List.length r.violations in
+    if total > shown then Printf.printf "  (... %d more not shown)\n" (total - shown)
+  end

@@ -1,0 +1,63 @@
+(** Dynamic validation of recorded event streams.
+
+    [dsas_sim run EXP --trace FILE.jsonl] records what an engine did;
+    this module replays such a stream against the typed schema
+    ({!Event.of_json}) and a set of cross-event invariants, so a broken
+    engine (or a corrupted file) is caught mechanically rather than by
+    eyeballing goldens.
+
+    Invariants are scoped to {e run segments}: an experiment that
+    splices several engine runs into one stream separates them with
+    {!Event.Run_start} boundaries (see {!Sink.segment}), and every
+    per-run table — in-flight requests, resident pages, words balance —
+    resets at each boundary. *)
+
+type invariant =
+  | Schema  (** line parses as a known event with sane field values *)
+  | Clock  (** engine timestamps monotone within a run (io_* exempt) *)
+  | Io_pair  (** io_start/io_done pair exactly, io_retry is in flight *)
+  | Queue_depth  (** in-flight request count never negative *)
+  | Frames  (** fault/eviction/writeback/cold_fault conserve residency *)
+  | Heap  (** freed words never exceed allocated words *)
+  | Vocab  (** one engine's vocabulary per run segment *)
+
+val all_invariants : invariant list
+
+val invariant_id : invariant -> string
+(** Stable wire/CLI id: ["schema"], ["clock"], ["io-pair"],
+    ["queue-depth"], ["frames"], ["heap"], ["vocab"]. *)
+
+val invariant_of_id : string -> invariant option
+
+val invariant_doc : invariant -> string
+(** One-sentence description, shown by [dsas_sim check --list-invariants]. *)
+
+type violation = { line : int; invariant : invariant; message : string }
+(** [line] is the 1-based JSONL line (or event index for
+    {!check_events}). *)
+
+type report = {
+  events : int;  (** events parsed (schema failures not included) *)
+  runs : int;  (** run segments: 1 + number of [run_start] boundaries *)
+  counts : (invariant * int) list;  (** violations per invariant, > 0 only *)
+  violations : violation list;  (** the first [limit] violations, in order *)
+}
+
+val ok : report -> bool
+(** No violations of any invariant. *)
+
+val check_events : ?limit:int -> Event.t list -> report
+(** Validate an in-memory stream (e.g. from {!Sink.collect}).  [limit]
+    caps the individually-reported violations (default 50); [counts]
+    always reflects every violation. *)
+
+val check_jsonl : ?limit:int -> string -> (report, string) result
+(** Validate a JSONL trace file.  [Error] only for an unreadable file;
+    unparsable lines are [Schema] violations in the report.  Blank
+    lines and [#] comments are skipped, as in {!Summary.scan_jsonl}. *)
+
+val to_json : report -> string
+
+val print : report -> unit
+(** Human-readable summary on stdout: per-invariant totals, then the
+    individually-kept violations with line numbers. *)

@@ -14,6 +14,7 @@ let io_of_name = function
   | _ -> None
 
 type kind =
+  | Run_start of { run : int }
   | Fault of { page : int }
   | Cold_fault of { page : int }
   | Eviction of { page : int }
@@ -37,6 +38,7 @@ type t = { t_us : int; kind : kind }
 let make ~t_us kind = { t_us; kind }
 
 let kind_name = function
+  | Run_start _ -> "run_start"
   | Fault _ -> "fault"
   | Cold_fault _ -> "cold_fault"
   | Eviction _ -> "eviction"
@@ -56,11 +58,12 @@ let kind_name = function
   | Io_retry _ -> "io_retry"
 
 let all_kind_names =
-  [ "fault"; "cold_fault"; "eviction"; "writeback"; "tlb_hit"; "tlb_miss"; "alloc";
-    "free"; "split"; "coalesce"; "compaction_move"; "segment_swap"; "job_start";
+  [ "run_start"; "fault"; "cold_fault"; "eviction"; "writeback"; "tlb_hit"; "tlb_miss";
+    "alloc"; "free"; "split"; "coalesce"; "compaction_move"; "segment_swap"; "job_start";
     "job_stop"; "io_start"; "io_done"; "io_retry" ]
 
 let fields_of_kind = function
+  | Run_start { run } -> [ ("run", Json.Int run) ]
   | Fault { page } | Cold_fault { page } | Eviction { page } | Writeback { page } ->
     [ ("page", Json.Int page) ]
   | Tlb_hit { key } | Tlb_miss { key } -> [ ("key", Json.Int key) ]
@@ -91,6 +94,7 @@ let of_json line =
     let int k = Json.mem_int fields k in
     let kind =
       match Json.mem_string fields "ev" with
+      | Some "run_start" -> Option.map (fun run -> Run_start { run }) (int "run")
       | Some "fault" -> Option.map (fun page -> Fault { page }) (int "page")
       | Some "cold_fault" -> Option.map (fun page -> Cold_fault { page }) (int "page")
       | Some "eviction" -> Option.map (fun page -> Eviction { page }) (int "page")

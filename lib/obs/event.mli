@@ -29,6 +29,11 @@ val io_name : io -> string
 val io_of_name : string -> io option
 
 type kind =
+  | Run_start of { run : int }
+      (** boundary between the spliced sub-runs of one experiment: the
+          engine (and with it the request-id counter and, logically,
+          the clock) restarts here.  {!Check} scopes every cross-event
+          invariant to the span between two boundaries *)
   | Fault of { page : int }  (** reference missed working storage *)
   | Cold_fault of { page : int }  (** first-ever touch (emitted with [Fault]) *)
   | Eviction of { page : int }
@@ -58,7 +63,7 @@ type t = { t_us : int; kind : kind }
 val make : t_us:int -> kind -> t
 
 val kind_name : kind -> string
-(** The wire name: ["fault"], ["cold_fault"], ["eviction"],
+(** The wire name: ["run_start"], ["fault"], ["cold_fault"], ["eviction"],
     ["writeback"], ["tlb_hit"], ["tlb_miss"], ["alloc"], ["free"],
     ["split"], ["coalesce"], ["compaction_move"], ["segment_swap"],
     ["job_start"], ["job_stop"], ["io_start"], ["io_done"],

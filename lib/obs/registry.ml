@@ -63,6 +63,7 @@ type snapshot = {
 let sorted_bindings tbl value =
   List.sort
     (fun (a, _) (b, _) -> compare a b)
+    (* lint: allow L3 — the bindings are sorted by the enclosing List.sort *)
     (Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl [])
 
 let distribution_of_stats s =

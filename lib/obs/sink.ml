@@ -57,6 +57,14 @@ let rec emit t ev =
     s.count <- s.count + 1;
     if s.count mod s.every = 0 then s.probe ev
 
+let segment ~run ~offset inner =
+  match inner with
+  | Null -> Null
+  | _ ->
+    let s = Shift (offset, inner) in
+    emit s (Event.make ~t_us:0 (Event.Run_start { run }));
+    s
+
 let rec flush = function
   | Null | Ring _ | Collect _ | Sample _ -> ()
   | Jsonl oc -> Stdlib.flush oc

@@ -56,6 +56,7 @@ let acc_finish acc =
     t_first_us = acc.first;
     t_last_us = acc.last;
     kinds =
+      (* lint: allow L3 — the bindings are sorted by the enclosing List.sort *)
       List.sort compare (Hashtbl.fold (fun k r l -> (k, !r) :: l) acc.table []);
   }
 
@@ -65,31 +66,37 @@ let of_events events =
   acc_finish acc
 
 let scan_jsonl filename =
-  let ic = open_in filename in
-  let acc = acc_create () in
-  let lineno = ref 0 in
-  (try
-     let rec loop () =
-       match input_line ic with
-       | line ->
-         incr lineno;
-         let trimmed = String.trim line in
-         if trimmed <> "" && trimmed.[0] <> '#' then begin
-           match Event.of_json trimmed with
-           | Some ev -> acc_add acc ev
-           | None ->
-             failwith
-               (Printf.sprintf "%s: line %d: not an event: %S" filename !lineno trimmed)
-         end;
-         loop ()
-       | exception End_of_file -> ()
-     in
-     loop ();
-     close_in ic
-   with e ->
-     close_in_noerr ic;
-     raise e);
-  acc_finish acc
+  match open_in filename with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let acc = acc_create () in
+    let lineno = ref 0 in
+    let error = ref None in
+    (try
+       let rec loop () =
+         match input_line ic with
+         | line ->
+           incr lineno;
+           let trimmed = String.trim line in
+           if trimmed <> "" && trimmed.[0] <> '#' then begin
+             match Event.of_json trimmed with
+             | Some ev -> acc_add acc ev
+             | None ->
+               if !error = None then
+                 error :=
+                   Some
+                     (Printf.sprintf "%s: line %d: not an event: %S" filename
+                        !lineno trimmed)
+           end;
+           if !error = None then loop ()
+         | exception End_of_file -> ()
+       in
+       loop ();
+       close_in ic
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    (match !error with None -> Ok (acc_finish acc) | Some msg -> Error msg)
 
 let trace_stats_to_json t =
   Json.obj

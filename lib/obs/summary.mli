@@ -28,10 +28,11 @@ val count : trace_stats -> string -> int
 
 val of_events : Event.t list -> trace_stats
 
-val scan_jsonl : string -> trace_stats
+val scan_jsonl : string -> (trace_stats, string) result
 (** Aggregate a JSONL trace file without holding it in memory.  Blank
-    lines and ['#'] comment lines are skipped.  Raises [Failure] naming
-    the offending line on malformed input. *)
+    lines and ['#'] comment lines are skipped.  [Error] names the
+    offending line on malformed input, or the failure for an unreadable
+    file. *)
 
 val trace_stats_to_json : trace_stats -> string
 

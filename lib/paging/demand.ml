@@ -114,6 +114,7 @@ let free_a_frame t =
   | Some frame -> frame
   | None ->
     let pool = candidates t in
+    (* lint: allow L4 — all frames locked is a documented fatal misconfiguration *)
     if Array.length pool = 0 then failwith "Demand: every frame is locked";
     let victim = t.cfg.policy.Replacement.choose_victim ~candidates:pool in
     evict_page t victim;

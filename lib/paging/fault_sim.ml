@@ -9,6 +9,7 @@ let run_writes ?(obs = Obs.Sink.null) ~frames ~policy ~write trace =
   let candidates () =
     let a = Array.make (Hashtbl.length resident) 0 in
     let i = ref 0 in
+    (* lint: allow L3 — the array is sorted immediately after filling *)
     Hashtbl.iter
       (fun p () ->
         a.(!i) <- p;

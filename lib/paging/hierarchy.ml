@@ -44,10 +44,13 @@ let create cfg =
 
 let lru_victim table =
   let best = ref None in
+  (* lint: allow L3 — argmin under the total (last_use, page) order is order-independent *)
   Hashtbl.iter
     (fun page entry ->
       match !best with
-      | Some (_, e) when e.last_use <= entry.last_use -> ()
+      | Some (best_page, e)
+        when e.last_use < entry.last_use
+             || (e.last_use = entry.last_use && best_page < page) -> ()
       | Some _ | None -> best := Some (page, entry))
     table;
   match !best with

@@ -185,9 +185,9 @@ let atlas_learning () =
           Array.to_list candidates |> List.filter (fun p -> t_of p > big_t p + 1)
         in
         match out_of_use with
-        | _ :: _ ->
+        | first :: _ ->
           List.fold_left (fun best p -> if t_of p > t_of best then p else best)
-            (List.hd out_of_use) out_of_use
+            first out_of_use
         | [] ->
           (* Otherwise: the page that, if the recent pattern holds, will
              be needed last, i.e. maximal T - t. *)

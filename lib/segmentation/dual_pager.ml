@@ -62,6 +62,7 @@ let pool_touch t pool key =
       if Hashtbl.length pool.resident >= pool.capacity then begin
         (* LRU victim. *)
         let victim = ref (-1) and oldest = ref max_int in
+        (* lint: allow L3 — argmin under the total (last, key) order is order-independent *)
         Hashtbl.iter
           (fun k last ->
             if last < !oldest || (last = !oldest && k < !victim) then begin
@@ -107,6 +108,7 @@ let resident_words t =
 let resident_useful_words t =
   let useful = ref 0 in
   let count pool page_words tail_of =
+    (* lint: allow L3 — commutative sum over all bindings is order-independent *)
     Hashtbl.iter
       (fun key _ ->
         let segment = key lsr key_bits and page = key land ((1 lsl key_bits) - 1) in

@@ -85,6 +85,7 @@ let seg t id =
 let alloc_backing t words =
   let addr = t.backing_frontier in
   if addr + words > Memstore.Level.size t.cfg.backing then
+    (* lint: allow L4 — backing exhaustion is a documented fatal misconfiguration *)
     failwith "Segment_store: backing storage exhausted";
   t.backing_frontier <- addr + words;
   addr
@@ -155,18 +156,18 @@ let choose_victim t ~avoid =
   let live = List.filter (fun id -> id <> avoid) (resident t) in
   match live with
   | [] -> None
-  | _ :: _ ->
+  | first :: _ ->
     (match t.cfg.replacement with
      | Lru_segments ->
        Some
          (List.fold_left
             (fun best id -> if t.segs.(id).last_touch < t.segs.(best).last_touch then id else best)
-            (List.hd live) live)
+            first live)
      | Cyclic ->
        (* Advance the rotor to the next resident segment. *)
        let n = t.count in
        let rec sweep steps =
-         if steps > n then Some (List.hd live)
+         if steps > n then Some first
          else begin
            let id = t.rotor in
            t.rotor <- (t.rotor + 1) mod n;
@@ -180,7 +181,7 @@ let choose_victim t ~avoid =
           taken. *)
        let n = t.count in
        let rec sweep steps =
-         if steps > 2 * n then Some (List.hd live)
+         if steps > 2 * n then Some first
          else begin
            let id = t.rotor in
            t.rotor <- (t.rotor + 1) mod n;
@@ -206,6 +207,7 @@ let alloc_core t ~words ~avoid =
          evict_segment t victim;
          attempt ()
        | None ->
+         (* lint: allow L4 — a segment larger than working storage is a documented fatal misconfiguration *)
          failwith
            (Printf.sprintf
               "Segment_store: segment of %d words cannot fit in working storage" words))

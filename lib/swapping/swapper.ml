@@ -74,6 +74,7 @@ let timed_transfer t ~kind ~id ~src ~src_off ~dst ~dst_off ~len =
 let add_program t ~name ~size =
   assert (size > 0);
   if t.backing_frontier + size > Memstore.Level.size t.cfg.backing then
+    (* lint: allow L4 — backing exhaustion is a documented fatal misconfiguration *)
     failwith "Swapper: backing storage exhausted";
   if t.count >= Array.length t.programs then begin
     let dummy =
@@ -173,6 +174,7 @@ let swap_in t id =
     | Some victim ->
       swap_out t victim;
       place ()
+    (* lint: allow L4 — a program larger than working storage is a documented fatal misconfiguration *)
     | None -> failwith "Swapper: program larger than working storage"
   in
   let addr = place () in

@@ -22,6 +22,7 @@ let fold_lines filename parse =
            match parse line with
            | Some v -> acc := v :: !acc
            | None ->
+             (* lint: allow L4 — file-format errors surface as Failure with file:line context; tests rely on it *)
              failwith
                (Printf.sprintf "%s: line %d: cannot parse %S" filename !lineno line)
          end;

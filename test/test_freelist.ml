@@ -268,17 +268,22 @@ let allocator_fill_then_drain policy =
 
 (* --- buddy --- *)
 
+let check_buddy_valid b =
+  match Freelist.Buddy.validate b with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "buddy invariant: %s" (Freelist.Buddy.describe_error e)
+
 let test_buddy_basic () =
   let b = Freelist.Buddy.create ~words:256 in
   let x = Option.get (Freelist.Buddy.alloc b 10) in
   check_int "granted rounds up" 16 (Freelist.Buddy.granted_size 10);
   check_int "live granted" 16 (Freelist.Buddy.live_granted b);
   check_int "live requested" 10 (Freelist.Buddy.live_requested b);
-  Freelist.Buddy.validate b;
+  check_buddy_valid b;
   Freelist.Buddy.free b x;
   check_int "all free" 256 (Freelist.Buddy.free_words b);
   check_int "merged back" 256 (Freelist.Buddy.largest_free b);
-  Freelist.Buddy.validate b
+  check_buddy_valid b
 
 let test_buddy_split_and_merge () =
   let b = Freelist.Buddy.create ~words:64 in
@@ -287,7 +292,7 @@ let test_buddy_split_and_merge () =
   check_bool "no more" true (Freelist.Buddy.alloc b 1 = None);
   List.iter (Freelist.Buddy.free b) xs;
   check_int "fully merged" 64 (Freelist.Buddy.largest_free b);
-  Freelist.Buddy.validate b
+  check_buddy_valid b
 
 let test_buddy_double_free_rejected () =
   let b = Freelist.Buddy.create ~words:64 in
@@ -318,10 +323,10 @@ let buddy_random_ops =
               live := rest
             | [] -> ()
           end;
-          Freelist.Buddy.validate b)
+          check_buddy_valid b)
         ops;
       List.iter (Freelist.Buddy.free b) !live;
-      Freelist.Buddy.validate b;
+      check_buddy_valid b;
       Freelist.Buddy.largest_free b = 512)
 
 (* --- handle table --- *)

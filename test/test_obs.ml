@@ -12,6 +12,7 @@ let ev ~t_us kind = Obs.Event.make ~t_us kind
 let one_of_each =
   Obs.Event.
     [
+      ev ~t_us:0 (Run_start { run = 0 });
       ev ~t_us:0 (Fault { page = 7 });
       ev ~t_us:1 (Cold_fault { page = 7 });
       ev ~t_us:2 (Eviction { page = 3 });
@@ -416,7 +417,7 @@ let test_scan_jsonl_roundtrip () =
   let stats = Obs.Summary.scan_jsonl file in
   Sys.remove file;
   check_bool "same aggregate as in-memory" true
-    (stats = Obs.Summary.of_events one_of_each)
+    (stats = Ok (Obs.Summary.of_events one_of_each))
 
 let test_scan_jsonl_rejects_garbage () =
   let file = Filename.temp_file "dsas_obs" ".jsonl" in
@@ -425,8 +426,8 @@ let test_scan_jsonl_rejects_garbage () =
   close_out oc;
   let result =
     match Obs.Summary.scan_jsonl file with
-    | _ -> "no error"
-    | exception Failure msg -> msg
+    | Ok _ -> "no error"
+    | Error msg -> msg
   in
   Sys.remove file;
   check_bool "failure names line 2" true
