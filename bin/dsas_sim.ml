@@ -36,6 +36,14 @@ let unknown_id id =
       Printf.sprintf "unknown experiment %S; valid ids: %s (or `all`)" id
         (String.concat ", " Experiments.Registry.ids) )
 
+let seed_arg =
+  let doc =
+    "Override the seed of every randomized stage (workload generation, fault \
+     schedules).  Runs are reproducible either way; the default is each \
+     experiment's historical per-site seed."
+  in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
 let run_cmd =
   let doc = "Run one experiment (or all of them)." in
   let info = Cmd.info "run" ~doc in
@@ -57,7 +65,7 @@ let run_cmd =
     Arg.(value & opt (some int) None & info [ "channels" ] ~docv:"N"
            ~doc:"Device channels for x8_devices (>= 1).")
   in
-  let action quick id trace_out device sched channels =
+  let action quick id trace_out device sched channels seed =
     match (trace_out, device, sched, channels) with
     | _, Some _, _, _ | _, _, Some _, _ | _, _, _, Some _
       when String.lowercase_ascii id <> "x8_devices" ->
@@ -73,13 +81,13 @@ let run_cmd =
        | Error msg -> `Error (false, msg))
     | None, None, None, None ->
       if String.lowercase_ascii id = "all" then begin
-        Experiments.Registry.run_all ~quick ();
+        Experiments.Registry.run_all ~quick ?seed ();
         `Ok ()
       end
       else
         (match Experiments.Registry.find id with
          | Some e ->
-           e.Experiments.Registry.run ~quick ();
+           e.Experiments.Registry.run ~quick ?seed ();
            `Ok ()
          | None -> unknown_id id)
     | Some file, None, None, None ->
@@ -101,14 +109,14 @@ let run_cmd =
              ~finally:(fun () ->
                Obs.Sink.flush obs;
                close_out oc)
-             (fun () -> e.Experiments.Registry.run ~quick ~obs ());
+             (fun () -> e.Experiments.Registry.run ~quick ~obs ?seed ());
            `Ok ())
   in
   Cmd.v info
     Term.(
       ret
         (const action $ quick_flag $ id_arg $ trace_out_arg $ device_arg $ sched_arg
-         $ channels_arg))
+         $ channels_arg $ seed_arg))
 
 let json_flag =
   let doc = "Emit the result as a single JSON object on stdout." in
@@ -245,9 +253,94 @@ let check_cmd =
   in
   Cmd.v info Term.(ret (const action $ file_arg $ list_flag $ limit_arg $ json_flag))
 
+let chaos_cmd =
+  let doc = "Drive the engines under seeded random fault schedules (the chaos harness)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the x9 resilience scenarios (demand paging under mirror and \
+         surface recovery, swapper write-out mirroring, multiprogrammed \
+         abort-and-restart under load control) for $(b,--runs) rounds, each \
+         under a fresh fault schedule drawn from $(b,--seed).  Every round's \
+         event stream is validated against the trace invariants; the command \
+         exits non-zero if any invariant is violated.  The same seed always \
+         reproduces the same schedules, so a failure can be replayed exactly.";
+    ]
+  in
+  let info = Cmd.info "chaos" ~doc ~man in
+  let runs_arg =
+    Arg.(value & opt int 40 & info [ "runs" ] ~docv:"N" ~doc:"Chaos rounds to execute.")
+  in
+  let chaos_seed_arg =
+    Arg.(value & opt int 0xC7A05 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Master seed for fault schedules and workloads.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the spliced multi-run event stream as JSON Lines into \
+                 $(docv) (re-checkable offline with `dsas_sim check`).")
+  in
+  let action quick runs seed trace_out json =
+    if runs < 1 then `Error (false, "--runs must be >= 1")
+    else begin
+      let oc = Option.map open_out trace_out in
+      let trace = match oc with None -> Obs.Sink.null | Some oc -> Obs.Sink.jsonl oc in
+      let summary =
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Sink.flush trace;
+            Option.iter close_out oc)
+          (fun () ->
+            Resilience.Chaos.run ~trace
+              ~scenarios:(Experiments.X9_resilience.scenarios ~quick ())
+              ~runs ~seed ())
+      in
+      let violated =
+        List.filter
+          (fun (r : Resilience.Chaos.run_result) -> not (Obs.Check.ok r.check))
+          summary.Resilience.Chaos.runs
+      in
+      if json then begin
+        let counter (k, v) = Printf.sprintf "%S:%d" k v in
+        Printf.printf
+          "{\"runs\":%d,\"seed\":%d,\"events\":%d,\"violations\":%d,\"totals\":{%s}}\n"
+          runs seed summary.Resilience.Chaos.total_events
+          summary.Resilience.Chaos.violations
+          (String.concat "," (List.map counter summary.Resilience.Chaos.totals))
+      end
+      else begin
+        Printf.printf "chaos: %d runs over %d scenarios, seed %d\n" runs
+          (List.length (Experiments.X9_resilience.scenarios ~quick ()))
+          seed;
+        Printf.printf "events: %d, invariant violations: %d\n"
+          summary.Resilience.Chaos.total_events summary.Resilience.Chaos.violations;
+        print_endline "recovery totals:";
+        List.iter
+          (fun (k, v) -> Printf.printf "  %-20s %d\n" k v)
+          summary.Resilience.Chaos.totals
+      end;
+      match violated with
+      | [] -> `Ok ()
+      | vs ->
+        List.iter
+          (fun (r : Resilience.Chaos.run_result) ->
+            Printf.printf "run %d (%s): INVARIANT VIOLATIONS\n" r.Resilience.Chaos.index
+              r.Resilience.Chaos.scenario;
+            Obs.Check.print r.Resilience.Chaos.check)
+          vs;
+        `Error
+          ( false,
+            Printf.sprintf "%d of %d chaos runs violated trace invariants (seed %d)"
+              (List.length vs) runs seed )
+    end
+  in
+  Cmd.v info
+    Term.(ret (const action $ quick_flag $ runs_arg $ chaos_seed_arg $ trace_out_arg $ json_flag))
+
 let main =
   let doc = "Dynamic storage allocation systems (Randell & Kuehner, 1967) — reproduction" in
   let info = Cmd.info "dsas_sim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; replay_cmd; stats_cmd; check_cmd ]
+  Cmd.group info [ list_cmd; run_cmd; replay_cmd; stats_cmd; check_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -3,6 +3,8 @@ type job_report = {
   refs : int;
   faults : int;
   finish_us : int;
+  restarts : int;
+  completed : bool;
 }
 
 type report = {
@@ -10,6 +12,8 @@ type report = {
   cpu_busy_us : int;
   cpu_utilization : float;
   total_faults : int;
+  restarts : int;
+  jobs_failed : int;
   jobs : job_report list;
 }
 
@@ -20,21 +24,27 @@ type job_state = {
   mutable faults : int;
   mutable finish_us : int;
   mutable finished : bool;
+  mutable restarts : int;
+  mutable completed : bool;
+  mutable parked : bool;  (* shed by the load controller; not scheduled *)
 }
 
 let key_bits = 32
 
 let key ~job ~page = (job lsl key_bits) lor page
 
-let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fetch_us
-    specs =
-  assert (frames > 0 && fetch_us >= 0 && quantum_refs > 0);
+let job_of_key k = k lsr key_bits
+
+let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ?(max_restarts = 3)
+    ?controller ~frames ~policy ~fetch_us specs =
+  assert (frames > 0 && fetch_us >= 0 && quantum_refs > 0 && max_restarts >= 0);
   let tracing = Obs.Sink.is_active obs in
   let jobs =
     Array.of_list
       (List.mapi
          (fun index spec ->
-           { spec; index; pos = 0; faults = 0; finish_us = 0; finished = false })
+           { spec; index; pos = 0; faults = 0; finish_us = 0; finished = false;
+             restarts = 0; completed = false; parked = false })
          specs)
   in
   assert (Array.length jobs > 0);
@@ -46,23 +56,95 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
      completion, which makes a frame evictable again). *)
   let req_owner : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
   let stalled : int Queue.t = Queue.create () in
+  (* Load control: runnable-but-parked jobs, and shed order for FIFO
+     re-admission. *)
+  let parked_ready : int Queue.t = Queue.create () in
+  let shed_order : int Queue.t = Queue.create () in
   Array.iter (fun j -> Queue.add j.index ready) jobs;
   let now = ref 0 and busy = ref 0 and device_free_at = ref 0 in
   let finished = ref 0 in
+  let failed = ref 0 in
   (* An in-flight fetch whose completion the device has not yet
      committed to a time (requests queue and may be reordered). *)
   let in_flight = max_int in
+  let emit kind = Obs.Sink.emit obs (Obs.Event.make ~t_us:!now kind) in
+  if tracing then Array.iter (fun j -> emit (Obs.Event.Job_start { job = j.index })) jobs;
+  (* Drop every committed-resident page of job [idx] (its in-flight
+     pages, if any, stay owned by req_owner and resolve on delivery). *)
+  let evict_job_pages idx =
+    let mine =
+      (* lint: allow L3 — the keys are sorted on the next line *)
+      Hashtbl.fold
+        (fun k ready_at acc ->
+          if job_of_key k = idx && ready_at <> in_flight then k :: acc else acc)
+        resident []
+    in
+    List.iter
+      (fun k ->
+        Hashtbl.remove resident k;
+        policy.Paging.Replacement.on_evict ~page:k;
+        if tracing then emit (Obs.Event.Eviction { page = k }))
+      (List.sort compare mine)
+  in
+  let unpark j =
+    if j.parked then begin
+      j.parked <- false;
+      (match controller with
+       | Some c -> Resilience.Controller.note_admit c
+       | None -> ());
+      if tracing then emit (Obs.Event.Load_admit { job = j.index })
+    end
+  in
+  let finish_job ?(completed = true) j =
+    unpark j;  (* a failed shed job leaves the shed set before stopping *)
+    j.finished <- true;
+    j.completed <- completed;
+    j.finish_us <- !now;
+    incr finished;
+    if not completed then incr failed;
+    if tracing then emit (Obs.Event.Job_stop { job = j.index })
+  in
+  (* Recovery for an unrecoverable fetch: abort the job and restart it
+     from the beginning — its working set is dropped, its reference
+     position rewinds — up to [max_restarts] times, after which the job
+     is stopped and reported failed. *)
+  let abort_job j ~k =
+    (* A shed job can still have the fetch that was in flight when it
+       was parked; the failure empties its working set anyway, so the
+       abort re-admits it rather than restarting a parked job. *)
+    unpark j;
+    Hashtbl.remove resident k;
+    (* the fault announced page [k]; retract it before the job's
+       committed pages go *)
+    if tracing then emit (Obs.Event.Eviction { page = k });
+    evict_job_pages j.index;
+    if j.restarts < max_restarts then begin
+      j.restarts <- j.restarts + 1;
+      j.pos <- 0;
+      if tracing then emit (Obs.Event.Job_abort { job = j.index; restarts = j.restarts });
+      Queue.add j.index ready
+    end
+    else finish_job ~completed:false j;
+    Queue.transfer stalled ready
+  in
   let deliver req fin =
     match Hashtbl.find_opt req_owner req with
     | None -> ()
     | Some (idx, k) ->
       Hashtbl.remove req_owner req;
-      Hashtbl.replace resident k fin;
-      Queue.add idx ready;
-      Queue.transfer stalled ready
+      (match device with
+       | Some m ->
+         (match Device.Model.failure_of m req with
+          | Some _ -> abort_job jobs.(idx) ~k
+          | None ->
+            Hashtbl.replace resident k fin;
+            Queue.add idx ready;
+            Queue.transfer stalled ready)
+       | None ->
+         Hashtbl.replace resident k fin;
+         Queue.add idx ready;
+         Queue.transfer stalled ready)
   in
-  let emit kind = Obs.Sink.emit obs (Obs.Event.make ~t_us:!now kind) in
-  if tracing then Array.iter (fun j -> emit (Obs.Event.Job_start { job = j.index })) jobs;
   let candidates () =
     (* Frames whose fetch has completed; in-flight pages are pinned. *)
     let pool =
@@ -74,6 +156,9 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
   in
   let start_fetch j k =
     j.faults <- j.faults + 1;
+    (match controller with
+     | Some c -> Resilience.Controller.observe_fault c ~job:j.index
+     | None -> ());
     if tracing then emit (Obs.Event.Fault { page = k });
     (match device with
      | None ->
@@ -90,15 +175,11 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
        Hashtbl.replace req_owner req (j.index, k));
     policy.Paging.Replacement.on_load ~page:k
   in
-  let finish_job j =
-    j.finished <- true;
-    j.finish_us <- !now;
-    incr finished;
-    if tracing then emit (Obs.Event.Job_stop { job = j.index })
-  in
   (* Run job [j] until it faults, exhausts its quantum, or finishes.
      Returns true if it should be requeued as ready. *)
   let execute j =
+    let compute_us = j.spec.Workload.Job.compute_us_per_ref in
+    let executed = ref 0 in
     let rec step quantum =
       if j.pos >= Array.length j.spec.Workload.Job.refs then begin
         finish_job j;
@@ -112,8 +193,9 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
         match Hashtbl.find_opt resident k with
         | Some ready_at when ready_at <= !now ->
           j.pos <- j.pos + 1;
-          now := !now + j.spec.Workload.Job.compute_us_per_ref;
-          busy := !busy + j.spec.Workload.Job.compute_us_per_ref;
+          incr executed;
+          now := !now + compute_us;
+          busy := !busy + compute_us;
           step (quantum - 1)
         | Some ready_at ->
           (* Our own page is still in flight; wait for it. *)
@@ -150,7 +232,12 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
           end
       end
     in
-    step quantum_refs
+    let requeue = step quantum_refs in
+    (match controller with
+     | Some c when !executed > 0 ->
+       Resilience.Controller.observe_execute c ~us:(!executed * compute_us)
+     | Some _ | None -> ());
+    requeue
   in
   let wake_due () =
     let rec loop () =
@@ -164,11 +251,94 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
     in
     loop ()
   in
+  let occupancy idx =
+    (* lint: allow L3 — commutative count over all bindings is order-independent *)
+    Hashtbl.fold
+      (fun k _ acc -> if job_of_key k = idx then acc + 1 else acc)
+      resident 0
+  in
+  let shed_one c =
+    let candidates =
+      Array.to_list jobs
+      |> List.filter_map (fun j ->
+             if j.finished || j.parked then None
+             else Some (j.index, occupancy j.index))
+    in
+    (* keep at least one job active even if tick raced a finish *)
+    if List.length candidates > 1 then
+      match Resilience.Controller.choose_victim c ~candidates with
+      | None -> ()
+      | Some idx ->
+        let j = jobs.(idx) in
+        j.parked <- true;
+        Queue.add idx shed_order;
+        Resilience.Controller.note_shed c;
+        if tracing then emit (Obs.Event.Load_shed { job = idx });
+        (* the shed job's working set goes back to the drum: that is
+           the point — its frames relieve the others *)
+        evict_job_pages idx
+  in
+  let admit_one () =
+    let rec next () =
+      match Queue.take_opt shed_order with
+      | None -> false
+      | Some idx ->
+        let j = jobs.(idx) in
+        if j.finished || not j.parked then next ()
+        else begin
+          unpark j;
+          (* runnable-but-parked jobs bounce through parked_ready; put
+             everyone back and let the parked flag re-sort them *)
+          Queue.transfer parked_ready ready;
+          true
+        end
+    in
+    next ()
+  in
+  let control_tick () =
+    match controller with
+    | None -> ()
+    | Some c ->
+      let n_active = ref 0 and n_parked = ref 0 in
+      Array.iter
+        (fun j ->
+          if not j.finished then
+            if j.parked then incr n_parked else incr n_active)
+        jobs;
+      (match Resilience.Controller.tick c ~now:!now ~n_active:!n_active
+               ~n_parked:!n_parked
+       with
+       | Resilience.Controller.Steady -> ()
+       | Resilience.Controller.Shed_one -> shed_one c
+       | Resilience.Controller.Admit_one ->
+         let (_ : bool) = admit_one () in
+         ())
+  in
+  (* If scheduling has gone quiet but parked runnable jobs remain, the
+     controller's watermarks are moot: force re-admission rather than
+     idle forever (and rather than hit the no-pending-work assert). *)
+  let force_admissions () =
+    match controller with
+    | None -> ()
+    | Some _ ->
+      let progress = ref true in
+      while
+        !progress
+        && Queue.is_empty ready
+        && (not (Queue.is_empty parked_ready))
+        && Hashtbl.length req_owner = 0
+        && Sim.Heap.min blocked = None
+      do
+        progress := admit_one ()
+      done
+  in
   while !finished < Array.length jobs do
     (match device with
      | Some m -> Device.Model.deliver_due m ~now:!now deliver
      | None -> ());
     wake_due ();
+    control_tick ();
+    force_admissions ();
     if Queue.is_empty ready then begin
       (* Processor idle until the next fetch completes. *)
       match device with
@@ -186,7 +356,9 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
     else begin
       let idx = Queue.pop ready in
       let j = jobs.(idx) in
-      if not j.finished then if execute j then Queue.add idx ready
+      if not j.finished then
+        if j.parked then Queue.add idx parked_ready
+        else if execute j then Queue.add idx ready
     end
   done;
   let elapsed = !now in
@@ -195,6 +367,8 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
     cpu_busy_us = !busy;
     cpu_utilization = (if elapsed = 0 then 1. else float_of_int !busy /. float_of_int elapsed);
     total_faults = Array.fold_left (fun acc j -> acc + j.faults) 0 jobs;
+    restarts = Array.fold_left (fun acc j -> acc + j.restarts) 0 jobs;
+    jobs_failed = !failed;
     jobs =
       Array.to_list
         (Array.map
@@ -204,6 +378,8 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ~frames ~policy ~fet
                refs = Array.length j.spec.Workload.Job.refs;
                faults = j.faults;
                finish_us = j.finish_us;
+               restarts = j.restarts;
+               completed = j.completed;
              })
            jobs);
   }

@@ -14,6 +14,8 @@ type job_report = {
   refs : int;
   faults : int;
   finish_us : int;
+  restarts : int;  (** abort-and-restart recoveries this job went through *)
+  completed : bool;  (** [false]: the job exhausted its restart budget *)
 }
 
 type report = {
@@ -21,6 +23,8 @@ type report = {
   cpu_busy_us : int;
   cpu_utilization : float;
   total_faults : int;
+  restarts : int;  (** abort-and-restart recoveries across all jobs *)
+  jobs_failed : int;  (** jobs stopped with their restart budget spent *)
   jobs : job_report list;
 }
 
@@ -28,6 +32,8 @@ val run :
   ?quantum_refs:int ->
   ?obs:Obs.Sink.t ->
   ?device:Device.Model.t ->
+  ?max_restarts:int ->
+  ?controller:Resilience.Controller.t ->
   frames:int ->
   policy:Paging.Replacement.t ->
   fetch_us:int ->
@@ -48,4 +54,21 @@ val run :
 
     With a sink, the scheduler reports job_start / job_stop plus fault
     and eviction events on the shared simulated clock; fault and
-    eviction pages are the job-tagged keys. *)
+    eviction pages are the job-tagged keys.
+
+    {b Failure recovery.}  A terminal fetch failure (a device under a
+    [Fault.Fail] escalation policy) aborts the owning job: its resident
+    pages are dropped (traced as evictions), its reference position
+    rewinds to the start, and it is re-admitted — a [job_abort] event,
+    up to [max_restarts] (default 3) times per job.  A job that
+    exhausts the budget stops with [completed = false] and is counted
+    in [jobs_failed].
+
+    {b Load control.}  With a [controller], the scheduler reports
+    compute progress and faults to it, ticks it every loop iteration,
+    and obeys its verdicts: shedding parks the chosen job (its working
+    set is evicted, [load_shed] is traced) and re-admission wakes the
+    longest-shed one ([load_admit]); if scheduling would otherwise go
+    idle with parked jobs remaining, they are force re-admitted.  Read
+    shed/admit counts and the multiprogramming-level series off the
+    controller afterwards. *)

@@ -223,7 +223,11 @@ and run_segmented t ?(seed = 1) ?(obs = Obs.Sink.null) ~segments refs =
     let ids =
       Array.map (fun len -> Segmentation.Segment_store.define store ~length:len ()) segments
     in
-    Array.iter (fun (s, off) -> ignore (Segmentation.Segment_store.read store ids.(s) off)) refs;
+    Array.iter
+      (fun (s, off) ->
+        let (_ : int64) = Segmentation.Segment_store.read store ids.(s) off in
+        ())
+      refs;
     segmented_report t store clock ~refs:(Array.length refs)
   | Segmented_paged { page_size; frames; policy; tlb_capacity } ->
     let engine = two_level_engine ~page_size ~frames ~policy_spec:policy ~tlb_capacity ~seed in

@@ -1,37 +1,118 @@
-type config = { seed : int; read_error_prob : float; max_retries : int }
+type escalation = Degrade | Fail
 
-let config ?(seed = 0x10ca1) ?(max_retries = 2) ~read_error_prob () =
-  assert (read_error_prob >= 0. && read_error_prob <= 1. && max_retries >= 0);
-  { seed; read_error_prob; max_retries }
+type config = {
+  seed : int;
+  read_error_prob : float;
+  write_error_prob : float;
+  permanent_prob : float;
+  max_retries : int;
+  on_exhausted : escalation;
+}
+
+let config ?(seed = 0x10ca1) ?(max_retries = 2) ?(write_error_prob = 0.)
+    ?(permanent_prob = 0.) ?(on_exhausted = Degrade) ~read_error_prob () =
+  assert (read_error_prob >= 0. && read_error_prob <= 1.);
+  assert (write_error_prob >= 0. && write_error_prob <= 1.);
+  assert (permanent_prob >= 0. && permanent_prob <= 1.);
+  assert (max_retries >= 0);
+  { seed; read_error_prob; write_error_prob; permanent_prob; max_retries;
+    on_exhausted }
+
+type roll = Clean | Transient | Permanent
 
 type t = {
   cfg : config;
-  rng : Sim.Rng.t;
+  rng : Sim.Rng.t;  (* read-error stream — the original, kept undisturbed *)
+  write_rng : Sim.Rng.t;
+  perm_rng : Sim.Rng.t;
   mutable injected : int;
+  mutable write_injected : int;
+  mutable permanent : int;
   mutable retried : int;
   mutable degraded : int;
+  mutable failed : int;
+  mutable write_rolls_skipped : int;
 }
 
-let create cfg = { cfg; rng = Sim.Rng.create cfg.seed; injected = 0; retried = 0; degraded = 0 }
+(* The write and permanence streams are seeded independently of the read
+   stream (and of each other) so that enabling either leaves the read
+   error sequence — and with it every pre-existing fault experiment —
+   bit-identical. *)
+let create cfg =
+  {
+    cfg;
+    rng = Sim.Rng.create cfg.seed;
+    write_rng = Sim.Rng.create (cfg.seed lxor 0x77121375);
+    perm_rng = Sim.Rng.create (cfg.seed lxor 0x9e3779b9);
+    injected = 0;
+    write_injected = 0;
+    permanent = 0;
+    retried = 0;
+    degraded = 0;
+    failed = 0;
+    write_rolls_skipped = 0;
+  }
 
 let max_retries t = t.cfg.max_retries
 
-(* One Bernoulli roll per service attempt.  Reads only: a writeback that
-   fails would need shadow-copy semantics the engines don't model, and
-   the paper's concern is fetch latency. *)
-let attempt_fails t ~kind =
-  Request.is_read kind
-  && t.cfg.read_error_prob > 0.
-  && Sim.Rng.float t.rng 1.0 < t.cfg.read_error_prob
-  && (t.injected <- t.injected + 1;
-      true)
+let on_exhausted t = t.cfg.on_exhausted
+
+(* A failed attempt is permanent with probability [permanent_prob],
+   decided on a third stream — and only rolled when the knob is on, so
+   the default configuration draws nothing from it. *)
+let permanence t =
+  if t.cfg.permanent_prob > 0. && Sim.Rng.float t.perm_rng 1.0 < t.cfg.permanent_prob
+  then begin
+    t.permanent <- t.permanent + 1;
+    Permanent
+  end
+  else Transient
+
+let attempt t ~immune ~kind =
+  if immune then begin
+    if not (Request.is_read kind) then
+      t.write_rolls_skipped <- t.write_rolls_skipped + 1;
+    Clean
+  end
+  else if Request.is_read kind then
+    if t.cfg.read_error_prob > 0. && Sim.Rng.float t.rng 1.0 < t.cfg.read_error_prob
+    then begin
+      t.injected <- t.injected + 1;
+      permanence t
+    end
+    else Clean
+  else if t.cfg.write_error_prob > 0. then
+    if Sim.Rng.float t.write_rng 1.0 < t.cfg.write_error_prob then begin
+      t.write_injected <- t.write_injected + 1;
+      permanence t
+    end
+    else Clean
+  else begin
+    (* Writes are exempt unless write_error_prob is set; the skipped
+       roll is counted so fault-rate arithmetic over a trace can see
+       that the write side was never at risk. *)
+    t.write_rolls_skipped <- t.write_rolls_skipped + 1;
+    Clean
+  end
+
+let attempt_fails t ~kind = attempt t ~immune:false ~kind <> Clean
 
 let note_retry t = t.retried <- t.retried + 1
 
 let note_degraded t = t.degraded <- t.degraded + 1
 
+let note_failed t = t.failed <- t.failed + 1
+
 let injected t = t.injected
+
+let write_injected t = t.write_injected
+
+let permanent_count t = t.permanent
 
 let retried t = t.retried
 
 let degraded t = t.degraded
+
+let failed t = t.failed
+
+let write_rolls_skipped t = t.write_rolls_skipped

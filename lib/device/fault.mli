@@ -1,19 +1,56 @@
-(** Transient read-error injection.
+(** Seeded fault injection for device service attempts.
 
     Each service {e attempt} of a read (demand or prefetch) fails
-    independently with probability [read_error_prob], drawn from a
-    dedicated deterministic {!Sim.Rng} stream seeded by [seed] — fault
-    decisions never perturb workload randomness.  A failed attempt is
-    retried (a full re-service at the device's then-current state) up
-    to [max_retries] times; if every retry also fails the request is
-    served in degraded mode: one final worst-case-cost pass
-    ({!Geometry.worst_us}) that always succeeds.  Errors are
-    timing-only — the data a request moves is never corrupted. *)
+    independently with probability [read_error_prob]; writebacks fail
+    with probability [write_error_prob] (0 by default — the historical
+    reads-only behaviour).  Decisions are drawn from dedicated
+    deterministic {!Sim.Rng} streams derived from [seed] — fault
+    decisions never perturb workload randomness, and the read, write
+    and permanence streams never perturb each other, so turning one
+    knob leaves the other sequences bit-identical.
 
-type config = { seed : int; read_error_prob : float; max_retries : int }
+    A failed attempt is {!Transient} unless a further roll (probability
+    [permanent_prob], only taken once an attempt has failed) marks it
+    {!Permanent} — an unrecoverable media error that no retry will fix.
+    Transient failures are retried (a full re-service at the device's
+    then-current state) up to [max_retries] times; what happens when the
+    budget runs out is the [on_exhausted] policy: [Degrade] serves one
+    final worst-case-cost pass ({!Geometry.worst_us}) that always
+    succeeds, [Fail] gives up and surfaces a typed failure to the
+    engine.  Errors are timing- and outcome-only — data a successful
+    request moves is never corrupted. *)
 
-val config : ?seed:int -> ?max_retries:int -> read_error_prob:float -> unit -> config
-(** Defaults: [seed = 0x10ca1], [max_retries = 2]. *)
+type escalation =
+  | Degrade  (** exhausted retries fall back to a worst-case pass *)
+  | Fail  (** exhausted retries (and permanent errors) fail the request *)
+
+type config = {
+  seed : int;
+  read_error_prob : float;
+  write_error_prob : float;
+  permanent_prob : float;
+  max_retries : int;
+  on_exhausted : escalation;
+}
+
+val config :
+  ?seed:int ->
+  ?max_retries:int ->
+  ?write_error_prob:float ->
+  ?permanent_prob:float ->
+  ?on_exhausted:escalation ->
+  read_error_prob:float ->
+  unit ->
+  config
+(** Defaults: [seed = 0x10ca1], [max_retries = 2],
+    [write_error_prob = 0.], [permanent_prob = 0.],
+    [on_exhausted = Degrade] — exactly the pre-resilience behaviour. *)
+
+type roll = Clean | Transient | Permanent
+(** Outcome of one service attempt's fault roll.  [Permanent] means the
+    request is beyond retry; under [on_exhausted = Degrade] it is still
+    served degraded (the historical contract), under [Fail] it fails
+    immediately. *)
 
 type t
 
@@ -21,16 +58,39 @@ val create : config -> t
 
 val max_retries : t -> int
 
+val on_exhausted : t -> escalation
+
+val attempt : t -> immune:bool -> kind:Request.kind -> roll
+(** Roll for one attempt.  [immune] requests (recovery re-fetches) are
+    never failed and consume no randomness.  Writebacks with
+    [write_error_prob = 0] are likewise exempt; each such skipped roll
+    is counted in {!write_rolls_skipped}. *)
+
 val attempt_fails : t -> kind:Request.kind -> bool
-(** Roll for one attempt.  Always [false] for writebacks.  Counts the
-    injection when it returns [true]. *)
+(** [attempt t ~immune:false ~kind <> Clean] — the legacy boolean view. *)
 
 val note_retry : t -> unit
 
 val note_degraded : t -> unit
 
+val note_failed : t -> unit
+
 val injected : t -> int
+(** Read-attempt failures injected. *)
+
+val write_injected : t -> int
+(** Write-attempt failures injected. *)
+
+val permanent_count : t -> int
+(** Failures marked permanent. *)
 
 val retried : t -> int
 
 val degraded : t -> int
+
+val failed : t -> int
+(** Requests that terminally failed (surfaced to the engine). *)
+
+val write_rolls_skipped : t -> int
+(** Write attempts that were never at risk: the roll was skipped because
+    [write_error_prob = 0] (or the request was immune). *)

@@ -12,6 +12,14 @@ let config ?(sched = Sched.Fifo) ?(channels = 1) ?(writeback_batch = 1) ?fault g
 
 type channel = { mutable free_at : int; mutable head : int }
 
+type failure = {
+  req : int;
+  page : int;
+  kind : Request.kind;
+  attempts : int;
+  at_us : int;
+}
+
 type t = {
   cfg : config;
   obs : Obs.Sink.t;
@@ -21,6 +29,7 @@ type t = {
   mutable queue : Request.t list;  (* submitted, not yet dispatched; arrival order *)
   completions : int Sim.Heap.t;  (* finish_us -> req id, undelivered *)
   finish_of : (int, int) Hashtbl.t;  (* req id -> finish_us, undelivered *)
+  failures : (int, failure) Hashtbl.t;  (* req id -> terminal failure, unconsumed *)
   depth_series : Obs.Series.t;
   mutable next_id : int;
   mutable last_arrival_us : int;
@@ -41,8 +50,12 @@ type stats = {
   max_queue_depth : int;
   busy_us : int;
   injected : int;
+  write_injected : int;
+  permanent : int;
   retries : int;
   degraded : int;
+  failed : int;
+  write_rolls_skipped : int;
   pending : int;
 }
 
@@ -56,6 +69,7 @@ let create ?(obs = Obs.Sink.null) cfg =
     queue = [];
     completions = Sim.Heap.create ();
     finish_of = Hashtbl.create 64;
+    failures = Hashtbl.create 8;
     depth_series = Obs.Series.create ();
     next_id = 0;
     last_arrival_us = 0;
@@ -81,14 +95,14 @@ let note_depth t =
   if depth > t.max_depth then t.max_depth <- depth;
   Obs.Series.sample t.depth_series ~t_us:t.last_arrival_us (float_of_int depth)
 
-let submit t ~now ~kind ~page ~words =
+let submit ?(immune = false) t ~now ~kind ~page ~words =
   (* The series needs monotone time; engine clocks are, but clamp so a
      late-stamped submission cannot crash the probe. *)
   let now = max now t.last_arrival_us in
   t.last_arrival_us <- now;
   let id = t.next_id in
   t.next_id <- id + 1;
-  let r = Request.make ~id ~kind ~page ~words ~arrival_us:now in
+  let r = Request.make ~immune ~id ~kind ~page ~words ~arrival_us:now () in
   t.queue <- t.queue @ [ r ];
   note_depth t;
   id
@@ -106,28 +120,53 @@ let record_completion t (r : Request.t) ~fin =
   end;
   if t.obs_on then emit t ~t_us:fin (Io_done { req = r.id; page = r.page; io = r.kind })
 
+(* A terminal failure still completes in time (the channel was busy
+   until [fin]); it is delivered like a completion, but the caller can
+   see via [failure_of] / [result_us] that the data never arrived. *)
+let record_failure t (r : Request.t) ~fin ~attempts =
+  Sim.Heap.add t.completions fin r.id;
+  Hashtbl.replace t.finish_of r.id fin;
+  Hashtbl.replace t.failures r.id
+    { req = r.id; page = r.page; kind = r.kind; attempts; at_us = fin };
+  (match t.fault with Some f -> Fault.note_failed f | None -> ());
+  if t.obs_on then
+    emit t ~t_us:fin (Io_error { req = r.id; page = r.page; io = r.kind; attempts })
+
 (* One full service of [r] on [chan] starting no earlier than [td]:
-   positioning + transfer, plus fault retries and the degraded-mode
-   pass when the retry budget is exhausted.  Returns the finish time. *)
+   positioning + transfer, plus fault retries and the escalation pass
+   when the retry budget is exhausted (degraded-mode success, or a
+   terminal failure under [Fault.Fail]).  Returns the finish time and
+   the outcome. *)
 let serve t chan (r : Request.t) ~td =
   let g = t.cfg.geometry in
+  let escalate f ~fin ~attempt =
+    match Fault.on_exhausted f with
+    | Fault.Degrade ->
+      Fault.note_degraded f;
+      (fin + Geometry.worst_us g ~words:r.words, `Ok)
+    | Fault.Fail -> (fin, `Failed attempt)
+  in
   let rec go at attempt =
     let start, fin, head' = Geometry.service g ~at ~head:chan.head ~page:r.page ~words:r.words in
     if attempt = 1 && t.obs_on then
       emit t ~t_us:start (Io_start { req = r.id; page = r.page; io = r.kind });
     chan.head <- head';
     match t.fault with
-    | Some f when Fault.attempt_fails f ~kind:r.kind ->
-      if t.obs_on then emit t ~t_us:fin (Io_retry { req = r.id; attempt });
-      if attempt <= Fault.max_retries f then begin
-        Fault.note_retry f;
-        go fin (attempt + 1)
-      end
-      else begin
-        Fault.note_degraded f;
-        fin + Geometry.worst_us g ~words:r.words
-      end
-    | _ -> fin
+    | None -> (fin, `Ok)
+    | Some f ->
+      (match Fault.attempt f ~immune:r.immune ~kind:r.kind with
+       | Fault.Clean -> (fin, `Ok)
+       | Fault.Transient ->
+         if t.obs_on then emit t ~t_us:fin (Io_retry { req = r.id; attempt });
+         if attempt <= Fault.max_retries f then begin
+           Fault.note_retry f;
+           go fin (attempt + 1)
+         end
+         else escalate f ~fin ~attempt
+       | Fault.Permanent ->
+         (* beyond retry: no point burning the budget *)
+         if t.obs_on then emit t ~t_us:fin (Io_retry { req = r.id; attempt });
+         escalate f ~fin ~attempt)
   in
   go td 1
 
@@ -160,9 +199,11 @@ let rec stream_writebacks t chan ~fin ~budget =
 let dispatch t chan (r : Request.t) =
   remove_from_queue t r;
   let td = max chan.free_at r.arrival_us in
-  let fin = serve t chan r ~td in
+  let fin, outcome = serve t chan r ~td in
   t.busy_us <- t.busy_us + (fin - td);
-  record_completion t r ~fin;
+  (match outcome with
+   | `Ok -> record_completion t r ~fin
+   | `Failed attempts -> record_failure t r ~fin ~attempts);
   let fin =
     if r.kind = Request.Writeback then
       stream_writebacks t chan ~fin ~budget:(t.cfg.writeback_batch - 1)
@@ -225,9 +266,24 @@ let completion_us t id =
     in
     force ()
 
+let failure_of t id =
+  match Hashtbl.find_opt t.failures id with
+  | Some f ->
+    Hashtbl.remove t.failures id;
+    Some f
+  | None -> None
+
+let result_us t id =
+  let fin = completion_us t id in
+  match failure_of t id with Some f -> Error f | None -> Ok fin
+
 let fetch t ~now ~kind ~page ~words =
   let id = submit t ~now ~kind ~page ~words in
   completion_us t id
+
+let fetch_result ?immune t ~now ~kind ~page ~words =
+  let id = submit ?immune t ~now ~kind ~page ~words in
+  result_us t id
 
 let drain t =
   let rec go () =
@@ -299,7 +355,12 @@ let stats (t : t) : stats =
     max_queue_depth = t.max_depth;
     busy_us = t.busy_us;
     injected = (match t.fault with None -> 0 | Some f -> Fault.injected f);
+    write_injected = (match t.fault with None -> 0 | Some f -> Fault.write_injected f);
+    permanent = (match t.fault with None -> 0 | Some f -> Fault.permanent_count f);
     retries = (match t.fault with None -> 0 | Some f -> Fault.retried f);
     degraded = (match t.fault with None -> 0 | Some f -> Fault.degraded f);
+    failed = (match t.fault with None -> 0 | Some f -> Fault.failed f);
+    write_rolls_skipped =
+      (match t.fault with None -> 0 | Some f -> Fault.write_rolls_skipped f);
     pending = List.length t.queue;
   }

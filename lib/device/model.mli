@@ -50,24 +50,58 @@ val config :
 
 type t
 
+type failure = {
+  req : int;
+  page : int;
+  kind : Request.kind;
+  attempts : int;  (** service attempts made before giving up *)
+  at_us : int;  (** when the device gave up (channel time) *)
+}
+(** A terminal request failure: a permanent media error, or the retry
+    budget exhausted under {!Fault.Fail} escalation.  Only possible
+    when the model's fault config says so; the default (and every
+    [Degrade]-policy) configuration never produces one. *)
+
 val create : ?obs:Obs.Sink.t -> config -> t
 
 val label : t -> string
 (** e.g. ["drum/satf/2ch"]. *)
 
-val submit : t -> now:int -> kind:Request.kind -> page:int -> words:int -> int
+val submit :
+  ?immune:bool -> t -> now:int -> kind:Request.kind -> page:int -> words:int -> int
 (** Enqueue a request arriving at [now] (engine clock, monotone);
-    returns its id.  No channel is committed yet. *)
+    returns its id.  No channel is committed yet.  [immune] (default
+    false) exempts the request from fault injection — the transport for
+    recovery re-fetches. *)
 
 val completion_us : t -> int -> int
 (** [completion_us t id] forces request [id] to completion and returns
     its finish time, dispatching any queued requests the policy puts
     ahead of it first.  Consumes the completion: a second call for the
-    same id raises [Invalid_argument], as does an id never submitted. *)
+    same id raises [Invalid_argument], as does an id never submitted.
+    A terminally-failed request still finishes in time; use
+    {!failure_of} or {!result_us} to learn the data never arrived. *)
+
+val result_us : t -> int -> (int, failure) result
+(** Like {!completion_us}, but [Error] when the request terminally
+    failed.  Consumes both the completion and the failure record. *)
+
+val failure_of : t -> int -> failure option
+(** [failure_of t id] is the terminal failure of a request whose
+    completion was already delivered (via {!completion_us},
+    {!deliver_due} or {!take_completion}), if any; consumes the
+    record.  Event-loop engines call this on every delivery. *)
 
 val fetch : t -> now:int -> kind:Request.kind -> page:int -> words:int -> int
 (** [submit] + [completion_us] in one step — the common synchronous
     path. *)
+
+val fetch_result :
+  ?immune:bool ->
+  t -> now:int -> kind:Request.kind -> page:int -> words:int ->
+  (int, failure) result
+(** [submit] + [result_us] in one step — the synchronous path for
+    engines that handle failures. *)
 
 val drain : t -> unit
 (** Force-dispatch everything still queued (end-of-run writebacks).
@@ -98,9 +132,14 @@ type stats = {
   mean_queue_depth : float;
   max_queue_depth : int;
   busy_us : int;  (** total channel busy time *)
-  injected : int;  (** transient read errors injected *)
+  injected : int;  (** read-attempt errors injected *)
+  write_injected : int;  (** write-attempt errors injected *)
+  permanent : int;  (** injected errors marked permanent *)
   retries : int;
-  degraded : int;  (** requests that exhausted the retry budget *)
+  degraded : int;  (** requests served by the degraded worst-case pass *)
+  failed : int;  (** requests that terminally failed ({!failure}) *)
+  write_rolls_skipped : int;
+      (** write attempts never at risk ([write_error_prob = 0]) *)
   pending : int;
 }
 

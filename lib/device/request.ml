@@ -1,6 +1,13 @@
 type kind = Obs.Event.io = Demand | Prefetch | Writeback
 
-type t = { id : int; kind : kind; page : int; words : int; arrival_us : int }
+type t = {
+  id : int;
+  kind : kind;
+  page : int;
+  words : int;
+  arrival_us : int;
+  immune : bool;
+}
 
 let kind_name = Obs.Event.io_name
 
@@ -8,6 +15,6 @@ let rank = function Demand -> 0 | Prefetch -> 1 | Writeback -> 2
 
 let is_read = function Demand | Prefetch -> true | Writeback -> false
 
-let make ~id ~kind ~page ~words ~arrival_us =
+let make ?(immune = false) ~id ~kind ~page ~words ~arrival_us () =
   assert (id >= 0 && words >= 0 && arrival_us >= 0);
-  { id; kind; page; words; arrival_us }
+  { id; kind; page; words; arrival_us; immune }

@@ -7,7 +7,17 @@
 
 type kind = Obs.Event.io = Demand | Prefetch | Writeback
 
-type t = { id : int; kind : kind; page : int; words : int; arrival_us : int }
+type t = {
+  id : int;
+  kind : kind;
+  page : int;
+  words : int;
+  arrival_us : int;
+  immune : bool;
+      (** exempt from fault injection — the transport for recovery
+          re-fetches (e.g. a mirror read), which must not themselves be
+          failed by the chaos machinery *)
+}
 
 val kind_name : kind -> string
 
@@ -17,4 +27,7 @@ val rank : kind -> int
 
 val is_read : kind -> bool
 
-val make : id:int -> kind:kind -> page:int -> words:int -> arrival_us:int -> t
+val make :
+  ?immune:bool ->
+  id:int -> kind:kind -> page:int -> words:int -> arrival_us:int -> unit -> t
+(** [immune] defaults to [false]. *)

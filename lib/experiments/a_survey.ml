@@ -1,4 +1,4 @@
-let run ?(quick = false) ?obs:_ () =
+let run ?(quick = false) ?obs:_ ?seed:_ () =
   print_endline "== A: the appendix, as a measured survey ==\n";
   print_endline "--- the four basic characteristics ---\n";
   print_string (Machines.Survey.characteristics_table ());

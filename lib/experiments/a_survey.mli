@@ -5,4 +5,4 @@
     running each on a signature workload scaled to its own working
     storage. *)
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

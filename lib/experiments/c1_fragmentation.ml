@@ -105,14 +105,14 @@ let paged_row events page_size =
     detail = "internal (within pages)";
   }
 
-let measure ?(quick = false) () =
-  let rng = Sim.Rng.create 2024 in
+let measure ?(quick = false) ?seed () =
+  let rng = Sim.Rng.derive ?override:seed 2024 in
   let events = mix rng ~steps:(if quick then 2_000 else 20_000) in
   (boundary_tag_row events :: buddy_row events
    :: List.map (paged_row events) page_sizes)
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== C1: fragmentation is obscured, not prevented, by paging ==";
   print_endline "(one allocation mix; waste as a fraction of storage claimed)\n";
   Metrics.Table.print

@@ -42,7 +42,7 @@ let serve ?(obs = Obs.Sink.null) policy events =
     events;
   a
 
-let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
+let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
   let steps = if quick then 2_000 else 25_000 in
   (* A clockless allocator stamps events with its operation counter
      (at most one per stream event); shifting each policy's run by the
@@ -60,7 +60,7 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
       List.map
         (fun policy ->
           (* Same stream for every policy: same seed. *)
-          let events = make_events (Sim.Rng.create 77) in
+          let events = make_events (Sim.Rng.derive ?override:seed 77) in
           let a = serve ~obs:(seg ()) policy events in
           t_base := !t_base + List.length events;
           let sizes = Freelist.Allocator.free_block_sizes a in
@@ -76,8 +76,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
         Freelist.Policy.all_standard)
     (mixes ~steps)
 
-let run ?quick ?obs () =
-  let rows = measure ?quick ?obs () in
+let run ?quick ?obs ?seed () =
+  let rows = measure ?quick ?obs ?seed () in
   print_endline "== C2: placement strategies (variable unit of allocation) ==";
   print_endline "(same request stream to every policy; fixed 64K-word store)\n";
   Metrics.Table.print

@@ -18,9 +18,9 @@ type row = {
   largest_free : int;
 }
 
-val measure : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> row list
+val measure : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> row list
 (** With a sink, each allocator run reports alloc / free / split /
     coalesce events; runs are spliced with {!Obs.Sink.shift} so
     timestamps stay monotone. *)
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

@@ -19,8 +19,8 @@ let frame_points ~quick =
 
 let specs = Paging.Spec.all_practical @ [ Paging.Spec.Opt ]
 
-let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
-  let rng = Sim.Rng.create 555 in
+let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
+  let rng = Sim.Rng.derive ?override:seed 555 in
   (* Fault_sim stamps events with the reference index; shifting each run
      by the references already replayed keeps the stream monotone;
      segment boundaries mark where each policy/frame run restarts. *)
@@ -39,7 +39,7 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
             List.map
               (fun frames ->
                 let policy =
-                  Paging.Spec.instantiate spec ~rng:(Sim.Rng.create 9) ~trace:(Some trace)
+                  Paging.Spec.instantiate spec ~rng:(Sim.Rng.derive ?override:seed 9) ~trace:(Some trace)
                 in
                 let r =
                   Paging.Fault_sim.run ~obs:(seg ()) ~frames ~policy trace
@@ -61,8 +61,8 @@ let anomaly_rows () =
       (frames, fifo.Paging.Fault_sim.faults, lru.Paging.Fault_sim.faults))
     [ 1; 2; 3; 4; 5 ]
 
-let run ?quick ?obs () =
-  let curves = measure ?quick ?obs () in
+let run ?quick ?obs ?seed () =
+  let curves = measure ?quick ?obs ?seed () in
   print_endline "== C3: replacement strategies — fault rate vs memory size ==";
   let by_trace =
     List.sort_uniq compare (List.map (fun c -> c.trace_name) curves)

@@ -13,7 +13,7 @@ type curve = {
   points : (int * float) list;  (** frames, fault rate *)
 }
 
-val measure : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> curve list
+val measure : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> curve list
 (** With a sink, every simulated run reports fault / cold-fault /
     eviction events; runs are spliced with {!Obs.Sink.shift} (one unit
     of time per reference) so timestamps stay monotone. *)
@@ -22,4 +22,4 @@ val anomaly_rows : unit -> (int * int * int) list
 (** (frames, FIFO faults, LRU faults) on the canonical 12-reference
     string. *)
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

@@ -42,11 +42,11 @@ let stats variant engine =
     waiting_fraction = Metrics.Space_time.waiting_fraction (Paging.Demand.space_time engine);
   }
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?seed () =
   let refs_per_phase = if quick then 100 else 600 in
   let phases = if quick then 4 else 12 in
   let program lead =
-    Predictive.Phased.generate (Sim.Rng.create 31) ~page_size ~phases ~refs_per_phase
+    Predictive.Phased.generate (Sim.Rng.derive ?override:seed 31) ~page_size ~phases ~refs_per_phase
       ~pages_per_phase:6 ~total_pages ~lead
   in
   (* The reference string is identical for every lead (same seed), so
@@ -65,8 +65,8 @@ let measure ?(quick = false) () =
          stats (Printf.sprintf "advice, lead=%d refs" lead) engine)
        leads
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== C4: predictive information vs pure demand fetch ==";
   print_endline "(phased program; will-need issued before each phase switch)\n";
   Metrics.Table.print

@@ -58,8 +58,8 @@ let page_machine page_size =
          device = Device.Spec.legacy;
        })
 
-let measure ?(quick = false) () =
-  let rng = Sim.Rng.create 808 in
+let measure ?(quick = false) ?seed () =
+  let rng = Sim.Rng.derive ?override:seed 808 in
   let segments = segment_sizes rng in
   let refs = workload ~quick rng segments in
   let row_of_report (r : Dsas.System.report) ~words_per_fault ~waste =
@@ -99,8 +99,8 @@ let measure ?(quick = false) () =
   in
   seg_row :: page_rows
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== C5: unit of allocation — whole segments vs page frames ==";
   print_endline "(same segment-structured workload, same core size)\n";
   Metrics.Table.print

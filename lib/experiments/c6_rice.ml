@@ -82,17 +82,17 @@ let boundary_row ~pressure events =
     external_frag = Metrics.Fragmentation.external_of_free_blocks holes;
   }
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?seed () =
   let steps = if quick then 2_000 else 20_000 in
   List.concat_map
     (fun fill ->
       let pressure = Printf.sprintf "%.0f%% full" (100. *. fill) in
-      let events = stream (Sim.Rng.create 99) ~steps ~fill in
+      let events = stream (Sim.Rng.derive ?override:seed 99) ~steps ~fill in
       [ rice_row ~pressure events; boundary_row ~pressure events ])
     [ 0.5; 0.8; 0.95 ]
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== C6: Rice inactive-block chain vs immediate coalescing ==";
   print_endline "(same churn stream; chain combines only on demand)\n";
   Metrics.Table.print

@@ -9,7 +9,7 @@ type row = {
 
 let pages_per_job = 24
 
-let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
+let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
   let refs_per_job = if quick then 300 else 2_000 in
   let ks = if quick then [ 1; 4 ] else [ 1; 2; 3; 4; 6; 8 ] in
   let fetches = [ 500; 5_000 ] in
@@ -24,7 +24,7 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
     s
   in
   let one ~regime ~frames k fetch_us =
-    let rng = Sim.Rng.create (k + (fetch_us * 7)) in
+    let rng = Sim.Rng.derive ?override:seed (k + (fetch_us * 7)) in
     let jobs =
       Workload.Job.mix rng ~jobs:k ~refs_per_job ~pages_per_job ~locality:0.9
         ~compute_us_per_ref:15
@@ -54,8 +54,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
         ks)
     fetches
 
-let run ?quick ?obs () =
-  let rows = measure ?quick ?obs () in
+let run ?quick ?obs ?seed () =
+  let rows = measure ?quick ?obs ?seed () in
   print_endline "== C7: multiprogramming vs processor utilization ==";
   print_endline "(one processor, one backing-store channel, LRU over a shared pool)\n";
   Metrics.Table.print

@@ -16,9 +16,9 @@ type row = {
   elapsed_us : int;
 }
 
-val measure : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> row list
+val measure : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> row list
 (** With a sink, each scheduler run reports job_start / job_stop and
     fault / eviction events; runs are spliced with {!Obs.Sink.shift} by
     accumulated elapsed time so timestamps stay monotone. *)
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

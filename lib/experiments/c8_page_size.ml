@@ -14,9 +14,9 @@ let object_population ?(mean = 300.) rng =
       Workload.Alloc_stream.sample_size rng
         (Workload.Alloc_stream.Geometric { mean; min_size = 1 }))
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?seed () =
   let refs = if quick then 1_000 else 20_000 in
-  let rng = Sim.Rng.create 4242 in
+  let rng = Sim.Rng.derive ?override:seed 4242 in
   let objects = object_population (Sim.Rng.split rng) in
   let name_space_words = 1 lsl 17 in
   let trace =
@@ -26,7 +26,11 @@ let measure ?(quick = false) () =
   List.map
     (fun page_size ->
       let system = Machines.M44.with_page_size page_size in
-      let r = Dsas.System.run_linear system ~seed:5 trace in
+      let r =
+        Dsas.System.run_linear system
+          ~seed:(match seed with None -> 5 | Some s -> s lxor 5)
+          trace
+      in
       let table_entries = name_space_words / page_size in
       let waste = Machines.Multics.single_page_waste ~page:page_size ~object_words:objects in
       {
@@ -53,8 +57,8 @@ let measure ?(quick = false) () =
       })
     rows
 
-let dual_rows () =
-  let rng = Sim.Rng.create 4242 in
+let dual_rows ?seed () =
+  let rng = Sim.Rng.derive ?override:seed 4242 in
   (* MULTICS's dual sizes pay off on multi-page segments: bodies get
      1024-word pages (few table entries), tails get 64-word pages
      (little waste). *)
@@ -114,8 +118,8 @@ let table_entries_for ~small ~large segments =
       acc + body + ((tail + small - 1) / small))
     0 segments
 
-let measure_operational ?(quick = false) () =
-  let rng = Sim.Rng.create 808 in
+let measure_operational ?(quick = false) ?seed () =
+  let rng = Sim.Rng.derive ?override:seed 808 in
   let segments, pairs = segment_workload ~quick rng in
   let budget = 16_384 in
   let dual =
@@ -183,8 +187,8 @@ let measure_operational ?(quick = false) () =
   in
   [ dual; uniform 64; uniform 1024 ]
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== C8: choosing the page size ==";
   print_endline "(M44 page-size sweep: small pages cost table overhead, large pages waste space)\n";
   Metrics.Table.print
@@ -207,7 +211,7 @@ let run ?quick ?obs:_ () =
     (List.map
        (fun (name, waste, entries) ->
          [ name; string_of_int waste; string_of_int entries ])
-       (dual_rows ()));
+       (dual_rows ?seed ()));
   print_endline "\n--- the dual mechanism, operational (same 16K-word core budget) ---\n";
   Metrics.Table.print
     ~headers:[ "scheme"; "faults"; "core budget"; "resident utilization"; "table entries" ]
@@ -220,5 +224,5 @@ let run ?quick ?obs:_ () =
            Metrics.Table.fmt_pct r.resident_utilization;
            string_of_int r.table_cost;
          ])
-       (measure_operational ?quick ()));
+       (measure_operational ?quick ?seed ()));
   print_newline ()

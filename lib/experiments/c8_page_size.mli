@@ -18,9 +18,9 @@ type row = {
   combined_cost : float;  (** normalized overhead + waste *)
 }
 
-val measure : ?quick:bool -> unit -> row list
+val measure : ?quick:bool -> ?seed:int -> unit -> row list
 
-val dual_rows : unit -> (string * int * int) list
+val dual_rows : ?seed:int -> unit -> (string * int * int) list
 (** (scheme, wasted words, page-table entries) for MULTICS's dual sizes
     vs each uniform size on the same objects: the dual scheme matches
     the small page's waste at close to the large page's table cost. *)
@@ -33,9 +33,9 @@ type operational_row = {
   table_cost : int;  (** page-table entries for the whole segment set *)
 }
 
-val measure_operational : ?quick:bool -> unit -> operational_row list
+val measure_operational : ?quick:bool -> ?seed:int -> unit -> operational_row list
 (** The dual mechanism actually running ({!Segmentation.Dual_pager}),
     against uniform pagers at each size, all given the same words of
     core on a mixed small/large segment workload. *)
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

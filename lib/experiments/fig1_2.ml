@@ -53,7 +53,7 @@ let scattered_fraction () =
   in
   1. -. (float_of_int physically_adjacent /. float_of_int adjacent_pairs)
 
-let run ?(quick = false) ?obs:_ () =
+let run ?(quick = false) ?obs:_ ?seed:_ () =
   ignore quick;
   let engine = build () in
   print_endline "== F1/F2: artificial contiguity via a table of block addresses ==";

@@ -7,7 +7,7 @@
     addresses"), and verifies that a sweep over contiguous names reads
     back exactly the data placed at discontiguous physical addresses. *)
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit
 
 val scattered_fraction : unit -> float
 (** Fraction of adjacent name-space page pairs whose frames are {e not}

@@ -20,9 +20,9 @@ let devices =
     Memstore.Device.disk;
   ]
 
-let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
+let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
   let refs = if quick then 2_000 else 20_000 in
-  let rng = Sim.Rng.create 42 in
+  let rng = Sim.Rng.derive ?override:seed 42 in
   let pages = 24 in
   let extent = pages * page_size in
   (* Page-grained phases: each phase works a 6-page set that fits in
@@ -77,8 +77,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
   in
   List.map one devices
 
-let run ?quick ?obs () =
-  let rows = measure ?quick ?obs () in
+let run ?quick ?obs ?seed () =
+  let rows = measure ?quick ?obs ?seed () in
   print_endline "== F3: space-time product under demand paging ==";
   print_endline "(space occupied while awaiting pages vs while executing)\n";
   Metrics.Table.print

@@ -19,9 +19,9 @@ type row = {
   profile : string;  (** the rendered Fig. 3 silhouette of this run *)
 }
 
-val measure : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> row list
+val measure : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> row list
 (** With a sink, every device run reports its paging events; successive
     runs (each on a fresh clock) are spliced with {!Obs.Sink.shift} so
     timestamps stay monotone across the whole sweep. *)
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

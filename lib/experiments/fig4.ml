@@ -25,9 +25,9 @@ let workload ~quick rng =
   in
   (segments, Array.map pair seg_choice)
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?seed () =
   let one capacity =
-    let rng = Sim.Rng.create 1234 in
+    let rng = Sim.Rng.derive ?override:seed 1234 in
     let segments, refs = workload ~quick rng in
     let tlb =
       if capacity = 0 then None
@@ -60,8 +60,8 @@ let measure ?(quick = false) () =
   in
   List.map one capacities
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== F4: two-level mapping overhead vs associative memory size ==";
   print_endline "(segment table + page table walked on every associative miss)\n";
   Metrics.Table.print

@@ -17,6 +17,6 @@ type row = {
   overhead_vs_raw : float;  (** effective / raw single-access cost *)
 }
 
-val measure : ?quick:bool -> unit -> row list
+val measure : ?quick:bool -> ?seed:int -> unit -> row list
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

@@ -2,7 +2,7 @@ type entry = {
   id : string;
   title : string;
   paper_source : string;
-  run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit;
+  run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit;
 }
 
 let all =
@@ -128,6 +128,12 @@ let all =
       run = X8_devices.run;
     };
     {
+      id = "x9_resilience";
+      title = "failure semantics and load control (extension)";
+      paper_source = "Fetch Strategies (space-time product); Conclusions";
+      run = X9_resilience.run;
+    };
+    {
       id = "survey";
       title = "the appendix machines, measured";
       paper_source = "appendix A.1-A.7";
@@ -141,13 +147,13 @@ let find id =
 
 let ids = List.map (fun e -> e.id) all
 
-let run_all ?quick () =
+let run_all ?quick ?seed () =
   List.iter
     (fun e ->
-      e.run ?quick ();
+      e.run ?quick ?seed ();
       print_newline ())
     all
 
-let traced = [ "fig3"; "c2"; "c3"; "c7"; "x1"; "x8_devices" ]
+let traced = [ "fig3"; "c2"; "c3"; "c7"; "x1"; "x8_devices"; "x9_resilience" ]
 
 let is_traced id = List.mem (String.lowercase_ascii id) traced

@@ -5,7 +5,7 @@ type entry = {
   id : string;  (** e.g. "fig3", "c1" *)
   title : string;
   paper_source : string;  (** where in the paper the claim lives *)
-  run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit;
+  run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit;
       (** Every experiment accepts a sink; those listed in {!traced}
           actually report events through it, the rest ignore it. *)
 }
@@ -18,7 +18,7 @@ val find : string -> entry option
 val ids : string list
 (** Every experiment id, in registry order (for CLI error messages). *)
 
-val run_all : ?quick:bool -> unit -> unit
+val run_all : ?quick:bool -> ?seed:int -> unit -> unit
 
 val traced : string list
 (** Ids whose [run] genuinely emits events when given a sink. *)

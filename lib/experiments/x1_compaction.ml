@@ -109,9 +109,9 @@ let serve_two_ends ?(obs = Obs.Sink.null) events =
       Metrics.Fragmentation.external_of_free_blocks (Freelist.Allocator.free_block_sizes a);
   }
 
-let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
+let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
   let steps = if quick then 2_000 else 20_000 in
-  let events () = stream (Sim.Rng.create 313) ~steps ~period:200 in
+  let events () = stream (Sim.Rng.derive ?override:seed 313) ~steps ~period:200 in
   (* Clockless allocators stamp events with their operation counter; a
      compacting alloc can retry, so each variant advances time by at
      most twice its event count.  Shift keeps the spliced stream
@@ -131,8 +131,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) () =
     spliced (fun ~obs evs -> serve_two_ends ~obs evs);
   ]
 
-let run ?quick ?obs () =
-  let rows = measure ?quick ?obs () in
+let run ?quick ?obs ?seed () =
+  let rows = measure ?quick ?obs ?seed () in
   print_endline "== X1 (extension): compaction ablation ==";
   print_endline "(small-object churn + periodic large requests; best fit 32K words)\n";
   Metrics.Table.print

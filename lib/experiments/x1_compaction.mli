@@ -18,9 +18,9 @@ type row = {
   final_frag : float;
 }
 
-val measure : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> row list
+val measure : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> row list
 (** With a sink, each variant reports alloc / free / split / coalesce
     and (for the compacting variant) compaction_move events; variants
     are spliced with {!Obs.Sink.shift} so timestamps stay monotone. *)
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

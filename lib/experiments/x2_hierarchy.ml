@@ -15,9 +15,9 @@ let rules =
     ("promote after 8", Paging.Hierarchy.After 8);
   ]
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?seed () =
   let refs = if quick then 5_000 else 50_000 in
-  let rng = Sim.Rng.create 616 in
+  let rng = Sim.Rng.derive ?override:seed 616 in
   (* Zipf popularity: a few hot pages worth promoting, a long cold
      tail not worth it. *)
   let trace = Workload.Trace.zipf rng ~length:refs ~extent:256 ~skew:1.1 in
@@ -46,8 +46,8 @@ let measure ?(quick = false) () =
       })
     rules
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== X2 (extension): several levels of working storage ==";
   print_endline
     "(16 fast frames @1us over 96 bulk frames @8us over a drum; zipf references)\n";

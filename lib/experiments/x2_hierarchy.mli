@@ -16,6 +16,6 @@ type row = {
   effective_access_us : float;
 }
 
-val measure : ?quick:bool -> unit -> row list
+val measure : ?quick:bool -> ?seed:int -> unit -> row list
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

@@ -16,10 +16,10 @@ let compute_us_per_ref = 5
 
 (* A phased program; [density] controls how many of each phase's
    declared pages the references actually touch. *)
-let program ~quick ~dense seed =
+let program ~quick ~dense ?override seed =
   let refs_per_phase = if quick then 150 else 1_000 in
   let phases = if quick then 4 else 10 in
-  let rng = Sim.Rng.create seed in
+  let rng = Sim.Rng.derive ?override seed in
   let generated =
     Predictive.Phased.generate rng ~page_size ~phases ~refs_per_phase
       ~pages_per_phase:(if dense then pages_per_phase else 2)
@@ -77,9 +77,9 @@ let demand_paging ~workload (generated, _, _) =
     elapsed_us = Sim.Clock.now clock;
   }
 
-let measure ?(quick = false) () =
-  let dense = program ~quick ~dense:true 7 in
-  let sparse = program ~quick ~dense:false 7 in
+let measure ?(quick = false) ?seed () =
+  let dense = program ~quick ~dense:true ?override:seed 7 in
+  let sparse = program ~quick ~dense:false ?override:seed 7 in
   [
     static_overlay ~workload:"dense phases" dense;
     demand_paging ~workload:"dense phases" dense;
@@ -87,8 +87,8 @@ let measure ?(quick = false) () =
     demand_paging ~workload:"sparse phases" sparse;
   ]
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== X3 (extension): preplanned overlays vs dynamic allocation ==";
   print_endline
     "(overlay plan loads the declared worst-case set per phase in one batch;\n\

@@ -17,10 +17,10 @@ let page_size = 256
 (* The interactive schedule: rounds of (program, word-offsets touched).
    [touch_fraction] picks how much of the program one interaction
    uses. *)
-let schedule ~quick ~touch_fraction seed =
+let schedule ~quick ~touch_fraction ?override seed =
   let rounds = if quick then 6 else 30 in
   let refs_per_interaction = if quick then 200 else 1_000 in
-  let rng = Sim.Rng.create seed in
+  let rng = Sim.Rng.derive ?override seed in
   let region = max page_size (int_of_float (touch_fraction *. float_of_int program_size)) in
   List.concat
     (List.init rounds (fun _ ->
@@ -103,9 +103,9 @@ let paging_run ~touched schedule =
     elapsed_us = Sim.Clock.now clock;
   }
 
-let measure ?(quick = false) () =
-  let dense = schedule ~quick ~touch_fraction:0.9 11 in
-  let sparse = schedule ~quick ~touch_fraction:0.08 11 in
+let measure ?(quick = false) ?seed () =
+  let dense = schedule ~quick ~touch_fraction:0.9 ?override:seed 11 in
+  let sparse = schedule ~quick ~touch_fraction:0.08 ?override:seed 11 in
   [
     swapping_run ~touched:"~90% of program" dense;
     paging_run ~touched:"~90% of program" dense;
@@ -113,8 +113,8 @@ let measure ?(quick = false) () =
     paging_run ~touched:"~8% of program" sparse;
   ]
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== X4 (extension): whole-program swapping vs demand paging ==";
   print_endline
     "(6 programs x 4K words over 8K words of core, drum-backed, round-robin)\n";

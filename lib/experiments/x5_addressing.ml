@@ -99,7 +99,7 @@ let segmented_row ~quick =
 let measure ?(quick = false) () =
   [ absolute_row ~quick; relocated_row ~quick; paged_row ~quick; segmented_row ~quick ]
 
-let run ?quick ?obs:_ () =
+let run ?quick ?obs:_ ?seed:_ () =
   let rows = measure ?quick () in
   print_endline "== X5 (extension): one program, every addressing mechanism ==";
   print_endline "(fill an array then sum it; identical encoded program throughout)\n";

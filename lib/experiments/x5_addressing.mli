@@ -21,4 +21,4 @@ type row = {
 
 val measure : ?quick:bool -> unit -> row list
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

@@ -27,8 +27,8 @@ let programs ~quick rng =
 
 let frames_swept = [ 4; 8; 16; 24; 32; 48; 64; 96 ]
 
-let measure ?(quick = false) () =
-  let rng = Sim.Rng.create 2121 in
+let measure ?(quick = false) ?seed () =
+  let rng = Sim.Rng.derive ?override:seed 2121 in
   List.concat_map
     (fun (program, trace) ->
       let points =
@@ -49,8 +49,8 @@ let measure ?(quick = false) () =
         points)
     (programs ~quick rng)
 
-let run ?(quick = false) ?obs:_ () =
-  let rows = measure ~quick () in
+let run ?(quick = false) ?obs:_ ?seed () =
+  let rows = measure ~quick ?seed () in
   print_endline "== X6 (extension): sizing storage by the space-time product ==";
   print_endline
     "(LRU; ST = allotment x elapsed; the minimum marks the allotment the program is worth)\n";
@@ -74,7 +74,7 @@ let run ?(quick = false) ?obs:_ () =
       print_newline ())
     by_program;
   (* The variable-allotment alternative: hold exactly the working set. *)
-  let rng = Sim.Rng.create 2121 in
+  let rng = Sim.Rng.derive ?override:seed 2121 in
   print_endline
     "--- variable allotment: hold exactly W(t, tau=200) (working-set policy) ---\n";
   Metrics.Table.print

@@ -98,15 +98,15 @@ let regime_rows ~core_words ~regime ~segments ~refs =
     row_of_report multics_style ~regime ~note:"uniform 1024-word frames, two-level map";
   ]
 
-let measure ?(quick = false) () =
-  let rng = Sim.Rng.create 1914 in
+let measure ?(quick = false) ?seed () =
+  let rng = Sim.Rng.derive ?override:seed 1914 in
   let segments = make_segments (Sim.Rng.split rng) in
   let refs = make_refs ~quick (Sim.Rng.split rng) segments in
   regime_rows ~core_words:28_672 ~regime:"ample core" ~segments ~refs
   @ regime_rows ~core_words:16_384 ~regime:"tight core" ~segments ~refs
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== X7 (extension): the authors' recommendation, raced ==";
   print_endline "(48 small + 4 large segments, zipf popularity; two core sizes)\n";
   Metrics.Table.print

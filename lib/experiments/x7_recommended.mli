@@ -22,6 +22,6 @@ type row = {
   note : string;
 }
 
-val measure : ?quick:bool -> unit -> row list
+val measure : ?quick:bool -> ?seed:int -> unit -> row list
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

@@ -44,12 +44,12 @@ let scheds = [ ("fifo", Device.Sched.Fifo); ("satf", Device.Sched.Satf);
 
 (* --- C7-style: multiprogrammed utilization over a timed device --- *)
 
-let jobs_mix ~refs_per_job =
-  let rng = Sim.Rng.create 4242 in
+let jobs_mix ?seed ~refs_per_job () =
+  let rng = Sim.Rng.derive ?override:seed 4242 in
   Workload.Job.mix rng ~jobs:6 ~refs_per_job ~pages_per_job:24 ~locality:0.9
     ~compute_us_per_ref:15
 
-let run_multiprog ?(quick = false) ~device ~sched ~channels () =
+let run_multiprog ?(quick = false) ?seed ~device ~sched ~channels () =
   let refs_per_job = if quick then 300 else 1_500 in
   let _, geometry =
     match List.find_opt (fun (n, _) -> n = device) geometries with
@@ -65,7 +65,7 @@ let run_multiprog ?(quick = false) ~device ~sched ~channels () =
   let report =
     Dsas.Multiprog.run ~device:model ~frames:32 ~policy:(Paging.Replacement.lru ())
       ~fetch_us:5_000
-      (jobs_mix ~refs_per_job)
+      (jobs_mix ?seed ~refs_per_job ())
   in
   let stats = Device.Model.stats model in
   {
@@ -79,13 +79,13 @@ let run_multiprog ?(quick = false) ~device ~sched ~channels () =
     max_depth = stats.Device.Model.max_queue_depth;
   }
 
-let measure_multiprog ?quick () =
+let measure_multiprog ?quick ?seed () =
   List.concat_map
     (fun (device, _) ->
       List.concat_map
         (fun (sched, _) ->
           List.map
-            (fun channels -> run_multiprog ?quick ~device ~sched ~channels ())
+            (fun channels -> run_multiprog ?quick ?seed ~device ~sched ~channels ())
             (if device = "fixed" then [ 1 ] else [ 1; 2 ]))
         (if device = "fixed" then [ ("fifo", Device.Sched.Fifo) ] else scheds))
     geometries
@@ -96,8 +96,8 @@ let page_size = 256
 
 let frames = 12
 
-let st_trace ~refs =
-  let rng = Sim.Rng.create 42 in
+let st_trace ?seed ~refs () =
+  let rng = Sim.Rng.derive ?override:seed 42 in
   let pages = 24 in
   let page_trace =
     Workload.Trace.working_set_phases rng ~length:refs ~extent:pages ~set_size:6
@@ -137,9 +137,9 @@ let run_trace engine trace =
       else ignore (Paging.Demand.read engine name))
     trace
 
-let measure_spacetime ?(quick = false) ?(obs = Obs.Sink.null) () =
+let measure_spacetime ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
   let refs = if quick then 2_000 else 10_000 in
-  let trace = st_trace ~refs in
+  let trace = st_trace ?seed ~refs () in
   let t_base = ref 0 in
   let runs = ref 0 in
   let one config device_of =
@@ -183,9 +183,9 @@ let core_checksum engine trace =
     (fun acc name -> Int64.add acc (Paging.Demand.read engine name))
     0L trace
 
-let measure_faults ?(quick = false) () =
+let measure_faults ?(quick = false) ?seed () =
   let refs = if quick then 1_000 else 4_000 in
-  let trace = st_trace ~refs in
+  let trace = st_trace ?seed ~refs () in
   List.map
     (fun error_prob ->
       let fault =
@@ -264,16 +264,16 @@ let print_faults rows =
          ])
        rows)
 
-let run ?quick ?obs () =
+let run ?quick ?obs ?seed () =
   print_endline "== X8d (extension): timed backing-store devices ==";
   print_endline
     "(drum = 16 sectors/16ms rotation; disk adds seeks; fixed = flat 5ms.\n\
     \ satf = shortest-access-time-first, the ATLAS sector queue)\n";
-  print_multiprog (measure_multiprog ?quick ());
+  print_multiprog (measure_multiprog ?quick ?seed ());
   print_newline ();
-  print_spacetime (measure_spacetime ?quick ?obs ());
+  print_spacetime (measure_spacetime ?quick ?obs ?seed ());
   print_newline ();
-  print_faults (measure_faults ?quick ());
+  print_faults (measure_faults ?quick ?seed ());
   print_endline
     "(identical fault counts and checksums down the error column: injected\n\
     \ errors cost revolutions, never data -- and satf beats fifo wherever\n\

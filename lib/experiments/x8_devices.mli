@@ -34,13 +34,13 @@ type fault_row = {
   checksum : int64;  (** sum of every word the trace reads back *)
 }
 
-val measure_multiprog : ?quick:bool -> unit -> mp_row list
+val measure_multiprog : ?quick:bool -> ?seed:int -> unit -> mp_row list
 
-val measure_spacetime : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> st_row list
+val measure_spacetime : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> st_row list
 
-val measure_faults : ?quick:bool -> unit -> fault_row list
+val measure_faults : ?quick:bool -> ?seed:int -> unit -> fault_row list
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit
 
 val run_custom :
   ?quick:bool ->

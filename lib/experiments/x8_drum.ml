@@ -20,7 +20,7 @@ let request_stream rng ~count ~mean_gap_us =
         sector = Sim.Rng.int rng sectors;
       })
 
-let measure ?(quick = false) () =
+let measure ?(quick = false) ?seed () =
   let count = if quick then 400 else 4_000 in
   (* Load = expected requests arriving per revolution. *)
   let loads = [ 0.5; 1.0; 1.5; 2.; 6.; 12. ] in
@@ -29,7 +29,7 @@ let measure ?(quick = false) () =
       let mean_gap_us = float_of_int rotation_us /. load in
       List.map
         (fun (name, policy) ->
-          let rng = Sim.Rng.create 777 in
+          let rng = Sim.Rng.derive ?override:seed 777 in
           let drum = Memstore.Drum.create ~sectors ~rotation_us policy in
           let completions = Memstore.Drum.serve drum (request_stream rng ~count ~mean_gap_us) in
           let latency = Memstore.Drum.mean_latency_us completions in
@@ -43,8 +43,8 @@ let measure ?(quick = false) () =
           ("shortest access first", Memstore.Drum.Shortest_access) ])
     loads
 
-let run ?quick ?obs:_ () =
-  let rows = measure ?quick () in
+let run ?quick ?obs:_ ?seed () =
+  let rows = measure ?quick ?seed () in
   print_endline "== X8 (extension): scheduling the paging drum ==";
   Printf.printf "(%d sectors, %d us per revolution; exponential arrivals)\n\n" sectors
     rotation_us;

@@ -18,6 +18,6 @@ type row = {
   revolutions_per_page : float;  (** mean latency / rotation time *)
 }
 
-val measure : ?quick:bool -> unit -> row list
+val measure : ?quick:bool -> ?seed:int -> unit -> row list
 
-val run : ?quick:bool -> ?obs:Obs.Sink.t -> unit -> unit
+val run : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> unit

@@ -8,7 +8,7 @@ type code =
 type t = { file : string; line : int; col : int; code : code; message : string }
 
 val code_id : code -> string
-(** ["L1"].. ["L5"], ["parse"], ["pragma"]. *)
+(** ["L1"].. ["L6"], ["parse"], ["pragma"]. *)
 
 val code_slug : code -> string
 

@@ -23,6 +23,16 @@ let is_float_shaped (e : Parsetree.expression) =
      | _ -> false)
   | _ -> false
 
+let is_ignore lid =
+  match Longident.flatten lid with
+  | [ "ignore" ] | [ "Stdlib"; "ignore" ] -> true
+  | _ -> false
+
+(* Only applications: [ignore (f x)] hides what [f] returns, while
+   [ignore x] names a value whose binding is in plain sight. *)
+let is_application (e : Parsetree.expression) =
+  match e.pexp_desc with Pexp_apply _ -> true | _ -> false
+
 let is_equality lid =
   match Longident.flatten lid with
   | [ ("=" | "<>" | "==" | "!=") ] | [ "Stdlib"; ("=" | "<>" | "==" | "!=") ] -> true
@@ -75,6 +85,12 @@ let collect_violations structure =
        add Rule.L5 e.pexp_loc
          "float equality comparison: representation noise makes exact \
           comparison fragile; compare with a tolerance"
+     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, arg) ])
+       when is_ignore txt && is_application arg ->
+       add Rule.L6 e.pexp_loc
+         "ignore of a function application hides the discarded type (a \
+          result carrying a typed failure would vanish): discard with a \
+          type ascription (let (_ : t) = ...) or handle the value"
      | _ -> ());
     Ast_iterator.default_iterator.expr self e
   in
@@ -113,7 +129,8 @@ let lint_source ?(config = default_config) ~file source =
     let boundary = is_boundary config file in
     let violations =
       collect_violations structure
-      |> List.filter (fun (rule, _, _, _) -> not (boundary && rule = Rule.L4))
+      |> List.filter (fun (rule, _, _, _) ->
+             not (boundary && (rule = Rule.L4 || rule = Rule.L6)))
     in
     let used = Hashtbl.create 8 in
     let suppressed (rule, line, _, _) =

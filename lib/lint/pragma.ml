@@ -56,13 +56,13 @@ let parse_at ~lineno rest =
      | Error _ as e -> e
      | Ok scope ->
        (match next_word rest after_kw with
-        | None -> Error (lineno, "lint pragma names no rule (L1..L5)")
+        | None -> Error (lineno, "lint pragma names no rule (L1..L6)")
         | Some (rule_word, after_rule) ->
           (match Rule.of_string rule_word with
            | None ->
              Error
                ( lineno,
-                 Printf.sprintf "lint pragma names unknown rule %S (L1..L5)" rule_word )
+                 Printf.sprintf "lint pragma names unknown rule %S (L1..L6)" rule_word )
            | Some rule ->
              (* Anything substantive after the rule id is the reason;
                 the comment closer alone does not count. *)

@@ -1,8 +1,14 @@
-type t = L1 | L2 | L3 | L4 | L5
+type t = L1 | L2 | L3 | L4 | L5 | L6
 
-let all = [ L1; L2; L3; L4; L5 ]
+let all = [ L1; L2; L3; L4; L5; L6 ]
 
-let id = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | L4 -> "L4" | L5 -> "L5"
+let id = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | L4 -> "L4"
+  | L5 -> "L5"
+  | L6 -> "L6"
 
 let slug = function
   | L1 -> "nondeterminism"
@@ -10,6 +16,7 @@ let slug = function
   | L3 -> "hashtbl-order"
   | L4 -> "partial-function"
   | L5 -> "float-equality"
+  | L6 -> "ignored-result"
 
 let summary = function
   | L1 ->
@@ -31,6 +38,11 @@ let summary = function
     "no float equality (=, <>, ==, != on float operands): representation \
      noise makes exact comparison fragile; compare with a tolerance or \
      restructure"
+  | L6 ->
+    "no ignore of a function application in library code: the discarded \
+     type is invisible, so a result carrying a typed failure vanishes \
+     silently.  Discard with a type ascription (let (_ : t) = ... ) so the \
+     reader sees what is dropped, or handle the result"
 
 let of_string s =
   let s = String.trim s in

@@ -1,6 +1,25 @@
-type invariant = Schema | Clock | Io_pair | Queue_depth | Frames | Heap | Vocab
+type invariant =
+  | Schema
+  | Clock
+  | Io_pair
+  | Queue_depth
+  | Frames
+  | Heap
+  | Vocab
+  | Retry_bounded
+  | Restart_bounded
+  | No_lost_job
 
-let all_invariants = [ Schema; Clock; Io_pair; Queue_depth; Frames; Heap; Vocab ]
+let all_invariants =
+  [ Schema; Clock; Io_pair; Queue_depth; Frames; Heap; Vocab; Retry_bounded;
+    Restart_bounded; No_lost_job ]
+
+(* Sanity caps for the bounded-recovery invariants.  No engine config in
+   this repo goes anywhere near them; a trace that does is runaway
+   retry/restart machinery, which is exactly what they exist to catch. *)
+let retry_cap = 64
+
+let restart_cap = 16
 
 let invariant_id = function
   | Schema -> "schema"
@@ -10,6 +29,9 @@ let invariant_id = function
   | Frames -> "frames"
   | Heap -> "heap"
   | Vocab -> "vocab"
+  | Retry_bounded -> "retry-bounded"
+  | Restart_bounded -> "restart-bounded"
+  | No_lost_job -> "no-lost-job"
 
 let invariant_of_id s =
   List.find_opt (fun i -> invariant_id i = s) all_invariants
@@ -23,9 +45,9 @@ let invariant_doc = function
      non-decreasing (io_* events are exempt: a device stamps them with planned \
      service times, which may interleave out of order)"
   | Io_pair ->
-    "every io_start is answered by exactly one io_done with the same request \
-     id, page and kind, not earlier than the start; io_retry refers to a \
-     request that is in flight; nothing is left in flight at a run boundary"
+    "every io_start is answered by exactly one io_done or io_error with the \
+     same request id, page and kind; io_retry refers to a request that is in \
+     flight; nothing is left in flight at a run boundary"
   | Queue_depth ->
     "the number of in-flight device requests (io_start minus io_done, in \
      stream order) never goes negative"
@@ -39,6 +61,17 @@ let invariant_doc = function
   | Vocab ->
     "each run speaks one engine's event vocabulary (paging, allocator or \
      segmentation) — kinds from different engines never mix in a segment"
+  | Retry_bounded ->
+    "retries are bounded and well-formed: io_retry attempts per request count \
+     1, 2, 3, ... with no gaps, never exceed 64, and an io_error reports at \
+     least as many attempts as the retries it follows"
+  | Restart_bounded ->
+    "job restarts are bounded: job_abort restart counts per job count up by \
+     one from 1, never exceed 16, and abort only a running job"
+  | No_lost_job ->
+    "no job is lost: job_start/job_stop pair exactly per run, a shed job is \
+     re-admitted before it runs again or stops, and nothing is left running \
+     or shed at a run boundary"
 
 type violation = { line : int; invariant : invariant; message : string }
 
@@ -57,22 +90,26 @@ let profiles =
   [
     ( "paging",
       [ "fault"; "cold_fault"; "eviction"; "writeback"; "tlb_hit"; "tlb_miss";
-        "job_start"; "job_stop"; "io_start"; "io_done"; "io_retry" ] );
+        "job_start"; "job_stop"; "io_start"; "io_done"; "io_retry"; "io_error";
+        "job_abort"; "load_shed"; "load_admit" ] );
     ("allocator", [ "alloc"; "free"; "split"; "coalesce"; "compaction_move" ]);
     ( "segmentation",
       [ "segment_swap"; "compaction_move"; "job_start"; "job_stop"; "io_start";
-        "io_done"; "io_retry" ] );
+        "io_done"; "io_retry"; "io_error" ] );
   ]
 
 (* Mutable per-run state, reset at every run_start. *)
 type run_state = {
   mutable prev_t : int option;  (* last engine (non-io) timestamp *)
   opens : (int, int * int * Event.io) Hashtbl.t;  (* req -> line, page, kind *)
-  mutable depth : int;  (* io_start minus io_done, in stream order *)
+  mutable depth : int;  (* io_start minus io_done/io_error, in stream order *)
   resident : (int, unit) Hashtbl.t;
   fault_count : (int, int) Hashtbl.t;
   mutable balance : int;  (* allocated minus freed words *)
   mutable kinds : string list;  (* distinct kind names, first-seen order *)
+  retries : (int, int) Hashtbl.t;  (* req -> highest io_retry attempt seen *)
+  jobs : (int, [ `Running | `Shed ]) Hashtbl.t;  (* started, unstopped jobs *)
+  restarts : (int, int) Hashtbl.t;  (* job -> highest job_abort restart seen *)
 }
 
 let fresh_run () =
@@ -84,6 +121,9 @@ let fresh_run () =
     fault_count = Hashtbl.create 64;
     balance = 0;
     kinds = [];
+    retries = Hashtbl.create 16;
+    jobs = Hashtbl.create 16;
+    restarts = Hashtbl.create 16;
   }
 
 type checker = {
@@ -126,6 +166,13 @@ let finish_run c ~line =
       report_violation c ~line Io_pair
         "request %d (io_start at line %d) never completed" req start_line)
     (List.sort compare dangling);
+  (* lint: allow L3 — diagnostics are sorted by job id below *)
+  let live = Hashtbl.fold (fun job state acc -> (job, state) :: acc) c.run.jobs [] in
+  List.iter
+    (fun (job, state) ->
+      report_violation c ~line No_lost_job "job %d left %s at end of run" job
+        (match state with `Running -> "running" | `Shed -> "shed"))
+    (List.sort compare live);
   (match c.run.kinds with
    | [] -> ()
    | kinds ->
@@ -199,12 +246,51 @@ let feed c ~line (ev : Event.t) =
         if start_io <> io then
           report_violation c ~line Io_pair
             "request %d done as %s but started as %s (line %d)" req
-            (Event.io_name io) (Event.io_name start_io) start_line)
+            (Event.io_name io) (Event.io_name start_io) start_line);
+     Hashtbl.remove r.retries req
+   | Event.Io_error { req; page; io; attempts } ->
+     non_negative c ~line [ ("req", req); ("page", page) ];
+     positive c ~line [ ("attempts", attempts) ];
+     r.depth <- r.depth - 1;
+     if r.depth < 0 then
+       report_violation c ~line Queue_depth
+         "in-flight request count went negative (io_error for request %d)" req;
+     (match Hashtbl.find_opt r.opens req with
+      | None ->
+        report_violation c ~line Io_pair "io_error for request %d never started" req
+      | Some (start_line, start_page, start_io) ->
+        Hashtbl.remove r.opens req;
+        if start_page <> page then
+          report_violation c ~line Io_pair
+            "request %d failed with page %d but started with page %d (line %d)" req
+            page start_page start_line;
+        if start_io <> io then
+          report_violation c ~line Io_pair
+            "request %d failed as %s but started as %s (line %d)" req
+            (Event.io_name io) (Event.io_name start_io) start_line);
+     (match Hashtbl.find_opt r.retries req with
+      | Some seen when attempts < seen ->
+        report_violation c ~line Retry_bounded
+          "io_error for request %d reports %d attempts, fewer than the %d \
+           retries already seen"
+          req attempts seen
+      | Some _ | None -> ());
+     Hashtbl.remove r.retries req
    | Event.Io_retry { req; attempt } ->
      non_negative c ~line [ ("req", req) ];
      positive c ~line [ ("attempt", attempt) ];
      if not (Hashtbl.mem r.opens req) then
-       report_violation c ~line Io_pair "io_retry for request %d not in flight" req
+       report_violation c ~line Io_pair "io_retry for request %d not in flight" req;
+     let prev = match Hashtbl.find_opt r.retries req with Some n -> n | None -> 0 in
+     if attempt <> prev + 1 then
+       report_violation c ~line Retry_bounded
+         "io_retry attempt %d for request %d out of sequence (previous was %d)"
+         attempt req prev;
+     if attempt > retry_cap then
+       report_violation c ~line Retry_bounded
+         "request %d retried %d times, above the sanity cap of %d" req attempt
+         retry_cap;
+     Hashtbl.replace r.retries req (max attempt (prev + 1))
    | Event.Fault { page } ->
      check_clock c ~line ev.t_us;
      non_negative c ~line [ ("page", page) ];
@@ -270,9 +356,66 @@ let feed c ~line (ev : Event.t) =
      check_clock c ~line ev.t_us;
      non_negative c ~line [ ("segment", segment) ];
      positive c ~line [ ("words", words) ]
-   | Event.Job_start { job } | Event.Job_stop { job } ->
+   | Event.Job_start { job } ->
      check_clock c ~line ev.t_us;
-     non_negative c ~line [ ("job", job) ]);
+     non_negative c ~line [ ("job", job) ];
+     if Hashtbl.mem r.jobs job then
+       report_violation c ~line No_lost_job
+         "job %d started again while still live" job
+     else Hashtbl.replace r.jobs job `Running
+   | Event.Job_stop { job } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("job", job) ];
+     (match Hashtbl.find_opt r.jobs job with
+      | Some `Running -> Hashtbl.remove r.jobs job
+      | Some `Shed ->
+        report_violation c ~line No_lost_job
+          "job %d stopped while shed (never re-admitted)" job;
+        Hashtbl.remove r.jobs job
+      | None ->
+        report_violation c ~line No_lost_job "job %d stopped but never started" job)
+   | Event.Job_abort { job; restarts } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("job", job) ];
+     positive c ~line [ ("restarts", restarts) ];
+     (match Hashtbl.find_opt r.jobs job with
+      | Some `Running -> ()
+      | Some `Shed ->
+        report_violation c ~line Restart_bounded "job %d aborted while shed" job
+      | None ->
+        report_violation c ~line Restart_bounded
+          "job %d aborted but never started" job);
+     let prev = match Hashtbl.find_opt r.restarts job with Some n -> n | None -> 0 in
+     if restarts <> prev + 1 then
+       report_violation c ~line Restart_bounded
+         "job_abort restart count %d for job %d out of sequence (previous was %d)"
+         restarts job prev;
+     if restarts > restart_cap then
+       report_violation c ~line Restart_bounded
+         "job %d restarted %d times, above the sanity cap of %d" job restarts
+         restart_cap;
+     Hashtbl.replace r.restarts job (max restarts (prev + 1))
+   | Event.Load_shed { job } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("job", job) ];
+     (match Hashtbl.find_opt r.jobs job with
+      | Some `Running -> Hashtbl.replace r.jobs job `Shed
+      | Some `Shed ->
+        report_violation c ~line No_lost_job "job %d shed twice" job
+      | None ->
+        report_violation c ~line No_lost_job
+          "load_shed for job %d, which never started" job)
+   | Event.Load_admit { job } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("job", job) ];
+     (match Hashtbl.find_opt r.jobs job with
+      | Some `Shed -> Hashtbl.replace r.jobs job `Running
+      | Some `Running ->
+        report_violation c ~line No_lost_job
+          "load_admit for job %d, which is not shed" job
+      | None ->
+        report_violation c ~line No_lost_job
+          "load_admit for job %d, which never started" job));
   (match ev.kind with
    | Event.Run_start _ -> ()
    | _ -> if not (List.mem name r.kinds) then r.kinds <- name :: r.kinds)

@@ -15,17 +15,21 @@
 type invariant =
   | Schema  (** line parses as a known event with sane field values *)
   | Clock  (** engine timestamps monotone within a run (io_* exempt) *)
-  | Io_pair  (** io_start/io_done pair exactly, io_retry is in flight *)
+  | Io_pair  (** io_start closed by exactly one io_done/io_error *)
   | Queue_depth  (** in-flight request count never negative *)
   | Frames  (** fault/eviction/writeback/cold_fault conserve residency *)
   | Heap  (** freed words never exceed allocated words *)
   | Vocab  (** one engine's vocabulary per run segment *)
+  | Retry_bounded  (** retry attempts sequential and bounded per request *)
+  | Restart_bounded  (** job restarts count up by one and stay bounded *)
+  | No_lost_job  (** every started job stops; shed jobs are re-admitted *)
 
 val all_invariants : invariant list
 
 val invariant_id : invariant -> string
 (** Stable wire/CLI id: ["schema"], ["clock"], ["io-pair"],
-    ["queue-depth"], ["frames"], ["heap"], ["vocab"]. *)
+    ["queue-depth"], ["frames"], ["heap"], ["vocab"],
+    ["retry-bounded"], ["restart-bounded"], ["no-lost-job"]. *)
 
 val invariant_of_id : string -> invariant option
 

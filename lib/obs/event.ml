@@ -32,6 +32,10 @@ type kind =
   | Io_start of { req : int; page : int; io : io }
   | Io_done of { req : int; page : int; io : io }
   | Io_retry of { req : int; attempt : int }
+  | Io_error of { req : int; page : int; io : io; attempts : int }
+  | Job_abort of { job : int; restarts : int }
+  | Load_shed of { job : int }
+  | Load_admit of { job : int }
 
 type t = { t_us : int; kind : kind }
 
@@ -56,11 +60,16 @@ let kind_name = function
   | Io_start _ -> "io_start"
   | Io_done _ -> "io_done"
   | Io_retry _ -> "io_retry"
+  | Io_error _ -> "io_error"
+  | Job_abort _ -> "job_abort"
+  | Load_shed _ -> "load_shed"
+  | Load_admit _ -> "load_admit"
 
 let all_kind_names =
   [ "run_start"; "fault"; "cold_fault"; "eviction"; "writeback"; "tlb_hit"; "tlb_miss";
     "alloc"; "free"; "split"; "coalesce"; "compaction_move"; "segment_swap"; "job_start";
-    "job_stop"; "io_start"; "io_done"; "io_retry" ]
+    "job_stop"; "io_start"; "io_done"; "io_retry"; "io_error"; "job_abort"; "load_shed";
+    "load_admit" ]
 
 let fields_of_kind = function
   | Run_start { run } -> [ ("run", Json.Int run) ]
@@ -80,6 +89,11 @@ let fields_of_kind = function
   | Io_start { req; page; io } | Io_done { req; page; io } ->
     [ ("req", Json.Int req); ("page", Json.Int page); ("io", Json.String (io_name io)) ]
   | Io_retry { req; attempt } -> [ ("req", Json.Int req); ("attempt", Json.Int attempt) ]
+  | Io_error { req; page; io; attempts } ->
+    [ ("req", Json.Int req); ("page", Json.Int page); ("io", Json.String (io_name io));
+      ("attempts", Json.Int attempts) ]
+  | Job_abort { job; restarts } -> [ ("job", Json.Int job); ("restarts", Json.Int restarts) ]
+  | Load_shed { job } | Load_admit { job } -> [ ("job", Json.Int job) ]
 
 let to_json t =
   Json.obj
@@ -141,6 +155,20 @@ let of_json line =
         (match (int "req", int "attempt") with
          | Some req, Some attempt -> Some (Io_retry { req; attempt })
          | _ -> None)
+      | Some "io_error" ->
+        (match
+           (int "req", int "page", Option.bind (Json.mem_string fields "io") io_of_name,
+            int "attempts")
+         with
+         | Some req, Some page, Some io, Some attempts ->
+           Some (Io_error { req; page; io; attempts })
+         | _ -> None)
+      | Some "job_abort" ->
+        (match (int "job", int "restarts") with
+         | Some job, Some restarts -> Some (Job_abort { job; restarts })
+         | _ -> None)
+      | Some "load_shed" -> Option.map (fun job -> Load_shed { job }) (int "job")
+      | Some "load_admit" -> Option.map (fun job -> Load_admit { job }) (int "job")
       | Some _ | None -> None
     in
     (match (kind, int "t_us") with

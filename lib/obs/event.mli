@@ -57,6 +57,22 @@ type kind =
   | Io_retry of { req : int; attempt : int }
       (** attempt [attempt] of request [req] hit a transient read error
           and will be retried (or served degraded, past the bound) *)
+  | Io_error of { req : int; page : int; io : io; attempts : int }
+      (** terminal failure: the request gave up after [attempts]
+          service attempts (a permanent media error, or the retry
+          budget exhausted under an escalating fault policy).  Closes
+          the request like {!Io_done}; the data never arrived *)
+  | Job_abort of { job : int; restarts : int }
+      (** recovery: the job hit an unrecoverable fetch failure and was
+          aborted and restarted from the beginning — its [restarts]-th
+          restart.  The job keeps running; a job that exhausts its
+          restart budget emits {!Job_stop} instead and is reported
+          failed *)
+  | Load_shed of { job : int }
+      (** the load controller deactivated (swapped out) [job] because
+          the multiprogramming set was thrashing *)
+  | Load_admit of { job : int }
+      (** the load controller reactivated a previously shed job *)
 
 type t = { t_us : int; kind : kind }
 
@@ -67,7 +83,8 @@ val kind_name : kind -> string
     ["writeback"], ["tlb_hit"], ["tlb_miss"], ["alloc"], ["free"],
     ["split"], ["coalesce"], ["compaction_move"], ["segment_swap"],
     ["job_start"], ["job_stop"], ["io_start"], ["io_done"],
-    ["io_retry"]. *)
+    ["io_retry"], ["io_error"], ["job_abort"], ["load_shed"],
+    ["load_admit"]. *)
 
 val all_kind_names : string list
 (** Every wire name, in declaration order. *)

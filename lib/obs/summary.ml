@@ -71,7 +71,11 @@ let scan_jsonl filename =
   | ic ->
     let acc = acc_create () in
     let lineno = ref 0 in
-    let error = ref None in
+    (* Scan the whole file rather than stopping at the first bad line:
+       a truncated or interleaved trace usually has more than one, and
+       the caller wants them all in one pass. *)
+    let bad = ref [] in
+    let bad_count = ref 0 in
     (try
        let rec loop () =
          match input_line ic with
@@ -82,13 +86,16 @@ let scan_jsonl filename =
              match Event.of_json trimmed with
              | Some ev -> acc_add acc ev
              | None ->
-               if !error = None then
-                 error :=
-                   Some
-                     (Printf.sprintf "%s: line %d: not an event: %S" filename
-                        !lineno trimmed)
+               incr bad_count;
+               if !bad_count <= 5 then
+                 bad :=
+                   Printf.sprintf "line %d: not an event: %S" !lineno
+                     (if String.length trimmed > 60 then
+                        String.sub trimmed 0 60 ^ "..."
+                      else trimmed)
+                   :: !bad
            end;
-           if !error = None then loop ()
+           loop ()
          | exception End_of_file -> ()
        in
        loop ();
@@ -96,7 +103,14 @@ let scan_jsonl filename =
      with e ->
        close_in_noerr ic;
        raise e);
-    (match !error with None -> Ok (acc_finish acc) | Some msg -> Error msg)
+    if !bad_count = 0 then Ok (acc_finish acc)
+    else
+      Error
+        (Printf.sprintf "%s: %d malformed line(s)\n  %s%s" filename !bad_count
+           (String.concat "\n  " (List.rev !bad))
+           (if !bad_count > 5 then
+              Printf.sprintf "\n  (... %d more not shown)" (!bad_count - 5)
+            else ""))
 
 let trace_stats_to_json t =
   Json.obj

@@ -9,9 +9,12 @@ type config = {
   compute_us_per_ref : int;
 }
 
+type recovery = Mirror | Surface
+
 type t = {
   cfg : config;
   device : Device.Model.t option;  (* timed backing store; None = flat latency *)
+  recovery : recovery;
   page_table : Page_table.t;
   frame_table : Frame_table.t;
   ready_at : int array;  (* per page: completion time of an in-flight fetch *)
@@ -25,9 +28,11 @@ type t = {
   mutable writebacks : int;
   mutable prefetches : int;
   mutable advice_releases : int;
+  mutable mirror_fetches : int;
+  mutable hard_failures : int;
 }
 
-let create ?(obs = Obs.Sink.null) ?device cfg =
+let create ?(obs = Obs.Sink.null) ?device ?(recovery = Mirror) cfg =
   assert (cfg.page_size > 0 && cfg.frames > 0 && cfg.pages > 0);
   assert (Memstore.Level.size cfg.core >= cfg.frames * cfg.page_size);
   assert (Memstore.Level.size cfg.backing >= cfg.pages * cfg.page_size);
@@ -35,6 +40,7 @@ let create ?(obs = Obs.Sink.null) ?device cfg =
   {
     cfg;
     device;
+    recovery;
     page_table = Page_table.create ~pages:cfg.pages;
     frame_table = Frame_table.create ~frames:cfg.frames;
     ready_at = Array.make cfg.pages 0;
@@ -48,6 +54,8 @@ let create ?(obs = Obs.Sink.null) ?device cfg =
     writebacks = 0;
     prefetches = 0;
     advice_releases = 0;
+    mirror_fetches = 0;
+    hard_failures = 0;
   }
 
 let clock t = Memstore.Level.clock t.cfg.core
@@ -88,19 +96,23 @@ let evict_page t page =
        backing device is busy, delaying any fetch queued behind it. *)
     (match t.device with
      | None ->
-       ignore
-         (Memstore.Level.transfer_async ~src:t.cfg.core
-            ~src_off:(frame * t.cfg.page_size) ~dst:t.cfg.backing
-            ~dst_off:(page * t.cfg.page_size) ~len:t.cfg.page_size)
+       let (_ : int) =
+         Memstore.Level.transfer_async ~src:t.cfg.core
+           ~src_off:(frame * t.cfg.page_size) ~dst:t.cfg.backing
+           ~dst_off:(page * t.cfg.page_size) ~len:t.cfg.page_size
+       in
+       ()
      | Some m ->
        Memstore.Physical.blit
          ~src:(Memstore.Level.physical t.cfg.core)
          ~src_off:(frame * t.cfg.page_size)
          ~dst:(Memstore.Level.physical t.cfg.backing)
          ~dst_off:(page * t.cfg.page_size) ~len:t.cfg.page_size;
-       ignore
-         (Device.Model.submit m ~now:(Sim.Clock.now (clock t))
-            ~kind:Device.Request.Writeback ~page ~words:t.cfg.page_size));
+       let (_ : int) =
+         Device.Model.submit m ~now:(Sim.Clock.now (clock t))
+           ~kind:Device.Request.Writeback ~page ~words:t.cfg.page_size
+       in
+       ());
     t.writebacks <- t.writebacks + 1;
     if t.tracing then emit t (Writeback { page })
   end;
@@ -122,31 +134,66 @@ let free_a_frame t =
      | Some frame -> frame
      | None -> assert false)
 
-(* Start the page moving from backing store into a frame; the recorded
-   ready time is when the data is usable.  With a device model the
-   completion is forced now: queued traffic the policy puts ahead (an
-   earlier write-back under FIFO, say) delays it, exactly the
-   contention the flat path approximated with [busy_until]. *)
-let start_fetch t ~kind ~page ~frame =
-  let finish =
-    match t.device with
-    | None ->
-      Memstore.Level.transfer_async ~src:t.cfg.backing
-        ~src_off:(page * t.cfg.page_size) ~dst:t.cfg.core
-        ~dst_off:(frame * t.cfg.page_size) ~len:t.cfg.page_size
-    | Some m ->
-      Memstore.Physical.blit
-        ~src:(Memstore.Level.physical t.cfg.backing)
-        ~src_off:(page * t.cfg.page_size)
-        ~dst:(Memstore.Level.physical t.cfg.core)
-        ~dst_off:(frame * t.cfg.page_size) ~len:t.cfg.page_size;
-      Device.Model.fetch m ~now:(Sim.Clock.now (clock t)) ~kind ~page
-        ~words:t.cfg.page_size
-  in
+let install t ~page ~frame ~finish =
   Frame_table.assign t.frame_table ~frame ~page;
   Page_table.install t.page_table ~page ~frame;
   t.ready_at.(page) <- finish;
   t.cfg.policy.Replacement.on_load ~page
+
+(* Start the page moving from backing store into a frame; the recorded
+   ready time is when the data is usable.  With a device model the
+   completion is forced now: queued traffic the policy puts ahead (an
+   earlier write-back under FIFO, say) delays it, exactly the
+   contention the flat path approximated with [busy_until].
+
+   A terminal device failure (only possible under a [Fault.Fail]
+   escalation policy) is handled per the engine's recovery mode:
+   [Mirror] re-reads the page over a fault-immune path — the duplexed
+   copy — paying the extra queueing delay but always succeeding;
+   [Surface] leaves the page non-resident and hands the typed failure
+   to the caller. *)
+let start_fetch t ~kind ~page ~frame =
+  match t.device with
+  | None ->
+    let finish =
+      Memstore.Level.transfer_async ~src:t.cfg.backing
+        ~src_off:(page * t.cfg.page_size) ~dst:t.cfg.core
+        ~dst_off:(frame * t.cfg.page_size) ~len:t.cfg.page_size
+    in
+    install t ~page ~frame ~finish;
+    Ok ()
+  | Some m ->
+    Memstore.Physical.blit
+      ~src:(Memstore.Level.physical t.cfg.backing)
+      ~src_off:(page * t.cfg.page_size)
+      ~dst:(Memstore.Level.physical t.cfg.core)
+      ~dst_off:(frame * t.cfg.page_size) ~len:t.cfg.page_size;
+    (match
+       Device.Model.fetch_result m ~now:(Sim.Clock.now (clock t)) ~kind ~page
+         ~words:t.cfg.page_size
+     with
+     | Ok finish ->
+       install t ~page ~frame ~finish;
+       Ok ()
+     | Error f ->
+       (match t.recovery with
+        | Mirror ->
+          t.mirror_fetches <- t.mirror_fetches + 1;
+          (match
+             Device.Model.fetch_result ~immune:true m ~now:f.at_us ~kind ~page
+               ~words:t.cfg.page_size
+           with
+           | Ok finish ->
+             install t ~page ~frame ~finish;
+             Ok ()
+           | Error _ -> assert false (* immune requests never fail *))
+        | Surface ->
+          t.hard_failures <- t.hard_failures + 1;
+          (* The program waited for the failed transfer; charge it, and
+             keep later events (the retracting eviction) monotone with
+             the io_error the device just emitted. *)
+          Sim.Clock.advance_to (clock t) f.at_us;
+          Error (Resilience.Failure.of_device f)))
 
 let fault t page =
   t.faults <- t.faults + 1;
@@ -158,7 +205,13 @@ let fault t page =
     end
   end;
   let frame = free_a_frame t in
-  start_fetch t ~kind:Device.Request.Demand ~page ~frame
+  match start_fetch t ~kind:Device.Request.Demand ~page ~frame with
+  | Ok () -> Ok ()
+  | Error f ->
+    (* The fetch never landed: retract the page so the trace's
+       residency stays conserved (the fault above announced it). *)
+    if t.tracing then emit t (Eviction { page });
+    Error f
 
 (* Wait for an in-flight fetch of a now-resident page to land. *)
 let await t page =
@@ -193,7 +246,7 @@ let translate t page =
           Some frame
         | None -> None))
 
-let touch t name ~write =
+let touch_result t name ~write =
   let page = name / t.cfg.page_size and offset = name mod t.cfg.page_size in
   if page < 0 || page >= t.cfg.pages then
     raise
@@ -207,31 +260,66 @@ let touch t name ~write =
     match translate t page with
     | Some frame ->
       await t page;
-      frame
+      Ok frame
     | None ->
-      timed t Metrics.Space_time.Waiting (fun () -> fault t page);
-      await t page;
-      (match Page_table.frame_of t.page_table page with
-       | Some frame ->
-         (match t.cfg.tlb with
-          | Some tlb -> Tlb.insert tlb ~key:page ~value:frame
-          | None -> ());
-         frame
-       | None -> assert false)
+      (match timed t Metrics.Space_time.Waiting (fun () -> fault t page) with
+       | Error _ as e -> e
+       | Ok () ->
+         await t page;
+         (match Page_table.frame_of t.page_table page with
+          | Some frame ->
+            (match t.cfg.tlb with
+             | Some tlb -> Tlb.insert tlb ~key:page ~value:frame
+             | None -> ());
+            Ok frame
+          | None -> assert false))
   in
-  if write then Page_table.mark_modified t.page_table ~page
-  else Page_table.mark_used t.page_table ~page;
-  (frame * t.cfg.page_size) + offset
+  match frame with
+  | Error _ as e -> e
+  | Ok frame ->
+    if write then Page_table.mark_modified t.page_table ~page
+    else Page_table.mark_used t.page_table ~page;
+    Ok ((frame * t.cfg.page_size) + offset)
+
+(* Under the default [Mirror] recovery every fetch succeeds, so the
+   raising wrappers below can never actually raise; they exist for the
+   engines and experiments that predate typed failures. *)
+let touch t name ~write =
+  match touch_result t name ~write with
+  | Ok addr -> addr
+  (* lint: allow L4 — legacy wrapper; unreachable under the default Mirror recovery, documented to raise otherwise *)
+  | Error f -> failwith (Resilience.Failure.to_string f)
+
+let read_result t name =
+  match touch_result t name ~write:false with
+  | Error _ as e -> e
+  | Ok core_addr ->
+    Ok
+      (timed t Metrics.Space_time.Active (fun () ->
+           Memstore.Level.read t.cfg.core core_addr))
 
 let read t name =
   let core_addr = touch t name ~write:false in
   timed t Metrics.Space_time.Active (fun () -> Memstore.Level.read t.cfg.core core_addr)
 
+let write_result t name v =
+  match touch_result t name ~write:true with
+  | Error _ as e -> e
+  | Ok core_addr ->
+    Ok
+      (timed t Metrics.Space_time.Active (fun () ->
+           Memstore.Level.write t.cfg.core core_addr v))
+
 let write t name v =
   let core_addr = touch t name ~write:true in
   timed t Metrics.Space_time.Active (fun () -> Memstore.Level.write t.cfg.core core_addr v)
 
-let run t trace = Array.iter (fun name -> ignore (read t name)) trace
+let run t trace =
+  Array.iter
+    (fun name ->
+      let (_ : int64) = read t name in
+      ())
+    trace
 
 let frame_of t ~page = Page_table.frame_of t.page_table page
 
@@ -240,8 +328,9 @@ let advise_will_need t ~page =
     match Frame_table.find_free t.frame_table with
     | None -> ()  (* advisory: no free frame, no prefetch *)
     | Some frame ->
-      start_fetch t ~kind:Device.Request.Prefetch ~page ~frame;
-      t.prefetches <- t.prefetches + 1
+      (match start_fetch t ~kind:Device.Request.Prefetch ~page ~frame with
+       | Ok () -> t.prefetches <- t.prefetches + 1
+       | Error _ -> ()  (* advisory: a failed prefetch is no prefetch *))
   end
 
 let advise_wont_need t ~page =
@@ -257,7 +346,10 @@ let lock t ~page =
   (match frame_of t ~page with
    | None ->
      let frame = free_a_frame t in
-     start_fetch t ~kind:Device.Request.Prefetch ~page ~frame;
+     (match start_fetch t ~kind:Device.Request.Prefetch ~page ~frame with
+      | Ok () -> ()
+      (* lint: allow L4 — unreachable under the default Mirror recovery, documented to raise otherwise *)
+      | Error f -> failwith (Resilience.Failure.to_string f));
      await t page
    | Some _ -> ());
   Page_table.lock t.page_table ~page;
@@ -277,6 +369,10 @@ let writebacks t = t.writebacks
 let prefetches t = t.prefetches
 
 let advice_releases t = t.advice_releases
+
+let mirror_fetches t = t.mirror_fetches
+
+let hard_failures t = t.hard_failures
 
 let space_time t = t.space_time
 

@@ -27,7 +27,17 @@ type config = {
 
 type t
 
-val create : ?obs:Obs.Sink.t -> ?device:Device.Model.t -> config -> t
+type recovery =
+  | Mirror
+      (** re-read a terminally-failed fetch over a fault-immune path
+          (the duplexed copy): always succeeds, costs the extra
+          queueing delay.  The default. *)
+  | Surface
+      (** hand the typed failure to the caller; the page stays
+          non-resident *)
+
+val create :
+  ?obs:Obs.Sink.t -> ?device:Device.Model.t -> ?recovery:recovery -> config -> t
 (** Page [p] of the name space lives at backing offset [p * page_size];
     frame [f] occupies core offset [f * page_size].
 
@@ -47,11 +57,21 @@ val create : ?obs:Obs.Sink.t -> ?device:Device.Model.t -> config -> t
 
 val read : t -> int -> int64
 (** [read t name] references word [name] of the linear name space,
-    faulting it in if needed, and returns its value. *)
+    faulting it in if needed, and returns its value.  Under [Surface]
+    recovery a terminal fetch failure raises [Failure]; use
+    {!read_result} to handle it. *)
 
 val write : t -> int -> int64 -> unit
 (** Write reference; sets the page's modified bit, so eviction will copy
     it back to backing storage. *)
+
+val read_result : t -> int -> (int64, Resilience.Failure.t) result
+(** Like {!read}, but a terminal fetch failure (possible only under
+    [Surface] recovery with a [Fail]-escalation device) returns
+    [Error]: the page is not installed, and the reference can be
+    retried or the job aborted by the layer above. *)
+
+val write_result : t -> int -> int64 -> (unit, Resilience.Failure.t) result
 
 val run : t -> Workload.Trace.t -> unit
 (** Issue a read for every word address in the trace. *)
@@ -90,6 +110,12 @@ val prefetches : t -> int
 (** Prefetches actually issued from {!advise_will_need}. *)
 
 val advice_releases : t -> int
+
+val mirror_fetches : t -> int
+(** Terminal fetch failures recovered by the [Mirror] re-read. *)
+
+val hard_failures : t -> int
+(** Terminal fetch failures surfaced to the caller ([Surface] mode). *)
 
 val resident_count : t -> int
 

@@ -26,6 +26,7 @@ type t = {
   mutable promotions : int;
   mutable fast_hits : int;
   mutable elapsed_us : int;
+  mutable hard_failures : int;
 }
 
 let create cfg =
@@ -40,6 +41,7 @@ let create cfg =
     promotions = 0;
     fast_hits = 0;
     elapsed_us = 0;
+    hard_failures = 0;
   }
 
 let lru_victim table =
@@ -86,7 +88,11 @@ let should_promote t entry =
   | After k -> entry.touches >= k
   | Never -> false
 
-let touch t ~page =
+(* The hierarchy sits below the layers with a redundant copy to fall
+   back on, so its recovery policy is Surface: a terminal drum failure
+   leaves the page absent and is handed to the caller, who decides
+   (the wall-clock cost of the failed attempts is still charged). *)
+let touch_result t ~page =
   t.refs <- t.refs + 1;
   t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.fast page with
@@ -94,29 +100,51 @@ let touch t ~page =
     entry.last_use <- t.tick;
     entry.touches <- entry.touches + 1;
     t.fast_hits <- t.fast_hits + 1;
-    t.elapsed_us <- t.elapsed_us + t.cfg.fast_us
+    t.elapsed_us <- t.elapsed_us + t.cfg.fast_us;
+    Ok ()
   | None ->
     (match Hashtbl.find_opt t.bulk page with
      | Some entry ->
        entry.last_use <- t.tick;
        entry.touches <- entry.touches + 1;
        t.elapsed_us <- t.elapsed_us + t.cfg.bulk_us;
-       if should_promote t entry then promote t page entry
+       if should_promote t entry then promote t page entry;
+       Ok ()
      | None ->
        (* Drum fault: always lands in the bulk level first. *)
        t.faults <- t.faults + 1;
-       (match t.cfg.device with
-        | None -> t.elapsed_us <- t.elapsed_us + t.cfg.fetch_us + t.cfg.bulk_us
-        | Some m ->
-          let fin =
-            Device.Model.fetch m ~now:t.elapsed_us ~kind:Device.Request.Demand ~page
-              ~words:0
-          in
-          t.elapsed_us <- fin + t.cfg.bulk_us);
-       ensure_bulk_room t;
-       let entry = { last_use = t.tick; touches = 1 } in
-       Hashtbl.replace t.bulk page entry;
-       if should_promote t entry then promote t page entry)
+       let fetched =
+         match t.cfg.device with
+         | None ->
+           t.elapsed_us <- t.elapsed_us + t.cfg.fetch_us + t.cfg.bulk_us;
+           Ok ()
+         | Some m ->
+           (match
+              Device.Model.fetch_result m ~now:t.elapsed_us
+                ~kind:Device.Request.Demand ~page ~words:0
+            with
+            | Ok fin ->
+              t.elapsed_us <- fin + t.cfg.bulk_us;
+              Ok ()
+            | Error f ->
+              t.hard_failures <- t.hard_failures + 1;
+              t.elapsed_us <- max t.elapsed_us f.at_us;
+              Error (Resilience.Failure.of_device f))
+       in
+       (match fetched with
+        | Error _ as e -> e
+        | Ok () ->
+          ensure_bulk_room t;
+          let entry = { last_use = t.tick; touches = 1 } in
+          Hashtbl.replace t.bulk page entry;
+          if should_promote t entry then promote t page entry;
+          Ok ()))
+
+let touch t ~page =
+  match touch_result t ~page with
+  | Ok () -> ()
+  (* lint: allow L4 — legacy wrapper; unreachable without a Fail-escalation device, documented to raise otherwise *)
+  | Error f -> failwith (Resilience.Failure.to_string f)
 
 let run t trace = Array.iter (fun page -> touch t ~page) trace
 
@@ -127,6 +155,8 @@ let faults t = t.faults
 let promotions t = t.promotions
 
 let fast_hits t = t.fast_hits
+
+let hard_failures t = t.hard_failures
 
 let elapsed_us t = t.elapsed_us
 

@@ -39,7 +39,15 @@ val touch : t -> page:int -> unit
 (** One reference.  Served from fast core if the page is there; else
     from bulk core (possibly triggering promotion); else faulted in
     from the drum.  Demotion/eviction is LRU at each level; a page
-    demoted from fast core returns to the bulk level. *)
+    demoted from fast core returns to the bulk level.  A terminal drum
+    failure (only under a [Fail]-escalation device) raises [Failure];
+    use {!touch_result} to handle it. *)
+
+val touch_result : t -> page:int -> (unit, Resilience.Failure.t) result
+(** Like {!touch}, but a terminal drum failure returns [Error]: the
+    page is not installed (a later touch faults again), the failed
+    attempts' wall-clock cost is still charged, and the caller decides
+    — the hierarchy's recovery policy is to surface. *)
 
 val run : t -> Workload.Trace.t -> unit
 (** Touch every page number in the trace. *)
@@ -52,6 +60,9 @@ val faults : t -> int
 val promotions : t -> int
 
 val fast_hits : t -> int
+
+val hard_failures : t -> int
+(** Terminal drum failures surfaced to the caller. *)
 
 val elapsed_us : t -> int
 (** Total access cost charged. *)

@@ -17,7 +17,9 @@ let apply engine = function
 let run_annotated engine steps =
   Array.iter
     (function
-      | Reference addr -> ignore (Paging.Demand.read engine addr)
+      | Reference addr ->
+        let (_ : int64) = Paging.Demand.read engine addr in
+        ()
       | Advice directive -> apply engine directive)
     steps
 

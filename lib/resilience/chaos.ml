@@ -1,0 +1,98 @@
+type scenario = {
+  name : string;
+  run :
+    seed:int ->
+    fault:Device.Fault.config ->
+    obs:Obs.Sink.t ->
+    (string * int) list;
+}
+
+type run_result = {
+  scenario : string;
+  index : int;
+  fault : Device.Fault.config;
+  counters : (string * int) list;
+  events : int;
+  check : Obs.Check.report;
+}
+
+type summary = {
+  runs : run_result list;
+  total_events : int;
+  violations : int;
+  totals : (string * int) list;  (* counters summed across runs, first-seen order *)
+}
+
+(* One randomized-but-reproducible fault configuration.  Escalation is
+   always [Fail]: chaos exists to exercise the recovery paths, and
+   [Degrade] never surfaces a failure.  Every draw comes from the
+   caller's rng, so a fixed chaos seed fixes the whole schedule. *)
+let schedule rng =
+  let read_error_prob = 0.05 +. Sim.Rng.float rng 0.4 in
+  let write_error_prob = if Sim.Rng.bool rng then Sim.Rng.float rng 0.25 else 0. in
+  let permanent_prob = Sim.Rng.float rng 0.3 in
+  let max_retries = Sim.Rng.int rng 4 in
+  Device.Fault.config
+    ~seed:(Sim.Rng.int rng 0x3FFFFFFF)
+    ~max_retries ~write_error_prob ~permanent_prob ~on_exhausted:Device.Fault.Fail
+    ~read_error_prob ()
+
+let add_counters totals counters =
+  List.fold_left
+    (fun totals (k, v) ->
+      match List.assoc_opt k totals with
+      | Some _ -> List.map (fun (k', v') -> if k' = k then (k', v' + v) else (k', v')) totals
+      | None -> totals @ [ (k, v) ])
+    totals counters
+
+let run ?(trace = Obs.Sink.null) ?progress ~scenarios ~runs ~seed () =
+  assert (runs >= 1 && scenarios <> []);
+  let rng = Sim.Rng.create seed in
+  let n = List.length scenarios in
+  let results = ref [] in
+  let offset = ref 0 in
+  for index = 0 to runs - 1 do
+    let scenario = List.nth scenarios (index mod n) in
+    let fault = schedule rng in
+    let run_seed = Sim.Rng.int rng 0x3FFFFFFF in
+    let buffer = ref [] in
+    let collect = Obs.Sink.collect (fun ev -> buffer := ev :: !buffer) in
+    (* One segment per run splices everything — the collected stream
+       and the optional JSONL trace — into one monotone multi-run
+       stream that Obs.Check can scope. *)
+    let obs =
+      Obs.Sink.segment ~run:index ~offset:!offset (Obs.Sink.tee collect trace)
+    in
+    let counters = scenario.run ~seed:run_seed ~fault ~obs in
+    let events = List.rev !buffer in
+    List.iter
+      (fun (ev : Obs.Event.t) -> if ev.t_us > !offset then offset := ev.t_us)
+    events;
+    incr offset;
+    let check = Obs.Check.check_events events in
+    results :=
+      {
+        scenario = scenario.name;
+        index;
+        fault;
+        counters;
+        events = List.length events;
+        check;
+      }
+      :: !results;
+    (match progress with Some f -> f index | None -> ())
+  done;
+  let runs = List.rev !results in
+  let violation_count (r : Obs.Check.report) =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 r.counts
+  in
+  {
+    runs;
+    total_events = List.fold_left (fun acc r -> acc + r.events) 0 runs;
+    violations = List.fold_left (fun acc r -> acc + violation_count r.check) 0 runs;
+    totals = List.fold_left (fun acc r -> add_counters acc r.counters) [] runs;
+  }
+
+let ok s = s.violations = 0
+
+let counter s name = match List.assoc_opt name s.totals with Some n -> n | None -> 0

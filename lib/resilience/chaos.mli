@@ -1,0 +1,66 @@
+(** The seeded chaos harness: randomized-but-reproducible fault
+    schedules driven through engine scenarios, every run validated by
+    {!Obs.Check}.
+
+    A {!scenario} is a thunk an upper layer (the experiments library,
+    or the CLI) supplies: given a seed, a fault configuration and a
+    sink, run an engine workload and return named recovery counters
+    (e.g. [("mirror_fetches", 3)]).  The harness owns the randomness:
+    one chaos seed deterministically fixes every run's fault schedule
+    and workload seed, so a failing run can be replayed exactly.
+
+    Layering note: this module sits below the engines on purpose — it
+    cannot name [Paging] or [Core], so scenarios arrive as closures. *)
+
+type scenario = {
+  name : string;
+  run :
+    seed:int ->
+    fault:Device.Fault.config ->
+    obs:Obs.Sink.t ->
+    (string * int) list;
+      (** run the workload, return named recovery/outcome counters *)
+}
+
+type run_result = {
+  scenario : string;
+  index : int;
+  fault : Device.Fault.config;
+  counters : (string * int) list;
+  events : int;
+  check : Obs.Check.report;
+}
+
+type summary = {
+  runs : run_result list;
+  total_events : int;
+  violations : int;  (** invariant violations across all runs *)
+  totals : (string * int) list;  (** counters summed across runs *)
+}
+
+val schedule : Sim.Rng.t -> Device.Fault.config
+(** Draw one fault configuration: read error probability in
+    [0.05, 0.45), write errors on half the schedules, permanence up to
+    0.3, 0-3 retries, always [Fail] escalation (chaos exercises
+    recovery, and [Degrade] never surfaces a failure). *)
+
+val run :
+  ?trace:Obs.Sink.t ->
+  ?progress:(int -> unit) ->
+  scenarios:scenario list ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  summary
+(** Execute [runs] rounds, cycling through [scenarios], each under a
+    fresh {!schedule} draw.  Every round's event stream is collected
+    and checked ({!Obs.Check.check_events}); [trace], if given, receives
+    the spliced multi-run stream ({!Obs.Sink.segment} boundaries
+    included) for offline re-checking.  [progress] is called after each
+    round with its index. *)
+
+val ok : summary -> bool
+(** Zero invariant violations. *)
+
+val counter : summary -> string -> int
+(** Summed counter by name, 0 if absent. *)

@@ -1,0 +1,21 @@
+type t =
+  | Io_failed of { page : int; io : Obs.Event.io; attempts : int; at_us : int }
+  | Swap_in_failed of { segment : int; words : int; attempts : int; at_us : int }
+  | Job_failed of { job : int; restarts : int; at_us : int }
+
+let of_device (f : Device.Model.failure) =
+  Io_failed { page = f.page; io = f.kind; attempts = f.attempts; at_us = f.at_us }
+
+let at_us = function
+  | Io_failed { at_us; _ } | Swap_in_failed { at_us; _ } | Job_failed { at_us; _ }
+    -> at_us
+
+let to_string = function
+  | Io_failed { page; io; attempts; at_us } ->
+    Printf.sprintf "%s of page %d failed after %d attempt(s) at %d us"
+      (Obs.Event.io_name io) page attempts at_us
+  | Swap_in_failed { segment; words; attempts; at_us } ->
+    Printf.sprintf "swap-in of segment %d (%d words) failed after %d attempt(s) at %d us"
+      segment words attempts at_us
+  | Job_failed { job; restarts; at_us } ->
+    Printf.sprintf "job %d failed at %d us after %d restart(s)" job at_us restarts

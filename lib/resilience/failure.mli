@@ -1,0 +1,24 @@
+(** The typed failure vocabulary shared by every layer above the device.
+
+    A terminal device failure ({!Device.Model.failure}) surfaces to an
+    engine as an {!Io_failed}; each layer either recovers (its policy's
+    business) or re-wraps the failure in its own terms and passes it up:
+    the swapper reports {!Swap_in_failed}, the multiprogramming
+    scheduler reports {!Job_failed} once a job's restart budget is
+    spent.  Engines that recover successfully never surface a failure —
+    recovery is counted in their stats instead. *)
+
+type t =
+  | Io_failed of { page : int; io : Obs.Event.io; attempts : int; at_us : int }
+      (** a backing-store request terminally failed (permanent media
+          error, or retries exhausted under {!Device.Fault.Fail}) *)
+  | Swap_in_failed of { segment : int; words : int; attempts : int; at_us : int }
+      (** a whole-segment swap-in could not be completed *)
+  | Job_failed of { job : int; restarts : int; at_us : int }
+      (** a job exhausted its abort-and-restart budget *)
+
+val of_device : Device.Model.failure -> t
+
+val at_us : t -> int
+
+val to_string : t -> string

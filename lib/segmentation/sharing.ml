@@ -47,7 +47,8 @@ let write t p segment index v =
 
 let fetch_for_execute t p segment =
   require t p segment Execute;
-  ignore (Segment_store.read t.store segment 0)
+  let (_ : int64) = Segment_store.read t.store segment 0 in
+  ()
 
 let sharers t ~segment =
   List.rev

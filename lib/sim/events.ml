@@ -26,7 +26,7 @@ let run_until t bound =
   let rec loop () =
     match Heap.min t.queue with
     | Some (at, _) when at <= bound ->
-      ignore (step t);
+      let (_ : bool) = step t in
       loop ()
     | Some _ | None -> Clock.advance_to t.clock bound
   in

@@ -4,6 +4,16 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
 
+(* [derive ?override default]: the per-site historical seed, unless a
+   global --seed overrides the run.  The override is folded into the
+   site's own constant so distinct sites keep distinct streams while
+   sites that deliberately share a constant (a regenerated trace) keep
+   sharing one. *)
+let derive ?override default =
+  match override with
+  | None -> create default
+  | Some s -> create (s lxor default)
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   let z = t.state in

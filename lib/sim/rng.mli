@@ -11,6 +11,14 @@ val create : int -> t
 (** [create seed] returns a fresh generator.  Equal seeds give equal
     streams. *)
 
+val derive : ?override:int -> int -> t
+(** [derive ?override default] is [create default] unless [override]
+    is given, in which case the stream is re-seeded from
+    [override lxor default] — the plumbing behind the global [--seed]
+    flag.  Distinct per-site defaults keep distinct streams under one
+    override; sites sharing a default (a deliberately regenerated
+    trace) keep sharing a stream. *)
+
 val split : t -> t
 (** [split t] returns a new generator whose stream is independent of the
     subsequent outputs of [t] (it is seeded from [t]'s next output). *)

@@ -30,6 +30,8 @@ type t = {
   mutable swap_outs : int;
   mutable words_swapped : int;
   mutable compactions : int;
+  mutable mirror_writes : int;
+  mutable swap_in_failures : int;
 }
 
 let create cfg =
@@ -49,6 +51,8 @@ let create cfg =
     swap_outs = 0;
     words_swapped = 0;
     compactions = 0;
+    mirror_writes = 0;
+    swap_in_failures = 0;
   }
 
 let program t id =
@@ -57,10 +61,15 @@ let program t id =
 
 (* A whole-program transfer: the blit always happens; timing comes from
    the device model when one is configured (the swap waits for the
-   timed completion), else from the flat [Level.transfer] charge. *)
+   timed completion), else from the flat [Level.transfer] charge.
+   [Error] carries the terminal device failure (only under a
+   [Fault.Fail] escalation policy); the clock has still advanced to the
+   moment the device gave up. *)
 let timed_transfer t ~kind ~id ~src ~src_off ~dst ~dst_off ~len =
   match t.cfg.device with
-  | None -> Memstore.Level.transfer ~src ~src_off ~dst ~dst_off ~len
+  | None ->
+    Memstore.Level.transfer ~src ~src_off ~dst ~dst_off ~len;
+    Ok ()
   | Some m ->
     Memstore.Physical.blit
       ~src:(Memstore.Level.physical src)
@@ -68,8 +77,13 @@ let timed_transfer t ~kind ~id ~src ~src_off ~dst ~dst_off ~len =
       ~dst:(Memstore.Level.physical dst)
       ~dst_off ~len;
     let clock = Memstore.Level.clock t.cfg.core in
-    let fin = Device.Model.fetch m ~now:(Sim.Clock.now clock) ~kind ~page:id ~words:len in
-    Sim.Clock.advance_to clock fin
+    (match Device.Model.fetch_result m ~now:(Sim.Clock.now clock) ~kind ~page:id ~words:len with
+     | Ok fin ->
+       Sim.Clock.advance_to clock fin;
+       Ok ()
+     | Error f ->
+       Sim.Clock.advance_to clock f.at_us;
+       Error f)
 
 let add_program t ~name ~size =
   assert (size > 0);
@@ -107,16 +121,36 @@ let add_program t ~name ~size =
   t.backing_frontier <- t.backing_frontier + size;
   id
 
+(* A write-out that terminally fails would strand the only current copy
+   of a modified program in core, so the swapper never surfaces it:
+   the image is re-written over the fault-immune (duplexed) path,
+   paying the extra device time. *)
+let write_back t id (p : program) =
+  (match
+     timed_transfer t ~kind:Device.Request.Writeback ~id ~src:t.cfg.core
+       ~src_off:(Relocation.base p.registers) ~dst:t.cfg.backing
+       ~dst_off:p.backing_addr ~len:p.size
+   with
+   | Ok () -> ()
+   | Error _ ->
+     t.mirror_writes <- t.mirror_writes + 1;
+     (match t.cfg.device with
+      | None -> assert false (* only the device path can fail *)
+      | Some m ->
+        let clock = Memstore.Level.clock t.cfg.core in
+        (match
+           Device.Model.fetch_result ~immune:true m ~now:(Sim.Clock.now clock)
+             ~kind:Device.Request.Writeback ~page:id ~words:p.size
+         with
+         | Ok fin -> Sim.Clock.advance_to clock fin
+         | Error _ -> assert false (* immune requests never fail *))));
+  t.words_swapped <- t.words_swapped + p.size;
+  p.modified <- false
+
 let swap_out t id =
   let p = program t id in
   if p.resident then begin
-    if p.modified then begin
-      timed_transfer t ~kind:Device.Request.Writeback ~id ~src:t.cfg.core
-        ~src_off:(Relocation.base p.registers) ~dst:t.cfg.backing
-        ~dst_off:p.backing_addr ~len:p.size;
-      t.words_swapped <- t.words_swapped + p.size;
-      p.modified <- false
-    end;
+    if p.modified then write_back t id p;
     Freelist.Allocator.free t.allocator (Relocation.base p.registers);
     p.resident <- false;
     t.swap_outs <- t.swap_outs + 1
@@ -178,22 +212,52 @@ let swap_in t id =
     | None -> failwith "Swapper: program larger than working storage"
   in
   let addr = place () in
-  timed_transfer t ~kind:Device.Request.Demand ~id ~src:t.cfg.backing
-    ~src_off:p.backing_addr ~dst:t.cfg.core ~dst_off:addr ~len:p.size;
-  t.words_swapped <- t.words_swapped + p.size;
-  Relocation.relocate p.registers ~base:addr;
-  p.resident <- true;
-  t.swap_ins <- t.swap_ins + 1
+  match
+    timed_transfer t ~kind:Device.Request.Demand ~id ~src:t.cfg.backing
+      ~src_off:p.backing_addr ~dst:t.cfg.core ~dst_off:addr ~len:p.size
+  with
+  | Ok () ->
+    t.words_swapped <- t.words_swapped + p.size;
+    Relocation.relocate p.registers ~base:addr;
+    p.resident <- true;
+    t.swap_ins <- t.swap_ins + 1;
+    Ok ()
+  | Error f ->
+    (* The image never arrived: release the placement and surface.
+       The backing copy is intact, so a later touch simply retries. *)
+    Freelist.Allocator.free t.allocator addr;
+    t.swap_in_failures <- t.swap_in_failures + 1;
+    Error
+      (Resilience.Failure.Swap_in_failed
+         { segment = id; words = p.size; attempts = f.attempts; at_us = f.at_us })
+
+let touch_result t id name ~write =
+  let p = program t id in
+  (match if p.resident then Ok () else swap_in t id with
+   | Error _ as e -> e
+   | Ok () ->
+     t.tick <- t.tick + 1;
+     p.last_used <- t.tick;
+     if write then p.modified <- true;
+     Ok (Relocation.translate p.registers name))
 
 let touch t id name ~write =
-  let p = program t id in
-  if not p.resident then swap_in t id;
-  t.tick <- t.tick + 1;
-  p.last_used <- t.tick;
-  if write then p.modified <- true;
-  Relocation.translate p.registers name
+  match touch_result t id name ~write with
+  | Ok addr -> addr
+  (* lint: allow L4 — legacy wrapper; unreachable without a Fail-escalation device, documented to raise otherwise *)
+  | Error f -> failwith (Resilience.Failure.to_string f)
+
+let read_result t id name =
+  match touch_result t id name ~write:false with
+  | Error _ as e -> e
+  | Ok addr -> Ok (Memstore.Level.read t.cfg.core addr)
 
 let read t id name = Memstore.Level.read t.cfg.core (touch t id name ~write:false)
+
+let write_result t id name v =
+  match touch_result t id name ~write:true with
+  | Error _ as e -> e
+  | Ok addr -> Ok (Memstore.Level.write t.cfg.core addr v)
 
 let write t id name v = Memstore.Level.write t.cfg.core (touch t id name ~write:true) v
 
@@ -210,6 +274,10 @@ let swap_outs t = t.swap_outs
 let words_swapped t = t.words_swapped
 
 let compactions t = t.compactions
+
+let mirror_writes t = t.mirror_writes
+
+let swap_in_failures t = t.swap_in_failures
 
 let external_fragmentation t =
   Metrics.Fragmentation.external_of_free_blocks

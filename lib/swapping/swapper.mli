@@ -35,9 +35,24 @@ val add_program : t -> name:string -> size:int -> id
 
 val read : t -> id -> int -> int64
 (** [read t prog name] translates [name] through the program's
-    relocation/limit pair, swapping the program in first if needed. *)
+    relocation/limit pair, swapping the program in first if needed.
+    A terminal swap-in failure (only under a [Fail]-escalation device)
+    raises [Failure]; use {!read_result} to handle it. *)
 
 val write : t -> id -> int -> int64 -> unit
+
+val read_result : t -> id -> int -> (int64, Resilience.Failure.t) result
+(** Like {!read}, but a terminal swap-in failure returns
+    [Error (Swap_in_failed _)]: the placement is released, the program
+    stays swapped out (its backing image intact), and the caller
+    decides — retry, or abort the program.  Failed {e write-outs} are
+    never surfaced: the modified image is the only current copy, so the
+    swapper re-writes it over the fault-immune duplexed path (counted
+    by {!mirror_writes}).  Compaction-on-failure remains the recovery
+    for placement (fragmentation) trouble, counted by
+    {!compactions}. *)
+
+val write_result : t -> id -> int -> int64 -> (unit, Resilience.Failure.t) result
 
 val in_core : t -> id -> bool
 
@@ -56,5 +71,11 @@ val swap_outs : t -> int
 val words_swapped : t -> int
 
 val compactions : t -> int
+
+val mirror_writes : t -> int
+(** Failed write-outs rescued over the fault-immune path. *)
+
+val swap_in_failures : t -> int
+(** Terminal swap-in failures surfaced to the caller. *)
 
 val external_fragmentation : t -> float

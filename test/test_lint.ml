@@ -49,6 +49,22 @@ let test_l4_boundary_exempt () =
   check_int "bin exempt" 0 (List.length (lint ~file:"bin/tool.ml" src));
   check_int "test exempt" 0 (List.length (lint ~file:"test/test_x.ml" src))
 
+let test_l6_ignored_result () =
+  check_codes "ignored application" [ "L6" ]
+    "let f t = ignore (Hashtbl.find_opt t 3)\n";
+  check_codes "qualified ignore" [ "L6" ]
+    "let f t = Stdlib.ignore (Hashtbl.find_opt t 3)\n";
+  check_codes "typed discard is fine" []
+    "let f t = let (_ : int option) = Hashtbl.find_opt t 3 in ()\n";
+  check_codes "ignoring a plain value is fine" [] "let f x = ignore x\n"
+
+let test_l6_boundary_exempt () =
+  let src = "let f g x = ignore (g x)\n" in
+  check_int "library file flagged" 1 (List.length (lint src));
+  check_int "experiments exempt" 0
+    (List.length (lint ~file:"lib/experiments/x9.ml" src));
+  check_int "bin exempt" 0 (List.length (lint ~file:"bin/tool.ml" src))
+
 let test_l5_float_equality () =
   check_codes "literal" [ "L5" ] "let b x = x = 1.0\n";
   check_codes "float expression" [ "L5" ] "let b x y z = x +. y = z\n";
@@ -93,7 +109,7 @@ let test_rule_ids_roundtrip () =
       check_bool "by id" true (Lint.Rule.of_string (Lint.Rule.id r) = Some r);
       check_bool "by slug" true (Lint.Rule.of_string (Lint.Rule.slug r) = Some r))
     Lint.Rule.all;
-  check_bool "unknown" true (Lint.Rule.of_string "L6" = None)
+  check_bool "unknown" true (Lint.Rule.of_string "L7" = None)
 
 let test_diagnostic_json_shape () =
   match lint "let f l = List.hd l\n" with
@@ -259,7 +275,9 @@ let test_experiment_traces_pass () =
   check_experiment "x1" (fun obs ->
       ignore (Experiments.X1_compaction.measure ~quick:true ~obs ()));
   check_experiment "x8_devices" (fun obs ->
-      ignore (Experiments.X8_devices.measure_spacetime ~quick:true ~obs ()))
+      ignore (Experiments.X8_devices.measure_spacetime ~quick:true ~obs ()));
+  check_experiment "x9_resilience" (fun obs ->
+      ignore (Experiments.X9_resilience.measure ~quick:true ~obs ()))
 
 let fault_sim_traces_pass =
   QCheck.Test.make ~name:"fault-sim traces satisfy every invariant" ~count:60
@@ -285,6 +303,8 @@ let () =
           Alcotest.test_case "L4 partial functions" `Quick test_l4_partial;
           Alcotest.test_case "L4 boundary exemption" `Quick test_l4_boundary_exempt;
           Alcotest.test_case "L5 float equality" `Quick test_l5_float_equality;
+          Alcotest.test_case "L6 ignored result" `Quick test_l6_ignored_result;
+          Alcotest.test_case "L6 boundary exemption" `Quick test_l6_boundary_exempt;
           Alcotest.test_case "rule ids roundtrip" `Quick test_rule_ids_roundtrip;
         ] );
       ( "pragmas",

@@ -31,6 +31,10 @@ let one_of_each =
       ev ~t_us:16 (Io_start { req = 4; page = 9; io = Demand });
       ev ~t_us:17 (Io_done { req = 4; page = 9; io = Writeback });
       ev ~t_us:18 (Io_retry { req = 4; attempt = 1 });
+      ev ~t_us:19 (Io_error { req = 4; page = 9; io = Demand; attempts = 3 });
+      ev ~t_us:20 (Job_abort { job = 0; restarts = 1 });
+      ev ~t_us:21 (Load_shed { job = 1 });
+      ev ~t_us:22 (Load_admit { job = 1 });
     ]
 
 (* --- Event JSON --- *)
@@ -112,6 +116,13 @@ let event_gen =
               { req; page; io = (match io with 0 -> Demand | 1 -> Prefetch | _ -> Writeback) })
           nat nat (int_bound 2);
         map2 (fun req attempt -> Io_retry { req; attempt }) nat nat;
+        map3
+          (fun req page attempts ->
+            Io_error { req; page; io = Demand; attempts })
+          nat nat nat;
+        map2 (fun job restarts -> Job_abort { job; restarts }) nat nat;
+        map (fun job -> Load_shed { job }) nat;
+        map (fun job -> Load_admit { job }) nat;
       ]
   in
   map2
@@ -400,7 +411,7 @@ let test_summary_of_events () =
   let stats = Obs.Summary.of_events one_of_each in
   check_int "events" (List.length one_of_each) stats.Obs.Summary.events;
   check_int "first" 0 stats.Obs.Summary.t_first_us;
-  check_int "last" 18 stats.Obs.Summary.t_last_us;
+  check_int "last" 22 stats.Obs.Summary.t_last_us;
   check_int "faults" 1 (Obs.Summary.count stats "fault");
   check_int "swaps" 2 (Obs.Summary.count stats "segment_swap");
   check_int "absent kind" 0 (Obs.Summary.count stats "no_such");
