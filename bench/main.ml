@@ -9,7 +9,11 @@
    set of substrate micro-benchmarks, and prints the OLS estimate per
    run for each.
 
-   Run with:  dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe
+   Options:   --kernels-only   skip Part 1
+              --quick          short sampling quota (CI smoke)
+              --json FILE      write results as dsas-bench/1 JSON,
+                               diffable with `dsas_sim bench-diff` *)
 
 open Bechamel
 
@@ -138,6 +142,17 @@ let substrate_kernels =
       in
       List.iter (fun id -> ignore (Device.Model.completion_us model id)) ids
   in
+  (* The profiler-overhead ablation (DESIGN.md §7): same fault-sim run,
+     wrapped in a disabled Obs.Prof span.  The two fault-sim rows should
+     be indistinguishable. *)
+  let fault_sim_prof_span =
+    let trace = Workload.Trace.loop ~length:1000 ~extent:64 ~working_set:40 in
+    fun () ->
+      Obs.Prof.span "bench" (fun () ->
+          ignore
+            (Paging.Fault_sim.run ~frames:32 ~policy:(Paging.Replacement.lru ())
+               trace))
+  in
   let demand_read =
     let clock = Sim.Clock.create () in
     let core = Memstore.Level.make clock Memstore.Device.core ~name:"core" ~words:4096 in
@@ -170,55 +185,103 @@ let substrate_kernels =
     Test.make ~name:"substrate/fault-sim 1000 refs (LRU)" (Staged.stage fault_sim_ref);
     Test.make ~name:"substrate/fault-sim 1000 refs (LRU, ring sink)"
       (Staged.stage fault_sim_traced);
+    Test.make ~name:"substrate/fault-sim 1000 refs (LRU, prof span off)"
+      (Staged.stage fault_sim_prof_span);
     Test.make ~name:"substrate/tlb lookup" (Staged.stage tlb_lookup);
     Test.make ~name:"substrate/drum queue burst (SATF x8)" (Staged.stage drum_queue);
     Test.make ~name:"substrate/demand-engine read" (Staged.stage demand_read);
   ]
 
-let run_bechamel tests =
+(* Measure each test's OLS ns/run; print a table and return the rows. *)
+let run_bechamel ~quick tests =
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:250 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:250 ~quota:(Time.second 0.25) ~kde:None ()
+  in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let rows =
-    List.map
+    List.concat_map
       (fun test ->
-        let results =
-          List.concat_map
-            (fun elt ->
-              let raw = Benchmark.run cfg [ instance ] elt in
-              let est = Analyze.one ols instance raw in
-              let ns =
-                match Analyze.OLS.estimates est with
-                | Some (t :: _) -> t
-                | Some [] | None -> nan
-              in
-              let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
-              [ (Test.Elt.name elt, ns, r2) ])
-            (Test.elements test)
-        in
-        results)
+        List.concat_map
+          (fun elt ->
+            let raw = Benchmark.run cfg [ instance ] elt in
+            let est = Analyze.one ols instance raw in
+            let ns =
+              match Analyze.OLS.estimates est with
+              | Some (t :: _) -> t
+              | Some [] | None -> nan
+            in
+            let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
+            [ (Test.Elt.name elt, ns, r2) ])
+          (Test.elements test))
       tests
   in
   Metrics.Table.print ~headers:[ "benchmark"; "ns/run"; "r²" ]
-    (List.concat_map
-       (fun results ->
-         List.map
-           (fun (name, ns, r2) ->
-             [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.3f" r2 ])
-           results)
-       rows)
+    (List.map
+       (fun (name, ns, r2) ->
+         [ name; Printf.sprintf "%.0f" ns; Printf.sprintf "%.3f" r2 ])
+       rows);
+  rows
+
+let to_bench_results ~quick rows =
+  {
+    Obs.Bench.clock = "monotonic";
+    quick;
+    results =
+      List.map
+        (fun (name, ns, r2) ->
+          {
+            Obs.Bench.name;
+            ns_per_run = ns;
+            r_square = (if Float.is_nan r2 then None else Some r2);
+          })
+        rows;
+  }
+
+let main quick kernels_only json_out =
+  if not kernels_only then begin
+    print_endline "######################################################################";
+    print_endline "# Dynamic Storage Allocation Systems (Randell & Kuehner, SOSP 1967) #";
+    print_endline "# Part 1: every figure and claim, regenerated at full scale         #";
+    print_endline "######################################################################\n";
+    Experiments.Registry.run_all ();
+    print_endline "######################################################################";
+    print_endline "# Part 2: Bechamel micro-benchmarks (one per experiment kernel)     #";
+    print_endline "######################################################################\n"
+  end;
+  let rows = run_bechamel ~quick experiment_kernels in
+  print_newline ();
+  let rows' = run_bechamel ~quick substrate_kernels in
+  match json_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Obs.Bench.to_json (to_bench_results ~quick (rows @ rows')));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote %s\n" file
 
 let () =
-  print_endline "######################################################################";
-  print_endline "# Dynamic Storage Allocation Systems (Randell & Kuehner, SOSP 1967) #";
-  print_endline "# Part 1: every figure and claim, regenerated at full scale         #";
-  print_endline "######################################################################\n";
-  Experiments.Registry.run_all ();
-  print_endline "######################################################################";
-  print_endline "# Part 2: Bechamel micro-benchmarks (one per experiment kernel)     #";
-  print_endline "######################################################################\n";
-  run_bechamel experiment_kernels;
-  print_newline ();
-  run_bechamel substrate_kernels
+  let open Cmdliner in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick"; "q" ] ~doc:"Short sampling quota (CI smoke runs).")
+  in
+  let kernels_only =
+    Arg.(value & flag
+         & info [ "kernels-only" ]
+             ~doc:"Skip Part 1 (the full-scale experiments); only run the \
+                   Bechamel kernels.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the measurements as dsas-bench/1 JSON into $(docv), \
+                   diffable with `dsas_sim bench-diff`.")
+  in
+  let doc = "Benchmark harness: full-scale experiments + Bechamel kernels." in
+  let info = Cmd.info "bench" ~doc in
+  exit (Cmd.eval (Cmd.v info Term.(const main $ quick $ kernels_only $ json_out)))

@@ -3,8 +3,11 @@
    `dsas_sim list`                        enumerate experiments
    `dsas_sim run fig3`                    run one experiment at full scale
    `dsas_sim run fig3 --trace f.jsonl`    ... recording its event stream
+   `dsas_sim run fig3 --profile`         ... profiling the simulator itself
    `dsas_sim run --quick all`             smoke-run everything
-   `dsas_sim stats f.jsonl`               aggregate a recorded stream *)
+   `dsas_sim stats f.jsonl`               aggregate a recorded stream
+   `dsas_sim query f.jsonl ...`           filter/group/pair a recorded stream
+   `dsas_sim bench-diff OLD NEW`          compare two bench result files *)
 
 open Cmdliner
 
@@ -50,8 +53,28 @@ let run_cmd =
   let trace_out_arg =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Record the experiment's event stream as JSON Lines into $(docv) \
-                 (one event object per line; inspect with `dsas_sim stats`). \
+                 (one event object per line; inspect with `dsas_sim stats` or \
+                 `dsas_sim query`). \
                  Only valid for a single traced experiment — see `dsas_sim list`.")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Fold the event stream into a metrics registry as it is emitted \
+                 (per-kind counters, io latency histogram) and write the full \
+                 registry snapshot as JSON into $(docv).  Same restrictions as \
+                 --trace.")
+  in
+  let profile_flag =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Profile the simulator's own hot paths (host wall-clock spans: \
+                 fetch, victim selection, device dispatch, compaction, \
+                 scheduling) and print the span table after the run.")
+  in
+  let profile_out_arg =
+    Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Write the profile as folded stacks (`path self_us` per line, \
+                 flamegraph.pl/speedscope input) into $(docv).  Implies \
+                 profiling; combine with --profile to also print the table.")
   in
   let device_arg =
     Arg.(value & opt (some string) None & info [ "device" ] ~docv:"DEVICE"
@@ -65,34 +88,86 @@ let run_cmd =
     Arg.(value & opt (some int) None & info [ "channels" ] ~docv:"N"
            ~doc:"Device channels for x8_devices (>= 1).")
   in
-  let action quick id trace_out device sched channels seed =
-    match (trace_out, device, sched, channels) with
-    | _, Some _, _, _ | _, _, Some _, _ | _, _, _, Some _
+  let action quick id trace_out metrics_out profile profile_out device sched channels
+      seed =
+    let profiling = profile || profile_out <> None in
+    (* Wrap the simulation in the profiler; report once it finishes. *)
+    let profiled f =
+      if not profiling then f ()
+      else begin
+        Obs.Prof.reset ();
+        Obs.Prof.enable ();
+        let result = Fun.protect ~finally:Obs.Prof.disable f in
+        (match profile_out with
+         | None -> ()
+         | Some file ->
+           let oc = open_out file in
+           output_string oc (Obs.Prof.folded ());
+           close_out oc);
+        if profile then Obs.Prof.print stdout;
+        result
+      end
+    in
+    (* Run a traced experiment with the requested observers attached. *)
+    let run_observed e =
+      let oc = Option.map open_out trace_out in
+      let trace_sink =
+        match oc with Some oc -> Obs.Sink.jsonl oc | None -> Obs.Sink.null
+      in
+      let reg = Obs.Registry.create () in
+      let obs =
+        match metrics_out with
+        | None -> trace_sink
+        | Some _ -> Obs.Sink.tee trace_sink (Obs.Query.metrics_sink reg)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Sink.flush obs;
+          Option.iter close_out oc)
+        (fun () -> profiled (fun () -> e.Experiments.Registry.run ~quick ~obs ?seed ()));
+      match metrics_out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Obs.Registry.to_json reg);
+        output_char oc '\n';
+        close_out oc
+    in
+    match (device, sched, channels) with
+    | Some _, _, _ | _, Some _, _ | _, _, Some _
       when String.lowercase_ascii id <> "x8_devices" ->
       `Error
         (false, "--device/--io-sched/--channels select an x8_devices configuration; \
                  use them with `run x8_devices`")
-    | _, Some _, _, _ | _, _, Some _, _ | _, _, _, Some _ ->
-      let device = Option.value device ~default:"drum" in
-      let sched = Option.value sched ~default:"fifo" in
-      let channels = Option.value channels ~default:1 in
-      (match Experiments.X8_devices.run_custom ~quick ~device ~sched ~channels () with
-       | Ok () -> `Ok ()
-       | Error msg -> `Error (false, msg))
-    | None, None, None, None ->
-      if String.lowercase_ascii id = "all" then begin
-        Experiments.Registry.run_all ~quick ?seed ();
-        `Ok ()
+    | Some _, _, _ | _, Some _, _ | _, _, Some _ ->
+      if trace_out <> None || metrics_out <> None then
+        `Error (false, "--trace/--metrics-out do not apply to custom x8_devices runs")
+      else begin
+        let device = Option.value device ~default:"drum" in
+        let sched = Option.value sched ~default:"fifo" in
+        let channels = Option.value channels ~default:1 in
+        match
+          profiled (fun () ->
+              Experiments.X8_devices.run_custom ~quick ~device ~sched ~channels ())
+        with
+        | Ok () -> `Ok ()
+        | Error msg -> `Error (false, msg)
       end
-      else
-        (match Experiments.Registry.find id with
-         | Some e ->
-           e.Experiments.Registry.run ~quick ?seed ();
-           `Ok ()
-         | None -> unknown_id id)
-    | Some file, None, None, None ->
-      if String.lowercase_ascii id = "all" then
-        `Error (false, "--trace needs a single experiment, not `all`")
+    | None, None, None ->
+      if trace_out = None && metrics_out = None then begin
+        if String.lowercase_ascii id = "all" then begin
+          profiled (fun () -> Experiments.Registry.run_all ~quick ?seed ());
+          `Ok ()
+        end
+        else
+          match Experiments.Registry.find id with
+          | Some e ->
+            profiled (fun () -> e.Experiments.Registry.run ~quick ?seed ());
+            `Ok ()
+          | None -> unknown_id id
+      end
+      else if String.lowercase_ascii id = "all" then
+        `Error (false, "--trace/--metrics-out need a single experiment, not `all`")
       else
         (match Experiments.Registry.find id with
          | None -> unknown_id id
@@ -103,20 +178,15 @@ let run_cmd =
                  id
                  (String.concat ", " Experiments.Registry.traced) )
          | Some e ->
-           let oc = open_out file in
-           let obs = Obs.Sink.jsonl oc in
-           Fun.protect
-             ~finally:(fun () ->
-               Obs.Sink.flush obs;
-               close_out oc)
-             (fun () -> e.Experiments.Registry.run ~quick ~obs ?seed ());
+           run_observed e;
            `Ok ())
   in
   Cmd.v info
     Term.(
       ret
-        (const action $ quick_flag $ id_arg $ trace_out_arg $ device_arg $ sched_arg
-         $ channels_arg $ seed_arg))
+        (const action $ quick_flag $ id_arg $ trace_out_arg $ metrics_out_arg
+         $ profile_flag $ profile_out_arg $ device_arg $ sched_arg $ channels_arg
+         $ seed_arg))
 
 let json_flag =
   let doc = "Emit the result as a single JSON object on stdout." in
@@ -181,15 +251,265 @@ let stats_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
            ~doc:"JSONL trace file, one event object per line.")
   in
+  (* Strict loading via Query: an empty or truncated trace is an error
+     (exit non-zero), never a silently empty summary. *)
   let action file json =
-    match Obs.Summary.scan_jsonl file with
-    | Ok stats ->
+    match Obs.Query.load file with
+    | Error msg -> `Error (false, msg)
+    | Ok q ->
+      let stats = Obs.Query.to_summary q in
       if json then print_endline (Obs.Summary.trace_stats_to_json stats)
       else Obs.Summary.print_trace_stats stats;
       `Ok ()
-    | Error msg -> `Error (false, msg)
   in
   Cmd.v info Term.(ret (const action $ file_arg $ json_flag))
+
+let query_cmd =
+  let doc = "Query a recorded JSONL event stream: filter, group, pair, rank." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads a trace recorded by $(b,run --trace) and answers composable \
+         questions about it.  Filters ($(b,--kinds), $(b,--run), \
+         $(b,--since)/$(b,--until)) restrict the working set; then either \
+         $(b,--pair) turns start/done event pairs into a latency distribution, \
+         or $(b,--group-by) aggregates ($(b,--agg), $(b,--top)).  With neither, \
+         prints the per-kind event counts of whatever survived the filters.";
+      `P
+        "Loading is strict: a missing, malformed, truncated, or empty trace \
+         exits non-zero with a diagnostic.";
+      `S Manpage.s_examples;
+      `Pre
+        "  dsas_sim query t.jsonl --pair io_start,io_done --percentiles\n\
+        \  dsas_sim query t.jsonl --kinds fault,eviction --group-by run\n\
+        \  dsas_sim query t.jsonl --group-by field:page --top 10";
+    ]
+  in
+  let info = Cmd.info "query" ~doc ~man in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace file, one event object per line.")
+  in
+  let kinds_arg =
+    Arg.(value & opt (some string) None & info [ "kinds" ] ~docv:"K1,K2"
+           ~doc:"Keep only events of these comma-separated kinds.")
+  in
+  let run_arg =
+    Arg.(value & opt (some int) None & info [ "run" ] ~docv:"N"
+           ~doc:"Keep only events of run segment $(docv).")
+  in
+  let since_arg =
+    Arg.(value & opt (some int) None & info [ "since" ] ~docv:"US"
+           ~doc:"Keep only events with t_us >= $(docv).")
+  in
+  let until_arg =
+    Arg.(value & opt (some int) None & info [ "until" ] ~docv:"US"
+           ~doc:"Keep only events with t_us <= $(docv).")
+  in
+  let group_by_arg =
+    Arg.(value & opt (some string) None & info [ "group-by" ] ~docv:"KEY"
+           ~doc:"Group events by $(b,kind), $(b,run), or $(b,field:NAME) (a \
+                 payload field, e.g. field:page).")
+  in
+  let agg_arg =
+    Arg.(value & opt string "count" & info [ "agg" ] ~docv:"AGG"
+           ~doc:"Aggregation per group: $(b,count), $(b,sum:FIELD), or \
+                 $(b,mean:FIELD).")
+  in
+  let top_arg =
+    Arg.(value & opt (some int) None & info [ "top" ] ~docv:"N"
+           ~doc:"Keep only the $(docv) largest groups, ranked by value.")
+  in
+  let pair_arg =
+    Arg.(value & opt (some string) None & info [ "pair" ] ~docv:"START,DONE"
+           ~doc:"Match START events to DONE events by their \"req\" field \
+                 (within each run segment) and report the latency \
+                 distribution, e.g. $(b,--pair io_start,io_done).")
+  in
+  let percentiles_flag =
+    Arg.(value & flag & info [ "percentiles" ]
+           ~doc:"With --pair: also print p50/p90/p99 and the log-bucketed \
+                 latency histogram.")
+  in
+  let parse_group_by s =
+    match s with
+    | "kind" -> Ok Obs.Query.By_kind
+    | "run" -> Ok Obs.Query.By_run
+    | s when String.length s > 6 && String.sub s 0 6 = "field:" ->
+      Ok (Obs.Query.By_field (String.sub s 6 (String.length s - 6)))
+    | s -> Error (Printf.sprintf "bad --group-by %S: want kind, run, or field:NAME" s)
+  in
+  let parse_agg s =
+    match String.split_on_char ':' s with
+    | [ "count" ] -> Ok Obs.Query.Count
+    | [ "sum"; f ] when f <> "" -> Ok (Obs.Query.Sum f)
+    | [ "mean"; f ] when f <> "" -> Ok (Obs.Query.Mean f)
+    | _ -> Error (Printf.sprintf "bad --agg %S: want count, sum:FIELD, or mean:FIELD" s)
+  in
+  let print_groups rows ~count_like =
+    List.iter
+      (fun (label, v) ->
+        if count_like then Printf.printf "%-24s %d\n" label (int_of_float v)
+        else Printf.printf "%-24s %.3f\n" label v)
+      rows
+  in
+  let groups_to_json rows =
+    Obs.Json.obj
+      (List.map (fun (label, v) -> (label, Obs.Json.Float v)) rows)
+  in
+  let latency_json (p : Obs.Query.pairing) (l : Obs.Query.latency option) =
+    let base =
+      [
+        ("pairs", Obs.Json.Int (List.length p.Obs.Query.rows));
+        ("unmatched_starts", Obs.Json.Int p.Obs.Query.unmatched_starts);
+        ("unmatched_dones", Obs.Json.Int p.Obs.Query.unmatched_dones);
+      ]
+    in
+    let latency =
+      match l with
+      | None -> []
+      | Some l ->
+        let buckets =
+          Array.to_list (Metrics.Histogram.bucket_counts l.Obs.Query.hist)
+          |> List.filter (fun (_, n) -> n > 0)
+          |> List.map (fun (label, n) ->
+                 Obs.Json.Raw
+                   (Obs.Json.obj
+                      [ ("bucket", Obs.Json.String label); ("count", Obs.Json.Int n) ]))
+        in
+        [
+          ( "latency_us",
+            Obs.Json.Raw
+              (Obs.Json.obj
+                 [
+                   ("samples", Obs.Json.Int l.Obs.Query.samples);
+                   ("min", Obs.Json.Int l.Obs.Query.min_us);
+                   ("mean", Obs.Json.Float l.Obs.Query.mean_us);
+                   ("p50", Obs.Json.Int l.Obs.Query.p50_us);
+                   ("p90", Obs.Json.Int l.Obs.Query.p90_us);
+                   ("p99", Obs.Json.Int l.Obs.Query.p99_us);
+                   ("max", Obs.Json.Int l.Obs.Query.max_us);
+                   ("buckets", Obs.Json.Raw (Obs.Json.array buckets));
+                 ] ) );
+        ]
+    in
+    Obs.Json.obj (base @ latency)
+  in
+  let action file kinds run since until group_by agg top pair percentiles json =
+    match Obs.Query.load file with
+    | Error msg -> `Error (false, msg)
+    | Ok q ->
+      let kinds = Option.map (String.split_on_char ',') kinds in
+      let q = Obs.Query.filter ?kinds ?run ?since_us:since ?until_us:until q in
+      (match pair with
+       | Some spec ->
+         (match String.split_on_char ',' spec with
+          | [ start_kind; done_kind ] ->
+            (match Obs.Query.pair q ~start_kind ~done_kind with
+             | Error msg -> `Error (false, msg)
+             | Ok p ->
+               let l = Obs.Query.latency_of p in
+               if json then print_endline (latency_json p l)
+               else begin
+                 Printf.printf "paired %d %s->%s (%d unmatched start(s), %d unmatched done(s))\n"
+                   (List.length p.Obs.Query.rows) start_kind done_kind
+                   p.Obs.Query.unmatched_starts p.Obs.Query.unmatched_dones;
+                 match l with
+                 | None -> print_endline "no pairs: no latency distribution"
+                 | Some l ->
+                   Printf.printf
+                     "latency_us: samples=%d min=%d mean=%.1f max=%d\n"
+                     l.Obs.Query.samples l.Obs.Query.min_us l.Obs.Query.mean_us
+                     l.Obs.Query.max_us;
+                   if percentiles then begin
+                     Printf.printf "  p50 %d\n  p90 %d\n  p99 %d\n"
+                       l.Obs.Query.p50_us l.Obs.Query.p90_us l.Obs.Query.p99_us;
+                     Array.iter
+                       (fun (label, n) ->
+                         if n > 0 then Printf.printf "  %-16s %d\n" label n)
+                       (Metrics.Histogram.bucket_counts l.Obs.Query.hist)
+                   end
+               end;
+               `Ok ())
+          | _ ->
+            `Error (false, Printf.sprintf "bad --pair %S: want START,DONE" spec))
+       | None ->
+         let key =
+           match group_by with
+           | None -> Ok Obs.Query.By_kind
+           | Some s -> parse_group_by s
+         in
+         (match (key, parse_agg agg) with
+          | Error msg, _ | _, Error msg -> `Error (false, msg)
+          | Ok key, Ok agg ->
+            let rows = Obs.Query.group q ~key ~agg in
+            let rows = match top with None -> rows | Some n -> Obs.Query.top n rows in
+            let count_like = match agg with Obs.Query.Mean _ -> false | _ -> true in
+            if json then print_endline (groups_to_json rows)
+            else begin
+              Printf.printf "%d event(s) after filters\n" (Obs.Query.length q);
+              print_groups rows ~count_like
+            end;
+            `Ok ()))
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const action $ file_arg $ kinds_arg $ run_arg $ since_arg $ until_arg
+         $ group_by_arg $ agg_arg $ top_arg $ pair_arg $ percentiles_flag $ json_flag))
+
+let bench_diff_cmd =
+  let doc = "Compare two bench result files; exit non-zero on regression." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads two dsas-bench/1 JSON files (written by \
+         `dune exec bench/main.exe -- --json FILE`) and compares ns/run per \
+         kernel.  A kernel whose time grew more than $(b,--threshold) percent \
+         is a regression; any regression makes the command exit non-zero.  \
+         Kernels present in only one file are reported but are not failures.";
+      `P
+        "ns/run measured on different machines (or under different load) are \
+         not comparable at tight thresholds; CI diffs against a committed \
+         baseline use a deliberately loose one.";
+    ]
+  in
+  let info = Cmd.info "bench-diff" ~doc ~man in
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD"
+           ~doc:"Baseline results file.")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW"
+           ~doc:"New results file.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 20. & info [ "threshold" ] ~docv:"PCT"
+           ~doc:"Regression threshold: ns/run growth in percent (default 20).")
+  in
+  let action old_file new_file threshold json =
+    if threshold < 0. then `Error (false, "--threshold must be >= 0")
+    else
+      match (Obs.Bench.load old_file, Obs.Bench.load new_file) with
+      | Error msg, _ | _, Error msg -> `Error (false, msg)
+      | Ok old_r, Ok new_r ->
+        let c = Obs.Bench.compare_results ~threshold_pct:threshold ~old_r ~new_r in
+        if json then print_endline (Obs.Bench.comparison_to_json c)
+        else Obs.Bench.print stdout c;
+        (match Obs.Bench.regressions c with
+         | [] -> `Ok ()
+         | regs ->
+           `Error
+             ( false,
+               Printf.sprintf "%d kernel(s) regressed more than %.1f%%: %s"
+                 (List.length regs) threshold
+                 (String.concat ", "
+                    (List.map (fun v -> v.Obs.Bench.v_name) regs)) ))
+  in
+  Cmd.v info
+    Term.(ret (const action $ old_arg $ new_arg $ threshold_arg $ json_flag))
 
 let check_cmd =
   let doc = "Validate a recorded JSONL event stream against the trace invariants." in
@@ -341,6 +661,8 @@ let chaos_cmd =
 let main =
   let doc = "Dynamic storage allocation systems (Randell & Kuehner, 1967) — reproduction" in
   let info = Cmd.info "dsas_sim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; replay_cmd; stats_cmd; check_cmd; chaos_cmd ]
+  Cmd.group info
+    [ list_cmd; run_cmd; replay_cmd; stats_cmd; query_cmd; check_cmd; chaos_cmd;
+      bench_diff_cmd ]
 
 let () = exit (Cmd.eval main)

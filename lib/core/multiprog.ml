@@ -178,6 +178,7 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ?(max_restarts = 3)
   (* Run job [j] until it faults, exhausts its quantum, or finishes.
      Returns true if it should be requeued as ready. *)
   let execute j =
+    Obs.Prof.span "multiprog.execute" @@ fun () ->
     let compute_us = j.spec.Workload.Job.compute_us_per_ref in
     let executed = ref 0 in
     let rec step quantum =
@@ -218,7 +219,10 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ?(max_restarts = 3)
               false
             end
             else begin
-              let victim = policy.Paging.Replacement.choose_victim ~candidates:pool in
+              let victim =
+                Obs.Prof.span "multiprog.victim" (fun () ->
+                    policy.Paging.Replacement.choose_victim ~candidates:pool)
+              in
               Hashtbl.remove resident victim;
               policy.Paging.Replacement.on_evict ~page:victim;
               if tracing then emit (Obs.Event.Eviction { page = victim });
@@ -296,6 +300,7 @@ let run ?(quantum_refs = 50) ?(obs = Obs.Sink.null) ?device ?(max_restarts = 3)
     next ()
   in
   let control_tick () =
+    Obs.Prof.span "multiprog.control" @@ fun () ->
     match controller with
     | None -> ()
     | Some c ->

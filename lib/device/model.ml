@@ -197,6 +197,7 @@ let rec stream_writebacks t chan ~fin ~budget =
       stream_writebacks t chan ~fin:fin' ~budget:(budget - 1)
 
 let dispatch t chan (r : Request.t) =
+  Obs.Prof.span "device.dispatch" @@ fun () ->
   remove_from_queue t r;
   let td = max chan.free_at r.arrival_us in
   let fin, outcome = serve t chan r ~td in

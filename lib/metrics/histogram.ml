@@ -6,16 +6,26 @@ type t = {
   scheme : scheme;
   counts : int array;
   mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
 }
 
 let linear ~lo ~hi ~buckets =
   assert (lo < hi && buckets > 0);
   let width = max 1 ((hi - lo + buckets - 1) / buckets) in
-  { scheme = Linear { lo; width }; counts = Array.make buckets 0; total = 0 }
+  { scheme = Linear { lo; width };
+    counts = Array.make buckets 0;
+    total = 0;
+    min_v = max_int;
+    max_v = min_int }
 
 let log2 ~max_exponent =
   assert (max_exponent >= 0);
-  { scheme = Log2; counts = Array.make (max_exponent + 2) 0; total = 0 }
+  { scheme = Log2;
+    counts = Array.make (max_exponent + 2) 0;
+    total = 0;
+    min_v = max_int;
+    max_v = min_int }
 
 let clamp n lo hi = if n < lo then lo else if n > hi then hi else n
 
@@ -32,9 +42,15 @@ let bucket_of t x =
 
 let add t x =
   t.counts.(bucket_of t x) <- t.counts.(bucket_of t x) + 1;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
 
 let count t = t.total
+
+let min_value t = if t.total = 0 then None else Some t.min_v
+
+let max_value t = if t.total = 0 then None else Some t.max_v
 
 let lower_bound t i =
   match t.scheme with
@@ -70,3 +86,7 @@ let percentile t p =
      with Exit -> ());
     !result
   end
+
+let percentiles t ps = List.map (fun p -> (p, percentile t p)) ps
+
+let num_buckets t = Array.length t.counts

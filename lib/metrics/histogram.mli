@@ -26,4 +26,25 @@ val bucket_counts : t -> (string * int) array
 val percentile : t -> float -> int
 (** [percentile t p] with [0. <= p <= 1.] returns a representative value
     (bucket lower bound) at or above the [p]-fraction point of the
-    distribution; 0 if empty. *)
+    distribution; 0 if empty.  Precisely: the lower bound of the bucket
+    holding the [ceil (p * count)]-th smallest sample, so it agrees with
+    a sorted-array percentile up to bucket resolution. *)
+
+val percentiles : t -> float list -> (float * int) list
+(** [percentiles t ps] is [percentile] mapped over [ps], keeping the
+    requested fractions alongside the values. *)
+
+val min_value : t -> int option
+(** Exact smallest sample added, independent of bucket resolution;
+    [None] if empty. *)
+
+val max_value : t -> int option
+(** Exact largest sample added; [None] if empty. *)
+
+val bucket_of : t -> int -> int
+(** Index of the bucket a sample would land in (after clamping). *)
+
+val lower_bound : t -> int -> int
+(** Inclusive lower bound of bucket [i]. *)
+
+val num_buckets : t -> int

@@ -168,3 +168,142 @@ let mem_int fields k =
 
 let mem_string fields k =
   match List.assoc_opt k fields with Some (String s) -> Some s | _ -> None
+
+(* --- full (nested) parsing --- *)
+
+type tree =
+  | TNull
+  | TBool of bool
+  | TNum of float
+  | TStr of string
+  | TArr of tree list
+  | TObj of (string * tree) list
+
+let parse_tree s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise Bad in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c = if peek () <> c then raise Bad else advance () in
+  let literal word =
+    let l = String.length word in
+    if !pos + l > n || String.sub s !pos l <> word then raise Bad;
+    pos := !pos + l
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'; advance ()
+         | '\\' -> Buffer.add_char buf '\\'; advance ()
+         | '/' -> Buffer.add_char buf '/'; advance ()
+         | 'n' -> Buffer.add_char buf '\n'; advance ()
+         | 'r' -> Buffer.add_char buf '\r'; advance ()
+         | 't' -> Buffer.add_char buf '\t'; advance ()
+         | 'u' ->
+           advance ();
+           if !pos + 4 > n then raise Bad;
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           if code > 0xff then raise Bad;
+           Buffer.add_char buf (Char.chr code);
+           pos := !pos + 4
+         | _ -> raise Bad);
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numeric s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with Some f -> TNum f | None -> raise Bad
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> TStr (parse_string ())
+    | '-' | '0' .. '9' -> parse_number ()
+    | 't' -> literal "true"; TBool true
+    | 'f' -> literal "false"; TBool false
+    | 'n' -> literal "null"; TNull
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); TArr [])
+      else begin
+        let items = ref [] in
+        let rec loop () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); loop ()
+          | ']' -> advance ()
+          | _ -> raise Bad
+        in
+        loop ();
+        TArr (List.rev !items)
+      end
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); TObj [])
+      else begin
+        let fields = ref [] in
+        let rec loop () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); loop ()
+          | '}' -> advance ()
+          | _ -> raise Bad
+        in
+        loop ();
+        TObj (List.rev !fields)
+      end
+    | _ -> raise Bad
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    Some v
+  with Bad | Invalid_argument _ | Failure _ -> None
+
+let tree_mem obj k =
+  match obj with TObj fields -> List.assoc_opt k fields | _ -> None
+
+let tree_num t k =
+  match tree_mem t k with Some (TNum f) -> Some f | _ -> None
+
+let tree_str t k =
+  match tree_mem t k with Some (TStr s) -> Some s | _ -> None

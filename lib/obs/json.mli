@@ -29,3 +29,29 @@ val parse_obj : string -> (string * value) list option
 val mem_int : (string * value) list -> string -> int option
 
 val mem_string : (string * value) list -> string -> string option
+
+(** {1 Full (nested) parsing}
+
+    [parse_obj] above deliberately rejects nesting — the event stream is
+    flat and we want that checked.  Bench result files and metric
+    snapshots are nested, so they get a proper recursive parser.  All
+    numbers come back as floats. *)
+
+type tree =
+  | TNull
+  | TBool of bool
+  | TNum of float
+  | TStr of string
+  | TArr of tree list
+  | TObj of (string * tree) list
+
+val parse_tree : string -> tree option
+(** Parse a complete JSON document (any nesting, bool/null included).
+    Returns [None] on malformed input or trailing garbage. *)
+
+val tree_mem : tree -> string -> tree option
+(** Field lookup on a [TObj]; [None] for other constructors. *)
+
+val tree_num : tree -> string -> float option
+
+val tree_str : tree -> string -> string option

@@ -1,0 +1,303 @@
+type entry = { line : int; run : int; ev : Event.t }
+
+type t = entry list
+
+let tag numbered_events =
+  let _, entries =
+    List.fold_left
+      (fun (prev_run, acc) (line, (ev : Event.t)) ->
+        let run =
+          match ev.kind with Event.Run_start { run } -> run | _ -> prev_run
+        in
+        (run, { line; run; ev } :: acc))
+      (0, []) numbered_events
+  in
+  List.rev entries
+
+let of_events events = tag (List.mapi (fun i ev -> (i + 1, ev)) events)
+
+let load filename =
+  match open_in filename with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let lineno = ref 0 in
+    let events = ref [] in
+    let bad = ref [] in
+    let bad_count = ref 0 in
+    (try
+       let rec loop () =
+         match input_line ic with
+         | line ->
+           incr lineno;
+           let trimmed = String.trim line in
+           if trimmed <> "" && trimmed.[0] <> '#' then begin
+             match Event.of_json trimmed with
+             | Some ev -> events := (!lineno, ev) :: !events
+             | None ->
+               incr bad_count;
+               if !bad_count <= 5 then
+                 bad :=
+                   Printf.sprintf "line %d: not an event: %S" !lineno
+                     (if String.length trimmed > 60 then
+                        String.sub trimmed 0 60 ^ "..."
+                      else trimmed)
+                   :: !bad
+           end;
+           loop ()
+         | exception End_of_file -> ()
+       in
+       loop ();
+       close_in ic
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    if !bad_count > 0 then
+      Error
+        (Printf.sprintf "%s: %d malformed line(s)\n  %s%s" filename !bad_count
+           (String.concat "\n  " (List.rev !bad))
+           (if !bad_count > 5 then
+              Printf.sprintf "\n  (... %d more not shown)" (!bad_count - 5)
+            else ""))
+    else if !events = [] then
+      Error (Printf.sprintf "%s: contains no events" filename)
+    else Ok (tag (List.rev !events))
+
+let length t = List.length t
+
+let entries t = t
+
+let events t = List.map (fun e -> e.ev) t
+
+(* --- filtering --- *)
+
+let filter ?kinds ?run ?since_us ?until_us t =
+  let keep e =
+    (match kinds with
+     | None -> true
+     | Some ks -> List.mem (Event.kind_name e.ev.Event.kind) ks)
+    && (match run with None -> true | Some r -> e.run = r)
+    && (match since_us with None -> true | Some s -> e.ev.Event.t_us >= s)
+    && (match until_us with None -> true | Some u -> e.ev.Event.t_us <= u)
+  in
+  List.filter keep t
+
+(* --- grouping --- *)
+
+type group_key = By_kind | By_run | By_field of string
+
+type agg = Count | Sum of string | Mean of string
+
+let field_value fields name =
+  match List.assoc_opt name fields with
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | Some (Json.Float f) -> Some f
+  | Some (Json.String _) | Some (Json.Raw _) | None -> None
+
+let field_label fields name =
+  match List.assoc_opt name fields with
+  | Some (Json.Int n) -> Some (string_of_int n)
+  | Some (Json.Float f) -> Some (string_of_float f)
+  | Some (Json.String s) -> Some s
+  | Some (Json.Raw _) | None -> None
+
+let group t ~key ~agg =
+  let label_of e =
+    match key with
+    | By_kind -> Some (Event.kind_name e.ev.Event.kind)
+    | By_run -> Some (string_of_int e.run)
+    | By_field f -> field_label (Event.fields_of_kind e.ev.Event.kind) f
+  in
+  let table : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match label_of e with
+      | None -> ()
+      | Some label ->
+        let contribution =
+          match agg with
+          | Count -> Some 1.
+          | Sum f | Mean f -> field_value (Event.fields_of_kind e.ev.Event.kind) f
+        in
+        (match contribution with
+         | None -> ()
+         | Some v ->
+           let sum, n =
+             match Hashtbl.find_opt table label with
+             | Some cell -> cell
+             | None ->
+               let cell = (ref 0., ref 0) in
+               Hashtbl.replace table label cell;
+               cell
+           in
+           sum := !sum +. v;
+           incr n))
+    t;
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (* lint: allow L3 — the bindings are sorted by the enclosing List.sort *)
+    (Hashtbl.fold
+       (fun label (sum, n) acc ->
+         match agg with
+         | Count | Sum _ -> (label, !sum) :: acc
+         | Mean _ ->
+           if !n = 0 then acc else (label, !sum /. float_of_int !n) :: acc)
+       table [])
+
+let top n rows =
+  let sorted =
+    List.sort
+      (fun (la, va) (lb, vb) ->
+        match compare vb va with 0 -> compare la lb | c -> c)
+      rows
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+(* --- pairing --- *)
+
+type pair_row = {
+  p_run : int;
+  req : int;
+  io : string;
+  start_us : int;
+  finish_us : int;
+  latency_us : int;
+}
+
+type pairing = {
+  rows : pair_row list;
+  unmatched_starts : int;
+  unmatched_dones : int;
+}
+
+let req_of (ev : Event.t) =
+  match List.assoc_opt "req" (Event.fields_of_kind ev.kind) with
+  | Some (Json.Int r) -> Some r
+  | _ -> None
+
+let io_of (ev : Event.t) =
+  match List.assoc_opt "io" (Event.fields_of_kind ev.kind) with
+  | Some (Json.String s) -> s
+  | _ -> ""
+
+let pair t ~start_kind ~done_kind =
+  if not (List.mem start_kind Event.all_kind_names) then
+    Error (Printf.sprintf "unknown event kind %S" start_kind)
+  else if not (List.mem done_kind Event.all_kind_names) then
+    Error (Printf.sprintf "unknown event kind %S" done_kind)
+  else begin
+    let opens : (int, entry) Hashtbl.t = Hashtbl.create 64 in
+    let rows = ref [] in
+    let unmatched_starts = ref 0 in
+    let unmatched_dones = ref 0 in
+    let missing_req = ref None in
+    let flush_opens () =
+      unmatched_starts := !unmatched_starts + Hashtbl.length opens;
+      Hashtbl.reset opens
+    in
+    List.iter
+      (fun e ->
+        let name = Event.kind_name e.ev.Event.kind in
+        if name = "run_start" then flush_opens ()
+        else if name = start_kind || name = done_kind then begin
+          match req_of e.ev with
+          | None -> if !missing_req = None then missing_req := Some name
+          | Some req ->
+            (* An event kind may be both start and done only if distinct;
+               match start first so self-pairing is impossible. *)
+            if name = start_kind then begin
+              (match Hashtbl.find_opt opens req with
+               | Some _ -> incr unmatched_starts  (* duplicate start *)
+               | None -> ());
+              Hashtbl.replace opens req e
+            end
+            else begin
+              match Hashtbl.find_opt opens req with
+              | None -> incr unmatched_dones
+              | Some s ->
+                Hashtbl.remove opens req;
+                rows :=
+                  {
+                    p_run = s.run;
+                    req;
+                    io = io_of s.ev;
+                    start_us = s.ev.Event.t_us;
+                    finish_us = e.ev.Event.t_us;
+                    latency_us = e.ev.Event.t_us - s.ev.Event.t_us;
+                  }
+                  :: !rows
+            end
+        end)
+      t;
+    flush_opens ();
+    match !missing_req with
+    | Some name ->
+      Error (Printf.sprintf "event kind %S carries no \"req\" field" name)
+    | None ->
+      Ok
+        {
+          rows = List.rev !rows;
+          unmatched_starts = !unmatched_starts;
+          unmatched_dones = !unmatched_dones;
+        }
+  end
+
+type latency = {
+  samples : int;
+  min_us : int;
+  max_us : int;
+  mean_us : float;
+  p50_us : int;
+  p90_us : int;
+  p99_us : int;
+  hist : Metrics.Histogram.t;
+}
+
+let latency_of p =
+  match p.rows with
+  | [] -> None
+  | rows ->
+    let hist = Metrics.Histogram.log2 ~max_exponent:30 in
+    let stats = Metrics.Stats.create () in
+    List.iter
+      (fun r ->
+        Metrics.Histogram.add hist (max 0 r.latency_us);
+        Metrics.Stats.add stats (float_of_int r.latency_us))
+      rows;
+    Some
+      {
+        samples = Metrics.Histogram.count hist;
+        min_us = int_of_float (Metrics.Stats.min stats);
+        max_us = int_of_float (Metrics.Stats.max stats);
+        mean_us = Metrics.Stats.mean stats;
+        p50_us = Metrics.Histogram.percentile hist 0.50;
+        p90_us = Metrics.Histogram.percentile hist 0.90;
+        p99_us = Metrics.Histogram.percentile hist 0.99;
+        hist;
+      }
+
+(* --- bridges --- *)
+
+let to_summary t = Summary.of_events (events t)
+
+let metrics_sink reg =
+  let opens : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let feed (ev : Event.t) =
+    Registry.incr (Registry.counter reg ("ev." ^ Event.kind_name ev.kind));
+    Registry.set (Registry.gauge reg "t_last_us") (float_of_int ev.t_us);
+    match ev.kind with
+    | Event.Run_start _ -> Hashtbl.reset opens
+    | Event.Io_start { req; _ } -> Hashtbl.replace opens req ev.t_us
+    | Event.Io_done { req; _ } ->
+      (match Hashtbl.find_opt opens req with
+       | None -> ()
+       | Some start ->
+         Hashtbl.remove opens req;
+         let lat = max 0 (ev.t_us - start) in
+         Metrics.Histogram.add
+           (Registry.histogram reg "io_latency_us" ~default:(fun () ->
+                Metrics.Histogram.log2 ~max_exponent:30))
+           lat;
+         Metrics.Stats.add (Registry.stats reg "io_latency_us") (float_of_int lat))
+    | _ -> ()
+  in
+  Sink.collect feed

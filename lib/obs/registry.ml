@@ -84,6 +84,59 @@ let snapshot (t : t) =
     series_lengths = sorted_bindings t.series Series.length;
   }
 
+(* Full export: unlike [snapshot], which reduces every metric to summary
+   numbers, this serialises complete state — histogram buckets with
+   percentiles, stats moments, every series point — so a run's metrics
+   survive as a machine-readable artifact ([run --metrics-out]). *)
+let to_json (t : t) =
+  let obj_of fields = Json.Raw (Json.obj fields) in
+  let stats_obj s =
+    let count = Metrics.Stats.count s in
+    obj_of
+      [
+        ("count", Json.Int count);
+        ("mean", Json.Float (Metrics.Stats.mean s));
+        ("stddev", Json.Float (Metrics.Stats.stddev s));
+        ("min", Json.Float (if count = 0 then 0. else Metrics.Stats.min s));
+        ("max", Json.Float (if count = 0 then 0. else Metrics.Stats.max s));
+        ("total", Json.Float (Metrics.Stats.total s));
+      ]
+  in
+  let histogram_obj h =
+    let buckets =
+      Array.to_list (Metrics.Histogram.bucket_counts h)
+      |> List.filter (fun (_, n) -> n > 0)
+      |> List.map (fun (label, n) ->
+             Json.Raw (Json.obj [ ("bucket", Json.String label); ("count", Json.Int n) ]))
+    in
+    obj_of
+      [
+        ("count", Json.Int (Metrics.Histogram.count h));
+        ( "min",
+          Json.Int (match Metrics.Histogram.min_value h with Some v -> v | None -> 0) );
+        ( "max",
+          Json.Int (match Metrics.Histogram.max_value h with Some v -> v | None -> 0) );
+        ("p50", Json.Int (Metrics.Histogram.percentile h 0.50));
+        ("p90", Json.Int (Metrics.Histogram.percentile h 0.90));
+        ("p99", Json.Int (Metrics.Histogram.percentile h 0.99));
+        ("buckets", Json.Raw (Json.array buckets));
+      ]
+  in
+  let section bindings value_of =
+    obj_of (List.map (fun (k, v) -> (k, value_of v)) bindings)
+  in
+  Json.obj
+    [
+      ("schema", Json.String "dsas-metrics/1");
+      ("counters", section (sorted_bindings t.counters Fun.id) (fun c -> Json.Int c.n));
+      ("gauges", section (sorted_bindings t.gauges Fun.id) (fun g -> Json.Float g.v));
+      ("stats", section (sorted_bindings t.stats Fun.id) stats_obj);
+      ("histograms", section (sorted_bindings t.histograms Fun.id) histogram_obj);
+      ( "series",
+        section (sorted_bindings t.series Fun.id) (fun s -> Json.Raw (Series.to_json s))
+      );
+    ]
+
 let snapshot_to_json s =
   let obj_of fields = Json.Raw (Json.obj fields) in
   Json.obj

@@ -62,3 +62,10 @@ val snapshot : t -> snapshot
     the end.  Cheap: proportional to the number of metrics. *)
 
 val snapshot_to_json : snapshot -> string
+
+val to_json : t -> string
+(** Full-state export, one JSON document: every counter and gauge,
+    stats with moments (count/mean/stddev/min/max/total), histograms
+    with their non-empty buckets plus p50/p90/p99 and exact min/max,
+    and every series point.  The artifact behind
+    [dsas_sim run --metrics-out]. *)

@@ -24,6 +24,7 @@ type t = {
   tracing : bool;
   touched : Bytes.t;  (* cold-fault tracking; empty unless tracing *)
   mutable refs : int;
+  mutable next_req : int;  (* request ids for flat-path io events *)
   mutable faults : int;
   mutable writebacks : int;
   mutable prefetches : int;
@@ -50,6 +51,7 @@ let create ?(obs = Obs.Sink.null) ?device ?(recovery = Mirror) cfg =
     tracing;
     touched = (if tracing then Bytes.make cfg.pages '\000' else Bytes.empty);
     refs = 0;
+    next_req = 0;
     faults = 0;
     writebacks = 0;
     prefetches = 0;
@@ -61,6 +63,17 @@ let create ?(obs = Obs.Sink.null) ?device ?(recovery = Mirror) cfg =
 let clock t = Memstore.Level.clock t.cfg.core
 
 let emit t kind = Obs.Sink.emit t.obs (Obs.Event.make ~t_us:(Sim.Clock.now (clock t)) kind)
+
+(* The flat (device-less) path still performs timed transfers; give them
+   io_start/io_done pairs so latency queries work on every traced run.
+   The device model keeps its own request ids; an engine is flat or
+   timed for its whole life, so the two counters never share a trace. *)
+let emit_io_pair t ~io ~page ~finish =
+  let req = t.next_req in
+  t.next_req <- req + 1;
+  let start = Sim.Clock.now (clock t) in
+  Obs.Sink.emit t.obs (Obs.Event.make ~t_us:start (Obs.Event.Io_start { req; page; io }));
+  Obs.Sink.emit t.obs (Obs.Event.make ~t_us:finish (Obs.Event.Io_done { req; page; io }))
 
 let resident_count t = Page_table.resident_count t.page_table
 
@@ -96,12 +109,12 @@ let evict_page t page =
        backing device is busy, delaying any fetch queued behind it. *)
     (match t.device with
      | None ->
-       let (_ : int) =
+       let finish =
          Memstore.Level.transfer_async ~src:t.cfg.core
            ~src_off:(frame * t.cfg.page_size) ~dst:t.cfg.backing
            ~dst_off:(page * t.cfg.page_size) ~len:t.cfg.page_size
        in
-       ()
+       if t.tracing then emit_io_pair t ~io:Obs.Event.Writeback ~page ~finish
      | Some m ->
        Memstore.Physical.blit
          ~src:(Memstore.Level.physical t.cfg.core)
@@ -128,7 +141,10 @@ let free_a_frame t =
     let pool = candidates t in
     (* lint: allow L4 — all frames locked is a documented fatal misconfiguration *)
     if Array.length pool = 0 then failwith "Demand: every frame is locked";
-    let victim = t.cfg.policy.Replacement.choose_victim ~candidates:pool in
+    let victim =
+      Obs.Prof.span "demand.victim" (fun () ->
+          t.cfg.policy.Replacement.choose_victim ~candidates:pool)
+    in
     evict_page t victim;
     (match Frame_table.find_free t.frame_table with
      | Some frame -> frame
@@ -153,6 +169,7 @@ let install t ~page ~frame ~finish =
    [Surface] leaves the page non-resident and hands the typed failure
    to the caller. *)
 let start_fetch t ~kind ~page ~frame =
+  Obs.Prof.span "demand.fetch" @@ fun () ->
   match t.device with
   | None ->
     let finish =
@@ -160,6 +177,7 @@ let start_fetch t ~kind ~page ~frame =
         ~src_off:(page * t.cfg.page_size) ~dst:t.cfg.core
         ~dst_off:(frame * t.cfg.page_size) ~len:t.cfg.page_size
     in
+    if t.tracing then emit_io_pair t ~io:kind ~page ~finish;
     install t ~page ~frame ~finish;
     Ok ()
   | Some m ->
@@ -196,6 +214,7 @@ let start_fetch t ~kind ~page ~frame =
           Error (Resilience.Failure.of_device f)))
 
 let fault t page =
+  Obs.Prof.span "demand.fault" @@ fun () ->
   t.faults <- t.faults + 1;
   if t.tracing then begin
     emit t (Fault { page });

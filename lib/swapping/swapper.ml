@@ -169,6 +169,7 @@ let lru_resident t ~keep =
   !best
 
 let compact t =
+  Obs.Prof.span "swap.compact" @@ fun () ->
   t.compactions <- t.compactions + 1;
   (* The relocation registers are the only stored absolute addresses:
      retarget the register whose base matches each moved block. *)
@@ -186,6 +187,7 @@ let compact t =
       | None -> invalid_arg "Swapper.compact: moved block owned by no program")
 
 let swap_in t id =
+  Obs.Prof.span "swap.swap_in" @@ fun () ->
   let p = program t id in
   assert (not p.resident);
   let rec place () =

@@ -60,6 +60,53 @@ let test_histogram_percentile () =
   check_int "p99" 98 (Metrics.Histogram.percentile h 0.99);
   check_int "min" 0 (Metrics.Histogram.percentile h 0.0)
 
+let test_histogram_min_max_exact () =
+  let h = Metrics.Histogram.log2 ~max_exponent:20 in
+  check_bool "empty min" true (Metrics.Histogram.min_value h = None);
+  check_bool "empty max" true (Metrics.Histogram.max_value h = None);
+  List.iter (Metrics.Histogram.add h) [ 100; 3; 77777 ];
+  (* buckets would round these to powers of two; min/max stay exact *)
+  check_bool "min exact" true (Metrics.Histogram.min_value h = Some 3);
+  check_bool "max exact" true (Metrics.Histogram.max_value h = Some 77777)
+
+let test_histogram_percentiles_list () =
+  let h = Metrics.Histogram.linear ~lo:0 ~hi:100 ~buckets:100 in
+  for i = 0 to 99 do
+    Metrics.Histogram.add h i
+  done;
+  check_bool "batch = pointwise" true
+    (Metrics.Histogram.percentiles h [ 0.5; 0.9; 0.99 ]
+    = [ (0.5, 49); (0.9, 89); (0.99, 98) ])
+
+(* Oracle for [percentile]: take the ceil(p*n)-th smallest raw sample
+   and return the lower bound of the bucket it falls in.  The property
+   must hold for any sample set and either bucketing scheme. *)
+let oracle_percentile h samples p =
+  let sorted = List.sort compare samples in
+  let n = List.length sorted in
+  let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+  let v = List.nth sorted (rank - 1) in
+  Metrics.Histogram.lower_bound h (Metrics.Histogram.bucket_of h v)
+
+let histogram_percentile_matches_oracle =
+  let gen =
+    QCheck.pair
+      (QCheck.list_of_size QCheck.Gen.(int_range 1 200) (QCheck.int_range 0 100_000))
+      (QCheck.float_range 0.0 1.0)
+  in
+  QCheck.Test.make ~name:"histogram percentile matches sorted-array oracle" ~count:300
+    gen
+    (fun (samples, p) ->
+      let log_h = Metrics.Histogram.log2 ~max_exponent:20 in
+      let lin_h = Metrics.Histogram.linear ~lo:0 ~hi:100_000 ~buckets:64 in
+      List.iter
+        (fun v ->
+          Metrics.Histogram.add log_h v;
+          Metrics.Histogram.add lin_h v)
+        samples;
+      Metrics.Histogram.percentile log_h p = oracle_percentile log_h samples p
+      && Metrics.Histogram.percentile lin_h p = oracle_percentile lin_h samples p)
+
 (* --- Space_time --- *)
 
 let test_space_time () =
@@ -187,6 +234,9 @@ let () =
           Alcotest.test_case "linear" `Quick test_histogram_linear;
           Alcotest.test_case "log2" `Quick test_histogram_log2;
           Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+          Alcotest.test_case "min/max exact" `Quick test_histogram_min_max_exact;
+          Alcotest.test_case "percentiles list" `Quick test_histogram_percentiles_list;
+          QCheck_alcotest.to_alcotest histogram_percentile_matches_oracle;
         ] );
       ( "space_time",
         [

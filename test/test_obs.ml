@@ -403,7 +403,44 @@ let test_series_rejects_backwards_time () =
   check_bool "backwards rejected" true
     (match Obs.Series.sample s ~t_us:49 2. with
      | () -> false
-     | exception Invalid_argument _ -> true)
+     | exception Invalid_argument _ -> true);
+  (* equal timestamps are fine: the point is replaced-in-order, not rejected *)
+  Obs.Series.sample s ~t_us:50 3.;
+  check_int "equal time accepted" 2 (Obs.Series.length s)
+
+let test_series_empty () =
+  let s = Obs.Series.create () in
+  check_int "length" 0 (Obs.Series.length s);
+  check_bool "points" true (Obs.Series.points s = []);
+  check_bool "last" true (Obs.Series.last s = None);
+  check_int "empty timeline has no segments" 0
+    (Metrics.Timeline.segments (Obs.Series.to_timeline s));
+  check_string "json" "[]" (Obs.Series.to_json s)
+
+let test_series_single_sample () =
+  let s = Obs.Series.create () in
+  Obs.Series.sample s ~t_us:7 3.5;
+  let tl = Obs.Series.to_timeline s in
+  check_int "one segment" 1 (Metrics.Timeline.segments tl);
+  (* a lone point gets the minimum final gap of 1us: [7, 8) *)
+  check_int "span ends one past the point" 8 (Metrics.Timeline.span_us tl)
+
+let test_series_final_gap_is_mean_gap () =
+  let s = Obs.Series.create () in
+  (* gaps 10 and 20 -> mean gap 15, so the last segment is [30, 45) *)
+  Obs.Series.sample s ~t_us:0 1.;
+  Obs.Series.sample s ~t_us:10 2.;
+  Obs.Series.sample s ~t_us:30 3.;
+  let tl = Obs.Series.to_timeline s in
+  check_int "segments" 3 (Metrics.Timeline.segments tl);
+  check_int "final gap is the mean inter-sample gap" 45 (Metrics.Timeline.span_us tl)
+
+let test_summary_of_no_events () =
+  let stats = Obs.Summary.of_events [] in
+  check_int "events" 0 stats.Obs.Summary.events;
+  check_int "first" 0 stats.Obs.Summary.t_first_us;
+  check_int "last" 0 stats.Obs.Summary.t_last_us;
+  check_bool "kinds" true (stats.Obs.Summary.kinds = [])
 
 (* --- Summary --- *)
 
@@ -490,10 +527,14 @@ let () =
         [
           Alcotest.test_case "to timeline" `Quick test_series_to_timeline;
           Alcotest.test_case "backwards time" `Quick test_series_rejects_backwards_time;
+          Alcotest.test_case "empty series" `Quick test_series_empty;
+          Alcotest.test_case "single sample" `Quick test_series_single_sample;
+          Alcotest.test_case "final gap rule" `Quick test_series_final_gap_is_mean_gap;
         ] );
       ( "summary",
         [
           Alcotest.test_case "of_events" `Quick test_summary_of_events;
+          Alcotest.test_case "of no events" `Quick test_summary_of_no_events;
           Alcotest.test_case "scan_jsonl roundtrip" `Quick test_scan_jsonl_roundtrip;
           Alcotest.test_case "scan_jsonl garbage" `Quick test_scan_jsonl_rejects_garbage;
         ] );
