@@ -115,6 +115,11 @@ let run_cmd =
         match oc with Some oc -> Obs.Sink.jsonl oc | None -> Obs.Sink.null
       in
       let reg = Obs.Registry.create () in
+      (* Identity stamps: the metrics artifact names the experiment and
+         seed that produced it. *)
+      Obs.Registry.set_meta reg
+        ([ ("experiment", e.Experiments.Registry.id) ]
+         @ (match seed with Some s -> [ ("seed", string_of_int s) ] | None -> []));
       let obs =
         match metrics_out with
         | None -> trace_sink
@@ -332,6 +337,12 @@ let query_cmd =
            ~doc:"With --pair: also print p50/p90/p99 and the log-bucketed \
                  latency histogram.")
   in
+  let exact_flag =
+    Arg.(value & flag & info [ "exact" ]
+           ~doc:"With --pair: report exact order-statistic percentiles instead \
+                 of log-bucket lower bounds (the bucketed p99 can understate \
+                 the tail by up to 2x).  Costs a sort of all samples.")
+  in
   let parse_group_by s =
     match s with
     | "kind" -> Ok Obs.Query.By_kind
@@ -396,7 +407,7 @@ let query_cmd =
     in
     Obs.Json.obj (base @ latency)
   in
-  let action file kinds run since until group_by agg top pair percentiles json =
+  let action file kinds run since until group_by agg top pair percentiles exact json =
     match Obs.Query.load file with
     | Error msg -> `Error (false, msg)
     | Ok q ->
@@ -409,7 +420,10 @@ let query_cmd =
             (match Obs.Query.pair q ~start_kind ~done_kind with
              | Error msg -> `Error (false, msg)
              | Ok p ->
-               let l = Obs.Query.latency_of p in
+               let l =
+                 if exact then Obs.Query.exact_latency_of p
+                 else Obs.Query.latency_of p
+               in
                if json then print_endline (latency_json p l)
                else begin
                  Printf.printf "paired %d %s->%s (%d unmatched start(s), %d unmatched done(s))\n"
@@ -457,7 +471,8 @@ let query_cmd =
     Term.(
       ret
         (const action $ file_arg $ kinds_arg $ run_arg $ since_arg $ until_arg
-         $ group_by_arg $ agg_arg $ top_arg $ pair_arg $ percentiles_flag $ json_flag))
+         $ group_by_arg $ agg_arg $ top_arg $ pair_arg $ percentiles_flag
+         $ exact_flag $ json_flag))
 
 let bench_diff_cmd =
   let doc = "Compare two bench result files; exit non-zero on regression." in
@@ -658,11 +673,539 @@ let chaos_cmd =
   Cmd.v info
     Term.(ret (const action $ quick_flag $ runs_arg $ chaos_seed_arg $ trace_out_arg $ json_flag))
 
+(* --- campaign: sweep orchestration and cross-run analytics ----------- *)
+
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> None
+  | ic ->
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    let (_ : Unix.process_status) = Unix.close_process_in ic in
+    (match line with Some l when l <> "" -> Some l | _ -> None)
+
+(* Runs in a forked child: build the cell's context (metrics registry,
+   optional self-describing trace sink), run it, export the registry
+   atomically as the cell's dsas-metrics/1 artifact. *)
+let campaign_runner (cell : Experiments.Cell.spec) : Campaign.Exec.runner =
+ fun ~point ~quick ~trace_path ~metrics_path ->
+  let reg = Obs.Registry.create () in
+  let ctx0 =
+    {
+      Experiments.Cell.params = point.Campaign.Spec.params;
+      seed = point.Campaign.Spec.seed;
+      quick;
+      reg;
+      obs = Obs.Sink.null;
+    }
+  in
+  let oc = Option.map open_out trace_path in
+  let obs =
+    match oc with
+    | None -> Obs.Sink.null
+    | Some out ->
+      Obs.Sink.segment ~seed:point.Campaign.Spec.seed
+        ~config:(Experiments.Cell.config_summary ~cell:cell.Experiments.Cell.id ctx0)
+        ~run:0 ~offset:0 (Obs.Sink.jsonl out)
+  in
+  let ctx = { ctx0 with Experiments.Cell.obs } in
+  Experiments.Cell.stamp ~cell:cell.Experiments.Cell.id ctx;
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Sink.flush obs;
+        Option.iter close_out oc)
+      (fun () -> cell.Experiments.Cell.run ctx)
+  in
+  match result with
+  | Error _ as e -> e
+  | Ok () ->
+    Campaign.Store.write_atomic metrics_path (Obs.Registry.to_json reg ^ "\n");
+    Ok ()
+
+let campaign_dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+         ~doc:"Campaign directory.")
+
+let campaign_run_cmd =
+  let doc = "Execute a sweep spec into a campaign directory (resumable)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads a $(b,dsas-campaign-spec/1) JSON file, expands its parameter \
+         axes times its seed list into a grid of cells, and runs every cell \
+         that is not already recorded as done in $(b,--dir)'s checkpoint log — \
+         each in its own forked worker process, at most $(b,--jobs) at a time.  \
+         A killed or $(b,--limit)-bounded run resumes from the checkpoint: \
+         re-invoking with the same spec and directory recomputes nothing that \
+         finished.  Pointing $(b,--dir) at a directory built from a different \
+         grid is refused (the spec hash is pinned in the manifest).";
+      `P
+        "Each cell writes one $(b,dsas-metrics/1) artifact under \
+         $(b,cells/); inspect the campaign with $(b,campaign status), \
+         $(b,campaign report) and $(b,campaign diff).";
+    ]
+  in
+  let info = Cmd.info "run" ~doc ~man in
+  let spec_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC"
+           ~doc:"Sweep spec (dsas-campaign-spec/1 JSON).")
+  in
+  let dir_arg =
+    Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Campaign directory: created if absent, resumed if it already \
+                 holds this spec.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Forked worker processes (default 1).")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
+           ~doc:"Run at most $(docv) pending cells, then stop (checkpointed; \
+                 re-invoke to continue).")
+  in
+  let quiet_flag =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the per-cell progress lines.")
+  in
+  let action spec_file dir jobs limit quiet =
+    if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else
+      match Campaign.Spec.load spec_file with
+      | Error msg -> `Error (false, msg)
+      | Ok spec ->
+        (match Experiments.Cells.find spec.Campaign.Spec.cell with
+         | None ->
+           `Error
+             ( false,
+               Printf.sprintf "spec names unknown cell %S; cells: %s"
+                 spec.Campaign.Spec.cell
+                 (String.concat ", " Experiments.Cells.ids) )
+         | Some cell ->
+           (* Catch axis typos before forking anything: every axis must be
+              a parameter the cell understands. *)
+           let known = List.map fst cell.Experiments.Cell.params in
+           let bad =
+             List.filter
+               (fun (a : Campaign.Spec.axis) -> not (List.mem a.axis_name known))
+               spec.Campaign.Spec.axes
+           in
+           (match bad with
+            | a :: _ ->
+              `Error
+                ( false,
+                  Printf.sprintf "cell %S has no parameter %S (it takes: %s)"
+                    cell.Experiments.Cell.id a.Campaign.Spec.axis_name
+                    (String.concat ", " known) )
+            | [] ->
+              (match Campaign.Store.init ~dir ~spec ~git:(git_describe ()) with
+               | Error msg -> `Error (false, msg)
+               | Ok () ->
+                 let on_cell (p : Campaign.Spec.point) st =
+                   if not quiet then begin
+                     (match st with
+                      | Campaign.Store.Done -> Printf.printf "[done] %s\n" p.Campaign.Spec.id
+                      | Campaign.Store.Failed msg ->
+                        Printf.printf "[FAIL] %s\n       %s\n" p.Campaign.Spec.id msg
+                      | Campaign.Store.Pending -> ());
+                     flush stdout
+                   end
+                 in
+                 let o =
+                   Campaign.Exec.run ~jobs ?limit ~on_cell ~dir ~spec
+                     ~runner:(campaign_runner cell) ()
+                 in
+                 Printf.printf
+                   "campaign %s: %d cell(s): %d already done, %d ran (%d ok, %d failed)\n"
+                   spec.Campaign.Spec.name o.Campaign.Exec.total o.Campaign.Exec.skipped
+                   o.Campaign.Exec.ran o.Campaign.Exec.ok o.Campaign.Exec.failed;
+                 if o.Campaign.Exec.failed > 0 then
+                   `Error
+                     (false, Printf.sprintf "%d cell(s) failed" o.Campaign.Exec.failed)
+                 else `Ok ())))
+  in
+  Cmd.v info
+    Term.(ret (const action $ spec_arg $ dir_arg $ jobs_arg $ limit_arg $ quiet_flag))
+
+let campaign_cells_cmd =
+  let doc = "List the cell kinds a sweep spec can target, with their parameters." in
+  let info = Cmd.info "cells" ~doc in
+  let action () =
+    List.iter
+      (fun (c : Experiments.Cell.spec) ->
+        Printf.printf "%-12s %s\n" c.Experiments.Cell.id c.Experiments.Cell.doc;
+        List.iter
+          (fun (p, d) -> Printf.printf "    %-14s %s\n" p d)
+          c.Experiments.Cell.params)
+      Experiments.Cells.all
+  in
+  Cmd.v info Term.(const action $ const ())
+
+let campaign_status_cmd =
+  let doc = "Show a campaign's checkpoint state: done, failed, pending cells." in
+  let info = Cmd.info "status" ~doc in
+  let action dir json =
+    match Campaign.Store.load_spec ~dir with
+    | Error msg -> `Error (false, msg)
+    | Ok spec ->
+      let sts = Campaign.Store.statuses ~dir spec in
+      let count p = List.length (List.filter p sts) in
+      let n_done = count (fun (_, s) -> s = Campaign.Store.Done) in
+      let n_failed =
+        count (fun (_, s) -> match s with Campaign.Store.Failed _ -> true | _ -> false)
+      in
+      let n_pending = count (fun (_, s) -> s = Campaign.Store.Pending) in
+      if json then
+        print_endline
+          (Obs.Json.obj
+             [
+               ("name", Obs.Json.String spec.Campaign.Spec.name);
+               ("cell", Obs.Json.String spec.Campaign.Spec.cell);
+               ("total", Obs.Json.Int (List.length sts));
+               ("done", Obs.Json.Int n_done);
+               ("failed", Obs.Json.Int n_failed);
+               ("pending", Obs.Json.Int n_pending);
+             ])
+      else begin
+        Printf.printf "campaign %s (cell %s): %d cell(s): %d done, %d failed, %d pending\n"
+          spec.Campaign.Spec.name spec.Campaign.Spec.cell (List.length sts) n_done
+          n_failed n_pending;
+        List.iter
+          (fun ((p : Campaign.Spec.point), s) ->
+            match s with
+            | Campaign.Store.Failed msg ->
+              Printf.printf "  FAIL %s: %s\n" p.Campaign.Spec.id msg
+            | _ -> ())
+          sts
+      end;
+      `Ok ()
+  in
+  Cmd.v info Term.(ret (const action $ campaign_dir_arg $ json_flag))
+
+let campaign_report_cmd =
+  let doc = "Cross-run analytics over a campaign: aggregates, winners, power-law fits." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Loads every done cell of a campaign directory and answers one \
+         question per invocation.  With no options: an overview (grid shape, \
+         completion, recorded metric names).  $(b,--metric M --by AXIS) \
+         aggregates M across the grid grouped by AXIS.  Adding \
+         $(b,--winner AXIS2) prints, for each value of AXIS, the AXIS2 value \
+         with the best mean M (lowest, or highest with $(b,--max)) — the \
+         crossover frontier.  $(b,--metric M --fit AXIS) fits \
+         log10(agg(M)) against log10(AXIS) and prints the power-law exponent; \
+         $(b,--golden FILE) checks the exponent against a committed \
+         dsas-fit-golden/1 pin and exits non-zero on drift, and \
+         $(b,--emit-golden TOL) prints a fresh golden for committing.";
+      `S Manpage.s_examples;
+      `Pre
+        "  dsas_sim campaign report d --metric frag.external --by policy\n\
+        \  dsas_sim campaign report d --metric frag.holes --by words --winner policy\n\
+        \  dsas_sim campaign report d --metric frag.external --fit words --agg std \\\n\
+        \      --golden campaigns/x10_fss_golden.json";
+    ]
+  in
+  let info = Cmd.info "report" ~doc ~man in
+  let metric_arg =
+    Arg.(value & opt (some string) None & info [ "metric" ] ~docv:"METRIC"
+           ~doc:"Metric name from the cells' dsas-metrics/1 artifacts (see the \
+                 overview for what was recorded).")
+  in
+  let by_arg =
+    Arg.(value & opt (some string) None & info [ "by" ] ~docv:"AXIS"
+           ~doc:"Axis (or $(b,seed)) to group by.")
+  in
+  let winner_arg =
+    Arg.(value & opt (some string) None & info [ "winner" ] ~docv:"AXIS"
+           ~doc:"With --by: for each --by value, report this axis's best value.")
+  in
+  let max_flag =
+    Arg.(value & flag & info [ "max" ]
+           ~doc:"With --winner: higher metric wins (default: lower wins).")
+  in
+  let fit_arg =
+    Arg.(value & opt (some string) None & info [ "fit" ] ~docv:"AXIS"
+           ~doc:"Fit a power law of the metric against this numeric axis.")
+  in
+  let agg_arg =
+    Arg.(value & opt string "mean" & info [ "agg" ] ~docv:"AGG"
+           ~doc:"With --fit: aggregate within each axis value by $(b,mean) or \
+                 across-seed $(b,std) before fitting.")
+  in
+  let golden_arg =
+    Arg.(value & opt (some file) None & info [ "golden" ] ~docv:"FILE"
+           ~doc:"With --fit: check the fitted exponent against this \
+                 dsas-fit-golden/1 file; drift beyond its tolerance exits \
+                 non-zero.")
+  in
+  let emit_golden_arg =
+    Arg.(value & opt (some float) None & info [ "emit-golden" ] ~docv:"TOL"
+           ~doc:"With --fit: print a dsas-fit-golden/1 pin of the fitted \
+                 exponent with tolerance $(docv), for committing.")
+  in
+  let print_fit (f : Campaign.Report.fitted) =
+    Printf.printf "fit: log10(%s(%s)) = %+.4f * log10(%s) %+.4f   (r^2 = %.4f)\n"
+      (Campaign.Report.string_of_agg f.Campaign.Report.f_agg)
+      f.Campaign.Report.f_metric f.Campaign.Report.fit.Metrics.Stats.slope
+      f.Campaign.Report.f_x f.Campaign.Report.fit.Metrics.Stats.intercept
+      f.Campaign.Report.fit.Metrics.Stats.r_square;
+    List.iter
+      (fun (x, y) -> Printf.printf "  %14g  %14g\n" x y)
+      f.Campaign.Report.points
+  in
+  let fit_json (f : Campaign.Report.fitted) =
+    Obs.Json.obj
+      [
+        ("metric", Obs.Json.String f.Campaign.Report.f_metric);
+        ("x", Obs.Json.String f.Campaign.Report.f_x);
+        ("agg", Obs.Json.String (Campaign.Report.string_of_agg f.Campaign.Report.f_agg));
+        ("exponent", Obs.Json.Float f.Campaign.Report.fit.Metrics.Stats.slope);
+        ("intercept", Obs.Json.Float f.Campaign.Report.fit.Metrics.Stats.intercept);
+        ("r_square", Obs.Json.Float f.Campaign.Report.fit.Metrics.Stats.r_square);
+        ( "points",
+          Obs.Json.Raw
+            (Obs.Json.array
+               (List.map
+                  (fun (x, y) ->
+                    Obs.Json.Raw
+                      (Obs.Json.array [ Obs.Json.Float x; Obs.Json.Float y ]))
+                  f.Campaign.Report.points)) );
+      ]
+  in
+  let action dir metric by winner maximize fit_x agg_s golden emit_golden json =
+    match Campaign.Store.load ~dir with
+    | Error msg -> `Error (false, msg)
+    | Ok (spec, cells) ->
+      (match (metric, fit_x, winner, by) with
+       | None, None, None, None ->
+         (* Overview: grid shape, completion, what was recorded. *)
+         let n st = List.length (List.filter st cells) in
+         let n_done =
+           n (fun (c : Campaign.Store.loaded) -> c.Campaign.Store.status = Campaign.Store.Done)
+         in
+         let n_failed =
+           n (fun (c : Campaign.Store.loaded) ->
+               match c.Campaign.Store.status with
+               | Campaign.Store.Failed _ -> true
+               | _ -> false)
+         in
+         let metrics = Campaign.Report.metric_names cells in
+         if json then
+           print_endline
+             (Obs.Json.obj
+                [
+                  ("name", Obs.Json.String spec.Campaign.Spec.name);
+                  ("cell", Obs.Json.String spec.Campaign.Spec.cell);
+                  ("total", Obs.Json.Int (List.length cells));
+                  ("done", Obs.Json.Int n_done);
+                  ("failed", Obs.Json.Int n_failed);
+                  ( "metrics",
+                    Obs.Json.Raw
+                      (Obs.Json.array (List.map (fun m -> Obs.Json.String m) metrics)) );
+                ])
+         else begin
+           Printf.printf "campaign %s (cell %s): %d cell(s): %d done, %d failed\n"
+             spec.Campaign.Spec.name spec.Campaign.Spec.cell (List.length cells)
+             n_done n_failed;
+           List.iter
+             (fun (a : Campaign.Spec.axis) ->
+               Printf.printf "  axis %-12s %s\n" a.Campaign.Spec.axis_name
+                 (String.concat " " a.Campaign.Spec.values))
+             spec.Campaign.Spec.axes;
+           Printf.printf "  seeds %s\n"
+             (String.concat " "
+                (List.map string_of_int spec.Campaign.Spec.seeds));
+           Printf.printf "  metrics: %s\n" (String.concat ", " metrics)
+         end;
+         `Ok ()
+       | None, _, _, _ -> `Error (false, "--by/--winner/--fit need --metric METRIC")
+       | Some _, Some _, Some _, _ | Some _, Some _, _, Some _ ->
+         `Error (false, "--fit and --by/--winner are exclusive modes")
+       | Some m, Some x, None, None ->
+         (match Campaign.Report.agg_of_string agg_s with
+          | Error e -> `Error (false, e)
+          | Ok agg ->
+            (match Campaign.Report.fit cells ~metric:m ~x ~agg with
+             | Error e -> `Error (false, e)
+             | Ok f ->
+               (match emit_golden with
+                | Some tolerance ->
+                  print_endline
+                    (Campaign.Report.golden_to_json
+                       {
+                         Campaign.Report.g_metric = m;
+                         g_x = x;
+                         g_agg = agg;
+                         exponent = f.Campaign.Report.fit.Metrics.Stats.slope;
+                         tolerance;
+                       });
+                  `Ok ()
+                | None ->
+                  if json then print_endline (fit_json f) else print_fit f;
+                  (match golden with
+                   | None -> `Ok ()
+                   | Some gf ->
+                     (match Campaign.Report.load_golden gf with
+                      | Error e -> `Error (false, e)
+                      | Ok g ->
+                        (match Campaign.Report.check_golden g f with
+                         | Ok () ->
+                           if not json then
+                             Printf.printf
+                               "golden ok: exponent within %.4f of %+.4f\n"
+                               g.Campaign.Report.tolerance
+                               g.Campaign.Report.exponent;
+                           `Ok ()
+                         | Error e -> `Error (false, Printf.sprintf "%s: %s" gf e)))))))
+       | Some m, None, Some contender, Some by ->
+         (match Campaign.Report.winners cells ~metric:m ~by ~contender ~maximize with
+          | Error e -> `Error (false, e)
+          | Ok ws ->
+            if json then
+              print_endline
+                (Obs.Json.obj
+                   (List.map
+                      (fun (w : Campaign.Report.winner) ->
+                        ( w.Campaign.Report.w_key,
+                          Obs.Json.Raw
+                            (Obs.Json.obj
+                               [
+                                 ("winner", Obs.Json.String w.Campaign.Report.w_winner);
+                                 ("value", Obs.Json.Float w.Campaign.Report.w_value);
+                               ]) ))
+                      ws))
+            else begin
+              Printf.printf "%-16s %-16s %s (%s mean)\n" by contender m
+                (if maximize then "highest" else "lowest");
+              List.iter
+                (fun (w : Campaign.Report.winner) ->
+                  Printf.printf "%-16s %-16s %g\n" w.Campaign.Report.w_key
+                    w.Campaign.Report.w_winner w.Campaign.Report.w_value)
+                ws
+            end;
+            `Ok ())
+       | Some m, None, None, Some by ->
+         (match Campaign.Report.aggregate cells ~metric:m ~by with
+          | Error e -> `Error (false, e)
+          | Ok groups ->
+            if json then
+              print_endline
+                (Obs.Json.obj
+                   (List.map
+                      (fun (g : Campaign.Report.group) ->
+                        ( g.Campaign.Report.key,
+                          Obs.Json.Raw
+                            (Obs.Json.obj
+                               [
+                                 ("count", Obs.Json.Int g.Campaign.Report.count);
+                                 ("mean", Obs.Json.Float g.Campaign.Report.mean);
+                                 ("stddev", Obs.Json.Float g.Campaign.Report.stddev);
+                                 ("min", Obs.Json.Float g.Campaign.Report.g_min);
+                                 ("max", Obs.Json.Float g.Campaign.Report.g_max);
+                               ]) ))
+                      groups))
+            else begin
+              Printf.printf "%-16s %6s %14s %14s %14s %14s\n" by "n" "mean" "stddev"
+                "min" "max";
+              List.iter
+                (fun (g : Campaign.Report.group) ->
+                  Printf.printf "%-16s %6d %14g %14g %14g %14g\n"
+                    g.Campaign.Report.key g.Campaign.Report.count
+                    g.Campaign.Report.mean g.Campaign.Report.stddev
+                    g.Campaign.Report.g_min g.Campaign.Report.g_max)
+                groups
+            end;
+            `Ok ())
+       | Some _, None, Some _, None -> `Error (false, "--winner needs --by AXIS")
+       | Some _, None, None, None ->
+         `Error
+           ( false,
+             "--metric needs --by AXIS (aggregate), --by AXIS --winner AXIS2 \
+              (crossover), or --fit AXIS (power law)" ))
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const action $ campaign_dir_arg $ metric_arg $ by_arg $ winner_arg
+         $ max_flag $ fit_arg $ agg_arg $ golden_arg $ emit_golden_arg $ json_flag))
+
+let campaign_diff_cmd =
+  let doc = "Compare two campaign directories; exit non-zero on metric drift." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Matches the done cells of two campaigns by grid-point id and every \
+         recorded metric by name, and reports each metric whose value drifted \
+         more than $(b,--threshold) percent in either direction (cells are \
+         deterministic given their seed, so any drift is a behaviour change).  \
+         Any such drift makes the command exit non-zero.  Cells or metrics \
+         present on only one side are reported but are not failures.";
+    ]
+  in
+  let info = Cmd.info "diff" ~doc ~man in
+  let old_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD"
+           ~doc:"Baseline campaign directory.")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW"
+           ~doc:"New campaign directory.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 0.5 & info [ "threshold" ] ~docv:"PCT"
+           ~doc:"Drift threshold in percent (default 0.5; cells are \
+                 deterministic, so even small drift is a real change).")
+  in
+  let action old_dir new_dir threshold json =
+    if threshold < 0. then `Error (false, "--threshold must be >= 0")
+    else
+      match (Campaign.Store.load ~dir:old_dir, Campaign.Store.load ~dir:new_dir) with
+      | Error msg, _ | _, Error msg -> `Error (false, msg)
+      | Ok (_, old_cells), Ok (_, new_cells) ->
+        let c =
+          Campaign.Diff.compare_campaigns ~threshold_pct:threshold ~old_cells
+            ~new_cells
+        in
+        if json then print_endline (Campaign.Diff.to_json c)
+        else Campaign.Diff.print stdout c;
+        (match Campaign.Diff.regressions c with
+         | [] -> `Ok ()
+         | regs ->
+           `Error
+             ( false,
+               Printf.sprintf "%d metric(s) drifted more than %.2f%%"
+                 (List.length regs) threshold ))
+  in
+  Cmd.v info
+    Term.(ret (const action $ old_arg $ new_arg $ threshold_arg $ json_flag))
+
+let campaign_cmd =
+  let doc = "Sweep campaigns: run a declarative grid, report on it, diff two runs." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "A campaign is the cartesian product of parameter axes and seeds over \
+         one cell kind (a parameterized simulation entry point — see \
+         $(b,campaign cells)), executed into a directory of per-cell \
+         dsas-metrics/1 artifacts with an append-only checkpoint log.  \
+         Campaign directories are resumable, reportable and diffable; specs \
+         live under $(b,campaigns/).";
+    ]
+  in
+  let info = Cmd.info "campaign" ~doc ~man in
+  Cmd.group info
+    [ campaign_run_cmd; campaign_status_cmd; campaign_report_cmd;
+      campaign_diff_cmd; campaign_cells_cmd ]
+
 let main =
   let doc = "Dynamic storage allocation systems (Randell & Kuehner, 1967) — reproduction" in
   let info = Cmd.info "dsas_sim" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ list_cmd; run_cmd; replay_cmd; stats_cmd; query_cmd; check_cmd; chaos_cmd;
-      bench_diff_cmd ]
+      bench_diff_cmd; campaign_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,136 @@
+(* The campaign executor: fan the pending grid points across a pool of
+   forked workers, checkpointing one status-log line per completed
+   cell.
+
+   Isolation by fork, not threads: a cell that diverges, leaks or dies
+   takes its process with it, and the parent records a failed cell and
+   keeps going.  The child writes its artifacts (metrics, optional
+   trace, error text) and exits; the parent is the only writer of the
+   status log, so the log stays line-atomic without locking.
+
+   Resume is free: the runner consults the replayed log and skips
+   cells already done; failed cells are retried (their previous
+   failure stays in the log — last line wins). *)
+
+type runner =
+  point:Spec.point ->
+  quick:bool ->
+  trace_path:string option ->
+  metrics_path:string ->
+  (unit, string) result
+
+type outcome = {
+  total : int;
+  skipped : int;  (* already done when the run started *)
+  ran : int;
+  ok : int;
+  failed : int;
+}
+
+let take n items =
+  let rec go n acc = function
+    | [] -> List.rev acc
+    | _ when n <= 0 -> List.rev acc
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] items
+
+let read_error ~dir id =
+  match open_in_bin (Store.error_path ~dir id) with
+  | exception Sys_error _ -> None
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some (String.trim s)
+
+(* Runs in the child.  Any escape — an Error, an exception — lands in
+   <id>.error.txt; the exit code tells the parent which way it went. *)
+let run_cell ~dir ~spec ~runner (point : Spec.point) =
+  let metrics_path = Store.metrics_path ~dir point.Spec.id in
+  let trace_path =
+    if point.Spec.traced then Some (Store.trace_path ~dir point.Spec.id) else None
+  in
+  let outcome =
+    match runner ~point ~quick:spec.Spec.quick ~trace_path ~metrics_path with
+    | r -> r
+    | exception e -> Error (Printexc.to_string e)
+  in
+  match outcome with
+  | Ok () -> 0
+  | Error msg ->
+    Store.write_atomic (Store.error_path ~dir point.Spec.id) (msg ^ "\n");
+    1
+
+let run ?(jobs = 1) ?limit ?on_cell ~dir ~spec ~runner () =
+  let jobs = if jobs < 1 then 1 else jobs in
+  let statuses = Store.statuses ~dir spec in
+  let total = List.length statuses in
+  let pending =
+    List.filter_map
+      (fun ((p : Spec.point), st) ->
+        match st with Store.Done -> None | _ -> Some p)
+      statuses
+  in
+  let todo = match limit with Some n -> take n pending | None -> pending in
+  let skipped = total - List.length pending in
+  let queue = ref todo in
+  let active = Hashtbl.create 16 in
+  let ok = ref 0 and failed = ref 0 in
+  let spawn (point : Spec.point) =
+    (* Flush before forking: buffered output would otherwise be
+       duplicated into every child. *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      let code =
+        match run_cell ~dir ~spec ~runner point with
+        | code -> code
+        | exception _ -> 1
+      in
+      (* _exit, not exit: at_exit handlers and channel flushing belong
+         to the parent. *)
+      Unix._exit code
+    | pid -> Hashtbl.replace active pid point
+  in
+  let reap () =
+    match Unix.wait () with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    | pid, child_status ->
+      (match Hashtbl.find_opt active pid with
+       | None -> ()
+       | Some point ->
+         Hashtbl.remove active pid;
+         let status =
+           match child_status with
+           | Unix.WEXITED 0 -> Store.Done
+           | Unix.WEXITED code ->
+             let msg =
+               match read_error ~dir point.Spec.id with
+               | Some m when m <> "" -> m
+               | _ -> Printf.sprintf "exit code %d" code
+             in
+             Store.Failed msg
+           | Unix.WSIGNALED n -> Store.Failed (Printf.sprintf "killed by signal %d" n)
+           | Unix.WSTOPPED n -> Store.Failed (Printf.sprintf "stopped by signal %d" n)
+         in
+         (match status with
+          | Store.Done -> incr ok
+          | Store.Failed _ -> incr failed
+          | Store.Pending -> ());
+         Store.record ~dir point.Spec.id status;
+         (match on_cell with Some f -> f point status | None -> ()))
+  in
+  while !queue <> [] || Hashtbl.length active > 0 do
+    while !queue <> [] && Hashtbl.length active < jobs do
+      match !queue with
+      | [] -> ()
+      | p :: rest ->
+        queue := rest;
+        spawn p
+    done;
+    if Hashtbl.length active > 0 then reap ()
+  done;
+  { total; skipped; ran = !ok + !failed; ok = !ok; failed = !failed }

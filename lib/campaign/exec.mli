@@ -1,0 +1,41 @@
+(** The campaign executor: forked worker pool with per-cell
+    checkpointing.
+
+    Each grid point runs in its own forked process — a cell that
+    diverges or dies takes only its process, and the parent records a
+    failed cell and keeps going.  The parent is the only writer of the
+    status log, appending one line as each child is reaped; a killed
+    campaign therefore resumes by replaying the log, re-running only
+    cells that never reached done (failed cells are retried). *)
+
+type runner =
+  point:Spec.point ->
+  quick:bool ->
+  trace_path:string option ->
+  metrics_path:string ->
+  (unit, string) result
+(** Runs in the child process.  Must write the cell's metrics to
+    [metrics_path] (atomically — use {!Store.write_atomic}) and, when
+    [trace_path] is given, its trace there.  An [Error] (or an
+    exception, which is caught) fails the cell. *)
+
+type outcome = {
+  total : int;  (** grid points in the spec *)
+  skipped : int;  (** already done when the run started *)
+  ran : int;
+  ok : int;
+  failed : int;
+}
+
+val run :
+  ?jobs:int ->
+  ?limit:int ->
+  ?on_cell:(Spec.point -> Store.status -> unit) ->
+  dir:string ->
+  spec:Spec.t ->
+  runner:runner ->
+  unit ->
+  outcome
+(** Run every pending cell (at most [limit], in grid order) across
+    [jobs] workers (default 1).  [on_cell] fires in the parent as each
+    cell completes.  Call {!Store.init} first. *)

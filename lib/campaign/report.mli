@@ -1,0 +1,92 @@
+(** Cross-run analytics over a loaded campaign.
+
+    Three readers of {!Store.load} output: group-by aggregation of one
+    metric along one axis, winner tables (for each value of one axis,
+    which value of another axis has the best mean metric — the
+    crossover frontier), and log-log power-law fits with
+    committed-golden regression checking. *)
+
+type group = {
+  key : string;  (** the axis value *)
+  count : int;
+  mean : float;
+  stddev : float;
+  g_min : float;
+  g_max : float;
+}
+
+val axis_value : Spec.point -> string -> string option
+(** An axis binding by name; ["seed"] reads the point's seed. *)
+
+val metric_value : Store.loaded -> string -> float option
+
+val metric_names : Store.loaded list -> string list
+
+val key_compare : string -> string -> int
+(** Numeric when both parse as numbers, lexicographic otherwise. *)
+
+val aggregate :
+  Store.loaded list -> metric:string -> by:string -> (group list, string) result
+(** Distribution of [metric] over done cells grouped by the [by] axis,
+    groups sorted by {!key_compare}.  [Error] when nothing matches. *)
+
+type winner = {
+  w_key : string;
+  w_winner : string;
+  w_value : float;
+}
+
+val winners :
+  Store.loaded list ->
+  metric:string ->
+  by:string ->
+  contender:string ->
+  maximize:bool ->
+  (winner list, string) result
+(** For every value of [by], the [contender] value with the best
+    (lowest, or highest with [maximize]) mean [metric]. *)
+
+(** {2 Power-law fits and goldens} *)
+
+type agg =
+  | Mean
+  | Std
+
+val agg_of_string : string -> (agg, string) result
+
+val string_of_agg : agg -> string
+
+type fitted = {
+  f_metric : string;
+  f_x : string;
+  f_agg : agg;
+  fit : Metrics.Stats.fit;  (** slope = the power-law exponent *)
+  points : (float * float) list;  (** x value, aggregated metric *)
+}
+
+val fit :
+  Store.loaded list ->
+  metric:string ->
+  x:string ->
+  agg:agg ->
+  (fitted, string) result
+(** Aggregate [metric] within each numeric value of axis [x] (mean or
+    across-seed stddev), then OLS on log10/log10.  Non-positive groups
+    drop; at least two must survive. *)
+
+type golden = {
+  g_metric : string;
+  g_x : string;
+  g_agg : agg;
+  exponent : float;
+  tolerance : float;
+}
+
+val golden_to_json : golden -> string
+(** Schema [dsas-fit-golden/1]. *)
+
+val load_golden : string -> (golden, string) result
+
+val check_golden : golden -> fitted -> (unit, string) result
+(** [Error] when the fit is of a different quantity than the golden
+    pins, or its exponent drifts beyond [tolerance]. *)

@@ -1,0 +1,63 @@
+(** The on-disk campaign store (schema [dsas-campaign/1]).
+
+    One directory per campaign: the spec and manifest at the top, an
+    append-only [cells.jsonl] status log (the checkpoint — last line
+    per cell id wins), and one [dsas-metrics/1] artifact per completed
+    cell under [cells/].  Metrics are written atomically (temp file +
+    rename), so a kill mid-write never leaves a half-artifact that
+    parses; a torn final log line is skipped on replay. *)
+
+type status =
+  | Pending
+  | Done
+  | Failed of string
+
+val spec_path : string -> string
+
+val manifest_path : string -> string
+
+val log_path : string -> string
+
+val metrics_path : dir:string -> string -> string
+(** [cells/<id>.metrics.json] *)
+
+val trace_path : dir:string -> string -> string
+
+val error_path : dir:string -> string -> string
+
+val init : dir:string -> spec:Spec.t -> git:string option -> (unit, string) result
+(** Create the directory, [spec.json] and [manifest.json] — or, when
+    the directory already holds a spec, verify it hashes identically
+    (the resume path) and touch nothing.  [Error] when the directory
+    holds a different grid. *)
+
+val load_spec : dir:string -> (Spec.t, string) result
+
+val record : dir:string -> string -> status -> unit
+(** Append one status line for a cell id and flush — the per-cell
+    checkpoint. *)
+
+val statuses : dir:string -> Spec.t -> (Spec.point * status) list
+(** Replay the log over the spec's grid, in grid order.  Unknown ids
+    and unparseable lines are ignored; cells never mentioned are
+    [Pending]. *)
+
+type loaded = {
+  point : Spec.point;
+  status : status;
+  metrics : (string * float) list;
+      (** flattened scalars: counters and gauges by name, stats as
+          [.mean]/[.min]/[.max]/[.count], histograms as
+          [.p50]/[.p90]/[.p99]/[.count]; [[]] unless [Done] *)
+}
+
+val load_metrics : string -> ((string * float) list, string) result
+
+val load : dir:string -> (Spec.t * loaded list, string) result
+(** Spec plus every grid point with its status and (for done cells)
+    flattened metrics.  Strict: a cell the log claims done must have a
+    readable artifact. *)
+
+val write_atomic : string -> string -> unit
+
+val mkdir_p : string -> unit

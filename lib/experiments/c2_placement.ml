@@ -50,8 +50,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
      boundaries mark where each policy's fresh store begins. *)
   let t_base = ref 0 in
   let runs = ref 0 in
-  let seg () =
-    let s = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+  let seg ~config =
+    let s = Obs.Sink.segment ?seed ~config ~run:!runs ~offset:!t_base obs in
     incr runs;
     s
   in
@@ -61,7 +61,15 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
         (fun policy ->
           (* Same stream for every policy: same seed. *)
           let events = make_events (Sim.Rng.derive ?override:seed 77) in
-          let a = serve ~obs:(seg ()) policy events in
+          let a =
+            serve
+              ~obs:
+                (seg
+                   ~config:
+                     (Printf.sprintf "c2 mix=%s policy=%s" mix_name
+                        (Freelist.Policy.to_string policy)))
+              policy events
+          in
           t_base := !t_base + List.length events;
           let sizes = Freelist.Allocator.free_block_sizes a in
           {

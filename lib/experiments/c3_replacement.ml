@@ -26,8 +26,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
      segment boundaries mark where each policy/frame run restarts. *)
   let t_base = ref 0 in
   let runs = ref 0 in
-  let seg () =
-    let s = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+  let seg ~config =
+    let s = Obs.Sink.segment ?seed ~config ~run:!runs ~offset:!t_base obs in
     incr runs;
     s
   in
@@ -42,7 +42,13 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
                   Paging.Spec.instantiate spec ~rng:(Sim.Rng.derive ?override:seed 9) ~trace:(Some trace)
                 in
                 let r =
-                  Paging.Fault_sim.run ~obs:(seg ()) ~frames ~policy trace
+                  Paging.Fault_sim.run
+                    ~obs:
+                      (seg
+                         ~config:
+                           (Printf.sprintf "c3 trace=%s policy=%s frames=%d"
+                              trace_name (Paging.Spec.to_string spec) frames))
+                    ~frames ~policy trace
                 in
                 t_base := !t_base + Array.length trace;
                 (frames, Paging.Fault_sim.fault_rate r))

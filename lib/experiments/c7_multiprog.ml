@@ -18,8 +18,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
      segment boundaries mark where each scheduler run restarts. *)
   let t_base = ref 0 in
   let runs = ref 0 in
-  let seg () =
-    let s = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+  let seg ~config =
+    let s = Obs.Sink.segment ?seed ~config ~run:!runs ~offset:!t_base obs in
     incr runs;
     s
   in
@@ -30,7 +30,12 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
         ~compute_us_per_ref:15
     in
     let report =
-      Dsas.Multiprog.run ~obs:(seg ()) ~frames
+      Dsas.Multiprog.run
+        ~obs:
+          (seg
+             ~config:
+               (Printf.sprintf "c7 regime=%s jobs=%d fetch_us=%d" regime k fetch_us))
+        ~frames
         ~policy:(Paging.Replacement.lru ()) ~fetch_us jobs
     in
     t_base := !t_base + report.Dsas.Multiprog.elapsed_us;

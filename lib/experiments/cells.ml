@@ -1,0 +1,485 @@
+(* The campaign cell catalogue: one parameterizable grid point per
+   simulation family.  Each cell validates its parameters strictly,
+   runs the simulation the corresponding experiment runs (same
+   generators, same derive constants where it shares a family), and
+   records its results as gauges/counters in the cell's registry —
+   exported by the executor as one dsas-metrics/1 file per grid
+   point. *)
+
+let ( let* ) = Result.bind
+
+let policy_of_string = function
+  | "first-fit" -> Ok Freelist.Policy.First_fit
+  | "next-fit" -> Ok Freelist.Policy.Next_fit
+  | "best-fit" -> Ok Freelist.Policy.Best_fit
+  | "worst-fit" -> Ok Freelist.Policy.Worst_fit
+  | "two-ends" -> Ok (Freelist.Policy.Two_ends { small_max = 64 })
+  | other -> Error (Printf.sprintf "unknown placement policy %S" other)
+
+let policy_names = [ "first-fit"; "next-fit"; "best-fit"; "worst-fit"; "two-ends" ]
+
+let spec_of_string ~frames = function
+  | "fifo" -> Ok Paging.Spec.Fifo
+  | "lru" -> Ok Paging.Spec.Lru
+  | "clock" -> Ok Paging.Spec.Clock
+  | "random" -> Ok Paging.Spec.Random
+  | "nru" -> Ok Paging.Spec.Nru
+  | "lfu" -> Ok Paging.Spec.Lfu
+  | "atlas" -> Ok Paging.Spec.Atlas
+  | "m44" -> Ok Paging.Spec.M44
+  | "working-set" -> Ok (Paging.Spec.Working_set (2 * frames))
+  | "opt" -> Ok Paging.Spec.Opt
+  | other -> Error (Printf.sprintf "unknown replacement policy %S" other)
+
+let spec_names =
+  [ "fifo"; "lru"; "clock"; "random"; "nru"; "lfu"; "atlas"; "m44"; "working-set"; "opt" ]
+
+(* --- paging: F3's one-program demand-paging run, device swept ------- *)
+
+let paging_devices =
+  [
+    ("fast-drum", Memstore.Device.custom ~label:"fast-drum" ~latency_us:1_000 ~word_ns:2_000);
+    ("drum", Memstore.Device.drum);
+    ("slow-drum", Memstore.Device.custom ~label:"slow-drum" ~latency_us:20_000 ~word_ns:8_000);
+    ("disk", Memstore.Device.disk);
+  ]
+
+let paging_cell =
+  let run (ctx : Cell.ctx) =
+    let* () =
+      Cell.check_known ctx [ "device"; "frames"; "refs"; "policy" ]
+    in
+    let* device_name =
+      Cell.get_enum ctx "device" ~default:"drum"
+        ~values:(List.map fst paging_devices)
+    in
+    let* frames = Cell.get_int ctx "frames" ~default:12 in
+    let* frames = Cell.require_positive "frames" frames in
+    let* refs =
+      Cell.get_int ctx "refs" ~default:(if ctx.quick then 2_000 else 20_000)
+    in
+    let* refs = Cell.require_positive "refs" refs in
+    let* spec = Cell.get_enum ctx "policy" ~default:"lru" ~values:spec_names in
+    let device = List.assoc device_name paging_devices in
+    let page_size = 256 in
+    let pages = 24 in
+    let extent = pages * page_size in
+    let rng = Sim.Rng.derive ~override:ctx.seed 42 in
+    let page_trace =
+      Workload.Trace.working_set_phases rng ~length:refs ~extent:pages ~set_size:6
+        ~phase_length:(refs / 8) ~locality:0.98
+    in
+    let trace =
+      Array.map (fun p -> (p * page_size) + Sim.Rng.int rng page_size) page_trace
+    in
+    let* policy_spec = spec_of_string ~frames spec in
+    let clock = Sim.Clock.create () in
+    let core =
+      Memstore.Level.make clock Memstore.Device.core ~name:"core"
+        ~words:(frames * page_size)
+    in
+    let backing =
+      Memstore.Level.make clock device ~name:device.Memstore.Device.label ~words:extent
+    in
+    let page_numbers = Workload.Trace.to_pages ~page_size trace in
+    let policy =
+      Paging.Spec.instantiate policy_spec
+        ~rng:(Sim.Rng.derive ~override:ctx.seed 9)
+        ~trace:(Some page_numbers)
+    in
+    let engine =
+      Paging.Demand.create ~obs:ctx.obs
+        { Paging.Demand.page_size; frames; pages; core; backing; policy;
+          tlb = None; compute_us_per_ref = 50 }
+    in
+    Paging.Demand.run engine trace;
+    let st = Paging.Demand.space_time engine in
+    Cell.gauge ctx "st.active" (Metrics.Space_time.active st);
+    Cell.gauge ctx "st.waiting" (Metrics.Space_time.waiting st);
+    Cell.gauge ctx "st.waiting_fraction" (Metrics.Space_time.waiting_fraction st);
+    Cell.count ctx "faults" (Paging.Demand.faults engine);
+    Cell.count ctx "refs" (Paging.Demand.refs engine);
+    Cell.count ctx "elapsed_us" (Sim.Clock.now clock);
+    Ok ()
+  in
+  {
+    Cell.id = "paging";
+    doc = "one program under timed demand paging (F3's family): space-time split";
+    params =
+      [
+        ("device", "backing store: fast-drum | drum | slow-drum | disk (drum)");
+        ("frames", "core frames (12)");
+        ("refs", "trace length (20000; 2000 quick)");
+        ("policy", "replacement policy (lru)");
+      ];
+    run;
+  }
+
+(* --- placement: C2's steady-state allocator run ---------------------- *)
+
+let placement_cell =
+  let run (ctx : Cell.ctx) =
+    let* () =
+      Cell.check_known ctx [ "policy"; "mix"; "steps"; "words"; "target_live" ]
+    in
+    let* policy_name =
+      Cell.get_enum ctx "policy" ~default:"best-fit" ~values:policy_names
+    in
+    let* policy = policy_of_string policy_name in
+    let* mix =
+      Cell.get_enum ctx "mix" ~default:"small-skewed"
+        ~values:[ "small-skewed"; "bimodal" ]
+    in
+    let* steps =
+      Cell.get_int ctx "steps" ~default:(if ctx.quick then 2_000 else 25_000)
+    in
+    let* steps = Cell.require_positive "steps" steps in
+    let* words = Cell.get_int ctx "words" ~default:(1 lsl 16) in
+    let* words = Cell.require_positive "words" words in
+    let* target_live = Cell.get_int ctx "target_live" ~default:400 in
+    let* target_live = Cell.require_positive "target_live" target_live in
+    let size =
+      match mix with
+      | "bimodal" ->
+        Workload.Alloc_stream.Bimodal { small = 16; large = 2048; large_fraction = 0.05 }
+      | _ -> Workload.Alloc_stream.Geometric { mean = 40.; min_size = 1 }
+    in
+    let rng = Sim.Rng.derive ~override:ctx.seed 77 in
+    let events = Workload.Alloc_stream.live_stream rng ~steps ~size ~target_live in
+    let mem = Memstore.Physical.create ~name:"core" ~words in
+    let a = Freelist.Allocator.create ~obs:ctx.obs mem ~base:0 ~len:words ~policy in
+    let table = Hashtbl.create 512 in
+    List.iter
+      (function
+        | Workload.Alloc_stream.Alloc { id; size } ->
+          (match Freelist.Allocator.alloc a size with
+           | Some addr -> Hashtbl.replace table id addr
+           | None -> ())
+        | Workload.Alloc_stream.Free { id } ->
+          (match Hashtbl.find_opt table id with
+           | Some addr ->
+             Freelist.Allocator.free a addr;
+             Hashtbl.remove table id
+           | None -> ()))
+      events;
+    let sizes = Freelist.Allocator.free_block_sizes a in
+    Cell.gauge ctx "frag.external"
+      (Metrics.Fragmentation.external_of_free_blocks sizes);
+    Cell.gauge ctx "frag.holes" (float_of_int (List.length sizes));
+    Cell.gauge ctx "alloc.mean_search"
+      (Metrics.Stats.mean (Freelist.Allocator.search_stats a));
+    Cell.gauge ctx "alloc.largest_free"
+      (float_of_int (Freelist.Allocator.largest_free a));
+    Cell.count ctx "alloc.failures" (Freelist.Allocator.failures a);
+    Cell.count ctx "live_words" (Freelist.Allocator.live_words a);
+    Ok ()
+  in
+  {
+    Cell.id = "placement";
+    doc = "steady-state placement run (C2's family): fragmentation and search cost";
+    params =
+      [
+        ("policy", "first-fit | next-fit | best-fit | worst-fit | two-ends (best-fit)");
+        ("mix", "small-skewed | bimodal (small-skewed)");
+        ("steps", "stream events (25000; 2000 quick)");
+        ("words", "store size in words (65536)");
+        ("target_live", "steady-state live objects (400)");
+      ];
+    run;
+  }
+
+(* --- replacement: C3's untimed fault-rate measurement ---------------- *)
+
+let replacement_cell =
+  let run (ctx : Cell.ctx) =
+    let* () = Cell.check_known ctx [ "policy"; "trace"; "frames"; "refs" ] in
+    let* frames = Cell.get_int ctx "frames" ~default:32 in
+    let* frames = Cell.require_positive "frames" frames in
+    let* refs =
+      Cell.get_int ctx "refs" ~default:(if ctx.quick then 2_000 else 30_000)
+    in
+    let* refs = Cell.require_positive "refs" refs in
+    let* spec_name = Cell.get_enum ctx "policy" ~default:"lru" ~values:spec_names in
+    let* spec = spec_of_string ~frames spec_name in
+    let* trace_name =
+      Cell.get_enum ctx "trace" ~default:"loop"
+        ~values:[ "loop"; "phases"; "zipf" ]
+    in
+    let rng = Sim.Rng.derive ~override:ctx.seed 555 in
+    let trace =
+      match trace_name with
+      | "phases" ->
+        Workload.Trace.working_set_phases rng ~length:refs ~extent:128 ~set_size:24
+          ~phase_length:(refs / 10) ~locality:0.9
+      | "zipf" -> Workload.Trace.zipf rng ~length:refs ~extent:128 ~skew:1.0
+      | _ -> Workload.Trace.loop ~length:refs ~extent:64 ~working_set:40
+    in
+    let policy =
+      Paging.Spec.instantiate spec
+        ~rng:(Sim.Rng.derive ~override:ctx.seed 9)
+        ~trace:(Some trace)
+    in
+    let r = Paging.Fault_sim.run ~obs:ctx.obs ~frames ~policy trace in
+    Cell.gauge ctx "fault_rate" (Paging.Fault_sim.fault_rate r);
+    Cell.count ctx "faults" r.Paging.Fault_sim.faults;
+    Cell.count ctx "cold_faults" r.Paging.Fault_sim.cold;
+    Cell.count ctx "evictions" r.Paging.Fault_sim.evictions;
+    Cell.count ctx "refs" r.Paging.Fault_sim.refs;
+    Ok ()
+  in
+  {
+    Cell.id = "replacement";
+    doc = "untimed fault-rate run (C3's family): one policy, one trace, one size";
+    params =
+      [
+        ("policy", String.concat " | " spec_names ^ " (lru)");
+        ("trace", "loop | phases | zipf (loop)");
+        ("frames", "core frames (32)");
+        ("refs", "trace length (30000; 2000 quick)");
+      ];
+    run;
+  }
+
+(* --- multiprog: C7's utilization-vs-k grid point --------------------- *)
+
+let multiprog_cell =
+  let run (ctx : Cell.ctx) =
+    let* () = Cell.check_known ctx [ "jobs"; "fetch_us"; "frames"; "refs_per_job" ] in
+    let* jobs = Cell.get_int ctx "jobs" ~default:4 in
+    let* jobs = Cell.require_positive "jobs" jobs in
+    let* fetch_us = Cell.get_int ctx "fetch_us" ~default:5_000 in
+    let* fetch_us = Cell.require_positive "fetch_us" fetch_us in
+    let* frames = Cell.get_int ctx "frames" ~default:32 in
+    let* frames = Cell.require_positive "frames" frames in
+    let* refs_per_job =
+      Cell.get_int ctx "refs_per_job" ~default:(if ctx.quick then 300 else 2_000)
+    in
+    let* refs_per_job = Cell.require_positive "refs_per_job" refs_per_job in
+    let rng = Sim.Rng.derive ~override:ctx.seed (jobs + (fetch_us * 7)) in
+    let mix =
+      Workload.Job.mix rng ~jobs ~refs_per_job ~pages_per_job:24 ~locality:0.9
+        ~compute_us_per_ref:15
+    in
+    let report =
+      Dsas.Multiprog.run ~obs:ctx.obs ~frames
+        ~policy:(Paging.Replacement.lru ()) ~fetch_us mix
+    in
+    Cell.gauge ctx "cpu_utilization" report.Dsas.Multiprog.cpu_utilization;
+    Cell.count ctx "total_faults" report.Dsas.Multiprog.total_faults;
+    Cell.count ctx "elapsed_us" report.Dsas.Multiprog.elapsed_us;
+    Ok ()
+  in
+  {
+    Cell.id = "multiprog";
+    doc = "multiprogrammed utilization run (C7's family)";
+    params =
+      [
+        ("jobs", "degree of multiprogramming (4)");
+        ("fetch_us", "page fetch time (5000)");
+        ("frames", "shared frame pool (32)");
+        ("refs_per_job", "references per job (2000; 300 quick)");
+      ];
+    run;
+  }
+
+(* --- device: X8d's geometry x scheduler x channels grid point -------- *)
+
+let device_cell =
+  let run (ctx : Cell.ctx) =
+    let* () = Cell.check_known ctx [ "device"; "sched"; "channels" ] in
+    let* device =
+      Cell.get_enum ctx "device" ~default:"drum" ~values:[ "fixed"; "drum"; "disk" ]
+    in
+    let* sched =
+      Cell.get_enum ctx "sched" ~default:"fifo"
+        ~values:[ "fifo"; "satf"; "priority" ]
+    in
+    let* channels = Cell.get_int ctx "channels" ~default:1 in
+    let* channels = Cell.require_positive "channels" channels in
+    let r =
+      X8_devices.run_multiprog ~quick:ctx.quick ~seed:ctx.seed ~device ~sched
+        ~channels ()
+    in
+    Cell.gauge ctx "cpu_utilization" r.X8_devices.cpu_utilization;
+    Cell.gauge ctx "mean_latency_us" r.X8_devices.mean_latency_us;
+    Cell.gauge ctx "mean_depth" r.X8_devices.mean_depth;
+    Cell.count ctx "max_depth" r.X8_devices.max_depth;
+    Cell.count ctx "elapsed_us" r.X8_devices.elapsed_us;
+    Ok ()
+  in
+  {
+    Cell.id = "device";
+    doc = "timed backing store under multiprogramming (X8d's family)";
+    params =
+      [
+        ("device", "fixed | drum | disk (drum)");
+        ("sched", "fifo | satf | priority (fifo)");
+        ("channels", "transfer channels (1)");
+      ];
+    run;
+  }
+
+(* --- resilience: X9's fault-rate x controller grid point ------------- *)
+
+let resilience_cell =
+  let run (ctx : Cell.ctx) =
+    let* () = Cell.check_known ctx [ "error_prob"; "policy"; "refs_per_job" ] in
+    let* error_prob = Cell.get_float ctx "error_prob" ~default:0.15 in
+    let* policy =
+      Cell.get_enum ctx "policy" ~default:"space-time"
+        ~values:[ "none"; "space-time" ]
+    in
+    let* refs_per_job =
+      Cell.get_int ctx "refs_per_job" ~default:(if ctx.quick then 250 else 1_200)
+    in
+    let* refs_per_job = Cell.require_positive "refs_per_job" refs_per_job in
+    if error_prob < 0. || error_prob > 1. then
+      Error "parameter \"error_prob\" must be in [0, 1]"
+    else begin
+      let r =
+        X9_resilience.one ~seed:ctx.seed ~obs:ctx.obs ~refs_per_job ~error_prob
+          ~policy ()
+      in
+      Cell.gauge ctx "cpu_utilization" r.X9_resilience.cpu_utilization;
+      Cell.count ctx "total_faults" r.X9_resilience.total_faults;
+      Cell.count ctx "restarts" r.X9_resilience.restarts;
+      Cell.count ctx "jobs_failed" r.X9_resilience.jobs_failed;
+      Cell.count ctx "sheds" r.X9_resilience.sheds;
+      Cell.count ctx "admits" r.X9_resilience.admits;
+      Cell.count ctx "injected" r.X9_resilience.injected;
+      Cell.count ctx "device_failed" r.X9_resilience.failed;
+      Cell.count ctx "elapsed_us" r.X9_resilience.elapsed_us;
+      Ok ()
+    end
+  in
+  {
+    Cell.id = "resilience";
+    doc = "faulty drum with Fail escalation and load control (X9's family)";
+    params =
+      [
+        ("error_prob", "transient read-error probability (0.15)");
+        ("policy", "none | space-time (space-time)");
+        ("refs_per_job", "references per job (1200; 250 quick)");
+      ];
+    run;
+  }
+
+(* --- frag_unit: C1's wasted-fraction comparison, one discipline ------ *)
+
+let frag_unit_cell =
+  let run (ctx : Cell.ctx) =
+    let* () = Cell.check_known ctx [ "policy"; "steps"; "words" ] in
+    let* policy_name =
+      Cell.get_enum ctx "policy" ~default:"best-fit" ~values:policy_names
+    in
+    let* policy = policy_of_string policy_name in
+    let* steps =
+      Cell.get_int ctx "steps" ~default:(if ctx.quick then 2_000 else 20_000)
+    in
+    let* steps = Cell.require_positive "steps" steps in
+    let* words = Cell.get_int ctx "words" ~default:(1 lsl 17) in
+    let* words = Cell.require_positive "words" words in
+    let rng = Sim.Rng.derive ~override:ctx.seed 31 in
+    let events =
+      Workload.Alloc_stream.live_stream rng ~steps
+        ~size:(Workload.Alloc_stream.Geometric { mean = 90.; min_size = 1 })
+        ~target_live:300
+    in
+    let mem = Memstore.Physical.create ~name:"core" ~words in
+    let a = Freelist.Allocator.create ~obs:ctx.obs mem ~base:0 ~len:words ~policy in
+    let table = Hashtbl.create 512 in
+    List.iter
+      (function
+        | Workload.Alloc_stream.Alloc { id; size } ->
+          (match Freelist.Allocator.alloc a size with
+           | Some addr -> Hashtbl.replace table id addr
+           | None -> ())
+        | Workload.Alloc_stream.Free { id } ->
+          (match Hashtbl.find_opt table id with
+           | Some addr ->
+             Freelist.Allocator.free a addr;
+             Hashtbl.remove table id
+           | None -> ()))
+      events;
+    let sizes = Freelist.Allocator.free_block_sizes a in
+    Cell.gauge ctx "frag.external"
+      (Metrics.Fragmentation.external_of_free_blocks sizes);
+    Cell.gauge ctx "frag.holes" (float_of_int (List.length sizes));
+    Cell.count ctx "live_words" (Freelist.Allocator.live_words a);
+    Cell.count ctx "free_words" (Freelist.Allocator.free_words a);
+    Cell.count ctx "alloc.failures" (Freelist.Allocator.failures a);
+    Ok ()
+  in
+  {
+    Cell.id = "frag_unit";
+    doc = "variable-unit fragmentation run (C1's family)";
+    params =
+      [
+        ("policy", "placement policy (best-fit)");
+        ("steps", "stream events (20000; 2000 quick)");
+        ("words", "store size in words (131072)");
+      ];
+    run;
+  }
+
+(* --- fss: the finite-size-scaling grid point (X10's family) ---------- *)
+
+let fss_cell =
+  let run (ctx : Cell.ctx) =
+    let* () =
+      Cell.check_known ctx [ "words"; "policy"; "mean_size"; "occupancy"; "churn" ]
+    in
+    let* words = Cell.get_int ctx "words" ~default:65_536 in
+    let* words = Cell.require_positive "words" words in
+    let* policy_name =
+      Cell.get_enum ctx "policy" ~default:"best-fit" ~values:policy_names
+    in
+    let* policy = policy_of_string policy_name in
+    let* mean_size = Cell.get_float ctx "mean_size" ~default:64. in
+    let* occupancy = Cell.get_float ctx "occupancy" ~default:0.5 in
+    let* churn = Cell.get_int ctx "churn" ~default:12 in
+    let* churn = Cell.require_positive "churn" churn in
+    if mean_size < 1. then Error "parameter \"mean_size\" must be >= 1"
+    else if occupancy <= 0. || occupancy >= 1. then
+      Error "parameter \"occupancy\" must be in (0, 1)"
+    else begin
+      let r =
+        X10_fss.point ~seed:ctx.seed ~mean_size ~occupancy ~churn ~policy ~words ()
+      in
+      Cell.gauge ctx "frag.external" r.X10_fss.external_frag;
+      Cell.gauge ctx "frag.holes" (float_of_int r.X10_fss.holes);
+      Cell.gauge ctx "frag.largest_free_share" r.X10_fss.largest_free_share;
+      Cell.gauge ctx "alloc.mean_search" r.X10_fss.mean_search;
+      Cell.count ctx "live_words" r.X10_fss.live_words;
+      Ok ()
+    end
+  in
+  {
+    Cell.id = "fss";
+    doc = "finite-size-scaling point (X10's family): fixed mix, store size swept";
+    params =
+      [
+        ("words", "store size in words (65536)");
+        ("policy", "placement policy (best-fit)");
+        ("mean_size", "geometric mean object size (64)");
+        ("occupancy", "target live fraction of the store (0.5)");
+        ("churn", "stream events per live object (12)");
+      ];
+    run;
+  }
+
+let all =
+  [
+    paging_cell;
+    placement_cell;
+    replacement_cell;
+    multiprog_cell;
+    device_cell;
+    resilience_cell;
+    frag_unit_cell;
+    fss_cell;
+  ]
+
+let find id = List.find_opt (fun (c : Cell.spec) -> c.id = id) all
+
+let ids = List.map (fun (c : Cell.spec) -> c.id) all

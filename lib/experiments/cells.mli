@@ -1,0 +1,12 @@
+(** The campaign cell catalogue.
+
+    One {!Cell.spec} per simulation family: paging (F3), placement
+    (C2), replacement (C3), multiprog (C7), device (X8d), resilience
+    (X9), frag_unit (C1) and fss (X10).  A sweep spec names a cell and
+    grids its parameters; the executor runs one cell per grid point. *)
+
+val all : Cell.spec list
+
+val find : string -> Cell.spec option
+
+val ids : string list

@@ -38,8 +38,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
      the segment boundary tells `dsas_sim check` where engines restart. *)
   let t_base = ref 0 in
   let runs = ref 0 in
-  let seg () =
-    let s = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+  let seg ~config =
+    let s = Obs.Sink.segment ?seed ~config ~run:!runs ~offset:!t_base obs in
     incr runs;
     s
   in
@@ -51,7 +51,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
     in
     let backing = Memstore.Level.make clock device ~name:device.Memstore.Device.label ~words:extent in
     let engine =
-      Paging.Demand.create ~obs:(seg ())
+      Paging.Demand.create
+        ~obs:(seg ~config:(Printf.sprintf "fig3 device=%s" device.Memstore.Device.label))
         {
           Paging.Demand.page_size;
           frames;

@@ -134,6 +134,12 @@ let all =
       run = X9_resilience.run;
     };
     {
+      id = "x10_fss";
+      title = "finite-size scaling of fragmentation (extension)";
+      paper_source = "Placement Strategies; Conclusions (v)";
+      run = X10_fss.run;
+    };
+    {
       id = "survey";
       title = "the appendix machines, measured";
       paper_source = "appendix A.1-A.7";

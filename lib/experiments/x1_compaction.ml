@@ -118,17 +118,24 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
      monotone. *)
   let t_base = ref 0 in
   let runs = ref 0 in
-  let spliced serve_variant =
+  let spliced label serve_variant =
     let evs = events () in
-    let row = serve_variant ~obs:(Obs.Sink.segment ~run:!runs ~offset:!t_base obs) evs in
+    let row =
+      serve_variant
+        ~obs:
+          (Obs.Sink.segment ?seed
+             ~config:("x1 variant=" ^ label)
+             ~run:!runs ~offset:!t_base obs)
+        evs
+    in
     incr runs;
     t_base := !t_base + (2 * List.length evs);
     row
   in
   [
-    spliced (fun ~obs evs -> serve ~obs ~compacting:false evs);
-    spliced (fun ~obs evs -> serve ~obs ~compacting:true evs);
-    spliced (fun ~obs evs -> serve_two_ends ~obs evs);
+    spliced "no-compaction" (fun ~obs evs -> serve ~obs ~compacting:false evs);
+    spliced "compacting" (fun ~obs evs -> serve ~obs ~compacting:true evs);
+    spliced "two-ends" (fun ~obs evs -> serve_two_ends ~obs evs);
   ]
 
 let run ?quick ?obs ?seed () =

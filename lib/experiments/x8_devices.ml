@@ -143,7 +143,10 @@ let measure_spacetime ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
   let t_base = ref 0 in
   let runs = ref 0 in
   let one config device_of =
-    let sink = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+    let sink =
+      Obs.Sink.segment ?seed ~config:("x8 config=" ^ config) ~run:!runs
+        ~offset:!t_base obs
+    in
     incr runs;
     let engine = demand_engine ~obs:sink ?device:(device_of sink) () in
     run_trace engine trace;

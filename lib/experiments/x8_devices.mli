@@ -34,6 +34,13 @@ type fault_row = {
   checksum : int64;  (** sum of every word the trace reads back *)
 }
 
+val run_multiprog :
+  ?quick:bool -> ?seed:int -> device:string -> sched:string -> channels:int -> unit -> mp_row
+(** One multiprogramming run of the chosen configuration — the
+    parameterizable grid point behind {!measure_multiprog} and the
+    campaign [device] cell.  Raises [Invalid_argument] on an unknown
+    device or scheduler name (validate first at boundaries). *)
+
 val measure_multiprog : ?quick:bool -> ?seed:int -> unit -> mp_row list
 
 val measure_spacetime : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> st_row list

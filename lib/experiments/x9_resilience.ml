@@ -85,8 +85,8 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
   let refs_per_job = if quick then 250 else 1_200 in
   let t_base = ref 0 in
   let runs = ref 0 in
-  let seg () =
-    let s = Obs.Sink.segment ~run:!runs ~offset:!t_base obs in
+  let seg ~config =
+    let s = Obs.Sink.segment ?seed ~config ~run:!runs ~offset:!t_base obs in
     incr runs;
     s
   in
@@ -94,7 +94,14 @@ let measure ?(quick = false) ?(obs = Obs.Sink.null) ?seed () =
     (fun error_prob ->
       List.map
         (fun policy ->
-          let r = one ?seed ~obs:(seg ()) ~refs_per_job ~error_prob ~policy () in
+          let r =
+            one ?seed
+              ~obs:
+                (seg
+                   ~config:
+                     (Printf.sprintf "x9 error_prob=%g policy=%s" error_prob policy))
+              ~refs_per_job ~error_prob ~policy ()
+          in
           t_base := !t_base + r.elapsed_us;
           r)
         policies)

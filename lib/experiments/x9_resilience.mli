@@ -30,6 +30,18 @@ type write_row = {
   terminal_failures : int;
 }
 
+val one :
+  ?seed:int ->
+  obs:Obs.Sink.t ->
+  refs_per_job:int ->
+  error_prob:float ->
+  policy:string ->
+  unit ->
+  row
+(** One multiprogrammed run over the faulty drum — the grid point
+    behind {!measure} and the campaign [resilience] cell.  [policy] is
+    ["none"] or ["space-time"]. *)
+
 val measure : ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> unit -> row list
 
 val measure_writes : ?quick:bool -> ?seed:int -> unit -> write_row list

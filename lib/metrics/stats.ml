@@ -32,3 +32,32 @@ let min t = t.min
 let max t = t.max
 
 let total t = t.total
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_square : float;
+}
+
+let linfit points =
+  let n = List.length points in
+  if n < 2 then None
+  else begin
+    let nf = float_of_int n in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. points in
+    let mx = sx /. nf and my = sy /. nf in
+    let sxx = List.fold_left (fun a (x, _) -> a +. ((x -. mx) *. (x -. mx))) 0. points in
+    let syy = List.fold_left (fun a (_, y) -> a +. ((y -. my) *. (y -. my))) 0. points in
+    let sxy =
+      List.fold_left (fun a (x, y) -> a +. ((x -. mx) *. (y -. my))) 0. points
+    in
+    if sxx <= 0. then None
+    else begin
+      let slope = sxy /. sxx in
+      let intercept = my -. (slope *. mx) in
+      (* All y equal: the flat line explains everything. *)
+      let r_square = if syy <= 0. then 1. else sxy *. sxy /. (sxx *. syy) in
+      Some { slope; intercept; r_square }
+    end
+  end

@@ -27,3 +27,16 @@ val max : t -> float
 
 val total : t -> float
 (** Sum of all samples. *)
+
+(** {2 Least-squares line fit} *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_square : float;  (** fraction of variance explained; 1. for a flat line *)
+}
+
+val linfit : (float * float) list -> fit option
+(** Ordinary least squares over [(x, y)] pairs.  Feed [log x / log y]
+    pairs to fit a power law ([slope] is then the exponent).  [None]
+    with fewer than two points or zero x-variance. *)

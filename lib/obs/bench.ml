@@ -127,7 +127,19 @@ let regressions c =
     (fun a b -> compare b.delta_pct a.delta_pct)
     (List.filter (fun v -> v.regressed) c.verdicts)
 
+(* Reports lead with the worst offender: verdicts ordered by delta
+   descending (name breaks ties), so regressions top the table and the
+   JSON artifact alike. *)
+let by_magnitude verdicts =
+  List.sort
+    (fun a b ->
+      match compare b.delta_pct a.delta_pct with
+      | 0 -> compare a.v_name b.v_name
+      | c -> c)
+    verdicts
+
 let print oc c =
+  let c = { c with verdicts = by_magnitude c.verdicts } in
   Printf.fprintf oc "%-44s %12s %12s %9s\n" "kernel" "old ns/run" "new ns/run" "delta";
   List.iter
     (fun v ->
@@ -164,7 +176,8 @@ let comparison_to_json c =
   Json.obj
     [
       ("threshold_pct", Json.Float c.threshold_pct);
-      ("verdicts", Json.Raw (Json.array (List.map verdict_obj c.verdicts)));
+      ( "verdicts",
+        Json.Raw (Json.array (List.map verdict_obj (by_magnitude c.verdicts))) );
       ( "only_old",
         Json.Raw (Json.array (List.map (fun s -> Json.String s) c.only_old)) );
       ( "only_new",

@@ -51,6 +51,9 @@ val regressions : comparison -> verdict list
 
 val print : out_channel -> comparison -> unit
 (** Human-readable table: every common kernel with old/new/delta,
-    regressions flagged, missing kernels noted. *)
+    ordered by regression magnitude (worst first), regressions flagged,
+    missing kernels noted. *)
 
 val comparison_to_json : comparison -> string
+(** Machine-readable comparison (the [--json] artifact); verdicts in
+    the same worst-first order as {!print}. *)

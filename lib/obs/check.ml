@@ -210,7 +210,7 @@ let feed c ~line (ev : Event.t) =
   let r = c.run in
   let name = Event.kind_name ev.kind in
   (match ev.kind with
-   | Event.Run_start { run } ->
+   | Event.Run_start { run; _ } ->
      finish_run c ~line;
      c.runs <- c.runs + 1;
      non_negative c ~line [ ("run", run) ];

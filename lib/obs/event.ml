@@ -14,7 +14,7 @@ let io_of_name = function
   | _ -> None
 
 type kind =
-  | Run_start of { run : int }
+  | Run_start of { run : int; seed : int option; config : string option }
   | Fault of { page : int }
   | Cold_fault of { page : int }
   | Eviction of { page : int }
@@ -71,8 +71,14 @@ let all_kind_names =
     "job_stop"; "io_start"; "io_done"; "io_retry"; "io_error"; "job_abort"; "load_shed";
     "load_admit" ]
 
+let trace_schema = "dsas-trace/1"
+
 let fields_of_kind = function
-  | Run_start { run } -> [ ("run", Json.Int run) ]
+  | Run_start { run; seed; config } ->
+    ("run", Json.Int run)
+    :: ("schema", Json.String trace_schema)
+    :: ((match seed with Some s -> [ ("seed", Json.Int s) ] | None -> [])
+        @ (match config with Some c -> [ ("config", Json.String c) ] | None -> []))
   | Fault { page } | Cold_fault { page } | Eviction { page } | Writeback { page } ->
     [ ("page", Json.Int page) ]
   | Tlb_hit { key } | Tlb_miss { key } -> [ ("key", Json.Int key) ]
@@ -108,7 +114,12 @@ let of_json line =
     let int k = Json.mem_int fields k in
     let kind =
       match Json.mem_string fields "ev" with
-      | Some "run_start" -> Option.map (fun run -> Run_start { run }) (int "run")
+      | Some "run_start" ->
+        Option.map
+          (fun run ->
+            Run_start
+              { run; seed = int "seed"; config = Json.mem_string fields "config" })
+          (int "run")
       | Some "fault" -> Option.map (fun page -> Fault { page }) (int "page")
       | Some "cold_fault" -> Option.map (fun page -> Cold_fault { page }) (int "page")
       | Some "eviction" -> Option.map (fun page -> Eviction { page }) (int "page")

@@ -29,11 +29,15 @@ val io_name : io -> string
 val io_of_name : string -> io option
 
 type kind =
-  | Run_start of { run : int }
+  | Run_start of { run : int; seed : int option; config : string option }
       (** boundary between the spliced sub-runs of one experiment: the
           engine (and with it the request-id counter and, logically,
           the clock) restarts here.  {!Check} scopes every cross-event
-          invariant to the span between two boundaries *)
+          invariant to the span between two boundaries.  The boundary
+          also stamps the run's identity on the wire — the trace schema
+          version ({!trace_schema}), and, when the producer supplied
+          them, the [seed] and a one-line [config] summary — so a trace
+          file identifies the run that produced it *)
   | Fault of { page : int }  (** reference missed working storage *)
   | Cold_fault of { page : int }  (** first-ever touch (emitted with [Fault]) *)
   | Eviction of { page : int }
@@ -77,6 +81,10 @@ type kind =
 type t = { t_us : int; kind : kind }
 
 val make : t_us:int -> kind -> t
+
+val trace_schema : string
+(** The wire schema tag every [run_start] event carries
+    (["dsas-trace/1"]). *)
 
 val kind_name : kind -> string
 (** The wire name: ["run_start"], ["fault"], ["cold_fault"], ["eviction"],

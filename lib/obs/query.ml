@@ -7,7 +7,7 @@ let tag numbered_events =
     List.fold_left
       (fun (prev_run, acc) (line, (ev : Event.t)) ->
         let run =
-          match ev.kind with Event.Run_start { run } -> run | _ -> prev_run
+          match ev.kind with Event.Run_start { run; _ } -> run | _ -> prev_run
         in
         (run, { line; run; ev } :: acc))
       (0, []) numbered_events
@@ -273,6 +273,32 @@ let latency_of p =
         p90_us = Metrics.Histogram.percentile hist 0.90;
         p99_us = Metrics.Histogram.percentile hist 0.99;
         hist;
+      }
+
+(* Exact percentile: the ceil(p*n)-th smallest sample itself, not the
+   lower bound of its power-of-two bucket — the same rank rule as
+   [Metrics.Histogram.percentile], minus the bucket rounding (which can
+   be off by up to 2x at the tail). *)
+let exact_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+    sorted.(min (rank - 1) (n - 1))
+  end
+
+let exact_latency_of p =
+  match latency_of p with
+  | None -> None
+  | Some l ->
+    let sorted = Array.of_list (List.map (fun r -> max 0 r.latency_us) p.rows) in
+    Array.sort compare sorted;
+    Some
+      {
+        l with
+        p50_us = exact_percentile sorted 0.50;
+        p90_us = exact_percentile sorted 0.90;
+        p99_us = exact_percentile sorted 0.99;
       }
 
 (* --- bridges --- *)

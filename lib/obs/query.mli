@@ -111,6 +111,14 @@ val latency_of : pairing -> latency option
     there are none.  Percentiles are bucket lower bounds
     (see {!Metrics.Histogram.percentile}); min/max/mean are exact. *)
 
+val exact_latency_of : pairing -> latency option
+(** Like {!latency_of}, but [p50_us]/[p90_us]/[p99_us] are the exact
+    ceil-rank order statistics over the raw latencies (the sample the
+    bucketed percentile approximates from below — at the tail the
+    bucket lower bound can understate it by up to 2x).  The [hist]
+    field still carries the log-bucketed histogram for display.  Costs
+    a sort of all samples; [latency_of] streams. *)
+
 (** {1 Bridges} *)
 
 val to_summary : t -> Summary.trace_stats

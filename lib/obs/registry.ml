@@ -8,6 +8,7 @@ type t = {
   stats : (string, Metrics.Stats.t) Hashtbl.t;
   histograms : (string, Metrics.Histogram.t) Hashtbl.t;
   series : (string, Series.t) Hashtbl.t;
+  mutable meta : (string * string) list;
 }
 
 let create () =
@@ -17,7 +18,19 @@ let create () =
     stats = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
     series = Hashtbl.create 16;
+    meta = [];
   }
+
+(* Replace-or-append: later stamps win by key, insertion order kept. *)
+let set_meta t bindings =
+  List.iter
+    (fun (k, v) ->
+      if List.mem_assoc k t.meta then
+        t.meta <- List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) t.meta
+      else t.meta <- t.meta @ [ (k, v) ])
+    bindings
+
+let meta t = t.meta
 
 let get_or_create tbl name build =
   match Hashtbl.find_opt tbl name with
@@ -126,8 +139,12 @@ let to_json (t : t) =
     obj_of (List.map (fun (k, v) -> (k, value_of v)) bindings)
   in
   Json.obj
-    [
-      ("schema", Json.String "dsas-metrics/1");
+    (("schema", Json.String "dsas-metrics/1")
+     :: ((if t.meta = [] then []
+          else
+            [ ( "meta",
+                obj_of (List.map (fun (k, v) -> (k, Json.String v)) t.meta) ) ])
+         @ [
       ("counters", section (sorted_bindings t.counters Fun.id) (fun c -> Json.Int c.n));
       ("gauges", section (sorted_bindings t.gauges Fun.id) (fun g -> Json.Float g.v));
       ("stats", section (sorted_bindings t.stats Fun.id) stats_obj);
@@ -135,7 +152,7 @@ let to_json (t : t) =
       ( "series",
         section (sorted_bindings t.series Fun.id) (fun s -> Json.Raw (Series.to_json s))
       );
-    ]
+    ]))
 
 let snapshot_to_json s =
   let obj_of fields = Json.Raw (Json.obj fields) in

@@ -16,6 +16,19 @@ type gauge
 
 val create : unit -> t
 
+(** {2 Run metadata}
+
+    Key/value stamps identifying the run that filled the registry
+    (seed, experiment/cell id, parameter bindings).  {!to_json} writes
+    them as a ["meta"] object, so a metrics artifact is
+    self-describing — the campaign store depends on this to recover a
+    cell's parameters from its metrics file alone. *)
+
+val set_meta : t -> (string * string) list -> unit
+(** Add or replace metadata bindings (by key; insertion order kept). *)
+
+val meta : t -> (string * string) list
+
 (** {2 Handles} — get-or-create by name} *)
 
 val counter : t -> string -> counter

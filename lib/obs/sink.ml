@@ -57,12 +57,12 @@ let rec emit t ev =
     s.count <- s.count + 1;
     if s.count mod s.every = 0 then s.probe ev
 
-let segment ~run ~offset inner =
+let segment ?seed ?config ~run ~offset inner =
   match inner with
   | Null -> Null
   | _ ->
     let s = Shift (offset, inner) in
-    emit s (Event.make ~t_us:0 (Event.Run_start { run }));
+    emit s (Event.make ~t_us:0 (Event.Run_start { run; seed; config }));
     s
 
 let rec flush = function

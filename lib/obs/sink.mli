@@ -38,14 +38,16 @@ val shift : offset:int -> t -> t
     its runs into one monotone stream.  [shift ~offset null] is
     {!null}. *)
 
-val segment : run:int -> offset:int -> t -> t
+val segment : ?seed:int -> ?config:string -> run:int -> offset:int -> t -> t
 (** [shift ~offset], announced: emits a {!Event.Run_start} boundary
     (stamped [offset], i.e. the shifted origin) before returning the
     shifted sink.  Experiments that splice several engine runs into one
     stream use one [segment] per run so that {!Check} can scope its
     invariants — request ids and first-touch sets restart at each
-    boundary.  [segment ~run ~offset null] is {!null} and emits
-    nothing. *)
+    boundary.  [seed] and [config] are stamped into the boundary event
+    (with the trace schema version) so the recorded stream identifies
+    the run that produced it.  [segment ~run ~offset null] is {!null}
+    and emits nothing. *)
 
 val sample : every:int -> (Event.t -> unit) -> t
 (** Invoke the callback on every [every]-th event ([every >= 1]) — the

@@ -61,7 +61,10 @@ let run ?(trace = Obs.Sink.null) ?progress ~scenarios ~runs ~seed () =
        and the optional JSONL trace — into one monotone multi-run
        stream that Obs.Check can scope. *)
     let obs =
-      Obs.Sink.segment ~run:index ~offset:!offset (Obs.Sink.tee collect trace)
+      Obs.Sink.segment ~seed:run_seed
+        ~config:("chaos scenario=" ^ scenario.name)
+        ~run:index ~offset:!offset
+        (Obs.Sink.tee collect trace)
     in
     let counters = scenario.run ~seed:run_seed ~fault ~obs in
     let events = List.rev !buffer in

@@ -162,7 +162,7 @@ let test_check_accepts_clean_stream () =
         ev 5 (Obs.Event.Fault { page = 2 });
         ev 5 (Obs.Event.Cold_fault { page = 2 });
         ev 9 (Obs.Event.Eviction { page = 1 });
-        ev 0 (Obs.Event.Run_start { run = 0 });
+        ev 0 (Obs.Event.Run_start { run = 0; seed = None; config = None });
         ev 3 (Obs.Event.Alloc { addr = 0; size = 8 });
         ev 7 (Obs.Event.Free { addr = 0; size = 8 });
       ]
@@ -220,8 +220,8 @@ let test_check_vocab () =
 let test_check_schema_run_ids () =
   check_ids "run ids must increase" [ "schema" ]
     [
-      ev 0 (Obs.Event.Run_start { run = 1 });
-      ev 0 (Obs.Event.Run_start { run = 1 });
+      ev 0 (Obs.Event.Run_start { run = 1; seed = None; config = None });
+      ev 0 (Obs.Event.Run_start { run = 1; seed = None; config = None });
     ]
 
 let test_check_segments_reset_state () =
@@ -229,9 +229,9 @@ let test_check_segments_reset_state () =
      boundary it would be a frames violation. *)
   check_ids "boundary resets residency" []
     [
-      ev 0 (Obs.Event.Run_start { run = 0 });
+      ev 0 (Obs.Event.Run_start { run = 0; seed = None; config = None });
       ev 1 (Obs.Event.Fault { page = 1 });
-      ev 0 (Obs.Event.Run_start { run = 1 });
+      ev 0 (Obs.Event.Run_start { run = 1; seed = None; config = None });
       ev 1 (Obs.Event.Fault { page = 1 });
     ]
 

@@ -12,7 +12,7 @@ let ev ~t_us kind = Obs.Event.make ~t_us kind
 let one_of_each =
   Obs.Event.
     [
-      ev ~t_us:0 (Run_start { run = 0 });
+      ev ~t_us:0 (Run_start { run = 0; seed = None; config = None });
       ev ~t_us:0 (Fault { page = 7 });
       ev ~t_us:1 (Cold_fault { page = 7 });
       ev ~t_us:2 (Eviction { page = 3 });

@@ -81,11 +81,11 @@ let test_load_truncated_fixture () =
 let sample_events =
   Obs.Event.
     [
-      ev ~t_us:0 (Run_start { run = 0 });
+      ev ~t_us:0 (Run_start { run = 0; seed = None; config = None });
       ev ~t_us:10 (Fault { page = 1 });
       ev ~t_us:20 (Fault { page = 2 });
       ev ~t_us:30 (Eviction { page = 1 });
-      ev ~t_us:0 (Run_start { run = 1 });
+      ev ~t_us:0 (Run_start { run = 1; seed = None; config = None });
       ev ~t_us:5 (Fault { page = 2 });
       ev ~t_us:15 (Alloc { addr = 64; size = 10 });
       ev ~t_us:25 (Alloc { addr = 128; size = 30 });
@@ -249,7 +249,85 @@ let test_latency_of_empty () =
   check_bool "no rows, no summary" true
     (Obs.Query.latency_of
        { Obs.Query.rows = []; unmatched_starts = 0; unmatched_dones = 0 }
+     = None);
+  check_bool "no rows, no exact summary" true
+    (Obs.Query.exact_latency_of
+       { Obs.Query.rows = []; unmatched_starts = 0; unmatched_dones = 0 }
      = None)
+
+(* --- exact percentiles --- *)
+
+(* A synthetic pairing whose rows carry exactly these latencies. *)
+let pairing_of_latencies latencies =
+  {
+    Obs.Query.rows =
+      List.mapi
+        (fun i l ->
+          {
+            Obs.Query.p_run = 0;
+            req = i;
+            io = "";
+            start_us = 0;
+            finish_us = l;
+            latency_us = l;
+          })
+        latencies;
+    unmatched_starts = 0;
+    unmatched_dones = 0;
+  }
+
+(* The unbucketed oracle: percentile p = the ceil(p*n)-th smallest raw
+   sample (no log2 rounding, unlike oracle_percentile above). *)
+let exact_oracle latencies p =
+  let sorted = List.sort compare latencies in
+  let n = List.length sorted in
+  let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+  List.nth sorted (rank - 1)
+
+let test_exact_latency_fixture () =
+  match Obs.Query.load (fixture "pair_trace.jsonl") with
+  | Error msg -> Alcotest.failf "fixture unreadable: %s" msg
+  | Ok q ->
+    (match Obs.Query.pair q ~start_kind:"io_start" ~done_kind:"io_done" with
+     | Error msg -> Alcotest.failf "pairing failed: %s" msg
+     | Ok p ->
+       (match Obs.Query.exact_latency_of p with
+        | None -> Alcotest.fail "no exact latency summary"
+        | Some l ->
+          (* latencies are [3; 9; 10; 77; 100; 1000; 2048] *)
+          check_int "exact p50 is the 4th sample" 77 l.Obs.Query.p50_us;
+          check_int "exact p90 is the 7th sample" 2048 l.Obs.Query.p90_us;
+          check_int "exact p99 is the 7th sample" 2048 l.Obs.Query.p99_us;
+          (* the bucketed view of the same pairing understates p50 *)
+          (match Obs.Query.latency_of p with
+           | None -> Alcotest.fail "no bucketed summary"
+           | Some b ->
+             check_int "bucketed p50 is 77's bucket lower bound" 64
+               b.Obs.Query.p50_us;
+             check_bool "exact >= bucketed at every percentile" true
+               (l.Obs.Query.p50_us >= b.Obs.Query.p50_us
+                && l.Obs.Query.p90_us >= b.Obs.Query.p90_us
+                && l.Obs.Query.p99_us >= b.Obs.Query.p99_us))))
+
+let exact_latency_property =
+  QCheck.Test.make
+    ~name:"exact_latency_of matches the sorted-array oracle on random samples"
+    ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_range 1 100_000))
+    (fun latencies ->
+      match Obs.Query.exact_latency_of (pairing_of_latencies latencies) with
+      | None -> false
+      | Some l ->
+        let n = List.length latencies in
+        let sum = List.fold_left ( + ) 0 latencies in
+        l.Obs.Query.samples = n
+        && l.Obs.Query.min_us = List.fold_left min max_int latencies
+        && l.Obs.Query.max_us = List.fold_left max 0 latencies
+        && Float.abs (l.Obs.Query.mean_us -. (float_of_int sum /. float_of_int n))
+           < 1e-6
+        && l.Obs.Query.p50_us = exact_oracle latencies 0.50
+        && l.Obs.Query.p90_us = exact_oracle latencies 0.90
+        && l.Obs.Query.p99_us = exact_oracle latencies 0.99)
 
 (* --- metrics sink --- *)
 
@@ -259,7 +337,7 @@ let test_metrics_sink () =
   List.iter (Obs.Sink.emit sink)
     Obs.Event.
       [
-        ev ~t_us:0 (Run_start { run = 0 });
+        ev ~t_us:0 (Run_start { run = 0; seed = None; config = None });
         ev ~t_us:1 (Fault { page = 1 });
         ev ~t_us:2 (Io_start { req = 0; page = 1; io = Demand });
         ev ~t_us:34 (Io_done { req = 0; page = 1; io = Demand });
@@ -462,6 +540,47 @@ let test_prof_outputs () =
    | None -> Alcotest.fail "prof json not parseable");
   Obs.Prof.reset ()
 
+(* Round-trip: parse the folded-stacks text back and check it carries
+   exactly the profiler's rows — same paths, same self times.  The
+   format is load-bearing (flamegraph.pl/speedscope input), so a
+   formatting regression must fail loudly. *)
+let test_prof_folded_roundtrip () =
+  Obs.Prof.reset ();
+  Obs.Prof.enable ();
+  Obs.Prof.span "fetch" (fun () ->
+      Obs.Prof.span "seek" (fun () -> Sys.opaque_identity ());
+      Obs.Prof.span "transfer" (fun () -> Sys.opaque_identity ()));
+  Obs.Prof.span "select victim" (fun () -> Sys.opaque_identity ());
+  Obs.Prof.disable ();
+  let parse_line line =
+    match String.rindex_opt line ' ' with
+    | None -> Alcotest.failf "unsplittable folded line: %s" line
+    | Some i ->
+      let path = String.sub line 0 i in
+      let n = String.sub line (i + 1) (String.length line - i - 1) in
+      (match int_of_string_opt n with
+       | Some self_us -> (path, self_us)
+       | None -> Alcotest.failf "non-numeric self time: %s" line)
+  in
+  let parsed =
+    Obs.Prof.folded () |> String.trim |> String.split_on_char '\n'
+    |> List.map parse_line
+  in
+  let rows = Obs.Prof.rows () in
+  check_int "one line per row" (List.length rows) (List.length parsed);
+  List.iter
+    (fun (r : Obs.Prof.row) ->
+      match List.assoc_opt r.Obs.Prof.path parsed with
+      | None -> Alcotest.failf "row %s missing from folded output" r.Obs.Prof.path
+      | Some self_us ->
+        check_int ("self time of " ^ r.Obs.Prof.path) (r.Obs.Prof.self_ns / 1000)
+          self_us)
+    rows;
+  (* paths with spaces survive: only the final field is the number *)
+  check_bool "multi-word path parsed back" true
+    (List.mem_assoc "select victim" parsed);
+  Obs.Prof.reset ()
+
 (* The tentpole's overhead guard: a disabled span must be invisible.
    Compare a substantial body (a 1000-ref fault simulation, ~ms scale)
    run bare vs. wrapped in a disabled span; interleave trials and take
@@ -528,6 +647,12 @@ let () =
           Alcotest.test_case "bad pair specs are errors" `Quick test_pair_errors;
           Alcotest.test_case "no pairs, no latency summary" `Quick test_latency_of_empty;
         ] );
+      ( "exact-percentiles",
+        [
+          Alcotest.test_case "fixture: exact beats bucket lower bounds" `Quick
+            test_exact_latency_fixture;
+          QCheck_alcotest.to_alcotest exact_latency_property;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "metrics sink folds the stream" `Quick test_metrics_sink;
@@ -550,6 +675,8 @@ let () =
           Alcotest.test_case "nested spans aggregate by path" `Quick test_prof_nesting;
           Alcotest.test_case "spans survive exceptions" `Quick test_prof_exception_safety;
           Alcotest.test_case "folded and JSON outputs" `Quick test_prof_outputs;
+          Alcotest.test_case "folded stacks round-trip to the rows" `Quick
+            test_prof_folded_roundtrip;
           Alcotest.test_case "disabled span adds <2% overhead" `Quick
             test_prof_disabled_overhead;
         ] );
