@@ -192,6 +192,74 @@ let substrate_kernels =
     Test.make ~name:"substrate/demand-engine read" (Staged.stage demand_read);
   ]
 
+(* The sharded multicore kernels (lib/parallel).  The kernel names are
+   deliberately independent of the execution width: CI benches the same
+   family at --domains 1 and --domains 2 and gates the 2-domain run
+   against the 1-domain run with `dsas_sim bench-diff`, which matches
+   rows by name. *)
+let parallel_kernels ~domains =
+  let alloc_cfg = Parallel.Sharded.alloc_config ~ops_per_shard:50_000 ~seed:0 () in
+  let paging_cfg = Parallel.Sharded.paging_config ~refs_per_shard:2_000 ~seed:0 () in
+  let freestack_cycle =
+    let st = Parallel.Freestack.create () in
+    Parallel.Freestack.push st 1;
+    fun () ->
+      match Parallel.Freestack.pop st with
+      | Some v -> Parallel.Freestack.push st v
+      | None -> ()
+  in
+  let fixed_alloc_cycle =
+    let fa = Parallel.Fixed_alloc.create ~slots:512 ~slot_words:16 () in
+    let c = Parallel.Fixed_alloc.cache fa in
+    fun () ->
+      match Parallel.Fixed_alloc.alloc c with
+      | Some addr -> Parallel.Fixed_alloc.free c addr
+      | None -> ()
+  in
+  [
+    Test.make ~name:"par/freestack push-pop" (Staged.stage freestack_cycle);
+    Test.make ~name:"par/fixed-alloc cycle" (Staged.stage fixed_alloc_cycle);
+    Test.make ~name:"par/alloc shards=4"
+      (Staged.stage (fun () ->
+           ignore (Parallel.Sharded.run_alloc ~domains alloc_cfg)));
+    Test.make ~name:"par/paging shards=4"
+      (Staged.stage (fun () ->
+           ignore (Parallel.Sharded.run_paging ~domains paging_cfg)));
+  ]
+
+(* Throughput vs domains, 1 up to the machine's width (capped at the
+   shard count): wall-clock over whole runs, the number the acceptance
+   target (>= 2.5x at 4 domains for the fixed-size engine) reads off.
+   Wall-clock lives here in the bench binary — the library itself never
+   reads the host clock. *)
+let throughput_sweep ~quick () =
+  let cfg = Parallel.Sharded.alloc_config ~ops_per_shard:50_000 ~seed:0 () in
+  let reps = if quick then 3 else 10 in
+  let max_domains = min (Parallel.Pool.available_domains ()) cfg.a_shards in
+  let time_at domains =
+    ignore (Parallel.Sharded.run_alloc ~domains cfg);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Parallel.Sharded.run_alloc ~domains cfg)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let times = List.init max_domains (fun i -> (i + 1, time_at (i + 1))) in
+  let base = match times with (_, t) :: _ -> t | [] -> 1. in
+  let total_ops = cfg.a_shards * cfg.a_ops_per_shard in
+  Printf.printf "par/alloc throughput vs domains (%d shards x %d ops, %d reps)\n"
+    cfg.a_shards cfg.a_ops_per_shard reps;
+  Metrics.Table.print ~headers:[ "domains"; "ms/run"; "Mops/s"; "speedup" ]
+    (List.map
+       (fun (d, t) ->
+         [
+           string_of_int d;
+           Printf.sprintf "%.2f" (t *. 1e3);
+           Printf.sprintf "%.1f" (float_of_int total_ops /. t /. 1e6);
+           Printf.sprintf "%.2fx" (base /. t);
+         ])
+       times)
+
 (* Measure each test's OLS ns/run; print a table and return the rows. *)
 let run_bechamel ~quick tests =
   let instance = Toolkit.Instance.monotonic_clock in
@@ -241,7 +309,11 @@ let to_bench_results ~quick rows =
         rows;
   }
 
-let main quick kernels_only json_out =
+let main quick kernels_only domains json_out =
+  if domains < 1 then begin
+    prerr_endline "bench: --domains must be >= 1";
+    exit 2
+  end;
   if not kernels_only then begin
     print_endline "######################################################################";
     print_endline "# Dynamic Storage Allocation Systems (Randell & Kuehner, SOSP 1967) #";
@@ -255,11 +327,17 @@ let main quick kernels_only json_out =
   let rows = run_bechamel ~quick experiment_kernels in
   print_newline ();
   let rows' = run_bechamel ~quick substrate_kernels in
+  print_newline ();
+  Printf.printf "parallel kernels at --domains %d\n" domains;
+  let par_rows = run_bechamel ~quick (parallel_kernels ~domains) in
+  print_newline ();
+  throughput_sweep ~quick ();
   match json_out with
   | None -> ()
   | Some file ->
     let oc = open_out file in
-    output_string oc (Obs.Bench.to_json (to_bench_results ~quick (rows @ rows')));
+    output_string oc
+      (Obs.Bench.to_json (to_bench_results ~quick (rows @ rows' @ par_rows)));
     output_char oc '\n';
     close_out oc;
     Printf.printf "\nwrote %s\n" file
@@ -276,6 +354,13 @@ let () =
              ~doc:"Skip Part 1 (the full-scale experiments); only run the \
                    Bechamel kernels.")
   in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Execution width for the par/* kernels (kernel names stay \
+                   the same, so two runs at different widths are diffable \
+                   with `dsas_sim bench-diff`).")
+  in
   let json_out =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
@@ -284,4 +369,6 @@ let () =
   in
   let doc = "Benchmark harness: full-scale experiments + Bechamel kernels." in
   let info = Cmd.info "bench" ~doc in
-  exit (Cmd.eval (Cmd.v info Term.(const main $ quick $ kernels_only $ json_out)))
+  exit
+    (Cmd.eval
+       (Cmd.v info Term.(const main $ quick $ kernels_only $ domains $ json_out)))

@@ -88,8 +88,16 @@ let run_cmd =
     Arg.(value & opt (some int) None & info [ "channels" ] ~docv:"N"
            ~doc:"Device channels for x8_devices (>= 1).")
   in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+           ~doc:"Execution width for x11_parallel: run its shard pool on $(docv) \
+                 OCaml domains, 1 <= $(docv) <= this machine's recommended \
+                 domain count.  Results are bit-identical for every valid \
+                 $(docv) -- the shard count fixes the workload, domains only \
+                 the width.")
+  in
   let action quick id trace_out metrics_out profile profile_out device sched channels
-      seed =
+      domains seed =
     let profiling = profile || profile_out <> None in
     (* Wrap the simulation in the profiler; report once it finishes. *)
     let profiled f =
@@ -107,6 +115,31 @@ let run_cmd =
         if profile then Obs.Prof.print stdout;
         result
       end
+    in
+    (* A bad --domains must fail loudly (non-zero exit) and say what
+       would have worked, exactly like a bad experiment id. *)
+    let max_domains = Parallel.Pool.available_domains () in
+    let domains_error =
+      match domains with
+      | Some n when n < 1 || n > max_domains ->
+        Some
+          (Printf.sprintf
+             "invalid --domains %d; this machine supports 1..%d \
+              (Domain.recommended_domain_count)"
+             n max_domains)
+      | Some _ when String.lowercase_ascii id <> "x11_parallel" ->
+        Some
+          "--domains selects the x11_parallel execution width; use it with \
+           `run x11_parallel`"
+      | Some n when n > 1 && profiling ->
+        Some "the profiler's span table is not domain-safe; profile at --domains 1"
+      | _ -> None
+    in
+    (* x11_parallel is the one entry that takes the execution width. *)
+    let run_entry e ~quick ~obs ?seed () =
+      if String.equal e.Experiments.Registry.id "x11_parallel" then
+        Experiments.X11_parallel.run ~quick ~obs ?seed ?domains ()
+      else e.Experiments.Registry.run ~quick ~obs ?seed ()
     in
     (* Run a traced experiment with the requested observers attached. *)
     let run_observed e =
@@ -129,7 +162,7 @@ let run_cmd =
         ~finally:(fun () ->
           Obs.Sink.flush obs;
           Option.iter close_out oc)
-        (fun () -> profiled (fun () -> e.Experiments.Registry.run ~quick ~obs ?seed ()));
+        (fun () -> profiled (fun () -> run_entry e ~quick ~obs ?seed ()));
       match metrics_out with
       | None -> ()
       | Some file ->
@@ -138,6 +171,9 @@ let run_cmd =
         output_char oc '\n';
         close_out oc
     in
+    match domains_error with
+    | Some msg -> `Error (false, msg)
+    | None ->
     match (device, sched, channels) with
     | Some _, _, _ | _, Some _, _ | _, _, Some _
       when String.lowercase_ascii id <> "x8_devices" ->
@@ -167,7 +203,7 @@ let run_cmd =
         else
           match Experiments.Registry.find id with
           | Some e ->
-            profiled (fun () -> e.Experiments.Registry.run ~quick ?seed ());
+            profiled (fun () -> run_entry e ~quick ~obs:Obs.Sink.null ?seed ());
             `Ok ()
           | None -> unknown_id id
       end
@@ -191,7 +227,7 @@ let run_cmd =
       ret
         (const action $ quick_flag $ id_arg $ trace_out_arg $ metrics_out_arg
          $ profile_flag $ profile_out_arg $ device_arg $ sched_arg $ channels_arg
-         $ seed_arg))
+         $ domains_arg $ seed_arg))
 
 let json_flag =
   let doc = "Emit the result as a single JSON object on stdout." in
@@ -424,6 +460,13 @@ let query_cmd =
                  if exact then Obs.Query.exact_latency_of p
                  else Obs.Query.latency_of p
                in
+               (* Bucketed percentiles are lower bounds; whenever a p99
+                  is about to be shown without --exact, say so. *)
+               if (not exact) && (json || percentiles) && l <> None then
+                 prerr_endline
+                   "warning: p50/p90/p99 are log-bucket lower bounds (the \
+                    bucketed p99 can understate the tail by up to 2x); pass \
+                    --exact for order-statistic percentiles";
                if json then print_endline (latency_json p l)
                else begin
                  Printf.printf "paired %d %s->%s (%d unmatched start(s), %d unmatched done(s))\n"

@@ -63,7 +63,6 @@ let paging_cell =
     let device = List.assoc device_name paging_devices in
     let page_size = 256 in
     let pages = 24 in
-    let extent = pages * page_size in
     let rng = Sim.Rng.derive ~override:ctx.seed 42 in
     let page_trace =
       Workload.Trace.working_set_phases rng ~length:refs ~extent:pages ~set_size:6
@@ -74,23 +73,14 @@ let paging_cell =
     in
     let* policy_spec = spec_of_string ~frames spec in
     let clock = Sim.Clock.create () in
-    let core =
-      Memstore.Level.make clock Memstore.Device.core ~name:"core"
-        ~words:(frames * page_size)
-    in
-    let backing =
-      Memstore.Level.make clock device ~name:device.Memstore.Device.label ~words:extent
-    in
     let page_numbers = Workload.Trace.to_pages ~page_size trace in
-    let policy =
-      Paging.Spec.instantiate policy_spec
-        ~rng:(Sim.Rng.derive ~override:ctx.seed 9)
-        ~trace:(Some page_numbers)
-    in
     let engine =
-      Paging.Demand.create ~obs:ctx.obs
-        { Paging.Demand.page_size; frames; pages; core; backing; policy;
-          tlb = None; compute_us_per_ref = 50 }
+      Paging.Spec.build ~obs:ctx.obs ~clock
+        ~rng:(Sim.Rng.derive ~override:ctx.seed 9)
+        ~trace:page_numbers
+        { Paging.Spec.e_page_size = page_size; e_frames = frames;
+          e_pages = pages; e_device = device; e_policy = policy_spec;
+          e_tlb_slots = None; e_compute_us_per_ref = 50 }
     in
     Paging.Demand.run engine trace;
     let st = Paging.Demand.space_time engine in
@@ -147,7 +137,10 @@ let placement_cell =
     let rng = Sim.Rng.derive ~override:ctx.seed 77 in
     let events = Workload.Alloc_stream.live_stream rng ~steps ~size ~target_live in
     let mem = Memstore.Physical.create ~name:"core" ~words in
-    let a = Freelist.Allocator.create ~obs:ctx.obs mem ~base:0 ~len:words ~policy in
+    let a =
+      Freelist.Allocator.build ~obs:ctx.obs mem
+        { Freelist.Allocator.s_base = 0; s_len = words; s_policy = policy }
+    in
     let table = Hashtbl.create 512 in
     List.iter
       (function
@@ -386,7 +379,10 @@ let frag_unit_cell =
         ~target_live:300
     in
     let mem = Memstore.Physical.create ~name:"core" ~words in
-    let a = Freelist.Allocator.create ~obs:ctx.obs mem ~base:0 ~len:words ~policy in
+    let a =
+      Freelist.Allocator.build ~obs:ctx.obs mem
+        { Freelist.Allocator.s_base = 0; s_len = words; s_policy = policy }
+    in
     let table = Hashtbl.create 512 in
     List.iter
       (function
@@ -468,6 +464,132 @@ let fss_cell =
     run;
   }
 
+(* --- par_alloc: X11's sharded lock-free fixed-size engine ------------ *)
+
+let par_alloc_cell =
+  let run (ctx : Cell.ctx) =
+    let* () =
+      Cell.check_known ctx
+        [ "shards"; "ops_per_shard"; "slots_per_shard"; "slot_words"; "domains" ]
+    in
+    let* shards = Cell.get_int ctx "shards" ~default:4 in
+    let* shards = Cell.require_positive "shards" shards in
+    let* ops =
+      Cell.get_int ctx "ops_per_shard"
+        ~default:(if ctx.quick then 4_000 else 20_000)
+    in
+    let* ops = Cell.require_positive "ops_per_shard" ops in
+    let* slots = Cell.get_int ctx "slots_per_shard" ~default:512 in
+    let* slots = Cell.require_positive "slots_per_shard" slots in
+    let* slot_words = Cell.get_int ctx "slot_words" ~default:16 in
+    let* slot_words = Cell.require_positive "slot_words" slot_words in
+    let* domains = Cell.get_int ctx "domains" ~default:1 in
+    let* domains = Cell.require_positive "domains" domains in
+    let cfg =
+      Parallel.Sharded.alloc_config ~shards ~ops_per_shard:ops
+        ~slots_per_shard:slots ~slot_words ~seed:ctx.seed ()
+    in
+    let r = Parallel.Sharded.run_alloc ~obs:ctx.obs ~domains cfg in
+    let sum f =
+      Array.fold_left
+        (fun acc (s : Parallel.Sharded.shard_alloc) -> acc + f s)
+        0 r.Parallel.Sharded.ar_shards
+    in
+    let elapsed =
+      Array.fold_left
+        (fun acc (s : Parallel.Sharded.shard_alloc) -> max acc s.sa_elapsed_us)
+        0 r.Parallel.Sharded.ar_shards
+    in
+    Cell.count ctx "allocs" (sum (fun s -> s.sa_allocs));
+    Cell.count ctx "frees" (sum (fun s -> s.sa_frees));
+    Cell.count ctx "denied" (sum (fun s -> s.sa_failures));
+    Cell.count ctx "refills" (sum (fun s -> s.sa_refills));
+    Cell.count ctx "flushes" (sum (fun s -> s.sa_flushes));
+    Cell.count ctx "live" (sum (fun s -> s.sa_live));
+    Cell.count ctx "elapsed_us" elapsed;
+    Ok ()
+  in
+  {
+    Cell.id = "par_alloc";
+    doc =
+      "sharded lock-free fixed-size allocation (X11's family); results \
+       independent of domains";
+    params =
+      [
+        ("shards", "workload partitions (4)");
+        ("ops_per_shard", "alloc/free ops per shard (20000; 4000 quick)");
+        ("slots_per_shard", "fixed-size blocks per shard arena (512)");
+        ("slot_words", "words per block (16)");
+        ("domains", "execution width; never changes results (1)");
+      ];
+    run;
+  }
+
+(* --- par_paging: X11's sharded demand-paging engines ----------------- *)
+
+let par_paging_cell =
+  let run (ctx : Cell.ctx) =
+    let* () =
+      Cell.check_known ctx
+        [ "shards"; "refs_per_shard"; "frames"; "pages"; "policy"; "domains" ]
+    in
+    let* shards = Cell.get_int ctx "shards" ~default:4 in
+    let* shards = Cell.require_positive "shards" shards in
+    let* refs =
+      Cell.get_int ctx "refs_per_shard"
+        ~default:(if ctx.quick then 2_000 else 8_000)
+    in
+    let* refs = Cell.require_positive "refs_per_shard" refs in
+    let* frames = Cell.get_int ctx "frames" ~default:12 in
+    let* frames = Cell.require_positive "frames" frames in
+    let* pages = Cell.get_int ctx "pages" ~default:24 in
+    let* pages = Cell.require_positive "pages" pages in
+    let* spec_name = Cell.get_enum ctx "policy" ~default:"lru" ~values:spec_names in
+    let* spec = spec_of_string ~frames spec_name in
+    let* domains = Cell.get_int ctx "domains" ~default:1 in
+    let* domains = Cell.require_positive "domains" domains in
+    if pages < frames then Error "parameter \"pages\" must be >= \"frames\""
+    else begin
+      let cfg =
+        Parallel.Sharded.paging_config ~shards ~refs_per_shard:refs
+          ~frames_per_shard:frames ~pages_per_shard:pages ~policy:spec
+          ~seed:ctx.seed ()
+      in
+      let r = Parallel.Sharded.run_paging ~obs:ctx.obs ~domains cfg in
+      let sum f =
+        Array.fold_left
+          (fun acc (s : Parallel.Sharded.shard_paging) -> acc + f s)
+          0 r.Parallel.Sharded.pr_shards
+      in
+      let elapsed =
+        Array.fold_left
+          (fun acc (s : Parallel.Sharded.shard_paging) -> max acc s.sp_elapsed_us)
+          0 r.Parallel.Sharded.pr_shards
+      in
+      Cell.count ctx "refs" (sum (fun s -> s.sp_refs));
+      Cell.count ctx "faults" (sum (fun s -> s.sp_faults));
+      Cell.count ctx "writebacks" (sum (fun s -> s.sp_writebacks));
+      Cell.count ctx "elapsed_us" elapsed;
+      Ok ()
+    end
+  in
+  {
+    Cell.id = "par_paging";
+    doc =
+      "sharded demand paging, one engine per shard (X11's family); results \
+       independent of domains";
+    params =
+      [
+        ("shards", "workload partitions (4)");
+        ("refs_per_shard", "references per shard (8000; 2000 quick)");
+        ("frames", "core frames per shard (12)");
+        ("pages", "name-space pages per shard (24)");
+        ("policy", String.concat " | " spec_names ^ " (lru)");
+        ("domains", "execution width; never changes results (1)");
+      ];
+    run;
+  }
+
 let all =
   [
     paging_cell;
@@ -478,6 +600,8 @@ let all =
     resilience_cell;
     frag_unit_cell;
     fss_cell;
+    par_alloc_cell;
+    par_paging_cell;
   ]
 
 let find id = List.find_opt (fun (c : Cell.spec) -> c.id = id) all

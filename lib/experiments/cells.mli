@@ -2,8 +2,11 @@
 
     One {!Cell.spec} per simulation family: paging (F3), placement
     (C2), replacement (C3), multiprog (C7), device (X8d), resilience
-    (X9), frag_unit (C1) and fss (X10).  A sweep spec names a cell and
-    grids its parameters; the executor runs one cell per grid point. *)
+    (X9), frag_unit (C1), fss (X10), and the sharded multicore pair
+    par_alloc / par_paging (X11, whose [domains] parameter is an
+    execution width that never changes results).  A sweep spec names a
+    cell and grids its parameters; the executor runs one cell per grid
+    point. *)
 
 val all : Cell.spec list
 

@@ -140,6 +140,12 @@ let all =
       run = X10_fss.run;
     };
     {
+      id = "x11_parallel";
+      title = "sharded multicore execution with a deterministic merge (extension)";
+      paper_source = "Basic Characteristics (one supervisor, several processors)";
+      run = (fun ?quick ?obs ?seed () -> X11_parallel.run ?quick ?obs ?seed ());
+    };
+    {
       id = "survey";
       title = "the appendix machines, measured";
       paper_source = "appendix A.1-A.7";
@@ -160,6 +166,7 @@ let run_all ?quick ?seed () =
       print_newline ())
     all
 
-let traced = [ "fig3"; "c2"; "c3"; "c7"; "x1"; "x8_devices"; "x9_resilience" ]
+let traced =
+  [ "fig3"; "c2"; "c3"; "c7"; "x1"; "x8_devices"; "x9_resilience"; "x11_parallel" ]
 
 let is_traced id = List.mem (String.lowercase_ascii id) traced

@@ -48,7 +48,10 @@ let point ?seed ?(rep = 0) ?(mean_size = default_mean_size)
       ~target_live:live
   in
   let mem = Memstore.Physical.create ~name:"core" ~words in
-  let a = Freelist.Allocator.create mem ~base:0 ~len:words ~policy in
+  let a =
+    Freelist.Allocator.build mem
+      { Freelist.Allocator.s_base = 0; s_len = words; s_policy = policy }
+  in
   let table = Hashtbl.create 512 in
   List.iter
     (function

@@ -1,0 +1,18 @@
+(** X11 (extension): sharded multicore execution of the simulator.
+
+    The workload is partitioned into shards — each with its own virtual
+    clock, RNG stream, arena and event buffer — and run across OCaml
+    domains by {!Parallel.Sharded}; the per-shard event streams are
+    then merged deterministically by (virtual time, shard).  The
+    experiment drives both sharded engines (the lock-free fixed-size
+    allocator and demand paging), prints per-shard accounting, and
+    {e verifies the determinism contract in-process}: the merged trace
+    produced at the requested execution width is compared byte-for-byte
+    against the width-1 trace.  Every number printed is a pure function
+    of (config, seed) — never of [domains]. *)
+
+val run :
+  ?quick:bool -> ?obs:Obs.Sink.t -> ?seed:int -> ?domains:int -> unit -> unit
+(** [domains] (default 1) is the execution width to exercise and to
+    check against the width-1 reference; the CLI's [--domains] flag
+    lands here.  Raises [Invalid_argument] if [domains < 1]. *)

@@ -17,6 +17,8 @@ type t = {
 
 let null = Block.null
 
+type spec = { s_base : int; s_len : int; s_policy : Policy.t }
+
 let create ?(obs = Obs.Sink.null) ?clock mem ~base ~len ~policy =
   assert (len >= Block.min_block);
   assert (base >= 0 && base + len <= Memstore.Physical.size mem);
@@ -42,6 +44,9 @@ let create ?(obs = Obs.Sink.null) ?clock mem ~base ~len ~policy =
   Block.write_next mem ~base 0 null;
   Block.write_prev mem ~base 0 null;
   t
+
+let build ?obs ?clock mem spec =
+  create ?obs ?clock mem ~base:spec.s_base ~len:spec.s_len ~policy:spec.s_policy
 
 let emit t kind =
   let t_us = match t.clock with Some c -> Sim.Clock.now c | None -> t.ops in

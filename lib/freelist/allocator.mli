@@ -32,6 +32,17 @@ val create :
     (e.g. the owning store's virtual clock), else from a per-allocator
     operation counter. *)
 
+type spec = { s_base : int; s_len : int; s_policy : Policy.t }
+(** A pure description of an allocator configuration: region geometry
+    plus placement strategy, with no store and no clocked state.  The
+    counterpart of {!Paging.Spec.engine} for the variable-unit
+    allocator — shard runners build one allocator per shard from a
+    single shared description. *)
+
+val build : ?obs:Obs.Sink.t -> ?clock:Sim.Clock.t -> Memstore.Physical.t -> spec -> t
+(** Instantiate a description against a store (and optionally a virtual
+    clock); equivalent to {!create} with the spec's fields. *)
+
 val policy : t -> Policy.t
 
 val capacity : t -> int

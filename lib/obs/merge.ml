@@ -1,0 +1,71 @@
+(* K-way merge over per-stream cursors.  The merge key for a stream is
+   its current ENGINE time — the running maximum of the non-io
+   timestamps consumed so far (io_* events carry planned service
+   times, stamped ahead of the engine's clock, so keying on raw t_us
+   would let one stream's engine events leapfrog another's events
+   queued behind a planned completion; see Event).  The engine-time
+   key is non-decreasing along each stream, which makes the min-head
+   scan a true sorted merge: non-io events come out globally monotone,
+   io events ride at their dispatch point exactly as they do in a
+   single-engine stream, and merging one stream is the identity.
+
+   The streams are small in number (one per memory shard) while the
+   events are many, so the cursor scan per output event is a linear
+   pass over k cursors — O(n * k) with k in the single digits, and no
+   allocation beyond the output array. *)
+
+let is_io (ev : Event.t) =
+  match ev.kind with
+  | Event.Io_start _ | Event.Io_done _ | Event.Io_retry _ | Event.Io_error _ ->
+    true
+  | _ -> false
+
+let total streams = Array.fold_left (fun acc s -> acc + Array.length s) 0 streams
+
+let interleave (streams : Event.t array array) : Event.t array =
+  let k = Array.length streams in
+  let n = total streams in
+  if n = 0 then [||]
+  else begin
+    let cursor = Array.make k 0 in
+    (* Engine time of each stream: max non-io t_us consumed so far. *)
+    let engine_t = Array.make k 0 in
+    let key s =
+      let ev = streams.(s).(cursor.(s)) in
+      if is_io ev then engine_t.(s) else max engine_t.(s) ev.Event.t_us
+    in
+    (* Pick the live stream with the smallest (engine time, index);
+       strict [<] keeps the lowest stream index on ties, and cursors
+       preserve arrival order within a stream. *)
+    let pick () =
+      let best = ref (-1) in
+      let best_t = ref max_int in
+      for s = 0 to k - 1 do
+        if cursor.(s) < Array.length streams.(s) then begin
+          let t = key s in
+          if t < !best_t then begin
+            best := s;
+            best_t := t
+          end
+        end
+      done;
+      !best
+    in
+    let first = pick () in
+    let seed = streams.(first).(cursor.(first)) in
+    let out = Array.make n seed in
+    for i = 0 to n - 1 do
+      let s = pick () in
+      let ev = streams.(s).(cursor.(s)) in
+      out.(i) <- ev;
+      if not (is_io ev) then engine_t.(s) <- max engine_t.(s) ev.Event.t_us;
+      cursor.(s) <- cursor.(s) + 1
+    done;
+    out
+  end
+
+let emit ~into streams =
+  let n = total streams in
+  if Sink.is_active into then
+    Array.iter (fun ev -> Sink.emit into ev) (interleave streams);
+  n

@@ -1,0 +1,28 @@
+(** Deterministic interleaving of several event streams into one.
+
+    A sharded simulation runs one engine per shard, each over its own
+    virtual clock, and buffers each shard's events separately.  This
+    module splices those per-stream buffers into a single stream
+    ordered by [(engine time, stream index, arrival order)] — a total
+    order, so the merged stream is a pure function of the input
+    buffers and in particular is bit-stable no matter how many domains
+    produced them or in what real-time order they finished.
+
+    A stream's {e engine time} at an event is the running maximum of
+    the non-io timestamps up to it — i.e. the producing engine's
+    virtual clock.  Io events are keyed at their dispatch point rather
+    than their (planned, possibly future) [t_us], mirroring how a
+    single engine emits them (see {!Event}); non-io events are keyed
+    by their own stamp.  Consequences: the merged stream is monotone
+    in [t_us] over non-io events whenever each input is (which
+    {!Check}'s clock invariant demands), a stream's own order is never
+    altered, and merging a single stream is the identity. *)
+
+val interleave : Event.t array array -> Event.t array
+(** [interleave streams] merges [streams.(0) .. streams.(k-1)] into one
+    array by [(engine time, stream index, position in stream)]. *)
+
+val emit : into:Sink.t -> Event.t array array -> int
+(** [emit ~into streams] feeds the merged stream to a sink in merge
+    order and returns the number of events emitted.  With an inactive
+    sink nothing is constructed and the count is still returned. *)

@@ -25,6 +25,16 @@ let to_string = function
 let all_practical =
   [ Fifo; Lru; Clock; Random; Nru; Lfu; Atlas; M44; Working_set 64 ]
 
+type engine = {
+  e_page_size : int;
+  e_frames : int;
+  e_pages : int;
+  e_device : Memstore.Device.t;
+  e_policy : t;
+  e_tlb_slots : int option;
+  e_compute_us_per_ref : int;
+}
+
 let instantiate spec ~rng ~trace =
   let rng = Sim.Rng.split rng in
   match spec with
@@ -41,3 +51,34 @@ let instantiate spec ~rng ~trace =
     (match trace with
      | Some trace -> Replacement.opt trace
      | None -> invalid_arg "Spec.instantiate: OPT requires the reference trace")
+
+(* Clocked instantiation of a pure engine description.  Construction
+   order (core level, backing level, policy) matches the historical
+   hand-written call sites, so rewiring them through [build] leaves
+   results bit-identical. *)
+let build ?obs ?(core_name = "core") ~clock ~rng ?trace e =
+  let core =
+    Memstore.Level.make clock Memstore.Device.core ~name:core_name
+      ~words:(e.e_frames * e.e_page_size)
+  in
+  let backing =
+    Memstore.Level.make clock e.e_device ~name:e.e_device.Memstore.Device.label
+      ~words:(e.e_pages * e.e_page_size)
+  in
+  let policy = instantiate e.e_policy ~rng ~trace in
+  let tlb =
+    Option.map
+      (fun capacity -> Tlb.create ~clock ~capacity Tlb.Lru_replacement)
+      e.e_tlb_slots
+  in
+  Demand.create ?obs
+    {
+      Demand.page_size = e.e_page_size;
+      frames = e.e_frames;
+      pages = e.e_pages;
+      core;
+      backing;
+      policy;
+      tlb;
+      compute_us_per_ref = e.e_compute_us_per_ref;
+    }

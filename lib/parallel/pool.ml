@@ -1,0 +1,34 @@
+let available_domains () = Domain.recommended_domain_count ()
+
+(* Workers write disjoint cells of [results]; Domain.join publishes the
+   spawned workers' writes to the caller, so no further synchronisation
+   is needed.  Worker 0 runs on the calling domain both to save a spawn
+   and so that [domains = 1] never spawns at all — the single-domain
+   path is ordinary sequential code. *)
+let map_shards ~domains ~shards f =
+  if domains < 1 then invalid_arg "Pool.map_shards: domains < 1";
+  if shards < 0 then invalid_arg "Pool.map_shards: shards < 0";
+  if shards = 0 then [||]
+  else begin
+    let w = min domains shards in
+    let results = Array.make shards None in
+    let worker d () =
+      let s = ref d in
+      while !s < shards do
+        results.(!s) <- Some (f !s);
+        s := !s + w
+      done
+    in
+    let first_exn = ref None in
+    let record_exn e =
+      match !first_exn with None -> first_exn := Some e | Some _ -> ()
+    in
+    if w = 1 then worker 0 ()
+    else begin
+      let spawned = Array.init (w - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+      (try worker 0 () with e -> record_exn e);
+      Array.iter (fun d -> try Domain.join d with e -> record_exn e) spawned;
+      match !first_exn with Some e -> raise e | None -> ()
+    end;
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,24 @@
+(** A domain pool running shard bodies under a {e static} shard-to-
+    domain assignment.
+
+    The contract that makes multicore runs reproducible: the shard
+    count is part of the workload description, the domain count is
+    only an execution width.  Shard [s] runs on worker [s mod w] (with
+    [w = min domains shards]), each worker executes its shards in
+    ascending index order, and a shard body sees only state it owns —
+    so the value computed for shard [s] is a pure function of [s] and
+    the body, never of [domains].  Changing [domains] can only change
+    wall-clock time. *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count ()]: the upper bound the CLI
+    enforces for [--domains]. *)
+
+val map_shards : domains:int -> shards:int -> (int -> 'a) -> 'a array
+(** [map_shards ~domains ~shards f] computes [|f 0; ...; f (shards-1)|]
+    on [min domains shards] domains (the caller's domain is worker 0;
+    the rest are spawned and joined before returning).  [f] must touch
+    only per-shard state; results are returned in shard order.  If any
+    body raises, all domains are still joined and the first exception
+    (lowest worker index) is re-raised.  Raises [Invalid_argument] if
+    [domains < 1] or [shards < 0]. *)

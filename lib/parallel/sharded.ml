@@ -1,0 +1,266 @@
+(* Shard bodies are pure functions of (config, shard index): private
+   clock, derived rng, private engine, private event buffer.  The only
+   cross-domain traffic is Pool.map_shards handing back the per-shard
+   results; the caller's sink is touched exclusively on the caller's
+   domain, after the join, via the deterministic Obs.Merge stage. *)
+
+(* Per-site rng defaults: distinct streams per shard under one master
+   seed (see Sim.Rng.derive).  The multipliers keep alloc and paging
+   shards on unrelated streams. *)
+let alloc_rng_site shard = 0xA110C + (shard * 7919)
+let paging_rng_site shard = 0x9A61B + (shard * 104729)
+
+(* A shard buffers its (already relabelled) events locally; reversed
+   into an array at the end so streams arrive in emission order. *)
+let buffer_sink () =
+  let buf = ref [] in
+  let sink = Obs.Sink.collect (fun ev -> buf := ev :: !buf) in
+  let contents () =
+    let arr = Array.of_list !buf in
+    let n = Array.length arr in
+    Array.init n (fun i -> arr.(n - 1 - i))
+  in
+  (sink, contents)
+
+(* {2 Fixed-size allocation} *)
+
+type alloc_config = {
+  a_shards : int;
+  a_ops_per_shard : int;
+  a_slots_per_shard : int;
+  a_slot_words : int;
+  a_op_us : int;
+  a_seed : int;
+}
+
+let alloc_config ?(shards = 4) ?(ops_per_shard = 20_000) ?(slots_per_shard = 512)
+    ?(slot_words = 16) ?(op_us = 5) ~seed () =
+  if shards < 1 then invalid_arg "Sharded.alloc_config: shards < 1";
+  if ops_per_shard < 0 then invalid_arg "Sharded.alloc_config: ops_per_shard < 0";
+  { a_shards = shards; a_ops_per_shard = ops_per_shard;
+    a_slots_per_shard = slots_per_shard; a_slot_words = slot_words;
+    a_op_us = op_us; a_seed = seed }
+
+type shard_alloc = {
+  sa_shard : int;
+  sa_allocs : int;
+  sa_frees : int;
+  sa_failures : int;
+  sa_refills : int;
+  sa_flushes : int;
+  sa_live : int;
+  sa_elapsed_us : int;
+  sa_events : int;
+}
+
+type alloc_report = {
+  ar_shards : shard_alloc array;
+  ar_events : int;
+}
+
+(* One shard of the mixed alloc/free workload.  The arena base puts the
+   shard's addresses in a globally disjoint range, so Alloc/Free events
+   need no relabelling.  The stream holds roughly half the arena live:
+   below target it biases toward allocation, at the target it frees, in
+   between it flips the shard's coin. *)
+let alloc_shard cfg ~traced shard =
+  let rng = Sim.Rng.derive ~override:cfg.a_seed (alloc_rng_site shard) in
+  let clock = Sim.Clock.create () in
+  let arena_words = cfg.a_slots_per_shard * cfg.a_slot_words in
+  let fa =
+    Fixed_alloc.create ~base:(shard * arena_words) ~slots:cfg.a_slots_per_shard
+      ~slot_words:cfg.a_slot_words ()
+  in
+  let cache = Fixed_alloc.cache fa in
+  let sink, contents = buffer_sink () in
+  let live = Array.make (max 1 cfg.a_slots_per_shard) 0 in
+  let live_n = ref 0 in
+  let target = max 1 (cfg.a_slots_per_shard / 2) in
+  let size = cfg.a_slot_words in
+  for _op = 1 to cfg.a_ops_per_shard do
+    Sim.Clock.advance clock cfg.a_op_us;
+    let do_alloc =
+      if !live_n = 0 then true
+      else if !live_n >= target then false
+      else Sim.Rng.bool rng
+    in
+    if do_alloc then begin
+      match Fixed_alloc.alloc cache with
+      | Some addr ->
+        live.(!live_n) <- addr;
+        incr live_n;
+        if traced then
+          Obs.Sink.emit sink
+            (Obs.Event.make ~t_us:(Sim.Clock.now clock)
+               (Obs.Event.Alloc { addr; size }))
+      | None -> ()
+    end else begin
+      let i = Sim.Rng.int rng !live_n in
+      let addr = live.(i) in
+      live.(i) <- live.(!live_n - 1);
+      decr live_n;
+      Fixed_alloc.free cache addr;
+      if traced then
+        Obs.Sink.emit sink
+          (Obs.Event.make ~t_us:(Sim.Clock.now clock)
+             (Obs.Event.Free { addr; size }))
+    end
+  done;
+  let st = Fixed_alloc.stats cache in
+  let events = contents () in
+  ( { sa_shard = shard;
+      sa_allocs = st.Fixed_alloc.allocs;
+      sa_frees = st.Fixed_alloc.frees;
+      sa_failures = st.Fixed_alloc.failures;
+      sa_refills = st.Fixed_alloc.refills;
+      sa_flushes = st.Fixed_alloc.flushes;
+      sa_live = !live_n;
+      sa_elapsed_us = Sim.Clock.now clock;
+      sa_events = Array.length events },
+    events )
+
+let run_alloc ?(obs = Obs.Sink.null) ~domains cfg =
+  if domains < 1 then invalid_arg "Sharded.run_alloc: domains < 1";
+  let traced = Obs.Sink.is_active obs in
+  let per_shard =
+    Pool.map_shards ~domains ~shards:cfg.a_shards (alloc_shard cfg ~traced)
+  in
+  let streams = Array.map snd per_shard in
+  let emitted = Obs.Merge.emit ~into:obs streams in
+  { ar_shards = Array.map fst per_shard; ar_events = emitted }
+
+(* {2 Demand paging} *)
+
+type paging_config = {
+  p_shards : int;
+  p_refs_per_shard : int;
+  p_frames_per_shard : int;
+  p_pages_per_shard : int;
+  p_page_size : int;
+  p_policy : Paging.Spec.t;
+  p_compute_us_per_ref : int;
+  p_seed : int;
+}
+
+let paging_config ?(shards = 4) ?(refs_per_shard = 8_000) ?(frames_per_shard = 12)
+    ?(pages_per_shard = 24) ?(page_size = 256) ?(policy = Paging.Spec.Lru)
+    ?(compute_us_per_ref = 50) ~seed () =
+  if shards < 1 then invalid_arg "Sharded.paging_config: shards < 1";
+  if frames_per_shard < 1 then
+    invalid_arg "Sharded.paging_config: frames_per_shard < 1";
+  if pages_per_shard < frames_per_shard then
+    invalid_arg "Sharded.paging_config: pages_per_shard < frames_per_shard";
+  { p_shards = shards; p_refs_per_shard = refs_per_shard;
+    p_frames_per_shard = frames_per_shard; p_pages_per_shard = pages_per_shard;
+    p_page_size = page_size; p_policy = policy;
+    p_compute_us_per_ref = compute_us_per_ref; p_seed = seed }
+
+type shard_paging = {
+  sp_shard : int;
+  sp_refs : int;
+  sp_faults : int;
+  sp_writebacks : int;
+  sp_elapsed_us : int;
+  sp_events : int;
+}
+
+type paging_report = {
+  pr_shards : shard_paging array;
+  pr_events : int;
+}
+
+(* Relabel a shard-local event into the shard's global ranges: pages
+   shift by the shard's page base, io request ids by a per-shard stride
+   wide enough that no two shards' ids collide.  Applied at buffering
+   time, on the shard's own domain. *)
+let relabel ~page_off ~req_off (ev : Obs.Event.t) =
+  let open Obs.Event in
+  let kind =
+    match ev.kind with
+    | Fault { page } -> Fault { page = page + page_off }
+    | Cold_fault { page } -> Cold_fault { page = page + page_off }
+    | Eviction { page } -> Eviction { page = page + page_off }
+    | Writeback { page } -> Writeback { page = page + page_off }
+    | Tlb_hit { key } -> Tlb_hit { key = key + page_off }
+    | Tlb_miss { key } -> Tlb_miss { key = key + page_off }
+    | Io_start { req; page; io } ->
+      Io_start { req = req + req_off; page = page + page_off; io }
+    | Io_done { req; page; io } ->
+      Io_done { req = req + req_off; page = page + page_off; io }
+    | Io_retry { req; attempt } -> Io_retry { req = req + req_off; attempt }
+    | Io_error { req; page; io; attempts } ->
+      Io_error { req = req + req_off; page = page + page_off; io; attempts }
+    | other -> other
+  in
+  { ev with kind }
+
+(* Each engine restarts request ids at 0; a fault costs at most a fetch
+   and a writeback request, so 2x the reference count (with slack)
+   bounds a shard's id range. *)
+let req_stride cfg = (4 * cfg.p_refs_per_shard) + 16
+
+let paging_shard cfg ~traced shard =
+  let rng = Sim.Rng.derive ~override:cfg.p_seed (paging_rng_site shard) in
+  let clock = Sim.Clock.create () in
+  let pages = cfg.p_pages_per_shard in
+  let page_off = shard * pages in
+  let req_off = shard * req_stride cfg in
+  let sink, contents = buffer_sink () in
+  let obs =
+    if traced then
+      Obs.Sink.collect (fun ev -> Obs.Sink.emit sink (relabel ~page_off ~req_off ev))
+    else Obs.Sink.null
+  in
+  (* Phase-structured local reference string, then word addresses with
+     a random offset inside each page. *)
+  let page_trace =
+    Workload.Trace.working_set_phases rng ~length:cfg.p_refs_per_shard
+      ~extent:pages
+      ~set_size:(max 1 (cfg.p_frames_per_shard * 2 / 3))
+      ~phase_length:(max 1 (cfg.p_refs_per_shard / 8))
+      ~locality:0.95
+  in
+  let word_trace =
+    Array.map (fun p -> (p * cfg.p_page_size) + Sim.Rng.int rng cfg.p_page_size)
+      page_trace
+  in
+  let engine_spec =
+    { Paging.Spec.e_page_size = cfg.p_page_size;
+      e_frames = cfg.p_frames_per_shard;
+      e_pages = pages;
+      e_device = Memstore.Device.drum;
+      e_policy = cfg.p_policy;
+      e_tlb_slots = None;
+      e_compute_us_per_ref = cfg.p_compute_us_per_ref }
+  in
+  let engine =
+    Paging.Spec.build ~obs ~core_name:(Printf.sprintf "core%d" shard) ~clock ~rng
+      ~trace:page_trace engine_spec
+  in
+  (* Quarter of the references are writes, so evictions exercise the
+     write-back path; the page reference string is unchanged. *)
+  Array.iteri
+    (fun i addr ->
+      if i land 3 = 0 then Paging.Demand.write engine addr (Int64.of_int addr)
+      else
+        let (_ : int64) = Paging.Demand.read engine addr in
+        ())
+    word_trace;
+  let events = contents () in
+  ( { sp_shard = shard;
+      sp_refs = Paging.Demand.refs engine;
+      sp_faults = Paging.Demand.faults engine;
+      sp_writebacks = Paging.Demand.writebacks engine;
+      sp_elapsed_us = Sim.Clock.now clock;
+      sp_events = Array.length events },
+    events )
+
+let run_paging ?(obs = Obs.Sink.null) ~domains cfg =
+  if domains < 1 then invalid_arg "Sharded.run_paging: domains < 1";
+  let traced = Obs.Sink.is_active obs in
+  let per_shard =
+    Pool.map_shards ~domains ~shards:cfg.p_shards (paging_shard cfg ~traced)
+  in
+  let streams = Array.map snd per_shard in
+  let emitted = Obs.Merge.emit ~into:obs streams in
+  { pr_shards = Array.map fst per_shard; pr_events = emitted }

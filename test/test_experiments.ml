@@ -410,8 +410,8 @@ let test_registry_all_run () =
    | exception e ->
      restore ();
      raise e);
-  check_bool "twenty-three experiments" true
-    (List.length Experiments.Registry.all = 23);
+  check_bool "twenty-four experiments" true
+    (List.length Experiments.Registry.all = 24);
   check_bool "ids match the registry" true
     (Experiments.Registry.ids
     = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all);

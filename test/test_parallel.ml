@@ -1,0 +1,275 @@
+(* Tests for lib/parallel: the Treiber free stack, the Blelloch & Wei
+   style fixed-size allocator, the static shard-to-domain pool — and
+   the determinism contract: the merged trace of a sharded run is
+   bit-identical whether the shards share one domain or get several,
+   and a merged trace passes every Obs.Check invariant. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Freestack --- *)
+
+let test_freestack_lifo () =
+  let s = Parallel.Freestack.create () in
+  check_bool "fresh empty" true (Parallel.Freestack.is_empty s);
+  for i = 1 to 10 do
+    Parallel.Freestack.push s i
+  done;
+  check_int "length" 10 (Parallel.Freestack.length s);
+  for i = 10 downto 1 do
+    match Parallel.Freestack.pop s with
+    | Some v -> check_int "lifo order" i v
+    | None -> Alcotest.fail "stack ran dry early"
+  done;
+  check_bool "drained" true (Parallel.Freestack.pop s = None);
+  check_bool "empty again" true (Parallel.Freestack.is_empty s)
+
+let test_freestack_interleaved () =
+  let s = Parallel.Freestack.create () in
+  Parallel.Freestack.push s 'a';
+  Parallel.Freestack.push s 'b';
+  check_bool "pop b" true (Parallel.Freestack.pop s = Some 'b');
+  Parallel.Freestack.push s 'c';
+  check_bool "pop c" true (Parallel.Freestack.pop s = Some 'c');
+  check_bool "pop a" true (Parallel.Freestack.pop s = Some 'a');
+  check_bool "dry" true (Parallel.Freestack.pop s = None)
+
+(* --- Fixed_alloc --- *)
+
+let test_fixed_alloc_exhaustion () =
+  let t =
+    Parallel.Fixed_alloc.create ~base:1024 ~magazine:4 ~slots:8 ~slot_words:4 ()
+  in
+  let c = Parallel.Fixed_alloc.cache t in
+  let seen = Hashtbl.create 8 in
+  for _ = 1 to 8 do
+    match Parallel.Fixed_alloc.alloc c with
+    | None -> Alcotest.fail "allocator dry before all slots used"
+    | Some addr ->
+      check_bool "aligned" true ((addr - 1024) mod 4 = 0);
+      check_bool "in region" true (addr >= 1024 && addr < 1024 + (8 * 4));
+      check_bool "distinct" false (Hashtbl.mem seen addr);
+      Hashtbl.replace seen addr ()
+  done;
+  check_bool "9th denied" true (Parallel.Fixed_alloc.alloc c = None);
+  let st = Parallel.Fixed_alloc.stats c in
+  check_int "allocs" 8 st.Parallel.Fixed_alloc.allocs;
+  check_int "failures" 1 st.Parallel.Fixed_alloc.failures
+
+let test_fixed_alloc_free_realloc () =
+  let t = Parallel.Fixed_alloc.create ~slots:16 ~slot_words:2 () in
+  let c = Parallel.Fixed_alloc.cache t in
+  match Parallel.Fixed_alloc.alloc c with
+  | None -> Alcotest.fail "first alloc failed"
+  | Some a ->
+    Parallel.Fixed_alloc.free c a;
+    (* The magazine is LIFO: the freshly freed slot comes back first. *)
+    check_bool "lifo realloc" true (Parallel.Fixed_alloc.alloc c = Some a)
+
+let test_fixed_alloc_rejects_bad_free () =
+  let t = Parallel.Fixed_alloc.create ~slots:4 ~slot_words:8 () in
+  let c = Parallel.Fixed_alloc.cache t in
+  let raises addr =
+    match Parallel.Fixed_alloc.free c addr with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "below region" true (raises (-8));
+  check_bool "past region" true (raises (4 * 8));
+  check_bool "misaligned" true (raises 3)
+
+let test_fixed_alloc_total_stats () =
+  let t = Parallel.Fixed_alloc.create ~magazine:2 ~slots:8 ~slot_words:1 () in
+  let c1 = Parallel.Fixed_alloc.cache t in
+  let c2 = Parallel.Fixed_alloc.cache t in
+  let take c n =
+    for _ = 1 to n do
+      match Parallel.Fixed_alloc.alloc c with
+      | Some _ -> ()
+      | None -> Alcotest.fail "unexpected exhaustion"
+    done
+  in
+  take c1 3;
+  take c2 2;
+  let st = Parallel.Fixed_alloc.total_stats t in
+  check_int "summed allocs" 5 st.Parallel.Fixed_alloc.allocs;
+  check_bool "refills happened" true (st.Parallel.Fixed_alloc.refills >= 2)
+
+(* --- Pool --- *)
+
+let test_pool_shard_order () =
+  let r = Parallel.Pool.map_shards ~domains:3 ~shards:7 (fun s -> s * s) in
+  Alcotest.(check (array int)) "squares in shard order"
+    [| 0; 1; 4; 9; 16; 25; 36 |] r
+
+let test_pool_zero_shards () =
+  check_int "empty" 0
+    (Array.length (Parallel.Pool.map_shards ~domains:4 ~shards:0 (fun s -> s)))
+
+let test_pool_rejects_bad_domains () =
+  match Parallel.Pool.map_shards ~domains:0 ~shards:4 (fun s -> s) with
+  | _ -> Alcotest.fail "domains=0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_propagates_exn () =
+  match
+    Parallel.Pool.map_shards ~domains:2 ~shards:5 (fun s ->
+        if s = 3 then failwith "shard 3 boom" else s)
+  with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "first exn" "shard 3 boom" m
+
+(* --- The determinism contract (the qcheck merge property) --- *)
+
+let collect runner =
+  let buf = ref [] in
+  let sink = Obs.Sink.collect (fun ev -> buf := ev :: !buf) in
+  let report = runner sink in
+  (report, List.rev_map Obs.Event.to_json !buf |> List.rev)
+
+let alloc_cfg seed =
+  Parallel.Sharded.alloc_config ~shards:4 ~ops_per_shard:300
+    ~slots_per_shard:64 ~slot_words:8 ~seed ()
+
+let paging_cfg seed =
+  Parallel.Sharded.paging_config ~shards:4 ~refs_per_shard:150
+    ~frames_per_shard:6 ~pages_per_shard:12 ~seed ()
+
+(* For every seed, merging the K-shard streams at execution widths 1,
+   2 and 4 yields byte-identical traces and identical reports: the
+   domain count is a width, never an input. *)
+let prop_alloc_merge_width_independent =
+  QCheck.Test.make ~name:"alloc merge independent of domains" ~count:8
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let cfg = alloc_cfg seed in
+      let ref_report, ref_trace =
+        collect (fun obs -> Parallel.Sharded.run_alloc ~obs ~domains:1 cfg)
+      in
+      List.for_all
+        (fun domains ->
+          let report, trace =
+            collect (fun obs -> Parallel.Sharded.run_alloc ~obs ~domains cfg)
+          in
+          report = ref_report && trace = ref_trace)
+        [ 1; 2; 4 ])
+
+let prop_paging_merge_width_independent =
+  QCheck.Test.make ~name:"paging merge independent of domains" ~count:5
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let cfg = paging_cfg seed in
+      let ref_report, ref_trace =
+        collect (fun obs -> Parallel.Sharded.run_paging ~obs ~domains:1 cfg)
+      in
+      List.for_all
+        (fun domains ->
+          let report, trace =
+            collect (fun obs -> Parallel.Sharded.run_paging ~obs ~domains cfg)
+          in
+          report = ref_report && trace = ref_trace)
+        [ 1; 2; 4 ])
+
+(* --- Obs.Check over merged streams --- *)
+
+let segment_events () =
+  (* The same splice `run x11_parallel --trace` performs: alloc as run
+     segment 0, paging as run segment 1 shifted past the alloc clocks. *)
+  let buf = ref [] in
+  let file_sink = Obs.Sink.collect (fun ev -> buf := ev :: !buf) in
+  let collect_raw runner =
+    let raw = ref [] in
+    let sink = Obs.Sink.collect (fun ev -> raw := ev :: !raw) in
+    let report = runner sink in
+    (report, Array.of_list (List.rev !raw))
+  in
+  let a_report, a_ev =
+    collect_raw (fun obs ->
+        Parallel.Sharded.run_alloc ~obs ~domains:2 (alloc_cfg 0))
+  in
+  let _, p_ev =
+    collect_raw (fun obs ->
+        Parallel.Sharded.run_paging ~obs ~domains:2 (paging_cfg 0))
+  in
+  let alloc_end =
+    Array.fold_left
+      (fun acc (s : Parallel.Sharded.shard_alloc) -> max acc s.sa_elapsed_us)
+      0 a_report.Parallel.Sharded.ar_shards
+  in
+  let emit ~config ~run ~offset events =
+    let s = Obs.Sink.segment ~config ~run ~offset file_sink in
+    Array.iter (fun ev -> Obs.Sink.emit s ev) events
+  in
+  emit ~config:"test par_alloc shards=4" ~run:0 ~offset:0 a_ev;
+  emit ~config:"test par_paging shards=4" ~run:1 ~offset:(alloc_end + 1) p_ev;
+  List.rev !buf
+
+let test_merged_stream_check_clean () =
+  let events = segment_events () in
+  check_bool "has events" true (List.length events > 100);
+  let report = Obs.Check.check_events events in
+  if not (Obs.Check.ok report) then begin
+    Obs.Check.print report;
+    Alcotest.fail "merged stream violated trace invariants"
+  end
+
+let test_merged_fixture_check_clean () =
+  match Obs.Check.check_jsonl "fixtures/merged_par_trace.jsonl" with
+  | Error e -> Alcotest.failf "fixture unreadable: %s" e
+  | Ok report ->
+    if not (Obs.Check.ok report) then begin
+      Obs.Check.print report;
+      Alcotest.fail "committed merged fixture violated trace invariants"
+    end
+
+(* --- Shard count is a workload input (changing it may change results) --- *)
+
+let test_shard_count_is_workload () =
+  let run shards =
+    let cfg =
+      Parallel.Sharded.alloc_config ~shards ~ops_per_shard:300
+        ~slots_per_shard:64 ~slot_words:8 ~seed:0 ()
+    in
+    Parallel.Sharded.run_alloc ~domains:1 cfg
+  in
+  let r2 = run 2 and r4 = run 4 in
+  check_int "2 shards" 2 (Array.length r2.Parallel.Sharded.ar_shards);
+  check_int "4 shards" 4 (Array.length r4.Parallel.Sharded.ar_shards)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "freestack",
+        [
+          Alcotest.test_case "lifo" `Quick test_freestack_lifo;
+          Alcotest.test_case "interleaved" `Quick test_freestack_interleaved;
+        ] );
+      ( "fixed_alloc",
+        [
+          Alcotest.test_case "exhaustion" `Quick test_fixed_alloc_exhaustion;
+          Alcotest.test_case "free/realloc" `Quick test_fixed_alloc_free_realloc;
+          Alcotest.test_case "bad free" `Quick test_fixed_alloc_rejects_bad_free;
+          Alcotest.test_case "total stats" `Quick test_fixed_alloc_total_stats;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "shard order" `Quick test_pool_shard_order;
+          Alcotest.test_case "zero shards" `Quick test_pool_zero_shards;
+          Alcotest.test_case "bad domains" `Quick test_pool_rejects_bad_domains;
+          Alcotest.test_case "exn propagation" `Quick test_pool_propagates_exn;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_alloc_merge_width_independent;
+          QCheck_alcotest.to_alcotest prop_paging_merge_width_independent;
+          Alcotest.test_case "shard count is workload" `Quick
+            test_shard_count_is_workload;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "merged stream clean" `Quick
+            test_merged_stream_check_clean;
+          Alcotest.test_case "merged fixture clean" `Quick
+            test_merged_fixture_check_clean;
+        ] );
+    ]
