@@ -96,8 +96,17 @@ let run_cmd =
                  $(docv) -- the shard count fixes the workload, domains only \
                  the width.")
   in
+  let kill_shard_arg =
+    Arg.(value & opt (some string) None & info [ "kill-shard" ] ~docv:"SPEC"
+           ~doc:"Inject deterministic shard kills into the supervised \
+                 x11_parallel run: comma-separated $(b,S@P) pairs, killing \
+                 shard $(b,S) after it completes workload step $(b,P).  \
+                 Repeating a shard kills successive execution attempts in \
+                 order; more kills for one shard than its restart budget (3) \
+                 escalates, prints ESCALATED, and exits non-zero.")
+  in
   let action quick id trace_out metrics_out profile profile_out device sched channels
-      domains seed =
+      domains kill_shard seed =
     let profiling = profile || profile_out <> None in
     (* Wrap the simulation in the profiler; report once it finishes. *)
     let profiled f =
@@ -119,6 +128,41 @@ let run_cmd =
     (* A bad --domains must fail loudly (non-zero exit) and say what
        would have worked, exactly like a bad experiment id. *)
     let max_domains = Parallel.Pool.available_domains () in
+    let kills =
+      (* "S@P[,S@P...]"; a shard's n-th listed kill targets its n-th
+         execution attempt. *)
+      match kill_shard with
+      | None -> Ok []
+      | Some spec ->
+        let attempts = Hashtbl.create 4 in
+        (try
+           Ok
+             (List.map
+                (fun part ->
+                  match String.split_on_char '@' (String.trim part) with
+                  | [ s; p ] ->
+                    let shard = int_of_string (String.trim s) in
+                    let progress = int_of_string (String.trim p) in
+                    if shard < 0 || progress < 1 then failwith "range";
+                    let attempt =
+                      try Hashtbl.find attempts shard with Not_found -> 0
+                    in
+                    Hashtbl.replace attempts shard (attempt + 1);
+                    {
+                      Parallel.Supervisor.k_shard = shard;
+                      k_attempt = attempt;
+                      k_progress = progress;
+                      k_stall = false;
+                    }
+                  | _ -> failwith "syntax")
+                (String.split_on_char ',' spec))
+         with _ ->
+           Error
+             (Printf.sprintf
+                "invalid --kill-shard %S; expected comma-separated S@P pairs \
+                 with shard S >= 0 and progress P >= 1 (e.g. 0@500,1@200,0@900)"
+                spec))
+    in
     let domains_error =
       match domains with
       | Some n when n < 1 || n > max_domains ->
@@ -133,13 +177,33 @@ let run_cmd =
            `run x11_parallel`"
       | Some n when n > 1 && profiling ->
         Some "the profiler's span table is not domain-safe; profile at --domains 1"
-      | _ -> None
+      | _ -> (
+        match kills with
+        | Error msg -> Some msg
+        | Ok (_ :: _) when String.lowercase_ascii id <> "x11_parallel" ->
+          Some
+            "--kill-shard injects faults into the supervised x11_parallel \
+             run; use it with `run x11_parallel`"
+        | Ok _ -> None)
     in
-    (* x11_parallel is the one entry that takes the execution width. *)
+    let kills = match kills with Ok ks -> ks | Error _ -> [] in
+    (* x11_parallel is the one entry that takes the execution width and
+       the kill schedule; it reports escalation through its return
+       value, which must surface as a non-zero exit. *)
+    let escalated = ref false in
     let run_entry e ~quick ~obs ?seed () =
-      if String.equal e.Experiments.Registry.id "x11_parallel" then
-        Experiments.X11_parallel.run ~quick ~obs ?seed ?domains ()
+      if String.equal e.Experiments.Registry.id "x11_parallel" then begin
+        if not (Experiments.X11_parallel.run ~quick ~obs ?seed ?domains ~kills ())
+        then escalated := true
+      end
       else e.Experiments.Registry.run ~quick ~obs ?seed ()
+    in
+    let unless_escalated () =
+      if !escalated then
+        `Error
+          ( false,
+            "x11_parallel: a shard exhausted its restart budget and escalated" )
+      else `Ok ()
     in
     (* Run a traced experiment with the requested observers attached. *)
     let run_observed e =
@@ -204,7 +268,7 @@ let run_cmd =
           match Experiments.Registry.find id with
           | Some e ->
             profiled (fun () -> run_entry e ~quick ~obs:Obs.Sink.null ?seed ());
-            `Ok ()
+            unless_escalated ()
           | None -> unknown_id id
       end
       else if String.lowercase_ascii id = "all" then
@@ -220,14 +284,14 @@ let run_cmd =
                  (String.concat ", " Experiments.Registry.traced) )
          | Some e ->
            run_observed e;
-           `Ok ())
+           unless_escalated ())
   in
   Cmd.v info
     Term.(
       ret
         (const action $ quick_flag $ id_arg $ trace_out_arg $ metrics_out_arg
          $ profile_flag $ profile_out_arg $ device_arg $ sched_arg $ channels_arg
-         $ domains_arg $ seed_arg))
+         $ domains_arg $ kill_shard_arg $ seed_arg))
 
 let json_flag =
   let doc = "Emit the result as a single JSON object on stdout." in
@@ -659,9 +723,142 @@ let chaos_cmd =
            ~doc:"Record the spliced multi-run event stream as JSON Lines into \
                  $(docv) (re-checkable offline with `dsas_sim check`).")
   in
-  let action quick runs seed trace_out json =
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+           ~doc:"Switch to multicore chaos: run the supervised sharded \
+                 engines at execution width $(docv) under seeded shard-kill \
+                 schedules (simulated domain crashes and stalls), instead of \
+                 the device-fault scenarios.  Each round checks the recovered \
+                 trace against the invariants and against a fault-free \
+                 width-1 reference.")
+  in
+  let kill_shard_arg =
+    Arg.(value & opt (some string) None & info [ "kill-shard" ] ~docv:"SPEC"
+           ~doc:"With --domains: replace the drawn kill schedules with a \
+                 fixed one, comma-separated $(b,S@P) pairs (kill shard \
+                 $(b,S) after workload step $(b,P); repeats target \
+                 successive attempts).")
+  in
+  let action quick runs seed trace_out domains kill_shard json =
     if runs < 1 then `Error (false, "--runs must be >= 1")
-    else begin
+    else if domains = None && kill_shard <> None then
+      `Error (false, "--kill-shard needs --domains (multicore chaos)")
+    else match domains with
+    | Some n when n < 1 || n > Parallel.Pool.available_domains () ->
+      `Error
+        ( false,
+          Printf.sprintf "invalid --domains %d; this machine supports 1..%d"
+            n (Parallel.Pool.available_domains ()) )
+    | Some domains ->
+      (* Multicore chaos: seeded shard-kill schedules through the
+         supervised sharded engines. *)
+      let kills =
+        match kill_shard with
+        | None -> Ok None
+        | Some spec ->
+          let attempts = Hashtbl.create 4 in
+          (try
+             Ok
+               (Some
+                  (List.map
+                     (fun part ->
+                       match String.split_on_char '@' (String.trim part) with
+                       | [ s; p ] ->
+                         let shard = int_of_string (String.trim s) in
+                         let progress = int_of_string (String.trim p) in
+                         if shard < 0 || progress < 1 then failwith "range";
+                         let attempt =
+                           try Hashtbl.find attempts shard with Not_found -> 0
+                         in
+                         Hashtbl.replace attempts shard (attempt + 1);
+                         {
+                           Resilience.Chaos.sk_shard = shard;
+                           sk_attempt = attempt;
+                           sk_progress = progress;
+                           sk_stall = false;
+                         }
+                       | _ -> failwith "syntax")
+                     (String.split_on_char ',' spec)))
+           with _ ->
+             Error
+               (Printf.sprintf
+                  "invalid --kill-shard %S; expected comma-separated S@P pairs"
+                  spec))
+      in
+      (match kills with
+       | Error msg -> `Error (false, msg)
+       | Ok kills ->
+         let scenarios = Experiments.Par_chaos.scenarios ~quick ~domains () in
+         let oc = Option.map open_out trace_out in
+         let trace = match oc with None -> Obs.Sink.null | Some oc -> Obs.Sink.jsonl oc in
+         let summary =
+           Fun.protect
+             ~finally:(fun () ->
+               Obs.Sink.flush trace;
+               Option.iter close_out oc)
+             (fun () ->
+               Resilience.Chaos.run_sharded ~trace ?kills ~scenarios
+                 ~shards:Experiments.Par_chaos.shards
+                 ~steps:(Experiments.Par_chaos.steps ~quick) ~runs ~seed ())
+         in
+         let counter = Resilience.Chaos.sharded_counter summary in
+         if json then begin
+           let pair (k, v) = Printf.sprintf "%S:%d" k v in
+           Printf.printf
+             "{\"runs\":%d,\"seed\":%d,\"domains\":%d,\"events\":%d,\
+              \"violations\":%d,\"totals\":{%s}}\n"
+             runs seed domains summary.Resilience.Chaos.sr_total_events
+             summary.Resilience.Chaos.sr_violations
+             (String.concat ","
+                (List.map pair summary.Resilience.Chaos.sr_totals))
+         end
+         else begin
+           Printf.printf
+             "multicore chaos: %d runs over %d scenarios, seed %d, domains %d\n"
+             runs (List.length scenarios) seed domains;
+           Printf.printf "events: %d, invariant violations: %d\n"
+             summary.Resilience.Chaos.sr_total_events
+             summary.Resilience.Chaos.sr_violations;
+           print_endline "supervision totals:";
+           List.iter
+             (fun (k, v) -> Printf.printf "  %-20s %d\n" k v)
+             summary.Resilience.Chaos.sr_totals
+         end;
+         let violated =
+           List.filter
+             (fun (r : Resilience.Chaos.sharded_result) ->
+               not (Obs.Check.ok r.sr_check))
+             summary.Resilience.Chaos.sr_runs
+         in
+         List.iter
+           (fun (r : Resilience.Chaos.sharded_result) ->
+             Printf.printf "run %d (%s): INVARIANT VIOLATIONS\n" r.sr_index
+               r.sr_scenario;
+             Obs.Check.print r.sr_check)
+           violated;
+         if violated <> [] then
+           `Error
+             ( false,
+               Printf.sprintf
+                 "%d of %d multicore chaos runs violated trace invariants \
+                  (seed %d)"
+                 (List.length violated) runs seed )
+         else if counter "diverged" > 0 then
+           `Error
+             ( false,
+               Printf.sprintf
+                 "%d multicore chaos run(s) DIVERGED from the fault-free \
+                  reference (seed %d)"
+                 (counter "diverged") seed )
+         else if counter "escalated" > 0 then
+           `Error
+             ( false,
+               Printf.sprintf
+                 "%d multicore chaos run(s) escalated past the restart \
+                  budget (seed %d)"
+                 (counter "escalated") seed )
+         else `Ok ())
+    | None -> begin
       let oc = Option.map open_out trace_out in
       let trace = match oc with None -> Obs.Sink.null | Some oc -> Obs.Sink.jsonl oc in
       let summary =
@@ -714,7 +911,10 @@ let chaos_cmd =
     end
   in
   Cmd.v info
-    Term.(ret (const action $ quick_flag $ runs_arg $ chaos_seed_arg $ trace_out_arg $ json_flag))
+    Term.(
+      ret
+        (const action $ quick_flag $ runs_arg $ chaos_seed_arg $ trace_out_arg
+         $ domains_arg $ kill_shard_arg $ json_flag))
 
 (* --- campaign: sweep orchestration and cross-run analytics ----------- *)
 
@@ -811,8 +1011,29 @@ let campaign_run_cmd =
   let quiet_flag =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the per-cell progress lines.")
   in
-  let action spec_file dir jobs limit quiet =
+  let timeout_arg =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC"
+           ~doc:"Wall-clock limit per cell attempt; an overdue worker is \
+                 killed and the cell recorded as timed out.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Failed-attempt budget per cell, counted across resumed \
+                 invocations; a cell whose recorded attempts exhaust the \
+                 budget is skipped on resume.  Default 0: never retry in-run \
+                 (a later invocation re-attempts failures, as before).")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 0. & info [ "retry-backoff" ] ~docv:"SEC"
+           ~doc:"Linear backoff between retries of one cell ($(docv) times \
+                 the attempt count).")
+  in
+  let action spec_file dir jobs limit quiet timeout_s max_retries retry_backoff_s =
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else if max_retries < 0 then `Error (false, "--retries must be >= 0")
+    else if retry_backoff_s < 0. then `Error (false, "--retry-backoff must be >= 0")
+    else if (match timeout_s with Some t -> t <= 0. | None -> false) then
+      `Error (false, "--timeout must be > 0")
     else
       match Campaign.Spec.load spec_file with
       | Error msg -> `Error (false, msg)
@@ -848,27 +1069,36 @@ let campaign_run_cmd =
                    if not quiet then begin
                      (match st with
                       | Campaign.Store.Done -> Printf.printf "[done] %s\n" p.Campaign.Spec.id
-                      | Campaign.Store.Failed msg ->
-                        Printf.printf "[FAIL] %s\n       %s\n" p.Campaign.Spec.id msg
+                      | Campaign.Store.Failed f ->
+                        Printf.printf "[FAIL] %s (attempt %d%s)\n       %s\n"
+                          p.Campaign.Spec.id f.Campaign.Store.f_retries
+                          (if f.Campaign.Store.f_timed_out then ", timed out" else "")
+                          f.Campaign.Store.f_msg
                       | Campaign.Store.Pending -> ());
                      flush stdout
                    end
                  in
                  let o =
-                   Campaign.Exec.run ~jobs ?limit ~on_cell ~dir ~spec
+                   Campaign.Exec.run ~jobs ?limit ?timeout_s ~max_retries
+                     ~retry_backoff_s ~on_cell ~dir ~spec
                      ~runner:(campaign_runner cell) ()
                  in
                  Printf.printf
-                   "campaign %s: %d cell(s): %d already done, %d ran (%d ok, %d failed)\n"
+                   "campaign %s: %d cell(s): %d already done, %d ran (%d ok, %d \
+                    failed, %d timed out, %d retried)\n"
                    spec.Campaign.Spec.name o.Campaign.Exec.total o.Campaign.Exec.skipped
-                   o.Campaign.Exec.ran o.Campaign.Exec.ok o.Campaign.Exec.failed;
+                   o.Campaign.Exec.ran o.Campaign.Exec.ok o.Campaign.Exec.failed
+                   o.Campaign.Exec.timed_out o.Campaign.Exec.retried;
                  if o.Campaign.Exec.failed > 0 then
                    `Error
                      (false, Printf.sprintf "%d cell(s) failed" o.Campaign.Exec.failed)
                  else `Ok ())))
   in
   Cmd.v info
-    Term.(ret (const action $ spec_arg $ dir_arg $ jobs_arg $ limit_arg $ quiet_flag))
+    Term.(
+      ret
+        (const action $ spec_arg $ dir_arg $ jobs_arg $ limit_arg $ quiet_flag
+         $ timeout_arg $ retries_arg $ backoff_arg))
 
 let campaign_cells_cmd =
   let doc = "List the cell kinds a sweep spec can target, with their parameters." in
@@ -916,8 +1146,11 @@ let campaign_status_cmd =
         List.iter
           (fun ((p : Campaign.Spec.point), s) ->
             match s with
-            | Campaign.Store.Failed msg ->
-              Printf.printf "  FAIL %s: %s\n" p.Campaign.Spec.id msg
+            | Campaign.Store.Failed f ->
+              Printf.printf "  FAIL %s (attempt %d%s): %s\n" p.Campaign.Spec.id
+                f.Campaign.Store.f_retries
+                (if f.Campaign.Store.f_timed_out then ", timed out" else "")
+                f.Campaign.Store.f_msg
             | _ -> ())
           sts
       end;

@@ -21,15 +21,20 @@ type runner =
 
 type outcome = {
   total : int;  (** grid points in the spec *)
-  skipped : int;  (** already done when the run started *)
+  skipped : int;  (** already done — or out of retries — at run start *)
   ran : int;
   ok : int;
-  failed : int;
+  failed : int;  (** cells that ended this run failed (budget spent) *)
+  timed_out : int;  (** attempts killed at the wall-clock limit *)
+  retried : int;  (** retry attempts performed this run *)
 }
 
 val run :
   ?jobs:int ->
   ?limit:int ->
+  ?timeout_s:float ->
+  ?max_retries:int ->
+  ?retry_backoff_s:float ->
   ?on_cell:(Spec.point -> Store.status -> unit) ->
   dir:string ->
   spec:Spec.t ->
@@ -38,4 +43,16 @@ val run :
   outcome
 (** Run every pending cell (at most [limit], in grid order) across
     [jobs] workers (default 1).  [on_cell] fires in the parent as each
-    cell completes.  Call {!Store.init} first. *)
+    attempt completes.  Call {!Store.init} first.
+
+    [timeout_s] bounds each attempt's wall-clock time: an overdue
+    child is SIGKILLed and its failure recorded as timed out (the
+    parent switches from a blocking wait to a WNOHANG poll only when a
+    timeout is set).  [max_retries] (default 0) is the per-cell failed
+    attempt budget {e across resumes}: each failure is logged with its
+    attempt count, a failing cell is requeued after a linear
+    [retry_backoff_s] * attempts delay while budget remains, and a
+    resumed campaign skips cells whose recorded retries already
+    exhausted the budget.  With [max_retries = 0] failures are never
+    retried in-run but are re-attempted by a later invocation — the
+    legacy behaviour. *)

@@ -15,10 +15,19 @@
    temporary name and renamed, so a crash mid-write never leaves a
    half-artifact that parses. *)
 
+type failure = {
+  f_msg : string;
+  f_timed_out : bool;  (* the attempt was killed at the wall-clock limit *)
+  f_retries : int;  (* failed attempts before this one *)
+}
+
 type status =
   | Pending
   | Done
-  | Failed of string
+  | Failed of failure
+
+let failed ?(timed_out = false) ?(retries = 0) msg =
+  Failed { f_msg = msg; f_timed_out = timed_out; f_retries = retries }
 
 let manifest_schema = "dsas-campaign/1"
 
@@ -103,13 +112,18 @@ let record ~dir id status =
   let line =
     match status with
     | Done -> Obs.Json.obj [ ("cell", Obs.Json.String id); ("status", Obs.Json.String "done") ]
-    | Failed msg ->
+    | Failed f ->
+      (* [retries] is always written; [timed_out] only when set (an
+         int, to stay within the flat parser) — older logs without
+         either field replay with the defaults. *)
       Obs.Json.obj
-        [
-          ("cell", Obs.Json.String id);
-          ("status", Obs.Json.String "failed");
-          ("error", Obs.Json.String msg);
-        ]
+        ([
+           ("cell", Obs.Json.String id);
+           ("status", Obs.Json.String "failed");
+           ("error", Obs.Json.String f.f_msg);
+           ("retries", Obs.Json.Int f.f_retries);
+         ]
+         @ if f.f_timed_out then [ ("timed_out", Obs.Json.Int 1) ] else [])
     | Pending ->
       Obs.Json.obj [ ("cell", Obs.Json.String id); ("status", Obs.Json.String "pending") ]
   in
@@ -143,7 +157,12 @@ let statuses ~dir spec =
                      | Some e -> e
                      | None -> "failed"
                    in
-                   Hashtbl.replace table id (Failed msg)
+                   let retries =
+                     Option.value (Obs.Json.mem_int fields "retries") ~default:0
+                   in
+                   let timed_out = Obs.Json.mem_int fields "timed_out" = Some 1 in
+                   Hashtbl.replace table id
+                     (failed ~timed_out ~retries msg)
                  | Some id, Some "pending" -> Hashtbl.replace table id Pending
                  | _ -> ())));
   List.map

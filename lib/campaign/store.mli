@@ -7,10 +7,20 @@
     rename), so a kill mid-write never leaves a half-artifact that
     parses; a torn final log line is skipped on replay. *)
 
+type failure = {
+  f_msg : string;
+  f_timed_out : bool;
+      (** the attempt was killed at the executor's wall-clock limit *)
+  f_retries : int;  (** failed attempts before this one *)
+}
+
 type status =
   | Pending
   | Done
-  | Failed of string
+  | Failed of failure
+
+val failed : ?timed_out:bool -> ?retries:int -> string -> status
+(** [Failed] with defaults: not a timeout, no prior attempts. *)
 
 val spec_path : string -> string
 

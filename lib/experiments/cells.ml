@@ -590,6 +590,141 @@ let par_paging_cell =
     run;
   }
 
+(* --- par_chaos: supervised sharded engines under drawn kills --------- *)
+
+let par_chaos_cell =
+  let traces_equal a b =
+    Array.length a = Array.length b
+    && begin
+      let ok = ref true in
+      Array.iteri
+        (fun i ev ->
+          if
+            not
+              (String.equal (Obs.Event.to_json ev) (Obs.Event.to_json b.(i)))
+          then ok := false)
+        a;
+      !ok
+    end
+  in
+  let collector () =
+    let buf = ref [] in
+    let sink = Obs.Sink.collect (fun ev -> buf := ev :: !buf) in
+    (sink, fun () -> Array.of_list (List.rev !buf))
+  in
+  let run (ctx : Cell.ctx) =
+    let* () = Cell.check_known ctx [ "fault_rate"; "domains"; "shards"; "steps" ] in
+    let* fault_rate = Cell.get_float ctx "fault_rate" ~default:0.5 in
+    let* domains = Cell.get_int ctx "domains" ~default:1 in
+    let* domains = Cell.require_positive "domains" domains in
+    let* shards = Cell.get_int ctx "shards" ~default:4 in
+    let* shards = Cell.require_positive "shards" shards in
+    let* steps =
+      Cell.get_int ctx "steps" ~default:(if ctx.quick then 150 else 600)
+    in
+    let* steps = Cell.require_positive "steps" steps in
+    if fault_rate < 0. || fault_rate > 1. then
+      Error "parameter \"fault_rate\" must be in [0, 1]"
+    else begin
+      (* Up to two kills per shard, each fired with [fault_rate] — two
+         stays inside the default restart budget, so escalation never
+         muddies the grid.  The schedule is a pure function of the
+         cell's seed. *)
+      let rng = Sim.Rng.derive ~override:ctx.seed 0xC4A05 in
+      let kills =
+        List.concat
+          (List.init shards (fun shard ->
+               List.filter_map Fun.id
+                 (List.init 2 (fun attempt ->
+                      let fires = Sim.Rng.float rng 1. < fault_rate in
+                      let progress = Sim.Rng.int_in rng 1 steps in
+                      let stall = Sim.Rng.int rng 5 = 0 in
+                      if fires then
+                        Some
+                          {
+                            Parallel.Supervisor.k_shard = shard;
+                            k_attempt = attempt;
+                            k_progress = progress;
+                            k_stall = stall;
+                          }
+                      else None))))
+      in
+      let crashes = ref 0
+      and restarts = ref 0
+      and checkpoints = ref 0
+      and escalated = ref 0
+      and diverged = ref [] in
+      let tally name reference = function
+        | Error (_ : Resilience.Failure.t) -> incr escalated
+        | Ok ((), outcomes, events) ->
+          Array.iter
+            (fun (o : Parallel.Supervisor.outcome) ->
+              crashes := !crashes + o.o_crashes;
+              restarts := !restarts + o.o_restarts;
+              checkpoints := !checkpoints + o.o_checkpoints)
+            outcomes;
+          if not (traces_equal reference events) then
+            diverged := name :: !diverged
+      in
+      let supervised runner =
+        let sink, contents = collector () in
+        match runner ~obs:sink with
+        | Error f -> Error f
+        | Ok (_, outcomes) -> Ok ((), outcomes, contents ())
+      in
+      let acfg =
+        Parallel.Sharded.alloc_config ~shards ~ops_per_shard:steps
+          ~slots_per_shard:64 ~slot_words:8 ~seed:ctx.seed ()
+      in
+      let pcfg =
+        Parallel.Sharded.paging_config ~shards ~refs_per_shard:steps
+          ~frames_per_shard:6 ~pages_per_shard:12 ~seed:ctx.seed ()
+      in
+      let a_sink, a_ref = collector () in
+      let (_ : Parallel.Sharded.alloc_report) =
+        Parallel.Sharded.run_alloc ~obs:a_sink ~domains:1 acfg
+      in
+      let p_sink, p_ref = collector () in
+      let (_ : Parallel.Sharded.paging_report) =
+        Parallel.Sharded.run_paging ~obs:p_sink ~domains:1 pcfg
+      in
+      tally "alloc" (a_ref ())
+        (supervised (fun ~obs ->
+             Parallel.Sharded.run_alloc_supervised ~obs ~kills
+               ~checkpoint_every:32 ~domains acfg));
+      tally "paging" (p_ref ())
+        (supervised (fun ~obs ->
+             Parallel.Sharded.run_paging_supervised ~obs ~kills
+               ~checkpoint_every:32 ~domains pcfg));
+      Cell.count ctx "kills" (List.length kills);
+      Cell.count ctx "crashes" !crashes;
+      Cell.count ctx "restarts" !restarts;
+      Cell.count ctx "checkpoints" !checkpoints;
+      Cell.count ctx "escalated" !escalated;
+      Cell.count ctx "diverged" (List.length !diverged);
+      if !diverged <> [] then
+        Error
+          (Printf.sprintf
+             "recovered %s trace diverged from the fault-free reference"
+             (String.concat "+" (List.rev !diverged)))
+      else Ok ()
+    end
+  in
+  {
+    Cell.id = "par_chaos";
+    doc =
+      "supervised sharded engines under a seeded kill schedule (X11's \
+       family): recovery must reproduce the fault-free trace";
+    params =
+      [
+        ("fault_rate", "probability of each potential shard kill (0.5)");
+        ("domains", "execution width; never changes results (1)");
+        ("shards", "workload partitions (4)");
+        ("steps", "workload steps per shard (600; 150 quick)");
+      ];
+    run;
+  }
+
 let all =
   [
     paging_cell;
@@ -602,6 +737,7 @@ let all =
     fss_cell;
     par_alloc_cell;
     par_paging_cell;
+    par_chaos_cell;
   ]
 
 let find id = List.find_opt (fun (c : Cell.spec) -> c.id = id) all

@@ -1,0 +1,103 @@
+(* Multicore chaos: the supervised sharded engines under seeded
+   shard-kill schedules.
+
+   Each scenario runs a small sharded workload twice: once fault-free
+   at width 1 (the reference) and once supervised at the requested
+   width under the harness's kill schedule.  The supervised engine
+   trace must be byte-identical to the reference — crashes, restarts
+   and checkpoint resume are invisible in the observable record — and
+   any divergence is surfaced as a counter the harness (and CI) can
+   gate on. *)
+
+let shards = 4
+let steps ~quick = if quick then 150 else 600
+
+let to_kills kills =
+  List.map
+    (fun (k : Resilience.Chaos.shard_kill) ->
+      {
+        Parallel.Supervisor.k_shard = k.sk_shard;
+        k_attempt = k.sk_attempt;
+        k_progress = k.sk_progress;
+        k_stall = k.sk_stall;
+      })
+    kills
+
+let collector () =
+  let buf = ref [] in
+  let sink = Obs.Sink.collect (fun ev -> buf := ev :: !buf) in
+  (sink, fun () -> List.rev !buf)
+
+let traces_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y -> String.equal (Obs.Event.to_json x) (Obs.Event.to_json y))
+       a b
+
+(* Shared scaffolding: reference run, supervised run, verdict counters.
+   [run_ref] writes the fault-free width-1 trace into its sink;
+   [run_sup] runs supervised and returns the outcomes, or None on
+   escalation (in which case nothing was emitted). *)
+let verdict ~engine ~ref_events ~sup_events outcomes =
+  List.iter (Obs.Sink.emit engine) sup_events;
+  let sum f = Array.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  [
+    ("crashes", sum (fun (o : Parallel.Supervisor.outcome) -> o.o_crashes));
+    ("restarts", sum (fun (o : Parallel.Supervisor.outcome) -> o.o_restarts));
+    ("checkpoints", sum (fun (o : Parallel.Supervisor.outcome) -> o.o_checkpoints));
+    ("escalated", 0);
+    ("diverged", (if traces_equal ref_events sup_events then 0 else 1));
+  ]
+
+let escalated = [ ("escalated", 1); ("diverged", 0) ]
+
+let alloc_scenario ~quick ~domains =
+  {
+    Resilience.Chaos.sh_name = "par_alloc_supervised";
+    sh_run =
+      (fun ~seed ~kills ~engine ~supervision ->
+        let cfg =
+          Parallel.Sharded.alloc_config ~shards ~ops_per_shard:(steps ~quick)
+            ~slots_per_shard:64 ~slot_words:8 ~seed ()
+        in
+        let ref_sink, ref_events = collector () in
+        let (_ : Parallel.Sharded.alloc_report) =
+          Parallel.Sharded.run_alloc ~obs:ref_sink ~domains:1 cfg
+        in
+        let sup_sink, sup_events = collector () in
+        match
+          Parallel.Sharded.run_alloc_supervised ~obs:sup_sink ~supervision
+            ~kills:(to_kills kills) ~checkpoint_every:32 ~domains cfg
+        with
+        | Error _ -> escalated
+        | Ok (_, outcomes) ->
+          verdict ~engine ~ref_events:(ref_events ())
+            ~sup_events:(sup_events ()) outcomes);
+  }
+
+let paging_scenario ~quick ~domains =
+  {
+    Resilience.Chaos.sh_name = "par_paging_supervised";
+    sh_run =
+      (fun ~seed ~kills ~engine ~supervision ->
+        let cfg =
+          Parallel.Sharded.paging_config ~shards ~refs_per_shard:(steps ~quick)
+            ~frames_per_shard:6 ~pages_per_shard:12 ~seed ()
+        in
+        let ref_sink, ref_events = collector () in
+        let (_ : Parallel.Sharded.paging_report) =
+          Parallel.Sharded.run_paging ~obs:ref_sink ~domains:1 cfg
+        in
+        let sup_sink, sup_events = collector () in
+        match
+          Parallel.Sharded.run_paging_supervised ~obs:sup_sink ~supervision
+            ~kills:(to_kills kills) ~checkpoint_every:32 ~domains cfg
+        with
+        | Error _ -> escalated
+        | Ok (_, outcomes) ->
+          verdict ~engine ~ref_events:(ref_events ())
+            ~sup_events:(sup_events ()) outcomes);
+  }
+
+let scenarios ?(quick = false) ?(domains = 2) () =
+  [ alloc_scenario ~quick ~domains; paging_scenario ~quick ~domains ]

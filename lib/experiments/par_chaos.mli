@@ -1,0 +1,36 @@
+(** Multicore chaos scenarios: the supervised sharded engines under
+    seeded shard-kill schedules, for {!Resilience.Chaos.run_sharded}.
+
+    Each round runs the workload fault-free at width 1 as a reference,
+    then supervised at the requested width under the harness's kill
+    schedule.  The supervised engine trace must come out byte-identical
+    to the reference — recovery is invisible in the observable record —
+    and the counters expose the verdict:
+
+    - ["crashes"] / ["restarts"] / ["checkpoints"]: summed supervisor
+      outcomes across shards;
+    - ["escalated"]: 1 if a shard exhausted its restart budget (the
+      drawn schedules never should — at most 2 kills per shard against
+      a budget of 3);
+    - ["diverged"]: 1 if the recovered trace differed from the
+      reference.  CI gates on this being 0. *)
+
+val shards : int
+(** Shard count every scenario uses — pass to
+    {!Resilience.Chaos.run_sharded} so drawn kill schedules target
+    real shards. *)
+
+val steps : quick:bool -> int
+(** Workload steps per shard (ops for alloc, refs for paging) — pass
+    to {!Resilience.Chaos.run_sharded} so drawn kill points land
+    inside the run. *)
+
+val to_kills :
+  Resilience.Chaos.shard_kill list -> Parallel.Supervisor.kill list
+(** Convert the chaos layer's pure-data kills into supervisor kills. *)
+
+val scenarios :
+  ?quick:bool -> ?domains:int -> unit -> Resilience.Chaos.shard_scenario list
+(** The two scenarios (supervised alloc, supervised paging).
+    [domains] (default 2) is the execution width of the supervised
+    subject run; the reference always runs at width 1. *)

@@ -143,7 +143,9 @@ let all =
       id = "x11_parallel";
       title = "sharded multicore execution with a deterministic merge (extension)";
       paper_source = "Basic Characteristics (one supervisor, several processors)";
-      run = (fun ?quick ?obs ?seed () -> X11_parallel.run ?quick ?obs ?seed ());
+      run =
+        (fun ?quick ?obs ?seed () ->
+          ignore (X11_parallel.run ?quick ?obs ?seed () : bool));
     };
     {
       id = "survey";

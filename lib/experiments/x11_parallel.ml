@@ -1,14 +1,18 @@
-(* X11 (extension): sharded multicore execution.
+(* X11 (extension): sharded multicore execution, supervised.
 
    The paper's systems serialized the supervisor; this extension asks
    what the simulator itself can say when the machine has several
    processors.  The answer implemented here: shard the workload, give
    every shard its own clocked state, and make the merged observable
    record a pure function of the workload — so the domain count is an
-   execution width, never an input.  The experiment runs the two
-   sharded engines, prints per-shard accounting, and proves the
-   contract on the spot by comparing the merged trace at the requested
-   width against the width-1 reference, byte for byte. *)
+   execution width, never an input.  The subject run always goes
+   through the supervisor (bounded restarts over crash-consistent
+   checkpoints), optionally under an injected kill schedule; the
+   experiment proves the contract on the spot by comparing the
+   subject's merged trace against an unsupervised width-1 reference,
+   byte for byte.  Recovery must be invisible in the engine trace —
+   crashes, restarts and checkpoints appear only in the separate
+   supervision stream. *)
 
 let collector () =
   let buf = ref [] in
@@ -24,6 +28,26 @@ let collect_paging ~domains cfg =
   let sink, contents = collector () in
   let report = Parallel.Sharded.run_paging ~obs:sink ~domains cfg in
   (report, contents ())
+
+let supervised_alloc ~domains ~kills cfg =
+  let sink, contents = collector () in
+  let sup, sup_contents = collector () in
+  match
+    Parallel.Sharded.run_alloc_supervised ~obs:sink ~supervision:sup ~kills
+      ~checkpoint_every:256 ~domains cfg
+  with
+  | Ok (_, outcomes) -> Ok (contents (), outcomes, sup_contents ())
+  | Error f -> Error f
+
+let supervised_paging ~domains ~kills cfg =
+  let sink, contents = collector () in
+  let sup, sup_contents = collector () in
+  match
+    Parallel.Sharded.run_paging_supervised ~obs:sink ~supervision:sup ~kills
+      ~checkpoint_every:256 ~domains cfg
+  with
+  | Ok (_, outcomes) -> Ok (contents (), outcomes, sup_contents ())
+  | Error f -> Error f
 
 (* The determinism check is byte-for-byte on the wire encoding — the
    same bytes a --trace file would hold. *)
@@ -45,12 +69,47 @@ let emit_segment ?seed ~config ~run ~offset obs events =
     Array.iter (fun ev -> Obs.Sink.emit s ev) events
   end
 
-let verdict name equal events =
-  Printf.printf "%-44s %s (%d events)\n" name
-    (if equal then "identical" else "DIVERGED")
-    events
+let max_t events =
+  Array.fold_left (fun acc (ev : Obs.Event.t) -> max acc ev.t_us) 0 events
 
-let run ?(quick = false) ?(obs = Obs.Sink.null) ?seed ?(domains = 1) () =
+(* One of the two subject runs: either the recovered streams and
+   per-shard outcomes, or the typed failure a shard escalated with. *)
+type 'r subject = ('r, Resilience.Failure.t) result
+
+let fault_columns (subject : _ subject) shard =
+  match subject with
+  | Error _ -> [ "-"; "-"; "-" ]
+  | Ok (_, outcomes, _) ->
+    let o : Parallel.Supervisor.outcome = outcomes.(shard) in
+    [
+      string_of_int o.o_crashes;
+      string_of_int o.o_restarts;
+      string_of_int o.o_checkpoints;
+    ]
+
+let verdict name (subject : _ subject) ~reference =
+  match subject with
+  | Error f ->
+    Printf.printf "%-44s ESCALATED: %s\n" name (Resilience.Failure.to_string f)
+  | Ok (events, _, _) ->
+    Printf.printf "%-44s %s (%d events)\n" name
+      (if traces_equal reference events then "identical" else "DIVERGED")
+      (Array.length reference)
+
+let supervision_line name (subject : _ subject) =
+  match subject with
+  | Error _ -> Printf.printf "%-8s escalated\n" name
+  | Ok (_, outcomes, sup) ->
+    let sum f = Array.fold_left (fun acc o -> acc + f o) 0 outcomes in
+    Printf.printf "%-8s crashes %d, restarts %d, checkpoints %d (%d supervision events)\n"
+      name
+      (sum (fun (o : Parallel.Supervisor.outcome) -> o.o_crashes))
+      (sum (fun (o : Parallel.Supervisor.outcome) -> o.o_restarts))
+      (sum (fun (o : Parallel.Supervisor.outcome) -> o.o_checkpoints))
+      (Array.length sup)
+
+let run ?(quick = false) ?(obs = Obs.Sink.null) ?seed ?(domains = 1)
+    ?(kills = []) () =
   if domains < 1 then invalid_arg "X11_parallel.run: domains < 1";
   (* seed 0 is the no-override stream (0 lxor site = site). *)
   let master = match seed with Some s -> s | None -> 0 in
@@ -64,20 +123,25 @@ let run ?(quick = false) ?(obs = Obs.Sink.null) ?seed ?(domains = 1) () =
       ~refs_per_shard:(if quick then 2_000 else 8_000)
       ~seed:master ()
   in
-  (* Width-1 reference, then the requested width; the contract says the
-     merged streams and every count must match exactly. *)
+  (* Unsupervised width-1 reference, then the supervised subject at the
+     requested width under the kill schedule; the contract says the
+     merged engine streams and every count must match exactly. *)
   let a_ref, a_ref_ev = collect_alloc ~domains:1 alloc_cfg in
-  let _a_sub, a_sub_ev = collect_alloc ~domains alloc_cfg in
+  let a_sub = supervised_alloc ~domains ~kills alloc_cfg in
   let p_ref, p_ref_ev = collect_paging ~domains:1 paging_cfg in
-  let _p_sub, p_sub_ev = collect_paging ~domains paging_cfg in
+  let p_sub = supervised_paging ~domains ~kills paging_cfg in
   print_endline "== X11: sharded multicore execution ==";
   Printf.printf
     "(%d alloc shards, %d paging shards; shard count fixes the workload, \
-     domains only the width)\n\n"
-    alloc_cfg.Parallel.Sharded.a_shards paging_cfg.Parallel.Sharded.p_shards;
+     domains only the width; subject runs supervised%s)\n\n"
+    alloc_cfg.Parallel.Sharded.a_shards paging_cfg.Parallel.Sharded.p_shards
+    (if kills = [] then ""
+     else Printf.sprintf ", %d injected kill(s)" (List.length kills));
   print_endline "-- lock-free fixed-size allocation (free stack + per-shard magazines) --";
   Metrics.Table.print
-    ~headers:[ "shard"; "allocs"; "frees"; "denied"; "refills"; "flushes"; "live"; "t (ms)" ]
+    ~headers:
+      [ "shard"; "allocs"; "frees"; "denied"; "refills"; "flushes"; "live";
+        "t (ms)"; "crashes"; "restarts"; "ckpts" ]
     (Array.to_list
        (Array.map
           (fun (s : Parallel.Sharded.shard_alloc) ->
@@ -90,12 +154,15 @@ let run ?(quick = false) ?(obs = Obs.Sink.null) ?seed ?(domains = 1) () =
               string_of_int s.sa_flushes;
               string_of_int s.sa_live;
               Printf.sprintf "%.1f" (float_of_int s.sa_elapsed_us /. 1000.);
-            ])
+            ]
+            @ fault_columns a_sub s.sa_shard)
           a_ref.Parallel.Sharded.ar_shards));
   print_newline ();
   print_endline "-- sharded demand paging (one engine per shard, private clocks) --";
   Metrics.Table.print
-    ~headers:[ "shard"; "refs"; "faults"; "writebacks"; "t (ms)" ]
+    ~headers:
+      [ "shard"; "refs"; "faults"; "writebacks"; "t (ms)"; "crashes";
+        "restarts"; "ckpts" ]
     (Array.to_list
        (Array.map
           (fun (s : Parallel.Sharded.shard_paging) ->
@@ -105,29 +172,42 @@ let run ?(quick = false) ?(obs = Obs.Sink.null) ?seed ?(domains = 1) () =
               string_of_int s.sp_faults;
               string_of_int s.sp_writebacks;
               Printf.sprintf "%.1f" (float_of_int s.sp_elapsed_us /. 1000.);
-            ])
+            ]
+            @ fault_columns p_sub s.sp_shard)
           p_ref.Parallel.Sharded.pr_shards));
   print_newline ();
-  print_endline "-- determinism contract: merged trace vs width-1 reference --";
-  verdict "alloc merged trace:" (traces_equal a_ref_ev a_sub_ev)
-    (Array.length a_ref_ev);
-  verdict "paging merged trace:" (traces_equal p_ref_ev p_sub_ev)
-    (Array.length p_ref_ev);
+  print_endline "-- supervision: bounded restarts over crash-consistent checkpoints --";
+  supervision_line "alloc" a_sub;
+  supervision_line "paging" p_sub;
   print_newline ();
-  (* Splice the two merged streams into the experiment's sink as two
-     run segments, paging shifted past the alloc shards' clocks. *)
-  let alloc_end =
-    Array.fold_left
-      (fun acc (s : Parallel.Sharded.shard_alloc) -> max acc s.sa_elapsed_us)
-      0 a_ref.Parallel.Sharded.ar_shards
-  in
-  emit_segment ?seed
-    ~config:
-      (Printf.sprintf "x11 par_alloc shards=%d"
-         alloc_cfg.Parallel.Sharded.a_shards)
-    ~run:0 ~offset:0 obs a_ref_ev;
-  emit_segment ?seed
-    ~config:
-      (Printf.sprintf "x11 par_paging shards=%d"
-         paging_cfg.Parallel.Sharded.p_shards)
-    ~run:1 ~offset:(alloc_end + 1) obs p_ref_ev
+  print_endline
+    "-- determinism contract: recovered trace vs width-1 unsupervised reference --";
+  verdict "alloc merged trace:" a_sub ~reference:a_ref_ev;
+  verdict "paging merged trace:" p_sub ~reference:p_ref_ev;
+  print_newline ();
+  (* Splice the streams into the experiment's sink: engine traces as
+     runs 0-1, supervision streams (a different vocabulary, so their
+     own segments) as runs 2-3, each shifted past everything before
+     it.  An escalated run emitted nothing, so emission is all-or-none:
+     a partial trace would not re-check. *)
+  (match (a_sub, p_sub) with
+   | Ok (a_sub_ev, _, a_sup_ev), Ok (p_sub_ev, _, p_sup_ev) ->
+     let off1 = max_t a_sub_ev + 1 in
+     let off2 = off1 + max_t p_sub_ev + 1 in
+     let off3 = off2 + max_t a_sup_ev + 1 in
+     emit_segment ?seed
+       ~config:
+         (Printf.sprintf "x11 par_alloc shards=%d"
+            alloc_cfg.Parallel.Sharded.a_shards)
+       ~run:0 ~offset:0 obs a_sub_ev;
+     emit_segment ?seed
+       ~config:
+         (Printf.sprintf "x11 par_paging shards=%d"
+            paging_cfg.Parallel.Sharded.p_shards)
+       ~run:1 ~offset:off1 obs p_sub_ev;
+     emit_segment ?seed ~config:"x11 par_alloc supervision" ~run:2 ~offset:off2
+       obs a_sup_ev;
+     emit_segment ?seed ~config:"x11 par_paging supervision" ~run:3 ~offset:off3
+       obs p_sup_ev
+   | _ -> ());
+  (match (a_sub, p_sub) with Ok _, Ok _ -> true | _ -> false)

@@ -9,10 +9,12 @@ type invariant =
   | Retry_bounded
   | Restart_bounded
   | No_lost_job
+  | Shard_restart_bounded
+  | No_lost_shard_events
 
 let all_invariants =
   [ Schema; Clock; Io_pair; Queue_depth; Frames; Heap; Vocab; Retry_bounded;
-    Restart_bounded; No_lost_job ]
+    Restart_bounded; No_lost_job; Shard_restart_bounded; No_lost_shard_events ]
 
 (* Sanity caps for the bounded-recovery invariants.  No engine config in
    this repo goes anywhere near them; a trace that does is runaway
@@ -32,6 +34,8 @@ let invariant_id = function
   | Retry_bounded -> "retry-bounded"
   | Restart_bounded -> "restart-bounded"
   | No_lost_job -> "no-lost-job"
+  | Shard_restart_bounded -> "shard-restart-bounded"
+  | No_lost_shard_events -> "no-lost-shard-events"
 
 let invariant_of_id s =
   List.find_opt (fun i -> invariant_id i = s) all_invariants
@@ -72,6 +76,14 @@ let invariant_doc = function
     "no job is lost: job_start/job_stop pair exactly per run, a shed job is \
      re-admitted before it runs again or stops, and nothing is left running \
      or shed at a run boundary"
+  | Shard_restart_bounded ->
+    "shard restarts are bounded and well-formed: shard_crash attempts per \
+     shard count 1, 2, 3, ... with no gaps and never exceed 16, and every \
+     shard_restart answers a crash already seen (restart n follows crash n)"
+  | No_lost_shard_events ->
+    "no shard events are lost: per shard, shard_checkpoint (progress, events) \
+     pairs are monotone non-decreasing — a recovery never rolls a shard's \
+     durable progress or emitted-event count backwards"
 
 type violation = { line : int; invariant : invariant; message : string }
 
@@ -96,6 +108,7 @@ let profiles =
     ( "segmentation",
       [ "segment_swap"; "compaction_move"; "job_start"; "job_stop"; "io_start";
         "io_done"; "io_retry"; "io_error" ] );
+    ("supervision", [ "shard_crash"; "shard_restart"; "shard_checkpoint" ]);
   ]
 
 (* Mutable per-run state, reset at every run_start. *)
@@ -110,6 +123,9 @@ type run_state = {
   retries : (int, int) Hashtbl.t;  (* req -> highest io_retry attempt seen *)
   jobs : (int, [ `Running | `Shed ]) Hashtbl.t;  (* started, unstopped jobs *)
   restarts : (int, int) Hashtbl.t;  (* job -> highest job_abort restart seen *)
+  shard_crashes : (int, int) Hashtbl.t;  (* shard -> highest crash attempt *)
+  shard_restarts : (int, int) Hashtbl.t;  (* shard -> highest restart attempt *)
+  shard_progress : (int, int * int) Hashtbl.t;  (* shard -> progress, events *)
 }
 
 let fresh_run () =
@@ -124,6 +140,9 @@ let fresh_run () =
     retries = Hashtbl.create 16;
     jobs = Hashtbl.create 16;
     restarts = Hashtbl.create 16;
+    shard_crashes = Hashtbl.create 8;
+    shard_restarts = Hashtbl.create 8;
+    shard_progress = Hashtbl.create 8;
   }
 
 type checker = {
@@ -415,7 +434,59 @@ let feed c ~line (ev : Event.t) =
           "load_admit for job %d, which is not shed" job
       | None ->
         report_violation c ~line No_lost_job
-          "load_admit for job %d, which never started" job));
+          "load_admit for job %d, which never started" job)
+   | Event.Shard_crash { shard; attempt } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("shard", shard) ];
+     positive c ~line [ ("attempt", attempt) ];
+     let prev =
+       match Hashtbl.find_opt r.shard_crashes shard with Some n -> n | None -> 0
+     in
+     if attempt <> prev + 1 then
+       report_violation c ~line Shard_restart_bounded
+         "shard_crash attempt %d for shard %d out of sequence (previous was %d)"
+         attempt shard prev;
+     if attempt > restart_cap then
+       report_violation c ~line Shard_restart_bounded
+         "shard %d crashed %d times, above the sanity cap of %d" shard attempt
+         restart_cap;
+     Hashtbl.replace r.shard_crashes shard (max attempt (prev + 1))
+   | Event.Shard_restart { shard; attempt } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line [ ("shard", shard) ];
+     positive c ~line [ ("attempt", attempt) ];
+     let crashes =
+       match Hashtbl.find_opt r.shard_crashes shard with Some n -> n | None -> 0
+     in
+     let prev =
+       match Hashtbl.find_opt r.shard_restarts shard with Some n -> n | None -> 0
+     in
+     if attempt <> prev + 1 then
+       report_violation c ~line Shard_restart_bounded
+         "shard_restart attempt %d for shard %d out of sequence (previous was %d)"
+         attempt shard prev;
+     if attempt > crashes then
+       report_violation c ~line Shard_restart_bounded
+         "shard_restart %d for shard %d answers no crash (crashes seen: %d)"
+         attempt shard crashes;
+     Hashtbl.replace r.shard_restarts shard (max attempt (prev + 1))
+   | Event.Shard_checkpoint { shard; progress; events } ->
+     check_clock c ~line ev.t_us;
+     non_negative c ~line
+       [ ("shard", shard); ("progress", progress); ("events", events) ];
+     (match Hashtbl.find_opt r.shard_progress shard with
+      | Some (p, e) when progress < p || events < e ->
+        report_violation c ~line No_lost_shard_events
+          "shard %d checkpoint went backwards: progress %d after %d, events %d \
+           after %d"
+          shard progress p events e
+      | Some _ | None -> ());
+     let p0, e0 =
+       match Hashtbl.find_opt r.shard_progress shard with
+       | Some (p, e) -> (p, e)
+       | None -> (0, 0)
+     in
+     Hashtbl.replace r.shard_progress shard (max progress p0, max events e0));
   (match ev.kind with
    | Event.Run_start _ -> ()
    | _ -> if not (List.mem name r.kinds) then r.kinds <- name :: r.kinds)

@@ -23,13 +23,19 @@ type invariant =
   | Retry_bounded  (** retry attempts sequential and bounded per request *)
   | Restart_bounded  (** job restarts count up by one and stay bounded *)
   | No_lost_job  (** every started job stops; shed jobs are re-admitted *)
+  | Shard_restart_bounded
+      (** shard crashes count up by one, stay bounded, and every
+          restart answers a crash already seen *)
+  | No_lost_shard_events
+      (** per-shard checkpoint (progress, events) never goes backwards *)
 
 val all_invariants : invariant list
 
 val invariant_id : invariant -> string
 (** Stable wire/CLI id: ["schema"], ["clock"], ["io-pair"],
     ["queue-depth"], ["frames"], ["heap"], ["vocab"],
-    ["retry-bounded"], ["restart-bounded"], ["no-lost-job"]. *)
+    ["retry-bounded"], ["restart-bounded"], ["no-lost-job"],
+    ["shard-restart-bounded"], ["no-lost-shard-events"]. *)
 
 val invariant_of_id : string -> invariant option
 

@@ -36,6 +36,9 @@ type kind =
   | Job_abort of { job : int; restarts : int }
   | Load_shed of { job : int }
   | Load_admit of { job : int }
+  | Shard_crash of { shard : int; attempt : int }
+  | Shard_restart of { shard : int; attempt : int }
+  | Shard_checkpoint of { shard : int; progress : int; events : int }
 
 type t = { t_us : int; kind : kind }
 
@@ -64,12 +67,15 @@ let kind_name = function
   | Job_abort _ -> "job_abort"
   | Load_shed _ -> "load_shed"
   | Load_admit _ -> "load_admit"
+  | Shard_crash _ -> "shard_crash"
+  | Shard_restart _ -> "shard_restart"
+  | Shard_checkpoint _ -> "shard_checkpoint"
 
 let all_kind_names =
   [ "run_start"; "fault"; "cold_fault"; "eviction"; "writeback"; "tlb_hit"; "tlb_miss";
     "alloc"; "free"; "split"; "coalesce"; "compaction_move"; "segment_swap"; "job_start";
     "job_stop"; "io_start"; "io_done"; "io_retry"; "io_error"; "job_abort"; "load_shed";
-    "load_admit" ]
+    "load_admit"; "shard_crash"; "shard_restart"; "shard_checkpoint" ]
 
 let trace_schema = "dsas-trace/1"
 
@@ -100,6 +106,11 @@ let fields_of_kind = function
       ("attempts", Json.Int attempts) ]
   | Job_abort { job; restarts } -> [ ("job", Json.Int job); ("restarts", Json.Int restarts) ]
   | Load_shed { job } | Load_admit { job } -> [ ("job", Json.Int job) ]
+  | Shard_crash { shard; attempt } | Shard_restart { shard; attempt } ->
+    [ ("shard", Json.Int shard); ("attempt", Json.Int attempt) ]
+  | Shard_checkpoint { shard; progress; events } ->
+    [ ("shard", Json.Int shard); ("progress", Json.Int progress);
+      ("events", Json.Int events) ]
 
 let to_json t =
   Json.obj
@@ -180,6 +191,17 @@ let of_json line =
          | _ -> None)
       | Some "load_shed" -> Option.map (fun job -> Load_shed { job }) (int "job")
       | Some "load_admit" -> Option.map (fun job -> Load_admit { job }) (int "job")
+      | Some (("shard_crash" | "shard_restart") as which) ->
+        (match (int "shard", int "attempt") with
+         | Some shard, Some attempt ->
+           if which = "shard_crash" then Some (Shard_crash { shard; attempt })
+           else Some (Shard_restart { shard; attempt })
+         | _ -> None)
+      | Some "shard_checkpoint" ->
+        (match (int "shard", int "progress", int "events") with
+         | Some shard, Some progress, Some events ->
+           Some (Shard_checkpoint { shard; progress; events })
+         | _ -> None)
       | Some _ | None -> None
     in
     (match (kind, int "t_us") with

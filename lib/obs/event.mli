@@ -77,6 +77,19 @@ type kind =
           the multiprogramming set was thrashing *)
   | Load_admit of { job : int }
       (** the load controller reactivated a previously shed job *)
+  | Shard_crash of { shard : int; attempt : int }
+      (** supervision: a sharded-engine worker died mid-run — its
+          [attempt]-th crash (1-based).  Emitted into the supervision
+          stream, never into the engine trace — recovered engine traces
+          stay bit-identical to fault-free ones *)
+  | Shard_restart of { shard : int; attempt : int }
+      (** supervision: the supervisor restarted the shard after its
+          [attempt]-th crash (so restart n always follows crash n),
+          resuming from the latest checkpoint *)
+  | Shard_checkpoint of { shard : int; progress : int; events : int }
+      (** supervision: the shard durably captured its state after
+          [progress] workload steps with [events] trace events already
+          emitted; a restart replays from here *)
 
 type t = { t_us : int; kind : kind }
 
@@ -92,7 +105,8 @@ val kind_name : kind -> string
     ["split"], ["coalesce"], ["compaction_move"], ["segment_swap"],
     ["job_start"], ["job_stop"], ["io_start"], ["io_done"],
     ["io_retry"], ["io_error"], ["job_abort"], ["load_shed"],
-    ["load_admit"]. *)
+    ["load_admit"], ["shard_crash"], ["shard_restart"],
+    ["shard_checkpoint"]. *)
 
 val all_kind_names : string list
 (** Every wire name, in declaration order. *)

@@ -1,0 +1,148 @@
+(* Crash-consistent per-shard checkpoints.  A checkpoint captures
+   everything a shard body needs to resume mid-workload and re-emit a
+   byte-identical suffix: its progress counter, virtual clock, RNG
+   stream position, an engine-specific payload (the arena encoding, or
+   a verification digest), and the event prefix already emitted.
+
+   A store is owned by exactly one shard and touched only on its
+   worker domain.  The authoritative copy lives in memory; when a
+   directory is given, every save is mirrored to disk with the same
+   tmp+rename discipline as Campaign.Store, so a torn write can never
+   be observed — the file is either the old checkpoint or the new
+   one.  Loading tolerates any malformed or truncated file by
+   reporting no checkpoint at all: resuming from scratch is always
+   correct, just slower. *)
+
+exception Inconsistent of string
+
+type state = {
+  ck_shard : int;
+  ck_progress : int;
+  ck_clock_us : int;
+  ck_rng : int64;
+  ck_payload : int array;
+  ck_events : Obs.Event.t array;
+}
+
+type store = {
+  latest : state option ref;
+  path : string option;
+}
+
+let schema = "dsas-shard-ckpt/1"
+
+let store ?dir ~shard () =
+  let path =
+    Option.map (fun d -> Filename.concat d (Printf.sprintf "shard%d.ckpt" shard)) dir
+  in
+  (match (path, dir) with
+   | Some _, Some d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755
+   | _ -> ());
+  { latest = ref None; path }
+
+let header st =
+  Obs.Json.obj
+    [
+      ("schema", Obs.Json.String schema);
+      ("shard", Obs.Json.Int st.ck_shard);
+      ("progress", Obs.Json.Int st.ck_progress);
+      ("clock_us", Obs.Json.Int st.ck_clock_us);
+      ("rng", Obs.Json.String (Int64.to_string st.ck_rng));
+      ("events", Obs.Json.Int (Array.length st.ck_events));
+      ( "payload",
+        Obs.Json.String
+          (String.concat " "
+             (Array.to_list (Array.map string_of_int st.ck_payload))) );
+    ]
+
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let save t st =
+  t.latest := Some st;
+  match t.path with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (header st);
+    Buffer.add_char buf '\n';
+    Array.iter
+      (fun ev ->
+        Buffer.add_string buf (Obs.Event.to_json ev);
+        Buffer.add_char buf '\n')
+      st.ck_events;
+    write_atomic path (Buffer.contents buf)
+
+let parse_payload s =
+  if String.trim s = "" then Some [||]
+  else
+    let parts = String.split_on_char ' ' (String.trim s) in
+    let ints = List.filter_map int_of_string_opt parts in
+    if List.length ints <> List.length parts then None
+    else Some (Array.of_list ints)
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let result =
+      match input_line ic with
+      | exception End_of_file -> None
+      | first ->
+        (match Obs.Json.parse_obj first with
+         | None -> None
+         | Some fields ->
+           let int k = Obs.Json.mem_int fields k in
+           (match
+              ( Obs.Json.mem_string fields "schema",
+                int "shard", int "progress", int "clock_us", int "events",
+                Obs.Json.mem_string fields "rng",
+                Obs.Json.mem_string fields "payload" )
+            with
+            | Some s, Some ck_shard, Some ck_progress, Some ck_clock_us,
+              Some n_events, Some rng_s, Some payload_s
+              when s = schema && ck_progress >= 0 && ck_clock_us >= 0
+                   && n_events >= 0 ->
+              (match (Int64.of_string_opt rng_s, parse_payload payload_s) with
+               | Some ck_rng, Some ck_payload ->
+                 let events = ref [] in
+                 let torn = ref false in
+                 for _ = 1 to n_events do
+                   match input_line ic with
+                   | exception End_of_file -> torn := true
+                   | line ->
+                     (match Obs.Event.of_json line with
+                      | Some ev -> events := ev :: !events
+                      | None -> torn := true)
+                 done;
+                 if !torn then None
+                 else
+                   Some
+                     { ck_shard; ck_progress; ck_clock_us; ck_rng; ck_payload;
+                       ck_events = Array.of_list (List.rev !events) }
+               | _ -> None)
+            | _ -> None))
+    in
+    close_in_noerr ic;
+    result
+
+let load t =
+  match !(t.latest) with
+  | Some _ as st -> st
+  | None ->
+    (match t.path with
+     | None -> None
+     | Some path ->
+       let st = load_file path in
+       t.latest := st;
+       st)
+
+let clear t =
+  t.latest := None;
+  match t.path with
+  | None -> ()
+  | Some path -> (try Sys.remove path with Sys_error _ -> ())

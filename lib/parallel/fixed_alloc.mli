@@ -73,3 +73,19 @@ val base : t -> int
 
 val pool_magazines : t -> int
 (** Magazines currently in the shared pool; exact when quiescent. *)
+
+val snapshot : cache -> int array
+(** Flat serialisation of a {e quiescent, single-cache} allocator: the
+    cache's counters and private magazines plus the shared pool's
+    magazine chain.  Only meaningful when [c] is the sole cache of its
+    allocator and no other domain touches the pool — exactly the
+    sharded engines' per-shard arenas. *)
+
+val restore :
+  ?base:int -> ?magazine:int -> slots:int -> slot_words:int ->
+  int array -> (t * cache) option
+(** [restore ~slots ~slot_words enc] rebuilds a fresh allocator and its
+    single cache from a {!snapshot} taken under the same geometry.
+    Subsequent [alloc]/[free] sequences behave identically to the
+    snapshotted original.  [None] if the encoding is truncated,
+    malformed, or names out-of-range slots. *)

@@ -26,3 +26,9 @@ val is_empty : 'a t -> bool
 
 val length : 'a t -> int
 (** O(n) snapshot of the current chain; exact when quiescent. *)
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the chain, head (most recently pushed) first; exact
+    when quiescent.  Re-pushing the reversed list onto a fresh stack
+    reproduces the same pop order — the checkpoint serialisation
+    hook. *)

@@ -25,9 +25,22 @@ let map_shards ~domains ~shards f =
     in
     if w = 1 then worker 0 ()
     else begin
-      let spawned = Array.init (w - 1) (fun i -> Domain.spawn (worker (i + 1))) in
-      (try worker 0 () with e -> record_exn e);
-      Array.iter (fun d -> try Domain.join d with e -> record_exn e) spawned;
+      (* Spawn defensively: if a spawn itself raises partway through,
+         the domains already running must still be joined before the
+         exception propagates — a leaked domain would keep writing
+         into [results] behind the caller's back. *)
+      let spawned = Array.make (w - 1) None in
+      (try
+         for i = 0 to w - 2 do
+           spawned.(i) <- Some (Domain.spawn (worker (i + 1)))
+         done;
+         worker 0 ()
+       with e -> record_exn e);
+      Array.iter
+        (function
+          | Some d -> ( try Domain.join d with e -> record_exn e)
+          | None -> ())
+        spawned;
       match !first_exn with Some e -> raise e | None -> ()
     end;
     Array.map (function Some v -> v | None -> assert false) results

@@ -2,7 +2,16 @@
    clock, derived rng, private engine, private event buffer.  The only
    cross-domain traffic is Pool.map_shards handing back the per-shard
    results; the caller's sink is touched exclusively on the caller's
-   domain, after the join, via the deterministic Obs.Merge stage. *)
+   domain, after the join, via the deterministic Obs.Merge stage.
+
+   Supervision.  Every body is written against a [tick] callback
+   (called once per workload step with the shard's clock and a lazy
+   snapshot) and a [resume] checkpoint.  The plain entry points pass a
+   no-op tick and no checkpoint, so they run the exact same code the
+   unsupervised engines always ran; the [_supervised] entry points
+   wire tick to Supervisor.step, which is what turns the same body
+   into a crash-restartable one.  A zero-fault supervised run is
+   byte-identical to the unsupervised run by construction. *)
 
 (* Per-site rng defaults: distinct streams per shard under one master
    seed (see Sim.Rng.derive).  The multipliers keep alloc and paging
@@ -11,9 +20,10 @@ let alloc_rng_site shard = 0xA110C + (shard * 7919)
 let paging_rng_site shard = 0x9A61B + (shard * 104729)
 
 (* A shard buffers its (already relabelled) events locally; reversed
-   into an array at the end so streams arrive in emission order. *)
-let buffer_sink () =
-  let buf = ref [] in
+   into an array at the end so streams arrive in emission order.
+   [init] pre-seeds the buffer with a checkpoint's event prefix. *)
+let buffer_sink ?(init = [||]) () =
+  let buf = ref (List.rev (Array.to_list init)) in
   let sink = Obs.Sink.collect (fun ev -> buf := ev :: !buf) in
   let contents () =
     let arr = Array.of_list !buf in
@@ -21,6 +31,8 @@ let buffer_sink () =
     Array.init n (fun i -> arr.(n - 1 - i))
   in
   (sink, contents)
+
+let noop_tick ~clock_us:_ ~snapshot:_ = ()
 
 (* {2 Fixed-size allocation} *)
 
@@ -58,26 +70,59 @@ type alloc_report = {
   ar_events : int;
 }
 
+(* Rebuild the arena and live set from a checkpoint payload
+   [live_n; live slots...; Fixed_alloc encoding...], or refuse it. *)
+let alloc_resume cfg shard (st : Checkpoint.state) =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Checkpoint.Inconsistent m)) fmt in
+  let p = st.Checkpoint.ck_payload in
+  if st.Checkpoint.ck_progress > cfg.a_ops_per_shard then
+    fail "shard %d checkpoint progress %d beyond %d ops" shard
+      st.Checkpoint.ck_progress cfg.a_ops_per_shard;
+  if Array.length p < 1 then fail "shard %d checkpoint payload empty" shard;
+  let live_n = p.(0) in
+  if live_n < 0 || live_n > cfg.a_slots_per_shard
+     || Array.length p < 1 + live_n
+  then fail "shard %d checkpoint live set malformed" shard;
+  let live = Array.make (max 1 cfg.a_slots_per_shard) 0 in
+  Array.blit p 1 live 0 live_n;
+  let arena_words = cfg.a_slots_per_shard * cfg.a_slot_words in
+  let enc = Array.sub p (1 + live_n) (Array.length p - 1 - live_n) in
+  match
+    Fixed_alloc.restore ~base:(shard * arena_words) ~slots:cfg.a_slots_per_shard
+      ~slot_words:cfg.a_slot_words enc
+  with
+  | None -> fail "shard %d checkpoint arena malformed" shard
+  | Some (_, cache) -> (cache, live, live_n)
+
 (* One shard of the mixed alloc/free workload.  The arena base puts the
    shard's addresses in a globally disjoint range, so Alloc/Free events
    need no relabelling.  The stream holds roughly half the arena live:
    below target it biases toward allocation, at the target it frees, in
    between it flips the shard's coin. *)
-let alloc_shard cfg ~traced shard =
-  let rng = Sim.Rng.derive ~override:cfg.a_seed (alloc_rng_site shard) in
-  let clock = Sim.Clock.create () in
+let alloc_shard_run cfg ~traced ~tick ~resume shard =
   let arena_words = cfg.a_slots_per_shard * cfg.a_slot_words in
-  let fa =
-    Fixed_alloc.create ~base:(shard * arena_words) ~slots:cfg.a_slots_per_shard
-      ~slot_words:cfg.a_slot_words ()
+  let rng, clock, cache, live, live_n0, start, init_events =
+    match resume with
+    | None ->
+      let rng = Sim.Rng.derive ~override:cfg.a_seed (alloc_rng_site shard) in
+      let fa =
+        Fixed_alloc.create ~base:(shard * arena_words)
+          ~slots:cfg.a_slots_per_shard ~slot_words:cfg.a_slot_words ()
+      in
+      ( rng, Sim.Clock.create (), Fixed_alloc.cache fa,
+        Array.make (max 1 cfg.a_slots_per_shard) 0, 0, 0, [||] )
+    | Some st ->
+      let cache, live, live_n = alloc_resume cfg shard st in
+      let clock = Sim.Clock.create () in
+      Sim.Clock.advance clock st.Checkpoint.ck_clock_us;
+      ( Sim.Rng.of_state st.Checkpoint.ck_rng, clock, cache, live, live_n,
+        st.Checkpoint.ck_progress, st.Checkpoint.ck_events )
   in
-  let cache = Fixed_alloc.cache fa in
-  let sink, contents = buffer_sink () in
-  let live = Array.make (max 1 cfg.a_slots_per_shard) 0 in
-  let live_n = ref 0 in
+  let sink, contents = buffer_sink ~init:init_events () in
+  let live_n = ref live_n0 in
   let target = max 1 (cfg.a_slots_per_shard / 2) in
   let size = cfg.a_slot_words in
-  for _op = 1 to cfg.a_ops_per_shard do
+  for _op = start + 1 to cfg.a_ops_per_shard do
     Sim.Clock.advance clock cfg.a_op_us;
     let do_alloc =
       if !live_n = 0 then true
@@ -104,7 +149,15 @@ let alloc_shard cfg ~traced shard =
         Obs.Sink.emit sink
           (Obs.Event.make ~t_us:(Sim.Clock.now clock)
              (Obs.Event.Free { addr; size }))
-    end
+    end;
+    tick ~clock_us:(Sim.Clock.now clock) ~snapshot:(fun () ->
+        { Supervisor.sn_clock_us = Sim.Clock.now clock;
+          sn_rng = Sim.Rng.state rng;
+          sn_payload =
+            Array.concat
+              [ [| !live_n |]; Array.sub live 0 !live_n;
+                Fixed_alloc.snapshot cache ];
+          sn_events = contents () })
   done;
   let st = Fixed_alloc.stats cache in
   let events = contents () in
@@ -118,6 +171,9 @@ let alloc_shard cfg ~traced shard =
       sa_elapsed_us = Sim.Clock.now clock;
       sa_events = Array.length events },
     events )
+
+let alloc_shard cfg ~traced shard =
+  alloc_shard_run cfg ~traced ~tick:noop_tick ~resume:None shard
 
 let run_alloc ?(obs = Obs.Sink.null) ~domains cfg =
   if domains < 1 then invalid_arg "Sharded.run_alloc: domains < 1";
@@ -199,16 +255,40 @@ let relabel ~page_off ~req_off (ev : Obs.Event.t) =
    bounds a shard's id range. *)
 let req_stride cfg = (4 * cfg.p_refs_per_shard) + 16
 
-let paging_shard cfg ~traced shard =
+(* The paging engine's state (frame tables, device queues, victim
+   policies) has no flat encoding, so a resumed shard {e replays}: it
+   rebuilds the engine and re-drives the references before the
+   checkpoint with emission suppressed, then verifies the replayed
+   clock, RNG stream, event count and fault/writeback digest against
+   the checkpoint before emitting the suffix.  Any disagreement means
+   the checkpoint cannot be trusted — Inconsistent poisons it. *)
+let paging_shard_run cfg ~traced ~counting ~tick ~resume shard =
   let rng = Sim.Rng.derive ~override:cfg.p_seed (paging_rng_site shard) in
   let clock = Sim.Clock.create () in
   let pages = cfg.p_pages_per_shard in
   let page_off = shard * pages in
   let req_off = shard * req_stride cfg in
-  let sink, contents = buffer_sink () in
+  let start, init_events =
+    match resume with
+    | Some st ->
+      if st.Checkpoint.ck_progress > cfg.p_refs_per_shard then
+        raise
+          (Checkpoint.Inconsistent
+             (Printf.sprintf "shard %d checkpoint progress %d beyond %d refs"
+                shard st.Checkpoint.ck_progress cfg.p_refs_per_shard));
+      (st.Checkpoint.ck_progress, st.Checkpoint.ck_events)
+    | None -> (0, [||])
+  in
+  let sink, contents = buffer_sink ~init:init_events () in
+  let emitting = ref (start = 0) in
+  let suppressed = ref 0 in
   let obs =
-    if traced then
-      Obs.Sink.collect (fun ev -> Obs.Sink.emit sink (relabel ~page_off ~req_off ev))
+    if traced || counting then
+      Obs.Sink.collect (fun ev ->
+          if !emitting then begin
+            if traced then Obs.Sink.emit sink (relabel ~page_off ~req_off ev)
+          end
+          else incr suppressed)
     else Obs.Sink.null
   in
   (* Phase-structured local reference string, then word addresses with
@@ -239,13 +319,50 @@ let paging_shard cfg ~traced shard =
   in
   (* Quarter of the references are writes, so evictions exercise the
      write-back path; the page reference string is unchanged. *)
-  Array.iteri
-    (fun i addr ->
-      if i land 3 = 0 then Paging.Demand.write engine addr (Int64.of_int addr)
-      else
-        let (_ : int64) = Paging.Demand.read engine addr in
-        ())
-    word_trace;
+  let drive i =
+    let addr = word_trace.(i) in
+    if i land 3 = 0 then Paging.Demand.write engine addr (Int64.of_int addr)
+    else
+      let (_ : int64) = Paging.Demand.read engine addr in
+      ()
+  in
+  for i = 0 to start - 1 do
+    drive i
+  done;
+  (match resume with
+   | None -> ()
+   | Some st ->
+     let fail fmt =
+       Printf.ksprintf (fun m -> raise (Checkpoint.Inconsistent m)) fmt
+     in
+     if Sim.Clock.now clock <> st.Checkpoint.ck_clock_us then
+       fail "shard %d replay clock %d disagrees with checkpoint %d" shard
+         (Sim.Clock.now clock) st.Checkpoint.ck_clock_us;
+     if Sim.Rng.state rng <> st.Checkpoint.ck_rng then
+       fail "shard %d replay rng stream disagrees with checkpoint" shard;
+     if traced && !suppressed <> Array.length st.Checkpoint.ck_events then
+       fail "shard %d replay emitted %d events where checkpoint recorded %d"
+         shard !suppressed
+         (Array.length st.Checkpoint.ck_events);
+     (match st.Checkpoint.ck_payload with
+      | [| faults; writebacks |] ->
+        if Paging.Demand.faults engine <> faults
+           || Paging.Demand.writebacks engine <> writebacks
+        then
+          fail "shard %d replay digest %d/%d disagrees with checkpoint %d/%d"
+            shard (Paging.Demand.faults engine)
+            (Paging.Demand.writebacks engine) faults writebacks
+      | _ -> fail "shard %d checkpoint digest malformed" shard);
+     emitting := true);
+  for i = start to Array.length word_trace - 1 do
+    drive i;
+    tick ~clock_us:(Sim.Clock.now clock) ~snapshot:(fun () ->
+        { Supervisor.sn_clock_us = Sim.Clock.now clock;
+          sn_rng = Sim.Rng.state rng;
+          sn_payload =
+            [| Paging.Demand.faults engine; Paging.Demand.writebacks engine |];
+          sn_events = contents () })
+  done;
   let events = contents () in
   ( { sp_shard = shard;
       sp_refs = Paging.Demand.refs engine;
@@ -254,6 +371,9 @@ let paging_shard cfg ~traced shard =
       sp_elapsed_us = Sim.Clock.now clock;
       sp_events = Array.length events },
     events )
+
+let paging_shard cfg ~traced shard =
+  paging_shard_run cfg ~traced ~counting:false ~tick:noop_tick ~resume:None shard
 
 let run_paging ?(obs = Obs.Sink.null) ~domains cfg =
   if domains < 1 then invalid_arg "Sharded.run_paging: domains < 1";
@@ -264,3 +384,85 @@ let run_paging ?(obs = Obs.Sink.null) ~domains cfg =
   let streams = Array.map snd per_shard in
   let emitted = Obs.Merge.emit ~into:obs streams in
   { pr_shards = Array.map fst per_shard; pr_events = emitted }
+
+(* {2 Supervised execution} *)
+
+let run_supervised ~policy ~kills ~checkpoint_every ~checkpoint_dir ~domains
+    ~shards ~body =
+  (match checkpoint_dir with
+   | Some d when not (Sys.file_exists d) ->
+     (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+   | _ -> ());
+  let inject =
+    match kills with
+    | [] -> Supervisor.no_inject
+    | ks -> Supervisor.inject_of_kills ks
+  in
+  let per =
+    Pool.map_shards ~domains ~shards (fun shard ->
+        let store = Checkpoint.store ?dir:checkpoint_dir ~shard () in
+        Supervisor.supervise ~policy ~inject ~checkpoint_every ~store ~shard
+          ~run:(fun ~resume ctl ->
+            body shard ~resume
+              ~tick:(fun ~clock_us ~snapshot ->
+                Supervisor.step ctl ~clock_us ~snapshot)))
+  in
+  (* First escalation (by shard index) wins; no partial emission. *)
+  let err =
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with None, Error f -> Some f | _, _ -> acc)
+      None per
+  in
+  match err with
+  | Some f -> Error f
+  | None ->
+    Ok (Array.map (function Ok v -> v | Error _ -> assert false) per)
+
+let run_alloc_supervised ?(obs = Obs.Sink.null) ?(supervision = Obs.Sink.null)
+    ?(policy = Supervisor.policy ()) ?(kills = []) ?(checkpoint_every = 512)
+    ?checkpoint_dir ~domains cfg =
+  if domains < 1 then invalid_arg "Sharded.run_alloc_supervised: domains < 1";
+  let traced = Obs.Sink.is_active obs in
+  match
+    run_supervised ~policy ~kills ~checkpoint_every ~checkpoint_dir ~domains
+      ~shards:cfg.a_shards
+      ~body:(fun shard ~resume ~tick ->
+        alloc_shard_run cfg ~traced ~tick ~resume shard)
+  with
+  | Error _ as e -> e
+  | Ok per ->
+    let streams = Array.map (fun ((_, ev), _) -> ev) per in
+    let emitted = Obs.Merge.emit ~into:obs streams in
+    let sup_streams =
+      Array.map (fun (_, o) -> o.Supervisor.o_events) per
+    in
+    let (_ : int) = Obs.Merge.emit ~into:supervision sup_streams in
+    Ok
+      ( { ar_shards = Array.map (fun ((r, _), _) -> r) per;
+          ar_events = emitted },
+        Array.map snd per )
+
+let run_paging_supervised ?(obs = Obs.Sink.null) ?(supervision = Obs.Sink.null)
+    ?(policy = Supervisor.policy ()) ?(kills = []) ?(checkpoint_every = 512)
+    ?checkpoint_dir ~domains cfg =
+  if domains < 1 then invalid_arg "Sharded.run_paging_supervised: domains < 1";
+  let traced = Obs.Sink.is_active obs in
+  match
+    run_supervised ~policy ~kills ~checkpoint_every ~checkpoint_dir ~domains
+      ~shards:cfg.p_shards
+      ~body:(fun shard ~resume ~tick ->
+        paging_shard_run cfg ~traced ~counting:true ~tick ~resume shard)
+  with
+  | Error _ as e -> e
+  | Ok per ->
+    let streams = Array.map (fun ((_, ev), _) -> ev) per in
+    let emitted = Obs.Merge.emit ~into:obs streams in
+    let sup_streams =
+      Array.map (fun (_, o) -> o.Supervisor.o_events) per
+    in
+    let (_ : int) = Obs.Merge.emit ~into:supervision sup_streams in
+    Ok
+      ( { pr_shards = Array.map (fun ((r, _), _) -> r) per;
+          pr_events = emitted },
+        Array.map snd per )

@@ -122,3 +122,51 @@ val run_paging : ?obs:Obs.Sink.t -> domains:int -> paging_config -> paging_repor
     from the shard's RNG stream.  Events are relabelled into the
     shard's global page and request-id ranges at buffering time.  Same
     determinism contract as {!run_alloc}. *)
+
+(** {2 Supervised execution}
+
+    The [_supervised] entry points run the exact same shard bodies
+    under {!Supervisor.supervise}: per-shard bounded restarts from
+    {!Checkpoint} state, deterministic fault injection via [kills],
+    and typed escalation.  Guarantees, for every [domains >= 1] and
+    every kill schedule that does not escalate:
+
+    - the merged {e engine} trace written to [obs] is bit-identical
+      to the zero-fault run (and hence to the unsupervised run);
+    - the report is identical to the zero-fault report;
+    - the {e supervision} trace (crash / restart / checkpoint events,
+      on a simulated wall timeline) is written separately to
+      [supervision] and is itself deterministic.
+
+    An alloc shard resumes by restoring its arena directly from the
+    checkpoint encoding; a paging shard resumes by replaying the
+    references before the checkpoint with emission suppressed and
+    verifying clock, RNG, event count and fault digest against the
+    checkpoint ({!Checkpoint.Inconsistent} poisons an untrustworthy
+    checkpoint and costs a restart).
+
+    [checkpoint_every] counts workload steps (default 512; 0 disables
+    checkpointing).  With [checkpoint_dir], checkpoints are mirrored
+    to [DIR/shard<N>.ckpt] with atomic tmp+rename writes. *)
+
+val run_alloc_supervised :
+  ?obs:Obs.Sink.t ->
+  ?supervision:Obs.Sink.t ->
+  ?policy:Supervisor.policy ->
+  ?kills:Supervisor.kill list ->
+  ?checkpoint_every:int ->
+  ?checkpoint_dir:string ->
+  domains:int ->
+  alloc_config ->
+  (alloc_report * Supervisor.outcome array, Resilience.Failure.t) result
+
+val run_paging_supervised :
+  ?obs:Obs.Sink.t ->
+  ?supervision:Obs.Sink.t ->
+  ?policy:Supervisor.policy ->
+  ?kills:Supervisor.kill list ->
+  ?checkpoint_every:int ->
+  ?checkpoint_dir:string ->
+  domains:int ->
+  paging_config ->
+  (paging_report * Supervisor.outcome array, Resilience.Failure.t) result

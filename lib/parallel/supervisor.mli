@@ -1,0 +1,100 @@
+(** Supervised execution of shard bodies: bounded deterministic
+    restarts over {!Checkpoint} state, with typed escalation.
+
+    The supervisor wraps one shard's body in a restart loop that runs
+    entirely on the shard's worker domain.  The body calls {!step}
+    after every workload step; the supervisor uses those ticks to
+    inject deterministic faults (a seeded schedule or an explicit
+    {!kill} list), to take periodic checkpoints, and to stamp
+    supervision events ([shard_crash] / [shard_restart] /
+    [shard_checkpoint]) on a per-shard wall timeline that keeps
+    advancing across restarts.
+
+    Supervision events are returned in the {!outcome} and belong in a
+    {e separate} trace segment: the engine trace of a recovered run is
+    bit-identical to the fault-free run, which is the whole point.
+
+    A shard that exhausts [max_restarts] escalates as a typed
+    {!Resilience.Failure.t} ([Shard_crashed] or [Shard_stalled] after
+    the last observed fault) instead of raising. *)
+
+type fault = Crash | Stall
+
+type kill = {
+  k_shard : int;  (** which shard to kill *)
+  k_attempt : int;  (** on which execution attempt (0 = first run) *)
+  k_progress : int;  (** after how many completed workload steps *)
+  k_stall : bool;  (** [true] simulates a detected stall, not a crash *)
+}
+
+exception Injected of fault
+(** How an injected fault tears down the body mid-step.  Bodies do not
+    need to catch it; the supervisor does. *)
+
+type policy = {
+  max_restarts : int;  (** restarts allowed per shard before escalation *)
+  backoff_us : int;  (** linear backoff step, in simulated wall us *)
+  backoff_seed : int;  (** seed of the deterministic backoff jitter *)
+}
+
+val policy : ?max_restarts:int -> ?backoff_us:int -> ?backoff_seed:int -> unit -> policy
+(** Defaults: 3 restarts, 250 us backoff step, a fixed jitter seed.
+    The [n]-th restart waits [backoff_us * n] plus a seeded jitter
+    drawn from a per-shard stream — simulated time, deterministic,
+    independent of domain scheduling. *)
+
+val no_inject : shard:int -> attempt:int -> progress:int -> fault option
+(** The zero-fault schedule. *)
+
+val inject_of_kills :
+  kill list -> shard:int -> attempt:int -> progress:int -> fault option
+(** Fault schedule from an explicit kill list: fires when shard,
+    attempt and progress all match. *)
+
+type snap = {
+  sn_clock_us : int;  (** the shard's virtual clock now *)
+  sn_rng : int64;  (** {!Sim.Rng.state} of the shard's stream *)
+  sn_payload : int array;  (** engine-specific encoding or digest *)
+  sn_events : Obs.Event.t array;  (** events emitted so far, in order *)
+}
+(** What a body's snapshot thunk must capture for a checkpoint. *)
+
+type ctl
+(** The supervision handle a body ticks through. *)
+
+val progress : ctl -> int
+(** Workload steps completed (monotone across restarts — a resumed
+    body starts from its checkpoint's progress). *)
+
+val step : ctl -> clock_us:int -> snapshot:(unit -> snap) -> unit
+(** Must be called by the body once after each completed workload
+    step, with the shard's current virtual clock.  May raise
+    {!Injected} (the schedule killed the shard here) and may take a
+    checkpoint (forcing [snapshot], which is otherwise never
+    forced). *)
+
+type outcome = {
+  o_shard : int;
+  o_crashes : int;  (** faults suffered *)
+  o_restarts : int;  (** restarts performed (= crashes on success) *)
+  o_checkpoints : int;  (** checkpoints taken, across all attempts *)
+  o_events : Obs.Event.t array;  (** supervision stream, in order *)
+}
+
+val supervise :
+  policy:policy ->
+  inject:(shard:int -> attempt:int -> progress:int -> fault option) ->
+  checkpoint_every:int ->
+  store:Checkpoint.store ->
+  shard:int ->
+  run:(resume:Checkpoint.state option -> ctl -> 'a) ->
+  ('a * outcome, Resilience.Failure.t) result
+(** Run [run] under supervision.  [checkpoint_every] is in workload
+    steps (0 disables checkpointing; every restart then resumes from
+    scratch).  [run] receives the checkpoint to resume from, if any,
+    and must tick {!step} per workload step.  Any exception out of
+    [run] is a fault: {!Injected} keeps its type, a
+    {!Checkpoint.Inconsistent} poisons (clears) the checkpoint before
+    the retry, anything else counts as a crash.  After
+    [policy.max_restarts] restarts the next fault escalates as
+    [Error] with a typed {!Resilience.Failure.t}. *)

@@ -64,3 +64,81 @@ val ok : summary -> bool
 
 val counter : summary -> string -> int
 (** Summed counter by name, 0 if absent. *)
+
+(** {2 Multicore chaos}
+
+    The sharded variant injects {e shard} faults — simulated domain
+    crashes and stalls at chosen workload steps — instead of device
+    faults.  This module sits below [lib/parallel], so a kill is pure
+    data here; the experiments layer converts it to a supervisor kill
+    and runs the workload under supervision. *)
+
+type shard_kill = {
+  sk_shard : int;  (** which shard to kill *)
+  sk_attempt : int;  (** on which execution attempt (0 = first run) *)
+  sk_progress : int;  (** after how many completed workload steps *)
+  sk_stall : bool;  (** simulate a detected stall instead of a crash *)
+}
+
+val shard_schedule :
+  Sim.Rng.t -> shards:int -> steps:int -> shard_kill list
+(** Draw one kill schedule: per shard, 0-2 kills at ascending workload
+    steps in [1, steps], each a stall with probability 1/5.  At most 2
+    kills per shard keeps every schedule inside the default restart
+    budget — chaos exercises recovery; escalation is a deliberate,
+    separate test. *)
+
+type shard_scenario = {
+  sh_name : string;
+  sh_run :
+    seed:int ->
+    kills:shard_kill list ->
+    engine:Obs.Sink.t ->
+    supervision:Obs.Sink.t ->
+    (string * int) list;
+      (** run a supervised sharded workload; write the merged engine
+          trace to [engine] and the supervision stream to
+          [supervision]; return named counters *)
+}
+
+type sharded_result = {
+  sr_scenario : string;
+  sr_index : int;
+  sr_kills : shard_kill list;
+  sr_counters : (string * int) list;
+  sr_engine_events : int;
+  sr_supervision_events : int;
+  sr_check : Obs.Check.report;
+}
+
+type sharded_summary = {
+  sr_runs : sharded_result list;
+  sr_total_events : int;
+  sr_violations : int;
+  sr_totals : (string * int) list;
+}
+
+val run_sharded :
+  ?trace:Obs.Sink.t ->
+  ?progress:(int -> unit) ->
+  ?kills:shard_kill list ->
+  scenarios:shard_scenario list ->
+  shards:int ->
+  steps:int ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  sharded_summary
+(** Execute [runs] rounds, cycling through [scenarios], each under a
+    fresh {!shard_schedule} draw — or under the fixed [kills] schedule
+    for every round, when given.  Engine and supervision events carry
+    different vocabularies, so each round contributes {e two} run
+    segments to [trace]: run [2i] (engine) then run [2i+1]
+    (supervision).  The in-memory check validates the same two-segment
+    structure per round. *)
+
+val sharded_ok : sharded_summary -> bool
+(** Zero invariant violations. *)
+
+val sharded_counter : sharded_summary -> string -> int
+(** Summed counter by name, 0 if absent. *)

@@ -2,12 +2,15 @@ type t =
   | Io_failed of { page : int; io : Obs.Event.io; attempts : int; at_us : int }
   | Swap_in_failed of { segment : int; words : int; attempts : int; at_us : int }
   | Job_failed of { job : int; restarts : int; at_us : int }
+  | Shard_crashed of { shard : int; restarts : int; at_us : int }
+  | Shard_stalled of { shard : int; restarts : int; at_us : int }
 
 let of_device (f : Device.Model.failure) =
   Io_failed { page = f.page; io = f.kind; attempts = f.attempts; at_us = f.at_us }
 
 let at_us = function
   | Io_failed { at_us; _ } | Swap_in_failed { at_us; _ } | Job_failed { at_us; _ }
+  | Shard_crashed { at_us; _ } | Shard_stalled { at_us; _ }
     -> at_us
 
 let to_string = function
@@ -19,3 +22,7 @@ let to_string = function
       segment words attempts at_us
   | Job_failed { job; restarts; at_us } ->
     Printf.sprintf "job %d failed at %d us after %d restart(s)" job at_us restarts
+  | Shard_crashed { shard; restarts; at_us } ->
+    Printf.sprintf "shard %d crashed at %d us after %d restart(s)" shard at_us restarts
+  | Shard_stalled { shard; restarts; at_us } ->
+    Printf.sprintf "shard %d stalled at %d us after %d restart(s)" shard at_us restarts

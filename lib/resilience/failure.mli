@@ -16,6 +16,12 @@ type t =
       (** a whole-segment swap-in could not be completed *)
   | Job_failed of { job : int; restarts : int; at_us : int }
       (** a job exhausted its abort-and-restart budget *)
+  | Shard_crashed of { shard : int; restarts : int; at_us : int }
+      (** a sharded-engine worker exhausted its supervisor's restart
+          budget on repeated crashes *)
+  | Shard_stalled of { shard : int; restarts : int; at_us : int }
+      (** a sharded-engine worker exhausted its supervisor's restart
+          budget, the last fault being a detected stall *)
 
 val of_device : Device.Model.failure -> t
 

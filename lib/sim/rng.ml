@@ -4,6 +4,11 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
 
+(* Checkpoint hooks: the whole generator is its 64-bit counter, so a
+   saved state restores the exact stream position. *)
+let state t = t.state
+let of_state s = { state = s }
+
 (* [derive ?override default]: the per-site historical seed, unless a
    global --seed overrides the run.  The override is folded into the
    site's own constant so distinct sites keep distinct streams while

@@ -19,6 +19,13 @@ val derive : ?override:int -> int -> t
     override; sites sharing a default (a deliberately regenerated
     trace) keep sharing a stream. *)
 
+val state : t -> int64
+(** [state t] exposes the raw splitmix64 counter for checkpointing.
+    [of_state (state t)] resumes the stream exactly where [t] is. *)
+
+val of_state : int64 -> t
+(** [of_state s] rebuilds a generator from a saved {!state}. *)
+
 val split : t -> t
 (** [split t] returns a new generator whose stream is independent of the
     subsequent outputs of [t] (it is seeded from [t]'s next output). *)

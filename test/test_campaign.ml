@@ -151,9 +151,9 @@ let test_store_log_replay () =
       check_bool "everything pending" true
         (List.for_all (fun (_, st) -> st = Campaign.Store.Pending) all);
       (* last line per cell wins *)
-      Campaign.Store.record ~dir "p=a,seed=0" (Campaign.Store.Failed "boom");
+      Campaign.Store.record ~dir "p=a,seed=0" (Campaign.Store.failed "boom");
       Campaign.Store.record ~dir "p=a,seed=0" Campaign.Store.Done;
-      Campaign.Store.record ~dir "p=b,seed=1" (Campaign.Store.Failed "late");
+      Campaign.Store.record ~dir "p=b,seed=1" (Campaign.Store.failed "late");
       (* a torn final line (the kill case) and garbage are skipped *)
       let oc =
         open_out_gen
@@ -167,7 +167,7 @@ let test_store_log_replay () =
       let st id = List.assoc id (List.map (fun ((p : Campaign.Spec.point), s) -> (p.Campaign.Spec.id, s)) sts) in
       check_bool "retry then done: done wins" true (st "p=a,seed=0" = Campaign.Store.Done);
       check_bool "failed carries its message" true
-        (st "p=b,seed=1" = Campaign.Store.Failed "late");
+        (st "p=b,seed=1" = Campaign.Store.failed "late");
       check_bool "torn line ignored" true (st "p=b,seed=0" = Campaign.Store.Pending))
 
 let test_store_resume_identity () =
@@ -301,7 +301,7 @@ let test_exec_failure_capture_and_retry () =
         List.filter_map
           (fun ((p : Campaign.Spec.point), st) ->
             match st with
-            | Campaign.Store.Failed msg -> Some (p.Campaign.Spec.id, msg)
+            | Campaign.Store.Failed f -> Some (p.Campaign.Spec.id, f.Campaign.Store.f_msg)
             | _ -> None)
           sts
       in
@@ -331,9 +331,113 @@ let test_exec_exception_is_a_failed_cell () =
         (List.exists
            (fun (_, st) ->
              match st with
-             | Campaign.Store.Failed msg -> contains_substring msg "exploded"
+             | Campaign.Store.Failed f ->
+               contains_substring f.Campaign.Store.f_msg "exploded"
              | _ -> false)
            sts))
+
+let test_exec_timeout_kills_hung_cell () =
+  with_temp_dir (fun dir ->
+      init_ok ~dir small_spec;
+      (* p=b cells hang far past the limit; p=a cells are instant *)
+      let sleepy : Campaign.Exec.runner =
+       fun ~point ~quick:_ ~trace_path:_ ~metrics_path ->
+        if List.assoc_opt "p" point.Campaign.Spec.params = Some "b" then begin
+          Unix.sleep 30;
+          Ok ()
+        end
+        else begin
+          write_metrics ~score:1. metrics_path;
+          Ok ()
+        end
+      in
+      let o =
+        Campaign.Exec.run ~jobs:2 ~timeout_s:0.3 ~dir ~spec:small_spec
+          ~runner:sleepy ()
+      in
+      check_int "fast cells ok" 2 o.Campaign.Exec.ok;
+      check_int "hung cells failed" 2 o.Campaign.Exec.failed;
+      check_int "both were killed at the deadline" 2 o.Campaign.Exec.timed_out;
+      let sts = Campaign.Store.statuses ~dir small_spec in
+      let hung =
+        List.filter_map
+          (fun ((p : Campaign.Spec.point), st) ->
+            match st with
+            | Campaign.Store.Failed f
+              when List.assoc_opt "p" p.Campaign.Spec.params = Some "b" ->
+              Some f
+            | _ -> None)
+          sts
+      in
+      check_int "both failures logged" 2 (List.length hung);
+      check_bool "logged as timed out, diagnostic says so" true
+        (List.for_all
+           (fun (f : Campaign.Store.failure) ->
+             f.Campaign.Store.f_timed_out
+             && contains_substring f.Campaign.Store.f_msg "timed out")
+           hung))
+
+let test_exec_retry_budget_eventual_success () =
+  with_temp_dir (fun dir ->
+      init_ok ~dir small_spec;
+      (* Every cell fails its first two attempts, then succeeds.  The
+         attempt count lives in a per-cell marker file, which survives
+         the child processes. *)
+      let marker point =
+        Filename.concat dir ("attempts_" ^ (point : Campaign.Spec.point).Campaign.Spec.id)
+      in
+      let flaky_twice : Campaign.Exec.runner =
+       fun ~point ~quick:_ ~trace_path:_ ~metrics_path ->
+        let n =
+          match open_in (marker point) with
+          | exception Sys_error _ -> 0
+          | ic ->
+            let n = int_of_string (input_line ic) in
+            close_in ic;
+            n
+        in
+        let oc = open_out (marker point) in
+        output_string oc (string_of_int (n + 1));
+        close_out oc;
+        if n < 2 then Error (Printf.sprintf "flaky attempt %d" n)
+        else begin
+          write_metrics ~score:1. metrics_path;
+          Ok ()
+        end
+      in
+      let o =
+        Campaign.Exec.run ~max_retries:3 ~retry_backoff_s:0.01 ~dir
+          ~spec:small_spec ~runner:flaky_twice ()
+      in
+      check_int "every cell eventually ok" 4 o.Campaign.Exec.ok;
+      check_int "no cell exhausted its budget" 0 o.Campaign.Exec.failed;
+      check_int "two retries per cell" 8 o.Campaign.Exec.retried;
+      let sts = Campaign.Store.statuses ~dir small_spec in
+      check_bool "all done in the log" true
+        (List.for_all (fun (_, st) -> st = Campaign.Store.Done) sts))
+
+let test_exec_resume_skips_exhausted_budget () =
+  with_temp_dir (fun dir ->
+      init_ok ~dir small_spec;
+      (* a previous invocation spent the whole budget on this cell *)
+      Campaign.Store.record ~dir "p=a,seed=0"
+        (Campaign.Store.failed ~retries:2 "permanently broken");
+      let o =
+        Campaign.Exec.run ~max_retries:2 ~dir ~spec:small_spec
+          ~runner:(scoring_runner ~score:1.) ()
+      in
+      check_int "exhausted cell skipped like a done cell" 1
+        o.Campaign.Exec.skipped;
+      check_int "the rest ran" 3 o.Campaign.Exec.ran;
+      (* legacy mode (no budget): the same cell is simply retried *)
+      let o2 =
+        Campaign.Exec.run ~dir ~spec:small_spec
+          ~runner:(scoring_runner ~score:1.) ()
+      in
+      check_int "done cells skipped" 3 o2.Campaign.Exec.skipped;
+      check_int "no budget: the failed cell is re-attempted" 1
+        o2.Campaign.Exec.ran;
+      check_int "and succeeds" 1 o2.Campaign.Exec.ok)
 
 (* The checkpoint contract: a limit-bounded first pass (a stand-in for
    a killed campaign) leaves artifacts that a second full pass must not
@@ -643,6 +747,12 @@ let () =
             test_exec_failure_capture_and_retry;
           Alcotest.test_case "runner exception fails only its cell" `Quick
             test_exec_exception_is_a_failed_cell;
+          Alcotest.test_case "hung cell killed at the deadline" `Quick
+            test_exec_timeout_kills_hung_cell;
+          Alcotest.test_case "retry budget rides out flaky cells" `Quick
+            test_exec_retry_budget_eventual_success;
+          Alcotest.test_case "resume skips an exhausted budget" `Quick
+            test_exec_resume_skips_exhausted_budget;
           Alcotest.test_case "limit then resume recomputes nothing" `Quick
             test_exec_limit_then_resume;
         ] );

@@ -35,6 +35,9 @@ let one_of_each =
       ev ~t_us:20 (Job_abort { job = 0; restarts = 1 });
       ev ~t_us:21 (Load_shed { job = 1 });
       ev ~t_us:22 (Load_admit { job = 1 });
+      ev ~t_us:23 (Shard_crash { shard = 2; attempt = 1 });
+      ev ~t_us:24 (Shard_restart { shard = 2; attempt = 1 });
+      ev ~t_us:25 (Shard_checkpoint { shard = 2; progress = 512; events = 300 });
     ]
 
 (* --- Event JSON --- *)
@@ -448,7 +451,7 @@ let test_summary_of_events () =
   let stats = Obs.Summary.of_events one_of_each in
   check_int "events" (List.length one_of_each) stats.Obs.Summary.events;
   check_int "first" 0 stats.Obs.Summary.t_first_us;
-  check_int "last" 22 stats.Obs.Summary.t_last_us;
+  check_int "last" 25 stats.Obs.Summary.t_last_us;
   check_int "faults" 1 (Obs.Summary.count stats "fault");
   check_int "swaps" 2 (Obs.Summary.count stats "segment_swap");
   check_int "absent kind" 0 (Obs.Summary.count stats "no_such");

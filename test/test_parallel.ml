@@ -222,6 +222,66 @@ let test_merged_fixture_check_clean () =
       Alcotest.fail "committed merged fixture violated trace invariants"
     end
 
+(* --- Obs.Merge edge cases --- *)
+
+let mk t kind = Obs.Event.make ~t_us:t kind
+
+let jsons evs = Array.to_list evs |> List.map Obs.Event.to_json
+
+let test_merge_degenerate_streams () =
+  check_int "no streams" 0 (Array.length (Obs.Merge.interleave [||]));
+  check_int "empty streams" 0
+    (Array.length (Obs.Merge.interleave [| [||]; [||]; [||] |]));
+  let sink = Obs.Sink.collect (fun _ -> ()) in
+  check_int "emit of nothing" 0 (Obs.Merge.emit ~into:sink [||])
+
+let test_merge_single_stream_identity () =
+  (* One stream, mixed io and non-io: the merge must be the identity. *)
+  let s =
+    [|
+      mk 5 (Obs.Event.Alloc { addr = 0; size = 8 });
+      mk 10 (Obs.Event.Io_start { req = 0; page = 3; io = Obs.Event.Prefetch });
+      mk 20 (Obs.Event.Alloc { addr = 8; size = 8 });
+      mk 12 (Obs.Event.Io_done { req = 0; page = 3; io = Obs.Event.Prefetch });
+      mk 30 (Obs.Event.Free { addr = 0; size = 8 });
+    |]
+  in
+  let merged = Obs.Merge.interleave [| s |] in
+  check_bool "identity on a single stream" true (jsons merged = jsons s)
+
+let test_merge_all_io_streams_check_clean () =
+  (* Streams with no non-io events never advance their engine time, so
+     the merge falls back to stream order — and must still pass the
+     trace invariants as one run segment. *)
+  let io_pair base_req base_page t0 =
+    [|
+      mk t0
+        (Obs.Event.Io_start { req = base_req; page = base_page; io = Obs.Event.Prefetch });
+      mk (t0 + 30)
+        (Obs.Event.Io_done { req = base_req; page = base_page; io = Obs.Event.Prefetch });
+      mk (t0 + 40)
+        (Obs.Event.Io_start
+           { req = base_req + 1; page = base_page + 1; io = Obs.Event.Prefetch });
+      mk (t0 + 80)
+        (Obs.Event.Io_done
+           { req = base_req + 1; page = base_page + 1; io = Obs.Event.Prefetch });
+    |]
+  in
+  let s0 = io_pair 0 0 10 and s1 = io_pair 100 100 15 in
+  let merged = Obs.Merge.interleave [| s0; s1 |] in
+  check_int "all events survive" 8 (Array.length merged);
+  check_bool "all-io ties break by stream index" true
+    (jsons merged = jsons s0 @ jsons s1);
+  let boundary =
+    Obs.Event.make ~t_us:0
+      (Obs.Event.Run_start { run = 0; seed = None; config = None })
+  in
+  let report = Obs.Check.check_events (boundary :: Array.to_list merged) in
+  if not (Obs.Check.ok report) then begin
+    Obs.Check.print report;
+    Alcotest.fail "merged all-io stream violated trace invariants"
+  end
+
 (* --- Shard count is a workload input (changing it may change results) --- *)
 
 let test_shard_count_is_workload () =
@@ -235,6 +295,408 @@ let test_shard_count_is_workload () =
   let r2 = run 2 and r4 = run 4 in
   check_int "2 shards" 2 (Array.length r2.Parallel.Sharded.ar_shards);
   check_int "4 shards" 4 (Array.length r4.Parallel.Sharded.ar_shards)
+
+(* --- Supervised execution ----------------------------------------------
+
+   The contract under test: for any kill schedule that does not exhaust
+   a restart budget, the merged engine trace and the report of a
+   supervised run are bit-identical to the unsupervised (zero-fault)
+   run at every width — recovery is invisible — and the supervision
+   stream is itself deterministic. *)
+
+let temp_dir () =
+  let path = Filename.temp_file "dsas_parallel" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Oldest-first JSON traces. *)
+let collect_fwd runner =
+  let buf = ref [] in
+  let sink = Obs.Sink.collect (fun ev -> buf := ev :: !buf) in
+  let r = runner sink in
+  (r, List.rev_map Obs.Event.to_json !buf)
+
+let collect_supervised runner =
+  let eng = ref [] and sup = ref [] in
+  let obs = Obs.Sink.collect (fun ev -> eng := ev :: !eng) in
+  let supervision = Obs.Sink.collect (fun ev -> sup := ev :: !sup) in
+  let r = runner ~obs ~supervision in
+  (r, List.rev_map Obs.Event.to_json !eng, List.rev_map Obs.Event.to_json !sup)
+
+let kill ?(stall = false) shard ~attempt ~progress =
+  {
+    Parallel.Supervisor.k_shard = shard;
+    k_attempt = attempt;
+    k_progress = progress;
+    k_stall = stall;
+  }
+
+let test_supervised_zero_fault_identity () =
+  let a_cfg = alloc_cfg 42 in
+  let a_ref, a_trace =
+    collect_fwd (fun obs -> Parallel.Sharded.run_alloc ~obs ~domains:2 a_cfg)
+  in
+  (match
+     collect_supervised (fun ~obs ~supervision ->
+         Parallel.Sharded.run_alloc_supervised ~obs ~supervision
+           ~checkpoint_every:64 ~domains:2 a_cfg)
+   with
+   | Error f, _, _ ->
+     Alcotest.failf "alloc escalated: %s" (Resilience.Failure.to_string f)
+   | Ok (report, outcomes), trace, sup ->
+     check_bool "alloc report identical" true (report = a_ref);
+     check_bool "alloc engine trace identical" true (trace = a_trace);
+     check_bool "no faults suffered" true
+       (Array.for_all
+          (fun (o : Parallel.Supervisor.outcome) ->
+            o.Parallel.Supervisor.o_crashes = 0
+            && o.Parallel.Supervisor.o_restarts = 0)
+          outcomes);
+     check_bool "checkpoints still taken" true
+       (Array.for_all
+          (fun (o : Parallel.Supervisor.outcome) ->
+            o.Parallel.Supervisor.o_checkpoints > 0)
+          outcomes);
+     check_bool "supervision stream carries them" true (sup <> []));
+  let p_cfg = paging_cfg 42 in
+  let p_ref, p_trace =
+    collect_fwd (fun obs -> Parallel.Sharded.run_paging ~obs ~domains:2 p_cfg)
+  in
+  match
+    collect_supervised (fun ~obs ~supervision ->
+        Parallel.Sharded.run_paging_supervised ~obs ~supervision
+          ~checkpoint_every:32 ~domains:2 p_cfg)
+  with
+  | Error f, _, _ ->
+    Alcotest.failf "paging escalated: %s" (Resilience.Failure.to_string f)
+  | Ok (report, _), trace, _ ->
+    check_bool "paging report identical" true (report = p_ref);
+    check_bool "paging engine trace identical" true (trace = p_trace)
+
+(* A seeded kill schedule: up to two faults per shard (inside the
+   default budget of three restarts), occasionally a stall. *)
+let drawn_kills seed ~shards ~steps =
+  let rng = Sim.Rng.create (seed lxor 0x51AB) in
+  List.concat
+    (List.init shards (fun s ->
+         let n = Sim.Rng.int rng 3 in
+         List.init n (fun attempt ->
+             kill
+               ~stall:(Sim.Rng.int rng 5 = 0)
+               s ~attempt
+               ~progress:(Sim.Rng.int_in rng 1 (steps - 1)))))
+
+let prop_supervised_alloc_recovery =
+  QCheck.Test.make ~name:"alloc recovery bit-identical at every width"
+    ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let cfg = alloc_cfg seed in
+      let ref_report, ref_trace =
+        collect_fwd (fun obs -> Parallel.Sharded.run_alloc ~obs ~domains:1 cfg)
+      in
+      let kills = drawn_kills seed ~shards:4 ~steps:300 in
+      let sup_ref = ref None in
+      List.for_all
+        (fun domains ->
+          match
+            collect_supervised (fun ~obs ~supervision ->
+                Parallel.Sharded.run_alloc_supervised ~obs ~supervision ~kills
+                  ~checkpoint_every:64 ~domains cfg)
+          with
+          | Error _, _, _ -> false
+          | Ok (report, _), trace, sup ->
+            let sup_stable =
+              match !sup_ref with
+              | None ->
+                sup_ref := Some sup;
+                true
+              | Some s -> s = sup
+            in
+            report = ref_report && trace = ref_trace && sup_stable)
+        [ 1; 2; 4 ])
+
+let prop_supervised_paging_recovery =
+  QCheck.Test.make ~name:"paging recovery bit-identical at every width"
+    ~count:3
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let cfg = paging_cfg seed in
+      let ref_report, ref_trace =
+        collect_fwd (fun obs -> Parallel.Sharded.run_paging ~obs ~domains:1 cfg)
+      in
+      let kills = drawn_kills (seed + 1) ~shards:4 ~steps:150 in
+      List.for_all
+        (fun domains ->
+          match
+            collect_supervised (fun ~obs ~supervision ->
+                Parallel.Sharded.run_paging_supervised ~obs ~supervision ~kills
+                  ~checkpoint_every:32 ~domains cfg)
+          with
+          | Error _, _, _ -> false
+          | Ok (report, _), trace, _ ->
+            report = ref_report && trace = ref_trace)
+        [ 1; 2; 4 ])
+
+let test_supervised_escalates_shard_crashed () =
+  let cfg = alloc_cfg 3 in
+  (* Four crashes on shard 1, one per attempt: the default budget of
+     three restarts is spent and the fourth fault escalates. *)
+  let kills = List.init 4 (fun a -> kill 1 ~attempt:a ~progress:17) in
+  match
+    Parallel.Sharded.run_alloc_supervised ~kills ~checkpoint_every:0 ~domains:2
+      cfg
+  with
+  | Ok _ -> Alcotest.fail "restart budget exceeded yet the run succeeded"
+  | Error (Resilience.Failure.Shard_crashed { shard; restarts; _ }) ->
+    check_int "escalating shard" 1 shard;
+    check_int "budget consumed" 3 restarts
+  | Error f ->
+    Alcotest.failf "wrong failure class: %s" (Resilience.Failure.to_string f)
+
+let test_supervised_escalates_shard_stalled () =
+  let cfg = paging_cfg 3 in
+  let kills = List.init 4 (fun a -> kill ~stall:true 2 ~attempt:a ~progress:9) in
+  match
+    Parallel.Sharded.run_paging_supervised ~kills ~checkpoint_every:0 ~domains:2
+      cfg
+  with
+  | Ok _ -> Alcotest.fail "restart budget exceeded yet the run succeeded"
+  | Error (Resilience.Failure.Shard_stalled { shard; restarts; _ }) ->
+    check_int "escalating shard" 2 shard;
+    check_int "budget consumed" 3 restarts
+  | Error f ->
+    Alcotest.failf "wrong failure class: %s" (Resilience.Failure.to_string f)
+
+let test_supervised_checkpoint_dir_mirrors () =
+  with_temp_dir (fun dir ->
+      let cfg = alloc_cfg 5 in
+      let _, ref_trace =
+        collect_fwd (fun obs -> Parallel.Sharded.run_alloc ~obs ~domains:1 cfg)
+      in
+      let kills = [ kill 0 ~attempt:0 ~progress:100 ] in
+      match
+        collect_supervised (fun ~obs ~supervision ->
+            Parallel.Sharded.run_alloc_supervised ~obs ~supervision ~kills
+              ~checkpoint_every:32 ~checkpoint_dir:dir ~domains:2 cfg)
+      with
+      | Error f, _, _ ->
+        Alcotest.failf "escalated: %s" (Resilience.Failure.to_string f)
+      | Ok (_, outcomes), trace, _ ->
+        check_bool "recovered trace identical" true (trace = ref_trace);
+        check_int "shard 0 crashed once" 1
+          outcomes.(0).Parallel.Supervisor.o_crashes;
+        check_bool "checkpoint mirrored to disk" true
+          (Sys.file_exists (Filename.concat dir "shard0.ckpt")))
+
+(* --- Supervisor over a synthetic body: resume and poisoning --- *)
+
+(* Sums 1..steps, resuming from the checkpoint payload; [executed]
+   counts body iterations across attempts so a test can prove the
+   resume actually skipped work. *)
+let sum_body ~steps ~executed ~resume ctl =
+  let start, acc0 =
+    match resume with
+    | Some ck ->
+      (ck.Parallel.Checkpoint.ck_progress, ck.Parallel.Checkpoint.ck_payload.(0))
+    | None -> (0, 0)
+  in
+  let acc = ref acc0 in
+  for i = start + 1 to steps do
+    acc := !acc + i;
+    incr executed;
+    Parallel.Supervisor.step ctl ~clock_us:(i * 10)
+      ~snapshot:(fun () ->
+        {
+          Parallel.Supervisor.sn_clock_us = i * 10;
+          sn_rng = 0L;
+          sn_payload = [| !acc |];
+          sn_events = [||];
+        })
+  done;
+  !acc
+
+let test_supervise_resumes_from_checkpoint () =
+  let executed = ref 0 in
+  let store = Parallel.Checkpoint.store ~shard:0 () in
+  let kills = [ kill 0 ~attempt:0 ~progress:10 ] in
+  match
+    Parallel.Supervisor.supervise
+      ~policy:(Parallel.Supervisor.policy ())
+      ~inject:(Parallel.Supervisor.inject_of_kills kills)
+      ~checkpoint_every:4 ~store ~shard:0
+      ~run:(fun ~resume ctl -> sum_body ~steps:20 ~executed ~resume ctl)
+  with
+  | Error f -> Alcotest.failf "escalated: %s" (Resilience.Failure.to_string f)
+  | Ok (sum, o) ->
+    check_int "sum unaffected by the crash" 210 sum;
+    check_int "one crash" 1 o.Parallel.Supervisor.o_crashes;
+    check_int "one restart" 1 o.Parallel.Supervisor.o_restarts;
+    (* attempt 0 ran steps 1..10; attempt 1 resumed at the progress-8
+       checkpoint and ran 9..20 — 22 iterations, not 30: the restart
+       really resumed mid-run instead of starting over *)
+    check_int "resumed from the checkpoint" 22 !executed;
+    check_bool "checkpoints taken" true (o.Parallel.Supervisor.o_checkpoints >= 2)
+
+let test_supervise_poisons_inconsistent_checkpoint () =
+  let store = Parallel.Checkpoint.store ~shard:2 () in
+  let kills = [ kill 2 ~attempt:0 ~progress:8 ] in
+  let scratch_runs = ref 0 in
+  match
+    Parallel.Supervisor.supervise
+      ~policy:(Parallel.Supervisor.policy ())
+      ~inject:(Parallel.Supervisor.inject_of_kills kills)
+      ~checkpoint_every:4 ~store ~shard:2
+      ~run:(fun ~resume ctl ->
+        match resume with
+        | Some _ ->
+          (* the body's verification rejects the checkpoint *)
+          raise (Parallel.Checkpoint.Inconsistent "replay digest mismatch")
+        | None ->
+          incr scratch_runs;
+          sum_body ~steps:12 ~executed:(ref 0) ~resume:None ctl)
+  with
+  | Error f -> Alcotest.failf "escalated: %s" (Resilience.Failure.to_string f)
+  | Ok (sum, o) ->
+    check_int "correct result after poisoning" 78 sum;
+    (* injected crash + rejected checkpoint = two faults, two restarts;
+       the second restart saw a cleared checkpoint and started over *)
+    check_int "two crashes" 2 o.Parallel.Supervisor.o_crashes;
+    check_int "two restarts" 2 o.Parallel.Supervisor.o_restarts;
+    check_int "post-poison attempt ran from scratch" 2 !scratch_runs
+
+(* --- Checkpoint store: disk mirror, torn writes --- *)
+
+let sample_state shard =
+  {
+    Parallel.Checkpoint.ck_shard = shard;
+    ck_progress = 128;
+    ck_clock_us = 6400;
+    ck_rng = Sim.Rng.state (Sim.Rng.create 7);
+    ck_payload = [| 1; 2; 3 |];
+    ck_events =
+      [|
+        Obs.Event.make ~t_us:5 (Obs.Event.Alloc { addr = 0; size = 8 });
+        Obs.Event.make ~t_us:9 (Obs.Event.Free { addr = 0; size = 8 });
+      |];
+  }
+
+let test_checkpoint_disk_roundtrip () =
+  with_temp_dir (fun dir ->
+      let st = Parallel.Checkpoint.store ~dir ~shard:3 () in
+      let state = sample_state 3 in
+      Parallel.Checkpoint.save st state;
+      (* a fresh store over the same directory reads the mirror *)
+      let st2 = Parallel.Checkpoint.store ~dir ~shard:3 () in
+      (match Parallel.Checkpoint.load st2 with
+       | None -> Alcotest.fail "mirrored checkpoint not found"
+       | Some s ->
+         check_int "shard" 3 s.Parallel.Checkpoint.ck_shard;
+         check_int "progress" 128 s.Parallel.Checkpoint.ck_progress;
+         check_int "clock" 6400 s.Parallel.Checkpoint.ck_clock_us;
+         check_bool "rng state" true
+           (s.Parallel.Checkpoint.ck_rng = state.Parallel.Checkpoint.ck_rng);
+         check_bool "payload" true
+           (s.Parallel.Checkpoint.ck_payload = [| 1; 2; 3 |]);
+         check_bool "event prefix" true
+           (Array.map Obs.Event.to_json s.Parallel.Checkpoint.ck_events
+           = Array.map Obs.Event.to_json state.Parallel.Checkpoint.ck_events));
+      (* clear wipes memory and disk *)
+      Parallel.Checkpoint.clear st2;
+      check_bool "cleared on disk too" true
+        (Parallel.Checkpoint.load (Parallel.Checkpoint.store ~dir ~shard:3 ())
+        = None))
+
+let test_checkpoint_torn_file_is_no_checkpoint () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "shard0.ckpt" in
+      let reload () =
+        Parallel.Checkpoint.load (Parallel.Checkpoint.store ~dir ~shard:0 ())
+      in
+      let st = Parallel.Checkpoint.store ~dir ~shard:0 () in
+      Parallel.Checkpoint.save st (sample_state 0);
+      let whole =
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      check_bool "intact mirror loads" true (reload () <> None);
+      (* a torn write: the file ends mid-record *)
+      let oc = open_out_bin path in
+      output_string oc (String.sub whole 0 (String.length whole / 2));
+      close_out oc;
+      check_bool "torn mirror means no checkpoint" true (reload () = None);
+      (* garbage is equally survivable *)
+      let oc = open_out_bin path in
+      output_string oc "this is not a checkpoint\n";
+      close_out oc;
+      check_bool "garbage mirror means no checkpoint" true (reload () = None);
+      (* and a missing file *)
+      Sys.remove path;
+      check_bool "missing mirror means no checkpoint" true (reload () = None))
+
+(* --- Pool: a raising shard must not leak running domains --- *)
+
+let test_pool_joins_all_before_reraise () =
+  (* shards 8 over 4 workers: worker 3 owns shards 3 and 7 and dies on
+     shard 3; the other three workers (six shards) must be joined —
+     their writes visible — before the exception reaches the caller. *)
+  let finished = Atomic.make 0 in
+  (match
+     Parallel.Pool.map_shards ~domains:4 ~shards:8 (fun s ->
+         if s = 3 then failwith "shard 3 boom";
+         Unix.sleepf 0.02;
+         Atomic.incr finished;
+         s)
+   with
+   | _ -> Alcotest.fail "exception swallowed"
+   | exception Failure m -> Alcotest.(check string) "the shard's exn" "shard 3 boom" m);
+  check_int "every surviving worker ran to completion and was joined" 6
+    (Atomic.get finished)
+
+(* --- The committed recovered-trace fixture --- *)
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_recovered_fixture_check_clean () =
+  let path = "fixtures/recovered_par_trace.jsonl" in
+  let body = read_whole path in
+  (* the fixture really is a recovered run: supervision segments present *)
+  check_bool "records crashes" true (contains_substring body "shard_crash");
+  check_bool "records restarts" true (contains_substring body "shard_restart");
+  check_bool "records checkpoints" true
+    (contains_substring body "shard_checkpoint");
+  match Obs.Check.check_jsonl path with
+  | Error e -> Alcotest.failf "fixture unreadable: %s" e
+  | Ok report ->
+    if not (Obs.Check.ok report) then begin
+      Obs.Check.print report;
+      Alcotest.fail "committed recovered fixture violated trace invariants"
+    end
 
 let () =
   Alcotest.run "parallel"
@@ -257,6 +719,17 @@ let () =
           Alcotest.test_case "zero shards" `Quick test_pool_zero_shards;
           Alcotest.test_case "bad domains" `Quick test_pool_rejects_bad_domains;
           Alcotest.test_case "exn propagation" `Quick test_pool_propagates_exn;
+          Alcotest.test_case "joins all before reraise" `Quick
+            test_pool_joins_all_before_reraise;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "degenerate streams" `Quick
+            test_merge_degenerate_streams;
+          Alcotest.test_case "single stream is the identity" `Quick
+            test_merge_single_stream_identity;
+          Alcotest.test_case "all-io streams check clean" `Quick
+            test_merge_all_io_streams_check_clean;
         ] );
       ( "determinism",
         [
@@ -265,11 +738,36 @@ let () =
           Alcotest.test_case "shard count is workload" `Quick
             test_shard_count_is_workload;
         ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "zero-fault run is the unsupervised run" `Quick
+            test_supervised_zero_fault_identity;
+          QCheck_alcotest.to_alcotest prop_supervised_alloc_recovery;
+          QCheck_alcotest.to_alcotest prop_supervised_paging_recovery;
+          Alcotest.test_case "crash escalation is typed" `Quick
+            test_supervised_escalates_shard_crashed;
+          Alcotest.test_case "stall escalation is typed" `Quick
+            test_supervised_escalates_shard_stalled;
+          Alcotest.test_case "checkpoint dir mirrors and recovers" `Quick
+            test_supervised_checkpoint_dir_mirrors;
+          Alcotest.test_case "restart resumes from the checkpoint" `Quick
+            test_supervise_resumes_from_checkpoint;
+          Alcotest.test_case "inconsistent checkpoint is poisoned" `Quick
+            test_supervise_poisons_inconsistent_checkpoint;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "disk round-trip" `Quick test_checkpoint_disk_roundtrip;
+          Alcotest.test_case "torn or garbled mirror ignored" `Quick
+            test_checkpoint_torn_file_is_no_checkpoint;
+        ] );
       ( "check",
         [
           Alcotest.test_case "merged stream clean" `Quick
             test_merged_stream_check_clean;
           Alcotest.test_case "merged fixture clean" `Quick
             test_merged_fixture_check_clean;
+          Alcotest.test_case "recovered fixture clean" `Quick
+            test_recovered_fixture_check_clean;
         ] );
     ]
