@@ -192,6 +192,79 @@ let substrate_kernels =
     Test.make ~name:"substrate/demand-engine read" (Staged.stage demand_read);
   ]
 
+(* Telemetry kernels (lib/obs): the snapshot capture and watchdog
+   evaluation hot paths — both sit on the event-emission path when
+   --telemetry is on, so their cost is the overhead budget — and the
+   chrome exporter over a 10^5-event synthetic trace. *)
+let telemetry_kernels =
+  let populated_registry () =
+    let reg = Obs.Registry.create () in
+    for k = 0 to 15 do
+      let c = Obs.Registry.counter reg (Printf.sprintf "ev.kind%02d" k) in
+      Obs.Registry.incr ~by:(k * 37) c
+    done;
+    for k = 0 to 3 do
+      Obs.Registry.set (Obs.Registry.gauge reg (Printf.sprintf "g%d" k)) (float_of_int k)
+    done;
+    reg
+  in
+  let capture =
+    let reg = populated_registry () in
+    let chan = Obs.Telemetry.create ~capacity:64 ~every_us:1 () in
+    let t = ref 0 in
+    fun () ->
+      incr t;
+      ignore (Obs.Telemetry.capture chan ~t_us:!t reg)
+  in
+  let watchdog_feed =
+    (* Four rules over a prebuilt snapshot cycle: one forever-violating
+       threshold, one never-violating, a stall and a delta — the mix a
+       real invocation carries. *)
+    let rules =
+      List.map
+        (fun s -> Result.get_ok (Obs.Watch.parse s))
+        [ "ev.kind05>10@3"; "ev.kind05<1@3"; "g2=@4"; "ev.kind09+5@4" ]
+    in
+    let w = Obs.Watch.create rules in
+    let reg = populated_registry () in
+    let chan = Obs.Telemetry.create ~capacity:4 ~every_us:1 () in
+    let snaps =
+      Array.init 16 (fun i -> Obs.Telemetry.capture chan ~t_us:(i + 1) reg)
+    in
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      ignore (Obs.Watch.feed w snaps.(!i land 15))
+  in
+  let chrome_export =
+    (* 10^5 events: run boundary, engine instants, io async pairs. *)
+    let events =
+      List.init 100_000 (fun i ->
+          let t_us = i * 3 in
+          let kind =
+            if i = 0 then
+              Obs.Event.Run_start { run = 0; seed = Some 1; config = Some "bench" }
+            else
+              match i mod 5 with
+              | 0 -> Obs.Event.Fault { page = i land 255 }
+              | 1 -> Obs.Event.Io_start
+                       { req = i / 5; page = i land 255; io = Obs.Event.Demand }
+              | 2 -> Obs.Event.Io_done
+                       { req = i / 5; page = i land 255; io = Obs.Event.Demand }
+              | 3 -> Obs.Event.Eviction { page = i land 255 }
+              | _ -> Obs.Event.Alloc { addr = i * 16; size = 16 }
+          in
+          { Obs.Event.t_us; kind })
+    in
+    fun () -> ignore (Obs.Export.chrome_of_events events)
+  in
+  [
+    Test.make ~name:"telemetry/snapshot capture" (Staged.stage capture);
+    Test.make ~name:"telemetry/watchdog feed" (Staged.stage watchdog_feed);
+    Test.make ~name:"telemetry/chrome export 100k events"
+      (Staged.stage chrome_export);
+  ]
+
 (* The sharded multicore kernels (lib/parallel).  The kernel names are
    deliberately independent of the execution width: CI benches the same
    family at --domains 1 and --domains 2 and gates the 2-domain run
@@ -328,6 +401,8 @@ let main quick kernels_only domains json_out =
   print_newline ();
   let rows' = run_bechamel ~quick substrate_kernels in
   print_newline ();
+  let tele_rows = run_bechamel ~quick telemetry_kernels in
+  print_newline ();
   Printf.printf "parallel kernels at --domains %d\n" domains;
   let par_rows = run_bechamel ~quick (parallel_kernels ~domains) in
   print_newline ();
@@ -337,7 +412,8 @@ let main quick kernels_only domains json_out =
   | Some file ->
     let oc = open_out file in
     output_string oc
-      (Obs.Bench.to_json (to_bench_results ~quick (rows @ rows' @ par_rows)));
+      (Obs.Bench.to_json
+         (to_bench_results ~quick (rows @ rows' @ tele_rows @ par_rows)));
     output_char oc '\n';
     close_out oc;
     Printf.printf "\nwrote %s\n" file

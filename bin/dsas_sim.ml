@@ -7,6 +7,9 @@
    `dsas_sim run --quick all`             smoke-run everything
    `dsas_sim stats f.jsonl`               aggregate a recorded stream
    `dsas_sim query f.jsonl ...`           filter/group/pair a recorded stream
+   `dsas_sim run fig3 --telemetry t.jsonl`  ... with live periodic snapshots
+   `dsas_sim top t.jsonl --follow`        tail a telemetry stream live
+   `dsas_sim export f.jsonl --format chrome`  Perfetto / flamegraph / CSV export
    `dsas_sim bench-diff OLD NEW`          compare two bench result files *)
 
 open Cmdliner
@@ -105,9 +108,45 @@ let run_cmd =
                  order; more kills for one shard than its restart budget (3) \
                  escalates, prints ESCALATED, and exits non-zero.")
   in
+  let telemetry_out_arg =
+    Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Sample the event stream into periodic dsas-telemetry/1 \
+                 snapshots (per-kind event counters, in-flight io gauge), \
+                 appended to $(docv) as JSON lines while the run is going — \
+                 tail it live with `dsas_sim top`.  The cadence is simulated \
+                 time, so the snapshot sequence is deterministic.  Same \
+                 restrictions as --trace.")
+  in
+  let telemetry_every_arg =
+    Arg.(value & opt int 10_000 & info [ "telemetry-every" ] ~docv:"US"
+           ~doc:"Telemetry cadence in simulated microseconds (default 10000).")
+  in
+  let watch_arg =
+    Arg.(value & opt_all string [] & info [ "watch" ] ~docv:"RULE"
+           ~doc:"With --telemetry: evaluate a watchdog rule over the snapshot \
+                 stream (repeatable).  Grammar: $(b,METRIC>V\\@K) / \
+                 $(b,METRIC<V\\@K) (threshold held for K snapshots), \
+                 $(b,METRIC=\\@K) (stalled for K), $(b,METRIC+V\\@K) (advanced \
+                 less than V over K); a trailing $(b,!) escalates — the run \
+                 exits non-zero if the rule ever fires.  Fires and clears are \
+                 recorded as watchdog_* events in the --trace stream.")
+  in
   let action quick id trace_out metrics_out profile profile_out device sched channels
-      domains kill_shard seed =
+      domains kill_shard seed telemetry_out telemetry_every watch =
     let profiling = profile || profile_out <> None in
+    (* Watchdog rules are parsed up front: a typo must fail before any
+       simulation runs, not after. *)
+    let watch_rules =
+      List.fold_left
+        (fun acc spec ->
+          match acc with
+          | Error _ -> acc
+          | Ok rules ->
+            (match Obs.Watch.parse spec with
+             | Ok r -> Ok (rules @ [ r ])
+             | Error msg -> Error msg))
+        (Ok []) watch
+    in
     (* Wrap the simulation in the profiler; report once it finishes. *)
     let profiled f =
       if not profiling then f ()
@@ -186,6 +225,14 @@ let run_cmd =
              run; use it with `run x11_parallel`"
         | Ok _ -> None)
     in
+    let telemetry_error =
+      if telemetry_every < 1 then
+        Some "--telemetry-every must be >= 1 (simulated microseconds)"
+      else if watch <> [] && telemetry_out = None then
+        Some "--watch evaluates rules over the telemetry stream; add --telemetry FILE"
+      else match watch_rules with Error msg -> Some msg | Ok _ -> None
+    in
+    let watch_rules = match watch_rules with Ok rs -> rs | Error _ -> [] in
     let kills = match kills with Ok ks -> ks | Error _ -> [] in
     (* x11_parallel is the one entry that takes the execution width and
        the kill schedule; it reports escalation through its return
@@ -205,6 +252,10 @@ let run_cmd =
             "x11_parallel: a shard exhausted its restart budget and escalated" )
       else `Ok ()
     in
+    (* The first escalating watchdog fire, if any: surfaced as a
+       non-zero exit after the run finishes (the simulation is not cut
+       short — telemetry observes, it does not steer). *)
+    let watch_tripped = ref None in
     (* Run a traced experiment with the requested observers attached. *)
     let run_observed e =
       let oc = Option.map open_out trace_out in
@@ -222,11 +273,62 @@ let run_cmd =
         | None -> trace_sink
         | Some _ -> Obs.Sink.tee trace_sink (Obs.Query.metrics_sink reg)
       in
+      (* The telemetry tap: a self-contained channel folding the event
+         stream into its own registry and mirroring each snapshot to the
+         --telemetry file.  Watchdog rules ride the capture hook; their
+         fire/clear events are appended to the trace (stamped with the
+         snapshot's engine time), and rule state resets at run_start
+         boundaries like every other invariant scope. *)
+      let tele_oc = Option.map open_out telemetry_out in
+      let obs, finish_telemetry =
+        match tele_oc with
+        | None -> (obs, fun () -> ())
+        | Some out ->
+          let chan = Obs.Telemetry.create ~every_us:telemetry_every () in
+          Obs.Telemetry.mirror chan out;
+          let tele_reg = Obs.Registry.create () in
+          let watchdog = Obs.Watch.create watch_rules in
+          Obs.Telemetry.on_capture chan (fun sn ->
+              let alerts = Obs.Watch.feed watchdog sn in
+              List.iter
+                (fun ev -> Obs.Sink.emit trace_sink ev)
+                (Obs.Watch.alert_events ~t_us:sn.Obs.Telemetry.sn_t_us alerts);
+              List.iter
+                (fun alert ->
+                  match alert with
+                  | Obs.Watch.Fire { rule; snapshots } ->
+                    Printf.eprintf "watchdog: %s FIRED after %d snapshot(s)%s\n%!"
+                      rule.Obs.Watch.name snapshots
+                      (if rule.Obs.Watch.escalate then " (escalates)" else "");
+                    if rule.Obs.Watch.escalate && !watch_tripped = None then
+                      watch_tripped := Some rule.Obs.Watch.name
+                  | Obs.Watch.Clear { rule; snapshots } ->
+                    Printf.eprintf "watchdog: %s cleared after %d snapshot(s)\n%!"
+                      rule.Obs.Watch.name snapshots)
+                alerts);
+          let last_t = ref 0 in
+          let boundary =
+            Obs.Sink.collect (fun (ev : Obs.Event.t) ->
+                last_t := max !last_t ev.t_us;
+                match ev.kind with
+                | Obs.Event.Run_start _ -> Obs.Watch.reset watchdog
+                | _ -> ())
+          in
+          let tap = Obs.Telemetry.events_sink chan tele_reg in
+          ( Obs.Sink.tee obs (Obs.Sink.tee boundary tap),
+            fun () ->
+              (* Closing capture: the end-of-run state, so a run shorter
+                 than one cadence interval still yields a snapshot. *)
+              ignore (Obs.Telemetry.capture chan ~t_us:!last_t tele_reg) )
+      in
       Fun.protect
         ~finally:(fun () ->
           Obs.Sink.flush obs;
-          Option.iter close_out oc)
-        (fun () -> profiled (fun () -> run_entry e ~quick ~obs ?seed ()));
+          Option.iter close_out oc;
+          Option.iter close_out tele_oc)
+        (fun () ->
+          Fun.protect ~finally:finish_telemetry (fun () ->
+              profiled (fun () -> run_entry e ~quick ~obs ?seed ())));
       match metrics_out with
       | None -> ()
       | Some file ->
@@ -238,6 +340,9 @@ let run_cmd =
     match domains_error with
     | Some msg -> `Error (false, msg)
     | None ->
+    match telemetry_error with
+    | Some msg -> `Error (false, msg)
+    | None ->
     match (device, sched, channels) with
     | Some _, _, _ | _, Some _, _ | _, _, Some _
       when String.lowercase_ascii id <> "x8_devices" ->
@@ -245,8 +350,11 @@ let run_cmd =
         (false, "--device/--io-sched/--channels select an x8_devices configuration; \
                  use them with `run x8_devices`")
     | Some _, _, _ | _, Some _, _ | _, _, Some _ ->
-      if trace_out <> None || metrics_out <> None then
-        `Error (false, "--trace/--metrics-out do not apply to custom x8_devices runs")
+      if trace_out <> None || metrics_out <> None || telemetry_out <> None then
+        `Error
+          ( false,
+            "--trace/--metrics-out/--telemetry do not apply to custom \
+             x8_devices runs" )
       else begin
         let device = Option.value device ~default:"drum" in
         let sched = Option.value sched ~default:"fifo" in
@@ -259,7 +367,7 @@ let run_cmd =
         | Error msg -> `Error (false, msg)
       end
     | None, None, None ->
-      if trace_out = None && metrics_out = None then begin
+      if trace_out = None && metrics_out = None && telemetry_out = None then begin
         if String.lowercase_ascii id = "all" then begin
           profiled (fun () -> Experiments.Registry.run_all ~quick ?seed ());
           `Ok ()
@@ -272,7 +380,10 @@ let run_cmd =
           | None -> unknown_id id
       end
       else if String.lowercase_ascii id = "all" then
-        `Error (false, "--trace/--metrics-out need a single experiment, not `all`")
+        `Error
+          ( false,
+            "--trace/--metrics-out/--telemetry need a single experiment, not \
+             `all`" )
       else
         (match Experiments.Registry.find id with
          | None -> unknown_id id
@@ -284,14 +395,22 @@ let run_cmd =
                  (String.concat ", " Experiments.Registry.traced) )
          | Some e ->
            run_observed e;
-           unless_escalated ())
+           (match !watch_tripped with
+            | Some rule ->
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "watchdog rule %S fired and escalates; see the telemetry \
+                     stream" rule )
+            | None -> unless_escalated ()))
   in
   Cmd.v info
     Term.(
       ret
         (const action $ quick_flag $ id_arg $ trace_out_arg $ metrics_out_arg
          $ profile_flag $ profile_out_arg $ device_arg $ sched_arg $ channels_arg
-         $ domains_arg $ kill_shard_arg $ seed_arg))
+         $ domains_arg $ kill_shard_arg $ seed_arg $ telemetry_out_arg
+         $ telemetry_every_arg $ watch_arg))
 
 let json_flag =
   let doc = "Emit the result as a single JSON object on stdout." in
@@ -353,8 +472,9 @@ let stats_cmd =
   let doc = "Aggregate a recorded JSONL event stream (from `run --trace`)." in
   let info = Cmd.info "stats" ~doc in
   let file_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
-           ~doc:"JSONL trace file, one event object per line.")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace file, one event object per line; $(b,-) reads \
+                 standard input.")
   in
   (* Strict loading via Query: an empty or truncated trace is an error
      (exit non-zero), never a silently empty summary. *)
@@ -393,8 +513,9 @@ let query_cmd =
   in
   let info = Cmd.info "query" ~doc ~man in
   let file_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
-           ~doc:"JSONL trace file, one event object per line.")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace file, one event object per line; $(b,-) reads \
+                 standard input.")
   in
   let kinds_arg =
     Arg.(value & opt (some string) None & info [ "kinds" ] ~docv:"K1,K2"
@@ -633,6 +754,27 @@ let bench_diff_cmd =
   Cmd.v info
     Term.(ret (const action $ old_arg $ new_arg $ threshold_arg $ json_flag))
 
+(* Read a whole line-oriented input; "-" means stdin (left open — not
+   ours to close). *)
+let read_input_lines filename =
+  let of_channel ic =
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    List.rev !lines
+  in
+  if filename = "-" then Ok ("<stdin>", of_channel stdin)
+  else
+    match open_in filename with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      let lines = of_channel ic in
+      close_in ic;
+      Ok (filename, lines)
+
 let check_cmd =
   let doc = "Validate a recorded JSONL event stream against the trace invariants." in
   let man =
@@ -645,6 +787,11 @@ let check_cmd =
          Invariants are scoped to run segments: a $(b,run_start) event marks \
          where an experiment restarted its engine (fresh clock, fresh request \
          ids).";
+      `P
+        "A $(b,dsas-telemetry/1) snapshot stream (from $(b,run --telemetry)) \
+         is recognized by its schema tag and checked structurally instead: \
+         per producer, sequence numbers must be dense from 0 and timestamps \
+         monotone.";
       `S "INVARIANTS";
     ]
     @ List.concat_map
@@ -654,8 +801,9 @@ let check_cmd =
   in
   let info = Cmd.info "check" ~doc ~man in
   let file_arg =
-    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
-           ~doc:"JSONL trace file, one event object per line.")
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace or telemetry file, one object per line; $(b,-) \
+                 reads standard input.")
   in
   let list_flag =
     let doc = "List every invariant id with its description and exit." in
@@ -664,6 +812,21 @@ let check_cmd =
   let limit_arg =
     Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N"
            ~doc:"Report at most $(docv) individual violations (totals are always exact).")
+  in
+  let is_telemetry lines =
+    (* Sniff the first data line for the telemetry schema tag. *)
+    let rec first = function
+      | [] -> false
+      | l :: rest ->
+        let t = String.trim l in
+        if t = "" || (String.length t > 0 && t.[0] = '#') then first rest
+        else
+          (match Obs.Json.parse_obj t with
+           | Some fields ->
+             Obs.Json.mem_string fields "schema" = Some Obs.Telemetry.schema
+           | None -> false)
+    in
+    first lines
   in
   let action file list_invariants limit json =
     if list_invariants then begin
@@ -676,16 +839,43 @@ let check_cmd =
       match file with
       | None -> `Error (true, "a trace FILE is required (or --list-invariants)")
       | Some file ->
-        (match Obs.Check.check_jsonl ~limit file with
+        (match read_input_lines file with
          | Error msg -> `Error (false, msg)
-         | Ok report ->
+         | Ok (label, lines) when is_telemetry lines ->
+           (match Obs.Telemetry.parse_lines lines with
+            | Error msg -> `Error (false, Printf.sprintf "%s: %s" label msg)
+            | Ok snaps ->
+              let problems = Obs.Telemetry.check snaps in
+              if json then
+                print_endline
+                  (Obs.Json.obj
+                     [
+                       ("schema", Obs.Json.String Obs.Telemetry.schema);
+                       ("snapshots", Obs.Json.Int (List.length snaps));
+                       ("problems", Obs.Json.Int (List.length problems));
+                     ])
+              else begin
+                Printf.printf "%s: %d telemetry snapshot(s)\n" label
+                  (List.length snaps);
+                List.iteri
+                  (fun i p -> if i < limit then Printf.printf "  %s\n" p)
+                  problems
+              end;
+              if problems = [] then `Ok ()
+              else
+                `Error
+                  ( false,
+                    Printf.sprintf "%s: %d telemetry stream problem(s)" label
+                      (List.length problems) ))
+         | Ok (label, lines) ->
+           let report = Obs.Check.check_lines ~limit lines in
            if json then print_endline (Obs.Check.to_json report)
            else Obs.Check.print report;
            if Obs.Check.ok report then `Ok ()
            else
              `Error
                ( false,
-                 Printf.sprintf "%s: %d invariant violation(s): %s" file
+                 Printf.sprintf "%s: %d invariant violation(s): %s" label
                    (List.fold_left (fun acc (_, n) -> acc + n) 0 report.Obs.Check.counts)
                    (String.concat ", "
                       (List.map
@@ -694,6 +884,255 @@ let check_cmd =
                          report.Obs.Check.counts)) ))
   in
   Cmd.v info Term.(ret (const action $ file_arg $ list_flag $ limit_arg $ json_flag))
+
+(* --- top: live view over a telemetry mirror ------------------------- *)
+
+let top_cmd =
+  let doc = "Monitor a live dsas-telemetry/1 snapshot stream (a `top` for runs)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Tails the JSONL telemetry mirror written by $(b,run --telemetry) or \
+         $(b,campaign run --telemetry) and shows, per producer (shard or \
+         whole run), the latest snapshot: engine time, every counter with \
+         its rate over the last cadence interval, every gauge.  Reading is \
+         lenient — a torn final line from a run still writing is skipped, \
+         unlike $(b,check) which is strict.";
+      `S Manpage.s_examples;
+      `Pre
+        "  dsas_sim run x11_parallel --quick --telemetry t.jsonl &\n\
+        \  dsas_sim top t.jsonl --follow";
+    ]
+  in
+  let info = Cmd.info "top" ~doc ~man in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Telemetry JSONL file (dsas-telemetry/1 lines); $(b,-) reads \
+                 standard input once.")
+  in
+  let follow_flag =
+    Arg.(value & flag & info [ "follow"; "f" ]
+           ~doc:"Keep re-reading the file and re-rendering every --interval \
+                 seconds until interrupted.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SEC"
+           ~doc:"Refresh period with --follow (default 2).")
+  in
+  (* Lenient load: parse what parses, skip the rest (the stream may
+     still be growing under us). *)
+  let load_lenient file =
+    match read_input_lines file with
+    | Error _ -> []
+    | Ok (_, lines) -> List.filter_map Obs.Telemetry.snapshot_of_json lines
+  in
+  (* Group by producer tag, keeping the last two snapshots per producer
+     for rate computation; producers render in first-appearance order. *)
+  let producers snaps =
+    let table = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun (sn : Obs.Telemetry.snapshot) ->
+        let key = sn.Obs.Telemetry.sn_shard in
+        (match Hashtbl.find_opt table key with
+         | None ->
+           order := key :: !order;
+           Hashtbl.replace table key (None, sn)
+         | Some (_, last) -> Hashtbl.replace table key (Some last, sn)))
+      snaps;
+    List.rev_map (fun key -> (key, Hashtbl.find table key)) !order
+  in
+  let rate prev (sn : Obs.Telemetry.snapshot) name value =
+    match prev with
+    | None -> None
+    | Some (p : Obs.Telemetry.snapshot) ->
+      let dt = sn.Obs.Telemetry.sn_t_us - p.Obs.Telemetry.sn_t_us in
+      if dt <= 0 then None
+      else
+        let before =
+          Option.value
+            (List.assoc_opt name p.Obs.Telemetry.sn_counters)
+            ~default:0
+        in
+        Some (float_of_int (value - before) /. float_of_int dt *. 1e6)
+  in
+  let producer_label = function
+    | None -> "run"
+    | Some s -> Printf.sprintf "shard %d" s
+  in
+  let render_text snaps =
+    Printf.printf "%d snapshot(s), %d producer(s)\n" (List.length snaps)
+      (List.length (producers snaps));
+    List.iter
+      (fun (key, (prev, (sn : Obs.Telemetry.snapshot))) ->
+        Printf.printf "%-10s seq %-6d t %8.1f ms\n" (producer_label key)
+          sn.Obs.Telemetry.sn_seq
+          (float_of_int sn.Obs.Telemetry.sn_t_us /. 1000.);
+        List.iter
+          (fun (name, v) ->
+            match rate prev sn name v with
+            | Some r -> Printf.printf "  %-24s %10d  %12.0f/s\n" name v r
+            | None -> Printf.printf "  %-24s %10d\n" name v)
+          sn.Obs.Telemetry.sn_counters;
+        List.iter
+          (fun (name, v) -> Printf.printf "  %-24s %10.1f\n" name v)
+          sn.Obs.Telemetry.sn_gauges)
+      (producers snaps);
+    flush stdout
+  in
+  let render_json snaps =
+    let producer (key, (prev, (sn : Obs.Telemetry.snapshot))) =
+      Obs.Json.Raw
+        (Obs.Json.obj
+           ((match key with
+             | Some s -> [ ("shard", Obs.Json.Int s) ]
+             | None -> [])
+            @ [
+                ("seq", Obs.Json.Int sn.Obs.Telemetry.sn_seq);
+                ("t_us", Obs.Json.Int sn.Obs.Telemetry.sn_t_us);
+                ( "counters",
+                  Obs.Json.Raw
+                    (Obs.Json.obj
+                       (List.map
+                          (fun (n, v) -> (n, Obs.Json.Int v))
+                          sn.Obs.Telemetry.sn_counters)) );
+                ( "rates",
+                  Obs.Json.Raw
+                    (Obs.Json.obj
+                       (List.filter_map
+                          (fun (n, v) ->
+                            Option.map
+                              (fun r -> (n, Obs.Json.Float r))
+                              (rate prev sn n v))
+                          sn.Obs.Telemetry.sn_counters)) );
+                ( "gauges",
+                  Obs.Json.Raw
+                    (Obs.Json.obj
+                       (List.map
+                          (fun (n, v) -> (n, Obs.Json.Float v))
+                          sn.Obs.Telemetry.sn_gauges)) );
+              ]))
+    in
+    print_endline
+      (Obs.Json.obj
+         [
+           ("snapshots", Obs.Json.Int (List.length snaps));
+           ( "producers",
+             Obs.Json.Raw (Obs.Json.array (List.map producer (producers snaps))) );
+         ]);
+    flush stdout
+  in
+  let action file follow interval json =
+    if interval <= 0. then `Error (false, "--interval must be > 0")
+    else if follow && file = "-" then
+      `Error (false, "--follow re-reads a file; it cannot follow stdin")
+    else if follow && json then
+      `Error (false, "--follow is interactive; use one-shot --json and poll")
+    else if not follow then begin
+      match load_lenient file with
+      | [] ->
+        `Error
+          (false, Printf.sprintf "%s: no parseable telemetry snapshots" file)
+      | snaps ->
+        if json then render_json snaps else render_text snaps;
+        `Ok ()
+    end
+    else begin
+      (* Follow mode: re-read and re-render until interrupted.  No
+         cursor tricks — each tick prints a stanza, so the output also
+         works piped to a log. *)
+      while true do
+        (match load_lenient file with
+         | [] -> Printf.printf "(no snapshots yet)\n%!"
+         | snaps -> render_text snaps);
+        print_newline ();
+        Unix.sleepf interval
+      done;
+      `Ok ()
+    end
+  in
+  Cmd.v info
+    Term.(ret (const action $ file_arg $ follow_flag $ interval_arg $ json_flag))
+
+(* --- export: recorded artifacts to standard viewer formats ----------- *)
+
+let export_cmd =
+  let doc = "Export a recorded artifact to standard viewer formats." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Converts a recorded file to a format the usual tooling can open.  \
+         $(b,--format chrome) renders a JSONL trace (from $(b,run --trace)) \
+         as Chrome trace-event JSON — load it in Perfetto or \
+         chrome://tracing; each run segment becomes a process, each shard a \
+         thread, io start/done pairs async spans.  $(b,--format flamegraph) \
+         renders folded stacks (from $(b,run --profile-out)) as a \
+         self-contained SVG.  $(b,--format telemetry-csv) flattens a \
+         dsas-telemetry/1 stream (from $(b,run --telemetry)) into one CSV \
+         table for spreadsheets.";
+      `S Manpage.s_examples;
+      `Pre
+        "  dsas_sim run x11_parallel --quick --trace t.jsonl\n\
+        \  dsas_sim export t.jsonl --format chrome -o t.chrome.json\n\
+        \  dsas_sim run fig3 --quick --profile-out p.folded\n\
+        \  dsas_sim export p.folded --format flamegraph -o p.svg";
+    ]
+  in
+  let info = Cmd.info "export" ~doc ~man in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Input file: a JSONL trace (chrome), folded stacks \
+                 (flamegraph), or telemetry JSONL (telemetry-csv); $(b,-) \
+                 reads standard input.")
+  in
+  let format_arg =
+    let formats =
+      [ ("chrome", `Chrome); ("flamegraph", `Flamegraph);
+        ("telemetry-csv", `Telemetry_csv) ]
+    in
+    Arg.(required & opt (some (enum formats)) None & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: $(b,chrome), $(b,flamegraph), or \
+                 $(b,telemetry-csv).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"OUT"
+           ~doc:"Write to $(docv) instead of standard output.")
+  in
+  let action file format out =
+    let write text =
+      match out with
+      | None -> print_string text
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+    in
+    match format with
+    | `Chrome ->
+      (match Obs.Query.load file with
+       | Error msg -> `Error (false, msg)
+       | Ok q ->
+         write (Obs.Export.chrome_of_events (Obs.Query.events q));
+         `Ok ())
+    | `Flamegraph ->
+      (match read_input_lines file with
+       | Error msg -> `Error (false, msg)
+       | Ok (label, lines) ->
+         (match Obs.Export.flamegraph (String.concat "\n" lines) with
+          | Error msg -> `Error (false, Printf.sprintf "%s: %s" label msg)
+          | Ok svg ->
+            write svg;
+            `Ok ()))
+    | `Telemetry_csv ->
+      (match Obs.Telemetry.load file with
+       | Error msg -> `Error (false, msg)
+       | Ok snaps ->
+         write (Obs.Export.telemetry_csv snaps);
+         `Ok ())
+  in
+  Cmd.v info Term.(ret (const action $ file_arg $ format_arg $ out_arg))
 
 let chaos_cmd =
   let doc = "Drive the engines under seeded random fault schedules (the chaos harness)." in
@@ -1028,7 +1467,16 @@ let campaign_run_cmd =
            ~doc:"Linear backoff between retries of one cell ($(docv) times \
                  the attempt count).")
   in
-  let action spec_file dir jobs limit quiet timeout_s max_retries retry_backoff_s =
+  let telemetry_arg =
+    Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Append one dsas-telemetry/1 snapshot line to $(docv) as each \
+                 cell settles (cells.done / cells.failed counters, elapsed \
+                 and throughput gauges); watch the campaign live with \
+                 `dsas_sim top $(docv) --follow`.  The parent process is the \
+                 sole writer — the results store is untouched.")
+  in
+  let action spec_file dir jobs limit quiet timeout_s max_retries retry_backoff_s
+      telemetry =
     if jobs < 1 then `Error (false, "--jobs must be >= 1")
     else if max_retries < 0 then `Error (false, "--retries must be >= 0")
     else if retry_backoff_s < 0. then `Error (false, "--retry-backoff must be >= 0")
@@ -1065,7 +1513,51 @@ let campaign_run_cmd =
               (match Campaign.Store.init ~dir ~spec ~git:(git_describe ()) with
                | Error msg -> `Error (false, msg)
                | Ok () ->
+                 (* The progress telemetry channel: the parent (sole
+                    writer) appends one snapshot per settled cell, paced
+                    externally via [capture] — the "engine time" is
+                    wall-clock microseconds since the campaign started. *)
+                 let tele_oc = Option.map open_out telemetry in
+                 let t0 = Unix.gettimeofday () in
+                 let tele =
+                   Option.map
+                     (fun out ->
+                       let chan = Obs.Telemetry.create ~every_us:1 () in
+                       Obs.Telemetry.mirror chan out;
+                       let reg = Obs.Registry.create () in
+                       Obs.Registry.set_meta reg
+                         [ ("campaign", spec.Campaign.Spec.name) ];
+                       let c_done = Obs.Registry.counter reg "cells.done" in
+                       let c_failed = Obs.Registry.counter reg "cells.failed" in
+                       let g_elapsed = Obs.Registry.gauge reg "elapsed_s" in
+                       let g_rate = Obs.Registry.gauge reg "cells_per_s" in
+                       (chan, reg, c_done, c_failed, g_elapsed, g_rate))
+                     tele_oc
+                 in
+                 let tele_tick st =
+                   Option.iter
+                     (fun (chan, reg, c_done, c_failed, g_elapsed, g_rate) ->
+                       (match st with
+                        | Campaign.Store.Done -> Obs.Registry.incr c_done
+                        | Campaign.Store.Failed _ -> Obs.Registry.incr c_failed
+                        | Campaign.Store.Pending -> ());
+                       let elapsed = Unix.gettimeofday () -. t0 in
+                       Obs.Registry.set g_elapsed elapsed;
+                       let settled =
+                         Obs.Registry.counter_value c_done
+                         + Obs.Registry.counter_value c_failed
+                       in
+                       Obs.Registry.set g_rate
+                         (if elapsed > 0. then float_of_int settled /. elapsed
+                          else 0.);
+                       ignore
+                         (Obs.Telemetry.capture chan
+                            ~t_us:(int_of_float (elapsed *. 1e6))
+                            reg))
+                     tele
+                 in
                  let on_cell (p : Campaign.Spec.point) st =
+                   tele_tick st;
                    if not quiet then begin
                      (match st with
                       | Campaign.Store.Done -> Printf.printf "[done] %s\n" p.Campaign.Spec.id
@@ -1079,9 +1571,12 @@ let campaign_run_cmd =
                    end
                  in
                  let o =
-                   Campaign.Exec.run ~jobs ?limit ?timeout_s ~max_retries
-                     ~retry_backoff_s ~on_cell ~dir ~spec
-                     ~runner:(campaign_runner cell) ()
+                   Fun.protect
+                     ~finally:(fun () -> Option.iter close_out tele_oc)
+                     (fun () ->
+                       Campaign.Exec.run ~jobs ?limit ?timeout_s ~max_retries
+                         ~retry_backoff_s ~on_cell ~dir ~spec
+                         ~runner:(campaign_runner cell) ())
                  in
                  Printf.printf
                    "campaign %s: %d cell(s): %d already done, %d ran (%d ok, %d \
@@ -1098,7 +1593,7 @@ let campaign_run_cmd =
     Term.(
       ret
         (const action $ spec_arg $ dir_arg $ jobs_arg $ limit_arg $ quiet_flag
-         $ timeout_arg $ retries_arg $ backoff_arg))
+         $ timeout_arg $ retries_arg $ backoff_arg $ telemetry_arg))
 
 let campaign_cells_cmd =
   let doc = "List the cell kinds a sweep spec can target, with their parameters." in
@@ -1128,7 +1623,54 @@ let campaign_status_cmd =
         count (fun (_, s) -> match s with Campaign.Store.Failed _ -> true | _ -> false)
       in
       let n_pending = count (fun (_, s) -> s = Campaign.Store.Pending) in
+      (* Wall-clock bookkeeping from the log's "t" stamps.  A cell the
+         log shows Pending but with an open attempt is running right
+         now (or its worker died without a completion line). *)
+      let timings = Campaign.Store.timings ~dir in
+      let now = Unix.gettimeofday () in
+      let timing id = List.assoc_opt id timings in
+      let started id =
+        match timing id with
+        | Some { Campaign.Store.t_started = Some s; _ } -> Some s
+        | _ -> None
+      in
+      let elapsed id st =
+        match (timing id, st) with
+        | Some { Campaign.Store.t_started = Some s; t_finished = Some f }, _ ->
+          Some (f -. s)
+        | ( Some { Campaign.Store.t_started = Some s; t_finished = None },
+            Campaign.Store.Pending ) ->
+          Some (now -. s)
+        | _ -> None
+      in
+      let running id st =
+        st = Campaign.Store.Pending
+        &&
+        match timing id with
+        | Some { Campaign.Store.t_started = Some _; t_finished = None } -> true
+        | _ -> false
+      in
       if json then
+        let cell ((p : Campaign.Spec.point), st) =
+          let id = p.Campaign.Spec.id in
+          let status =
+            match st with
+            | Campaign.Store.Done -> "done"
+            | Campaign.Store.Failed _ -> "failed"
+            | Campaign.Store.Pending ->
+              if running id st then "running" else "pending"
+          in
+          Obs.Json.Raw
+            (Obs.Json.obj
+               ([ ("id", Obs.Json.String id); ("status", Obs.Json.String status) ]
+                @ (match started id with
+                   | Some s -> [ ("started", Obs.Json.Float s) ]
+                   | None -> [])
+                @
+                match elapsed id st with
+                | Some e -> [ ("elapsed_s", Obs.Json.Float e) ]
+                | None -> []))
+        in
         print_endline
           (Obs.Json.obj
              [
@@ -1138,6 +1680,8 @@ let campaign_status_cmd =
                ("done", Obs.Json.Int n_done);
                ("failed", Obs.Json.Int n_failed);
                ("pending", Obs.Json.Int n_pending);
+               ( "cells",
+                 Obs.Json.Raw (Obs.Json.array (List.map cell sts)) );
              ])
       else begin
         Printf.printf "campaign %s (cell %s): %d cell(s): %d done, %d failed, %d pending\n"
@@ -1145,12 +1689,19 @@ let campaign_status_cmd =
           n_failed n_pending;
         List.iter
           (fun ((p : Campaign.Spec.point), s) ->
+            let id = p.Campaign.Spec.id in
             match s with
             | Campaign.Store.Failed f ->
-              Printf.printf "  FAIL %s (attempt %d%s): %s\n" p.Campaign.Spec.id
+              Printf.printf "  FAIL %s (attempt %d%s%s): %s\n" id
                 f.Campaign.Store.f_retries
                 (if f.Campaign.Store.f_timed_out then ", timed out" else "")
+                (match elapsed id s with
+                 | Some e -> Printf.sprintf ", %.1fs" e
+                 | None -> "")
                 f.Campaign.Store.f_msg
+            | Campaign.Store.Pending when running id s ->
+              Printf.printf "  RUN  %s (%.1fs)\n" id
+                (Option.value (elapsed id s) ~default:0.)
             | _ -> ())
           sts
       end;
@@ -1481,7 +2032,7 @@ let main =
   let doc = "Dynamic storage allocation systems (Randell & Kuehner, 1967) — reproduction" in
   let info = Cmd.info "dsas_sim" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ list_cmd; run_cmd; replay_cmd; stats_cmd; query_cmd; check_cmd; chaos_cmd;
-      bench_diff_cmd; campaign_cmd ]
+    [ list_cmd; run_cmd; replay_cmd; stats_cmd; query_cmd; check_cmd; top_cmd;
+      export_cmd; chaos_cmd; bench_diff_cmd; campaign_cmd ]
 
 let () = exit (Cmd.eval main)

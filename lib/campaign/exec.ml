@@ -130,7 +130,9 @@ let run ?(jobs = 1) ?limit ?timeout_s ?(max_retries = 0) ?(retry_backoff_s = 0.)
       Unix._exit code
     | pid ->
       (* lint: allow L1 — the cell timeout bounds host wall-clock time, not simulated time *)
-      let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s in
+      let now = Unix.gettimeofday () in
+      let deadline = Option.map (fun t -> now +. t) timeout_s in
+      Store.record_start ~dir ~t:now a.at_point.Spec.id;
       Hashtbl.replace active pid
         { r_attempt = a; r_deadline = deadline; r_timed_out = false }
   in
@@ -184,7 +186,8 @@ let run ?(jobs = 1) ?limit ?timeout_s ?(max_retries = 0) ?(retry_backoff_s = 0.)
          end
          else incr failed
        | Store.Pending -> ());
-      Store.record ~dir point.Spec.id status;
+      (* lint: allow L1 — completion stamps are host wall-clock by definition *)
+      Store.record ~t:(Unix.gettimeofday ()) ~dir point.Spec.id status;
       (match on_cell with Some f -> f point status | None -> ())
   in
   let reap_blocking () =

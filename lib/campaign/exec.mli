@@ -43,7 +43,10 @@ val run :
   outcome
 (** Run every pending cell (at most [limit], in grid order) across
     [jobs] workers (default 1).  [on_cell] fires in the parent as each
-    attempt completes.  Call {!Store.init} first.
+    attempt completes.  Call {!Store.init} first.  Every spawn appends
+    a {!Store.record_start} ["running"] line and every completion is
+    stamped with the wall-clock time, so {!Store.timings} can report
+    per-cell start/elapsed.
 
     [timeout_s] bounds each attempt's wall-clock time: an overdue
     child is SIGKILLed and its failure recorded as timed out (the

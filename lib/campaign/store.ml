@@ -108,10 +108,25 @@ let init ~dir ~spec ~git =
 
 let load_spec ~dir = Spec.load (spec_path dir)
 
-let record ~dir id status =
+let append_log ~dir line =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (log_path dir)
+  in
+  output_string oc (line ^ "\n");
+  close_out oc
+
+(* [t] is an optional wall-clock stamp (Unix epoch seconds, supplied
+   by the executor — the store itself never reads a clock); older logs
+   without it replay with no timing. *)
+let stamp t = match t with Some t -> [ ("t", Obs.Json.Float t) ] | None -> []
+
+let record ?t ~dir id status =
   let line =
     match status with
-    | Done -> Obs.Json.obj [ ("cell", Obs.Json.String id); ("status", Obs.Json.String "done") ]
+    | Done ->
+      Obs.Json.obj
+        ([ ("cell", Obs.Json.String id); ("status", Obs.Json.String "done") ]
+         @ stamp t)
     | Failed f ->
       (* [retries] is always written; [timed_out] only when set (an
          int, to stay within the flat parser) — older logs without
@@ -123,15 +138,24 @@ let record ~dir id status =
            ("error", Obs.Json.String f.f_msg);
            ("retries", Obs.Json.Int f.f_retries);
          ]
-         @ if f.f_timed_out then [ ("timed_out", Obs.Json.Int 1) ] else [])
+         @ (if f.f_timed_out then [ ("timed_out", Obs.Json.Int 1) ] else [])
+         @ stamp t)
     | Pending ->
-      Obs.Json.obj [ ("cell", Obs.Json.String id); ("status", Obs.Json.String "pending") ]
+      Obs.Json.obj
+        ([ ("cell", Obs.Json.String id); ("status", Obs.Json.String "pending") ]
+         @ stamp t)
   in
-  let oc =
-    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (log_path dir)
-  in
-  output_string oc (line ^ "\n");
-  close_out oc
+  append_log ~dir line
+
+(* A "running" line marks the moment an attempt was spawned.  It never
+   changes a cell's resume status — [statuses] replays it as Pending —
+   but [timings] mines it for wall-clock start/elapsed, which is how
+   [campaign status] and [top] spot stragglers. *)
+let record_start ~dir ~t id =
+  append_log ~dir
+    (Obs.Json.obj
+       [ ("cell", Obs.Json.String id); ("status", Obs.Json.String "running");
+         ("t", Obs.Json.Float t) ])
 
 (* Last line per cell wins; unknown ids (from an older grid) are
    ignored, lines that fail to parse are skipped — the log is
@@ -164,6 +188,9 @@ let statuses ~dir spec =
                    Hashtbl.replace table id
                      (failed ~timed_out ~retries msg)
                  | Some id, Some "pending" -> Hashtbl.replace table id Pending
+                 (* a running attempt is not a completion: for resume
+                    purposes the cell is still pending *)
+                 | Some id, Some "running" -> Hashtbl.replace table id Pending
                  | _ -> ())));
   List.map
     (fun (p : Spec.point) ->
@@ -171,6 +198,54 @@ let statuses ~dir spec =
       | Some st -> (p, st)
       | None -> (p, Pending))
     (Spec.points spec)
+
+(* --- wall-clock timings --------------------------------------------- *)
+
+type timing = { t_started : float option; t_finished : float option }
+
+(* Replay the log for timestamps: a "running" line opens an attempt
+   (clearing any earlier finish), "done"/"failed" closes it, "pending"
+   re-queues the cell and forgets both.  Cells appear in first-mention
+   order; lines without a "t" field (older logs) contribute [None]. *)
+let timings ~dir =
+  let table : (string, timing) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  (match read_file (log_path dir) with
+   | Error _ -> ()
+   | Ok text ->
+     String.split_on_char '\n' text
+     |> List.iter (fun line ->
+            if String.trim line <> "" then
+              match Obs.Json.parse_obj line with
+              | None -> ()
+              | Some fields ->
+                (match
+                   (Obs.Json.mem_string fields "cell", Obs.Json.mem_string fields "status")
+                 with
+                 | Some id, Some status ->
+                   let t =
+                     match List.assoc_opt "t" fields with
+                     | Some (Obs.Json.Float f) -> Some f
+                     | Some (Obs.Json.Int n) -> Some (float_of_int n)
+                     | _ -> None
+                   in
+                   let prev =
+                     match Hashtbl.find_opt table id with
+                     | Some tm -> tm
+                     | None ->
+                       order := id :: !order;
+                       { t_started = None; t_finished = None }
+                   in
+                   let next =
+                     match status with
+                     | "running" -> { t_started = t; t_finished = None }
+                     | "done" | "failed" -> { prev with t_finished = t }
+                     | "pending" -> { t_started = None; t_finished = None }
+                     | _ -> prev
+                   in
+                   Hashtbl.replace table id next
+                 | _ -> ())));
+  List.rev_map (fun id -> (id, Hashtbl.find table id)) !order
 
 (* --- loading results ------------------------------------------------ *)
 

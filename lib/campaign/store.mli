@@ -43,14 +43,34 @@ val init : dir:string -> spec:Spec.t -> git:string option -> (unit, string) resu
 
 val load_spec : dir:string -> (Spec.t, string) result
 
-val record : dir:string -> string -> status -> unit
+val record : ?t:float -> dir:string -> string -> status -> unit
 (** Append one status line for a cell id and flush — the per-cell
-    checkpoint. *)
+    checkpoint.  [t] optionally stamps the line with a wall-clock time
+    (Unix epoch seconds; the executor supplies it — the store never
+    reads a clock) for {!timings}. *)
+
+val record_start : dir:string -> t:float -> string -> unit
+(** Append a ["running"] line marking the moment an attempt spawned.
+    Purely informational for {!timings} / [campaign status]:
+    {!statuses} replays it as [Pending], so resume semantics are
+    unchanged. *)
 
 val statuses : dir:string -> Spec.t -> (Spec.point * status) list
 (** Replay the log over the spec's grid, in grid order.  Unknown ids
     and unparseable lines are ignored; cells never mentioned are
-    [Pending]. *)
+    [Pending]; ["running"] lines replay as [Pending]. *)
+
+type timing = {
+  t_started : float option;  (** last attempt's spawn time *)
+  t_finished : float option;  (** its completion time, [None] while running *)
+}
+
+val timings : dir:string -> (string * timing) list
+(** Wall-clock bookkeeping mined from the log's ["t"] stamps, one
+    entry per cell ever mentioned, in first-mention order.  A
+    ["running"] line opens an attempt (clearing any earlier finish), a
+    done/failed line closes it, a ["pending"] line forgets both.
+    Lines from older logs without stamps contribute [None]s. *)
 
 type loaded = {
   point : Spec.point;

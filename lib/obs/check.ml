@@ -11,10 +11,13 @@ type invariant =
   | No_lost_job
   | Shard_restart_bounded
   | No_lost_shard_events
+  | Watchdog_paired
+  | Watchdog_bounded
 
 let all_invariants =
   [ Schema; Clock; Io_pair; Queue_depth; Frames; Heap; Vocab; Retry_bounded;
-    Restart_bounded; No_lost_job; Shard_restart_bounded; No_lost_shard_events ]
+    Restart_bounded; No_lost_job; Shard_restart_bounded; No_lost_shard_events;
+    Watchdog_paired; Watchdog_bounded ]
 
 (* Sanity caps for the bounded-recovery invariants.  No engine config in
    this repo goes anywhere near them; a trace that does is runaway
@@ -36,6 +39,8 @@ let invariant_id = function
   | No_lost_job -> "no-lost-job"
   | Shard_restart_bounded -> "shard-restart-bounded"
   | No_lost_shard_events -> "no-lost-shard-events"
+  | Watchdog_paired -> "watchdog-paired"
+  | Watchdog_bounded -> "watchdog-bounded"
 
 let invariant_of_id s =
   List.find_opt (fun i -> invariant_id i = s) all_invariants
@@ -84,6 +89,14 @@ let invariant_doc = function
     "no shard events are lost: per shard, shard_checkpoint (progress, events) \
      pairs are monotone non-decreasing — a recovery never rolls a shard's \
      durable progress or emitted-event count backwards"
+  | Watchdog_paired ->
+    "watchdog episodes pair up: per rule, watchdog_fire only when the rule is \
+     not already firing and watchdog_clear only answers an open fire (an \
+     episode still open at a run boundary is fine — the condition may simply \
+     persist to the end)"
+  | Watchdog_bounded ->
+    "watchdog counts are sane: snapshot counts are positive, and a clear \
+     reports at least as many violating snapshots as its fire did"
 
 type violation = { line : int; invariant : invariant; message : string }
 
@@ -126,6 +139,7 @@ type run_state = {
   shard_crashes : (int, int) Hashtbl.t;  (* shard -> highest crash attempt *)
   shard_restarts : (int, int) Hashtbl.t;  (* shard -> highest restart attempt *)
   shard_progress : (int, int * int) Hashtbl.t;  (* shard -> progress, events *)
+  watchdogs : (string, int) Hashtbl.t;  (* open fires: rule -> snapshots at fire *)
 }
 
 let fresh_run () =
@@ -143,6 +157,7 @@ let fresh_run () =
     shard_crashes = Hashtbl.create 8;
     shard_restarts = Hashtbl.create 8;
     shard_progress = Hashtbl.create 8;
+    watchdogs = Hashtbl.create 8;
   }
 
 type checker = {
@@ -486,9 +501,35 @@ let feed c ~line (ev : Event.t) =
        | Some (p, e) -> (p, e)
        | None -> (0, 0)
      in
-     Hashtbl.replace r.shard_progress shard (max progress p0, max events e0));
+     Hashtbl.replace r.shard_progress shard (max progress p0, max events e0)
+   | Event.Watchdog_fire { rule; snapshots } ->
+     check_clock c ~line ev.t_us;
+     positive c ~line [ ("snapshots", snapshots) ];
+     (match Hashtbl.find_opt r.watchdogs rule with
+      | Some _ ->
+        report_violation c ~line Watchdog_paired
+          "watchdog rule %S fired again while already firing" rule
+      | None -> ());
+     Hashtbl.replace r.watchdogs rule snapshots
+   | Event.Watchdog_clear { rule; snapshots } ->
+     check_clock c ~line ev.t_us;
+     positive c ~line [ ("snapshots", snapshots) ];
+     (match Hashtbl.find_opt r.watchdogs rule with
+      | None ->
+        report_violation c ~line Watchdog_paired
+          "watchdog_clear for rule %S answers no open fire" rule
+      | Some fired ->
+        if snapshots < fired then
+          report_violation c ~line Watchdog_bounded
+            "watchdog rule %S cleared after %d snapshot(s), fewer than the %d \
+             reported at fire"
+            rule snapshots fired;
+        Hashtbl.remove r.watchdogs rule));
   (match ev.kind with
-   | Event.Run_start _ -> ()
+   (* Watchdog events are an observer overlay, not part of any engine's
+      vocabulary — like run_start they are excluded from the profile
+      test. *)
+   | Event.Run_start _ | Event.Watchdog_fire _ | Event.Watchdog_clear _ -> ()
    | _ -> if not (List.mem name r.kinds) then r.kinds <- name :: r.kinds)
 
 let finish c ~line =
@@ -513,6 +554,25 @@ let check_events ?limit events =
   List.iteri (fun i ev -> feed c ~line:(i + 1) ev) events;
   finish c ~line:(List.length events)
 
+let feed_text c ~line trimmed =
+  match Event.of_json trimmed with
+  | Some ev -> feed c ~line ev
+  | None ->
+    report_violation c ~line Schema "not an event: %s"
+      (if String.length trimmed > 60 then String.sub trimmed 0 60 ^ "..."
+       else trimmed)
+
+let check_lines ?limit lines =
+  let c = create ?limit () in
+  let lineno = ref 0 in
+  List.iter
+    (fun line ->
+      incr lineno;
+      let trimmed = String.trim line in
+      if trimmed <> "" && trimmed.[0] <> '#' then feed_text c ~line:!lineno trimmed)
+    lines;
+  finish c ~line:!lineno
+
 let check_jsonl ?limit filename =
   match open_in filename with
   | exception Sys_error msg -> Error msg
@@ -525,14 +585,7 @@ let check_jsonl ?limit filename =
          | line ->
            incr lineno;
            let trimmed = String.trim line in
-           if trimmed <> "" && trimmed.[0] <> '#' then begin
-             match Event.of_json trimmed with
-             | Some ev -> feed c ~line:!lineno ev
-             | None ->
-               report_violation c ~line:!lineno Schema "not an event: %s"
-                 (if String.length trimmed > 60 then String.sub trimmed 0 60 ^ "..."
-                  else trimmed)
-           end;
+           if trimmed <> "" && trimmed.[0] <> '#' then feed_text c ~line:!lineno trimmed;
            loop ()
          | exception End_of_file -> ()
        in

@@ -28,6 +28,13 @@ type invariant =
           restart answers a crash already seen *)
   | No_lost_shard_events
       (** per-shard checkpoint (progress, events) never goes backwards *)
+  | Watchdog_paired
+      (** per rule, fire only when not already firing, clear only
+          answers an open fire (an episode open at a run boundary is
+          allowed) *)
+  | Watchdog_bounded
+      (** watchdog snapshot counts are positive and a clear reports at
+          least as many snapshots as its fire *)
 
 val all_invariants : invariant list
 
@@ -35,7 +42,8 @@ val invariant_id : invariant -> string
 (** Stable wire/CLI id: ["schema"], ["clock"], ["io-pair"],
     ["queue-depth"], ["frames"], ["heap"], ["vocab"],
     ["retry-bounded"], ["restart-bounded"], ["no-lost-job"],
-    ["shard-restart-bounded"], ["no-lost-shard-events"]. *)
+    ["shard-restart-bounded"], ["no-lost-shard-events"],
+    ["watchdog-paired"], ["watchdog-bounded"]. *)
 
 val invariant_of_id : string -> invariant option
 
@@ -60,6 +68,12 @@ val check_events : ?limit:int -> Event.t list -> report
 (** Validate an in-memory stream (e.g. from {!Sink.collect}).  [limit]
     caps the individually-reported violations (default 50); [counts]
     always reflects every violation. *)
+
+val check_lines : ?limit:int -> string list -> report
+(** Validate trace lines already in memory (e.g. read from stdin) —
+    the same per-line treatment as {!check_jsonl}: blank lines and
+    [#] comments skipped, unparsable lines reported as [Schema]
+    violations. *)
 
 val check_jsonl : ?limit:int -> string -> (report, string) result
 (** Validate a JSONL trace file.  [Error] only for an unreadable file;

@@ -39,6 +39,8 @@ type kind =
   | Shard_crash of { shard : int; attempt : int }
   | Shard_restart of { shard : int; attempt : int }
   | Shard_checkpoint of { shard : int; progress : int; events : int }
+  | Watchdog_fire of { rule : string; snapshots : int }
+  | Watchdog_clear of { rule : string; snapshots : int }
 
 type t = { t_us : int; kind : kind }
 
@@ -70,12 +72,15 @@ let kind_name = function
   | Shard_crash _ -> "shard_crash"
   | Shard_restart _ -> "shard_restart"
   | Shard_checkpoint _ -> "shard_checkpoint"
+  | Watchdog_fire _ -> "watchdog_fire"
+  | Watchdog_clear _ -> "watchdog_clear"
 
 let all_kind_names =
   [ "run_start"; "fault"; "cold_fault"; "eviction"; "writeback"; "tlb_hit"; "tlb_miss";
     "alloc"; "free"; "split"; "coalesce"; "compaction_move"; "segment_swap"; "job_start";
     "job_stop"; "io_start"; "io_done"; "io_retry"; "io_error"; "job_abort"; "load_shed";
-    "load_admit"; "shard_crash"; "shard_restart"; "shard_checkpoint" ]
+    "load_admit"; "shard_crash"; "shard_restart"; "shard_checkpoint"; "watchdog_fire";
+    "watchdog_clear" ]
 
 let trace_schema = "dsas-trace/1"
 
@@ -111,6 +116,8 @@ let fields_of_kind = function
   | Shard_checkpoint { shard; progress; events } ->
     [ ("shard", Json.Int shard); ("progress", Json.Int progress);
       ("events", Json.Int events) ]
+  | Watchdog_fire { rule; snapshots } | Watchdog_clear { rule; snapshots } ->
+    [ ("rule", Json.String rule); ("snapshots", Json.Int snapshots) ]
 
 let to_json t =
   Json.obj
@@ -201,6 +208,12 @@ let of_json line =
         (match (int "shard", int "progress", int "events") with
          | Some shard, Some progress, Some events ->
            Some (Shard_checkpoint { shard; progress; events })
+         | _ -> None)
+      | Some (("watchdog_fire" | "watchdog_clear") as which) ->
+        (match (Json.mem_string fields "rule", int "snapshots") with
+         | Some rule, Some snapshots ->
+           if which = "watchdog_fire" then Some (Watchdog_fire { rule; snapshots })
+           else Some (Watchdog_clear { rule; snapshots })
          | _ -> None)
       | Some _ | None -> None
     in

@@ -90,6 +90,14 @@ type kind =
       (** supervision: the shard durably captured its state after
           [progress] workload steps with [events] trace events already
           emitted; a restart replays from here *)
+  | Watchdog_fire of { rule : string; snapshots : int }
+      (** a {!Watch} rule entered violation: the condition named by
+          [rule] held for [snapshots] consecutive telemetry snapshots.
+          Watchdog events are an observer overlay — they belong to
+          every engine vocabulary and never affect engine state *)
+  | Watchdog_clear of { rule : string; snapshots : int }
+      (** the rule left violation after holding for [snapshots]
+          snapshots in total (at least the count reported at fire) *)
 
 type t = { t_us : int; kind : kind }
 
@@ -106,7 +114,7 @@ val kind_name : kind -> string
     ["job_start"], ["job_stop"], ["io_start"], ["io_done"],
     ["io_retry"], ["io_error"], ["job_abort"], ["load_shed"],
     ["load_admit"], ["shard_crash"], ["shard_restart"],
-    ["shard_checkpoint"]. *)
+    ["shard_checkpoint"], ["watchdog_fire"], ["watchdog_clear"]. *)
 
 val all_kind_names : string list
 (** Every wire name, in declaration order. *)

@@ -1,0 +1,295 @@
+(* Converters from our own artifacts to standard tooling formats.
+   Chrome trace-event JSON (Perfetto, chrome://tracing), folded stacks
+   -> self-contained flamegraph SVG, telemetry -> CSV.  Pure
+   string-to-string transformations; all file handling lives in the
+   caller. *)
+
+(* --- Chrome trace events --- *)
+
+(* The mapping (documented in DESIGN §11):
+     run segment            -> process (pid = run id)
+     shard field            -> thread (tid = shard + 1; 0 = unsharded)
+     io_start/io_done/error -> async span "b"/"e", cat "io", id = req
+     watchdog fire/clear    -> async span "b"/"e", cat "watchdog", id = rule
+     everything else        -> instant "i", scope "t", payload as args
+   Timestamps are already microseconds, Chrome's native unit. *)
+
+let json_args fields =
+  Json.Raw (Json.obj fields)
+
+let chrome_of_events events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit fields =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf (Json.obj fields)
+  in
+  (* (pid, tid) pairs already announced with metadata events *)
+  let named : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let announce ~pid ~tid =
+    if not (Hashtbl.mem named (pid, -1)) then begin
+      Hashtbl.replace named (pid, -1) ();
+      emit
+        [ ("name", Json.String "process_name"); ("ph", Json.String "M");
+          ("pid", Json.Int pid); ("tid", Json.Int 0);
+          ("args", json_args [ ("name", Json.String (Printf.sprintf "run %d" pid)) ]) ]
+    end;
+    if not (Hashtbl.mem named (pid, tid)) then begin
+      Hashtbl.replace named (pid, tid) ();
+      emit
+        [ ("name", Json.String "thread_name"); ("ph", Json.String "M");
+          ("pid", Json.Int pid); ("tid", Json.Int tid);
+          ("args",
+           json_args
+             [ ("name",
+                Json.String
+                  (if tid = 0 then "engine" else Printf.sprintf "shard %d" (tid - 1))) ]) ]
+    end
+  in
+  let run = ref 0 in
+  List.iter
+    (fun (ev : Event.t) ->
+      (match ev.kind with Event.Run_start { run = r; _ } -> run := r | _ -> ());
+      let pid = !run in
+      let fields = Event.fields_of_kind ev.kind in
+      let tid =
+        match List.assoc_opt "shard" fields with Some (Json.Int s) -> s + 1 | _ -> 0
+      in
+      announce ~pid ~tid;
+      let common =
+        [ ("pid", Json.Int pid); ("tid", Json.Int tid); ("ts", Json.Int ev.t_us) ]
+      in
+      let name = Event.kind_name ev.kind in
+      match ev.kind with
+      | Event.Io_start { req; page; io } ->
+        emit
+          (("name", Json.String (Event.io_name io))
+           :: ("cat", Json.String "io")
+           :: ("ph", Json.String "b")
+           :: ("id", Json.Int req)
+           :: common
+           @ [ ("args", json_args [ ("req", Json.Int req); ("page", Json.Int page) ]) ])
+      | Event.Io_done { req; page; io } ->
+        emit
+          (("name", Json.String (Event.io_name io))
+           :: ("cat", Json.String "io")
+           :: ("ph", Json.String "e")
+           :: ("id", Json.Int req)
+           :: common
+           @ [ ("args", json_args [ ("req", Json.Int req); ("page", Json.Int page) ]) ])
+      | Event.Io_error { req; page; io; attempts } ->
+        emit
+          (("name", Json.String (Event.io_name io))
+           :: ("cat", Json.String "io")
+           :: ("ph", Json.String "e")
+           :: ("id", Json.Int req)
+           :: common
+           @ [ ("args",
+                json_args
+                  [ ("req", Json.Int req); ("page", Json.Int page);
+                    ("error", Json.String "terminal"); ("attempts", Json.Int attempts) ]) ])
+      | Event.Watchdog_fire { rule; snapshots } ->
+        emit
+          (("name", Json.String rule)
+           :: ("cat", Json.String "watchdog")
+           :: ("ph", Json.String "b")
+           :: ("id", Json.String rule)
+           :: common
+           @ [ ("args", json_args [ ("snapshots", Json.Int snapshots) ]) ])
+      | Event.Watchdog_clear { rule; snapshots } ->
+        emit
+          (("name", Json.String rule)
+           :: ("cat", Json.String "watchdog")
+           :: ("ph", Json.String "e")
+           :: ("id", Json.String rule)
+           :: common
+           @ [ ("args", json_args [ ("snapshots", Json.Int snapshots) ]) ])
+      | _ ->
+        emit
+          (("name", Json.String name)
+           :: ("cat", Json.String "engine")
+           :: ("ph", Json.String "i")
+           :: ("s", Json.String "t")
+           :: common
+           @ (match fields with [] -> [] | _ -> [ ("args", json_args fields) ])))
+    events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+(* --- folded stacks -> flamegraph SVG --- *)
+
+type frame = {
+  fr_name : string;
+  mutable fr_self : float;
+  mutable fr_total : float;
+  mutable fr_children : frame list;  (* insertion order, reversed *)
+}
+
+let fresh_frame name = { fr_name = name; fr_self = 0.; fr_total = 0.; fr_children = [] }
+
+let rec add_stack frame path weight =
+  frame.fr_total <- frame.fr_total +. weight;
+  match path with
+  | [] -> frame.fr_self <- frame.fr_self +. weight
+  | head :: rest ->
+    let child =
+      match List.find_opt (fun f -> f.fr_name = head) frame.fr_children with
+      | Some f -> f
+      | None ->
+        let f = fresh_frame head in
+        frame.fr_children <- frame.fr_children @ [ f ];
+        f
+    in
+    add_stack child rest weight
+
+let parse_folded text =
+  let root = fresh_frame "" in
+  let ok = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then
+           match String.rindex_opt line ' ' with
+           | None -> ()
+           | Some sp ->
+             let stack = String.sub line 0 sp in
+             let weight = String.sub line (sp + 1) (String.length line - sp - 1) in
+             (match float_of_string_opt weight with
+              | Some w when w > 0. && String.trim stack <> "" ->
+                incr ok;
+                add_stack root (String.split_on_char ';' (String.trim stack)) w
+              | _ -> ()));
+  if !ok = 0 then None else Some root
+
+let svg_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Deterministic warm palette keyed on the frame name, so reruns (and
+   different machines) paint identical SVGs. *)
+let color_of name =
+  let h = ref 17 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land 0xffffff) name;
+  let r = 205 + (!h mod 50) in
+  let g = 60 + (!h / 50 mod 130) in
+  let b = 10 + (!h / 6500 mod 45) in
+  Printf.sprintf "rgb(%d,%d,%d)" r g b
+
+let rec depth_of frame =
+  List.fold_left (fun acc f -> max acc (1 + depth_of f)) 1 frame.fr_children
+
+let flamegraph ?(title = "flamegraph") text =
+  match parse_folded text with
+  | None -> Error "no valid folded-stack lines (expected \"a;b;c WEIGHT\")"
+  | Some root ->
+    let width = 1200. in
+    let row_h = 17. in
+    let top_pad = 36. in
+    let depth = depth_of root - 1 in
+    (* root itself is synthetic *)
+    let height = top_pad +. (float_of_int (max depth 1) *. row_h) +. 12. in
+    let buf = Buffer.create 8192 in
+    Printf.bprintf buf
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+       viewBox=\"0 0 %.0f %.0f\" font-family=\"monospace\" font-size=\"11\">\n"
+      width height width height;
+    Printf.bprintf buf
+      "<rect x=\"0\" y=\"0\" width=\"%.0f\" height=\"%.0f\" fill=\"#f8f8f8\"/>\n" width
+      height;
+    Printf.bprintf buf
+      "<text x=\"%.0f\" y=\"22\" text-anchor=\"middle\" font-size=\"15\">%s</text>\n"
+      (width /. 2.) (svg_escape title);
+    let total = root.fr_total in
+    (* Bottom-up: level 0 sits at the bottom of the image. *)
+    let rec paint frame ~x ~level =
+      let w = frame.fr_total /. total *. width in
+      let y = height -. 12. -. (float_of_int (level + 1) *. row_h) in
+      if w >= 0.5 && level >= 0 then begin
+        Printf.bprintf buf
+          "<g><title>%s (%.6g, %.2f%%)</title><rect x=\"%.2f\" y=\"%.2f\" \
+           width=\"%.2f\" height=\"%.2f\" fill=\"%s\" stroke=\"#f8f8f8\" \
+           stroke-width=\"0.5\"/>"
+          (svg_escape frame.fr_name) frame.fr_total
+          (frame.fr_total /. total *. 100.)
+          x y w (row_h -. 1.) (color_of frame.fr_name);
+        if w >= 40. then
+          Printf.bprintf buf "<text x=\"%.2f\" y=\"%.2f\">%s</text>" (x +. 3.)
+            (y +. 12.)
+            (svg_escape
+               (let max_chars = int_of_float (w /. 7.) in
+                if String.length frame.fr_name > max_chars then
+                  String.sub frame.fr_name 0 (max 1 (max_chars - 2)) ^ ".."
+                else frame.fr_name));
+        Buffer.add_string buf "</g>\n"
+      end;
+      let child_x = ref x in
+      List.iter
+        (fun child ->
+          paint child ~x:!child_x ~level:(level + 1);
+          child_x := !child_x +. (child.fr_total /. total *. width))
+        frame.fr_children
+    in
+    (* paint the root's children at level 0; the synthetic root is skipped *)
+    let x = ref 0. in
+    List.iter
+      (fun child ->
+        paint child ~x:!x ~level:0;
+        x := !x +. (child.fr_total /. total *. width))
+      root.fr_children;
+    Buffer.add_string buf "</svg>\n";
+    Ok (Buffer.contents buf)
+
+(* --- telemetry -> CSV --- *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let telemetry_csv snaps =
+  let module SS = Set.Make (String) in
+  let counters, gauges =
+    List.fold_left
+      (fun (cs, gs) (s : Telemetry.snapshot) ->
+        ( List.fold_left (fun acc (k, _) -> SS.add k acc) cs s.Telemetry.sn_counters,
+          List.fold_left (fun acc (k, _) -> SS.add k acc) gs s.Telemetry.sn_gauges ))
+      (SS.empty, SS.empty) snaps
+  in
+  let counter_cols = SS.elements counters in
+  let gauge_cols = SS.elements gauges in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "seq,t_us,shard";
+  List.iter (fun c -> Buffer.add_string buf ("," ^ csv_escape ("c." ^ c))) counter_cols;
+  List.iter (fun g -> Buffer.add_string buf ("," ^ csv_escape ("g." ^ g))) gauge_cols;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (s : Telemetry.snapshot) ->
+      Printf.bprintf buf "%d,%d,%s" s.Telemetry.sn_seq s.Telemetry.sn_t_us
+        (match s.Telemetry.sn_shard with Some k -> string_of_int k | None -> "");
+      List.iter
+        (fun c ->
+          Buffer.add_char buf ',';
+          match List.assoc_opt c s.Telemetry.sn_counters with
+          | Some v -> Buffer.add_string buf (string_of_int v)
+          | None -> ())
+        counter_cols;
+      List.iter
+        (fun g ->
+          Buffer.add_char buf ',';
+          match List.assoc_opt g s.Telemetry.sn_gauges with
+          | Some v -> Buffer.add_string buf (Printf.sprintf "%g" v)
+          | None -> ())
+        gauge_cols;
+      Buffer.add_char buf '\n')
+    snaps;
+  Buffer.contents buf

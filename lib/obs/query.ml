@@ -16,51 +16,60 @@ let tag numbered_events =
 
 let of_events events = tag (List.mapi (fun i ev -> (i + 1, ev)) events)
 
+let load_channel ~label ic =
+  let lineno = ref 0 in
+  let events = ref [] in
+  let bad = ref [] in
+  let bad_count = ref 0 in
+  let rec loop () =
+    match input_line ic with
+    | line ->
+      incr lineno;
+      let trimmed = String.trim line in
+      if trimmed <> "" && trimmed.[0] <> '#' then begin
+        match Event.of_json trimmed with
+        | Some ev -> events := (!lineno, ev) :: !events
+        | None ->
+          incr bad_count;
+          if !bad_count <= 5 then
+            bad :=
+              Printf.sprintf "line %d: not an event: %S" !lineno
+                (if String.length trimmed > 60 then
+                   String.sub trimmed 0 60 ^ "..."
+                 else trimmed)
+              :: !bad
+      end;
+      loop ()
+    | exception End_of_file -> ()
+  in
+  loop ();
+  if !bad_count > 0 then
+    Error
+      (Printf.sprintf "%s: %d malformed line(s)\n  %s%s" label !bad_count
+         (String.concat "\n  " (List.rev !bad))
+         (if !bad_count > 5 then
+            Printf.sprintf "\n  (... %d more not shown)" (!bad_count - 5)
+          else ""))
+  else if !events = [] then Error (Printf.sprintf "%s: contains no events" label)
+  else Ok (tag (List.rev !events))
+
 let load filename =
-  match open_in filename with
-  | exception Sys_error msg -> Error msg
-  | ic ->
-    let lineno = ref 0 in
-    let events = ref [] in
-    let bad = ref [] in
-    let bad_count = ref 0 in
-    (try
-       let rec loop () =
-         match input_line ic with
-         | line ->
-           incr lineno;
-           let trimmed = String.trim line in
-           if trimmed <> "" && trimmed.[0] <> '#' then begin
-             match Event.of_json trimmed with
-             | Some ev -> events := (!lineno, ev) :: !events
-             | None ->
-               incr bad_count;
-               if !bad_count <= 5 then
-                 bad :=
-                   Printf.sprintf "line %d: not an event: %S" !lineno
-                     (if String.length trimmed > 60 then
-                        String.sub trimmed 0 60 ^ "..."
-                      else trimmed)
-                   :: !bad
-           end;
-           loop ()
-         | exception End_of_file -> ()
-       in
-       loop ();
-       close_in ic
-     with e ->
-       close_in_noerr ic;
-       raise e);
-    if !bad_count > 0 then
-      Error
-        (Printf.sprintf "%s: %d malformed line(s)\n  %s%s" filename !bad_count
-           (String.concat "\n  " (List.rev !bad))
-           (if !bad_count > 5 then
-              Printf.sprintf "\n  (... %d more not shown)" (!bad_count - 5)
-            else ""))
-    else if !events = [] then
-      Error (Printf.sprintf "%s: contains no events" filename)
-    else Ok (tag (List.rev !events))
+  (* "-" reads the trace from stdin, so checks and queries can sit at
+     the end of a pipe without a temp file.  Stdin is not ours to
+     close. *)
+  if filename = "-" then load_channel ~label:"<stdin>" stdin
+  else
+    match open_in filename with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      let result =
+        try load_channel ~label:filename ic
+        with e ->
+          close_in_noerr ic;
+          raise e
+      in
+      close_in ic;
+      result
 
 let length t = List.length t
 

@@ -27,9 +27,10 @@ val of_events : Event.t list -> t
     the list. *)
 
 val load : string -> (t, string) result
-(** Read a JSONL trace file.  [Error] on an unreadable file, on any
-    malformed line (up to five are quoted in the diagnostic), and on a
-    trace with zero events. *)
+(** Read a JSONL trace file; the name ["-"] reads from stdin instead
+    (left open).  [Error] on an unreadable file, on any malformed line
+    (up to five are quoted in the diagnostic), and on a trace with
+    zero events. *)
 
 val length : t -> int
 

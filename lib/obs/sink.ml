@@ -54,8 +54,16 @@ let rec emit t ev =
     emit b ev
   | Shift (offset, inner) -> emit inner { ev with Event.t_us = ev.Event.t_us + offset }
   | Sample s ->
-    s.count <- s.count + 1;
-    if s.count mod s.every = 0 then s.probe ev
+    (* Segment boundaries always pass: a sampled trace with its
+       run_start markers dropped cannot be scoped by Check or Query.
+       Boundaries do not advance the sampling counter, so the kept
+       subsequence of ordinary events is independent of how many
+       segments the stream was spliced from. *)
+    (match ev.Event.kind with
+     | Event.Run_start _ -> s.probe ev
+     | _ ->
+       s.count <- s.count + 1;
+       if s.count mod s.every = 0 then s.probe ev)
 
 let segment ?seed ?config ~run ~offset inner =
   match inner with

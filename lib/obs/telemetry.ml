@@ -1,0 +1,321 @@
+let schema = "dsas-telemetry/1"
+
+type snapshot = {
+  sn_seq : int;
+  sn_t_us : int;
+  sn_shard : int option;
+  sn_counters : (string * int) list;
+  sn_gauges : (string * float) list;
+}
+
+type t = {
+  every_us : int;
+  shard : int option;
+  ring : snapshot option array;
+  mutable next : int;
+  mutable seq : int;
+  mutable engine_us : int;  (* running max of non-io event times *)
+  mutable due_us : int;
+  mutable mirror : out_channel option;
+  mutable on_capture : snapshot -> unit;
+  host_every_s : float option;
+  now : unit -> float;
+  mutable host_due : float;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) ?shard ?host_every_s ?now ~every_us () =
+  if every_us < 1 then invalid_arg "Telemetry.create: every_us must be positive";
+  if capacity < 1 then invalid_arg "Telemetry.create: capacity must be positive";
+  (match host_every_s with
+   | Some s when s <= 0. -> invalid_arg "Telemetry.create: host_every_s must be positive"
+   | _ -> ());
+  (* The host-time cadence only exists when the caller injects a clock:
+     obs itself never reads wall time, so deterministic users simply
+     omit [now] and get pure engine-time behaviour. *)
+  let now = match now with Some f -> f | None -> fun () -> 0. in
+  {
+    every_us;
+    shard;
+    ring = Array.make capacity None;
+    next = 0;
+    seq = 0;
+    engine_us = 0;
+    due_us = every_us;
+    mirror = None;
+    on_capture = ignore;
+    host_every_s;
+    now;
+    host_due =
+      (match host_every_s with Some s -> now () +. s | None -> infinity);
+  }
+
+let every_us t = t.every_us
+
+let shard t = t.shard
+
+let mirror t oc = t.mirror <- Some oc
+
+let on_capture t f = t.on_capture <- f
+
+(* --- wire format --- *)
+
+let snapshot_to_json s =
+  Json.obj
+    (("schema", Json.String schema)
+     :: ("seq", Json.Int s.sn_seq)
+     :: ("t_us", Json.Int s.sn_t_us)
+     :: ((match s.sn_shard with Some k -> [ ("shard", Json.Int k) ] | None -> [])
+         @ List.map (fun (name, v) -> ("c." ^ name, Json.Int v)) s.sn_counters
+         @ List.map (fun (name, v) -> ("g." ^ name, Json.Float v)) s.sn_gauges))
+
+let snapshot_of_json line =
+  match Json.parse_obj line with
+  | None -> None
+  | Some fields ->
+    (match
+       (Json.mem_string fields "schema", Json.mem_int fields "seq",
+        Json.mem_int fields "t_us")
+     with
+     | Some sc, Some sn_seq, Some sn_t_us when sc = schema && sn_seq >= 0 && sn_t_us >= 0
+       ->
+       let prefixed prefix =
+         List.filter_map
+           (fun (k, v) ->
+             let n = String.length prefix in
+             if String.length k > n && String.sub k 0 n = prefix then
+               Some (String.sub k n (String.length k - n), v)
+             else None)
+           fields
+       in
+       let sn_counters =
+         List.filter_map
+           (fun (k, v) -> match v with Json.Int n -> Some (k, n) | _ -> None)
+           (prefixed "c.")
+       in
+       let sn_gauges =
+         List.filter_map
+           (fun (k, v) ->
+             match v with
+             | Json.Float f -> Some (k, f)
+             | Json.Int n -> Some (k, float_of_int n)
+             | _ -> None)
+           (prefixed "g.")
+       in
+       Some { sn_seq; sn_t_us; sn_shard = Json.mem_int fields "shard"; sn_counters; sn_gauges }
+     | _ -> None)
+
+(* --- capture --- *)
+
+let capture t ~t_us reg =
+  let reg_snap = Registry.snapshot reg in
+  let s =
+    {
+      sn_seq = t.seq;
+      sn_t_us = t_us;
+      sn_shard = t.shard;
+      sn_counters = reg_snap.Registry.counters;
+      sn_gauges = reg_snap.Registry.gauges;
+    }
+  in
+  t.seq <- t.seq + 1;
+  t.ring.(t.next) <- Some s;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  (match t.mirror with
+   | Some oc ->
+     output_string oc (snapshot_to_json s);
+     output_char oc '\n';
+     (* Flush per snapshot: the whole point of the mirror is that a
+        tailing [dsas_sim top] sees progress while the run is live. *)
+     flush oc
+   | None -> ());
+  t.on_capture s;
+  s
+
+let observe t ~t_us reg =
+  if t_us > t.engine_us then t.engine_us <- t_us;
+  if t.engine_us >= t.due_us then begin
+    let (_ : snapshot) = capture t ~t_us:t.engine_us reg in
+    t.due_us <- ((t.engine_us / t.every_us) + 1) * t.every_us
+  end
+  else
+    match t.host_every_s with
+    | None -> ()
+    | Some every_s ->
+      let h = t.now () in
+      if h >= t.host_due then begin
+        let (_ : snapshot) = capture t ~t_us:t.engine_us reg in
+        t.host_due <- h +. every_s
+      end
+
+let snapshots t =
+  let cap = Array.length t.ring in
+  let acc = ref [] in
+  for i = cap - 1 downto 0 do
+    match t.ring.((t.next + i) mod cap) with
+    | Some s -> acc := s :: !acc
+    | None -> ()
+  done;
+  Array.of_list !acc
+
+let captured t = t.seq
+
+(* --- event-stream tap --- *)
+
+let events_sink t reg =
+  let inflight = ref 0 in
+  let io_gauge = Registry.gauge reg "io.inflight" in
+  let t_gauge = Registry.gauge reg "t_last_us" in
+  let counters : (string, Registry.counter) Hashtbl.t = Hashtbl.create 31 in
+  let counter_for name =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = Registry.counter reg ("ev." ^ name) in
+      Hashtbl.add counters name c;
+      c
+  in
+  Sink.collect (fun (ev : Event.t) ->
+      Registry.incr (counter_for (Event.kind_name ev.kind));
+      match ev.kind with
+      | Event.Io_start _ ->
+        incr inflight;
+        Registry.set io_gauge (float_of_int !inflight)
+      | Event.Io_done _ | Event.Io_error _ ->
+        (* max 0: a spliced or truncated stream may open before our tap *)
+        inflight := max 0 (!inflight - 1);
+        Registry.set io_gauge (float_of_int !inflight)
+      | Event.Io_retry _ ->
+        (* io events carry planned device times that run ahead of the
+           engine clock; none of them advance telemetry's engine time *)
+        ()
+      | _ ->
+        Registry.set t_gauge (float_of_int ev.t_us);
+        observe t ~t_us:ev.t_us reg)
+
+let of_events ?shard ~every_us events =
+  let reg = Registry.create () in
+  let ch = create ~capacity:1 ?shard ~every_us () in
+  let acc = ref [] in
+  on_capture ch (fun s -> acc := s :: !acc);
+  let sink = events_sink ch reg in
+  Array.iter (fun ev -> Sink.emit sink ev) events;
+  Array.of_list (List.rev !acc)
+
+(* --- deterministic merge --- *)
+
+let merge streams =
+  let tagged =
+    List.concat
+      (List.mapi
+         (fun i arr ->
+           Array.to_list
+             (Array.map
+                (fun s ->
+                  ((match s.sn_shard with Some k -> k | None -> i), s))
+                arr))
+         (Array.to_list streams))
+  in
+  let ordered =
+    List.stable_sort
+      (fun (ka, a) (kb, b) ->
+        compare (a.sn_t_us, ka, a.sn_seq) (b.sn_t_us, kb, b.sn_seq))
+      tagged
+  in
+  Array.of_list (List.map snd ordered)
+
+(* --- reading back --- *)
+
+let parse_lines lines =
+  let snaps = ref [] in
+  let bad = ref [] in
+  let bad_count = ref 0 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let trimmed = String.trim line in
+      if trimmed <> "" && trimmed.[0] <> '#' then
+        match snapshot_of_json trimmed with
+        | Some s -> snaps := s :: !snaps
+        | None ->
+          incr bad_count;
+          if !bad_count <= 5 then
+            bad :=
+              Printf.sprintf "line %d: not a telemetry snapshot: %S" lineno
+                (if String.length trimmed > 60 then String.sub trimmed 0 60 ^ "..."
+                 else trimmed)
+              :: !bad)
+    lines;
+  if !bad_count > 0 then
+    Error
+      (Printf.sprintf "%d malformed line(s)\n  %s%s" !bad_count
+         (String.concat "\n  " (List.rev !bad))
+         (if !bad_count > 5 then
+            Printf.sprintf "\n  (... %d more not shown)" (!bad_count - 5)
+          else ""))
+  else if !snaps = [] then Error "contains no telemetry snapshots"
+  else Ok (List.rev !snaps)
+
+let read_lines ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  List.rev !lines
+
+let load filename =
+  if filename = "-" then
+    match parse_lines (read_lines stdin) with
+    | Ok snaps -> Ok snaps
+    | Error msg -> Error (Printf.sprintf "<stdin>: %s" msg)
+  else
+    match open_in filename with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      let lines =
+        try
+          let ls = read_lines ic in
+          close_in ic;
+          ls
+        with e ->
+          close_in_noerr ic;
+          raise e
+      in
+      (match parse_lines lines with
+       | Ok snaps -> Ok snaps
+       | Error msg -> Error (Printf.sprintf "%s: %s" filename msg))
+
+(* --- stream validation --- *)
+
+let check snaps =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let by_shard : (int option, snapshot) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      (match Hashtbl.find_opt by_shard s.sn_shard with
+       | None ->
+         if s.sn_seq <> 0 then
+           problem "%s: first snapshot has seq %d, expected 0"
+             (match s.sn_shard with
+              | Some k -> Printf.sprintf "shard %d" k
+              | None -> "stream")
+             s.sn_seq
+       | Some prev ->
+         let who =
+           match s.sn_shard with
+           | Some k -> Printf.sprintf "shard %d" k
+           | None -> "stream"
+         in
+         if s.sn_seq <> prev.sn_seq + 1 then
+           problem "%s: seq %d follows seq %d (must be dense and increasing)" who
+             s.sn_seq prev.sn_seq;
+         if s.sn_t_us < prev.sn_t_us then
+           problem "%s: t_us %d after t_us %d (must be monotone)" who s.sn_t_us
+             prev.sn_t_us);
+      Hashtbl.replace by_shard s.sn_shard s)
+    snaps;
+  List.rev !problems

@@ -1,0 +1,118 @@
+(** Live telemetry: periodic snapshots of a metrics registry.
+
+    Traces and metrics files are post-mortem artifacts; telemetry is
+    the live view.  A channel samples a {!Registry} into a bounded ring
+    of timestamped {!snapshot}s on an engine-time cadence (every
+    [every_us] simulated microseconds), optionally mirrored as
+    append-only JSON lines (schema {!schema}) that [dsas_sim top] can
+    tail while the run is still going.
+
+    Determinism contract: cadence is driven by {e engine} time — the
+    running max of non-io event timestamps, the same clock
+    {!Merge} keys on — so the snapshot sequence is a pure function of
+    the event stream.  Per-shard snapshot streams taken on different
+    domains merge ({!merge}) into the same sequence at every
+    [--domains] width, and {!of_events} recomputes the identical
+    sequence from a recovered trace.  A host-time cadence exists only
+    when the caller injects a wall clock; the library never reads one
+    (lint rule L1). *)
+
+val schema : string
+(** ["dsas-telemetry/1"] — stamped on every snapshot line. *)
+
+type snapshot = {
+  sn_seq : int;  (** dense per-channel sequence number, from 0 *)
+  sn_t_us : int;  (** engine time at capture *)
+  sn_shard : int option;  (** producing shard, [None] for whole-run channels *)
+  sn_counters : (string * int) list;  (** sorted by name, as in {!Registry.snapshot} *)
+  sn_gauges : (string * float) list;
+}
+
+type t
+(** A telemetry channel: cadence state plus the snapshot ring. *)
+
+val create :
+  ?capacity:int ->
+  ?shard:int ->
+  ?host_every_s:float ->
+  ?now:(unit -> float) ->
+  every_us:int ->
+  unit ->
+  t
+(** A channel capturing every [every_us] engine-µs, keeping the last
+    [capacity] (default 256) snapshots in memory.  [host_every_s] adds
+    a host-time fallback cadence — a capture at least every so many
+    wall seconds even when engine time stalls — but only takes effect
+    when [now] (a wall-clock reading, e.g. [Unix.gettimeofday]) is
+    injected by the caller; deterministic users omit both. *)
+
+val every_us : t -> int
+
+val shard : t -> int option
+
+val mirror : t -> out_channel -> unit
+(** Also append every subsequent snapshot as one JSON line to the
+    channel, flushing each line so live tailers see it immediately.
+    The caller owns the [out_channel]. *)
+
+val on_capture : t -> (snapshot -> unit) -> unit
+(** Callback invoked after each capture — the hook watchdogs
+    ({!Watch}) attach to. *)
+
+val observe : t -> t_us:int -> Registry.t -> unit
+(** Advance engine time to [max engine_us t_us] and capture a snapshot
+    if the cadence deadline passed.  At most one capture per call: when
+    engine time jumps across several [every_us] intervals the skipped
+    deadlines collapse into the single capture and the next deadline is
+    the first multiple of [every_us] past the new engine time.  Cheap
+    when no capture is due: two comparisons. *)
+
+val capture : t -> t_us:int -> Registry.t -> snapshot
+(** Unconditional capture, bypassing the cadence (used at run end and
+    by external paced callers such as the campaign parent). *)
+
+val snapshots : t -> snapshot array
+(** Snapshots still held by the ring, oldest first. *)
+
+val captured : t -> int
+(** Total snapshots ever captured (>= length of {!snapshots}). *)
+
+val events_sink : t -> Registry.t -> Sink.t
+(** A self-contained tap: fold every event into [reg] (per-kind
+    ["ev.<kind>"] counters, ["io.inflight"] and ["t_last_us"] gauges)
+    and drive the channel's cadence from non-io event times.  Tee it
+    with a recording sink to get telemetry alongside a trace. *)
+
+val of_events : ?shard:int -> every_us:int -> Event.t array -> snapshot array
+(** The full snapshot sequence a fresh channel tapping [events] would
+    capture — a pure function of the event array, which is how
+    per-shard telemetry stays identical whether a shard ran clean or
+    was crash-recovered by the supervisor. *)
+
+val merge : snapshot array array -> snapshot array
+(** Deterministic k-way merge of per-shard snapshot streams, ordered
+    by [(t_us, shard, seq)] (a snapshot with no shard tag uses its
+    stream index).  Independent of arrival order, hence of [--domains]
+    width. *)
+
+val snapshot_to_json : snapshot -> string
+(** One flat JSON line: [{"schema":"dsas-telemetry/1","seq":..,
+    "t_us":..,"shard":..,"c.<counter>":..,"g.<gauge>":..}]; the
+    ["shard"] field is omitted for whole-run channels. *)
+
+val snapshot_of_json : string -> snapshot option
+(** Inverse of {!snapshot_to_json}; [None] on malformed input or a
+    wrong/missing schema tag. *)
+
+val parse_lines : string list -> (snapshot list, string) result
+(** Strict parse of mirror-file lines (blank and [#] comment lines
+    skipped): any malformed line, or an empty stream, is an error. *)
+
+val load : string -> (snapshot list, string) result
+(** {!parse_lines} over a file, or over stdin when the name is
+    ["-"]. *)
+
+val check : snapshot list -> string list
+(** Structural problems in a snapshot stream, in input order: per
+    producer (shard tag), sequence numbers must be dense and increasing
+    from 0 and timestamps monotone non-decreasing.  Empty list = ok. *)

@@ -34,6 +34,50 @@ let buffer_sink ?(init = [||]) () =
 
 let noop_tick ~clock_us:_ ~snapshot:_ = ()
 
+(* Per-shard telemetry is derived from the buffered event stream
+   (Obs.Telemetry.of_events) after the shard body finishes, not
+   captured live inside the engine: a pure function of the events is
+   automatically bit-identical across [domains] widths and across
+   crash-recovered supervised runs.  Computed on the shard's own
+   domain for plain runs. *)
+let shard_telemetry ~telemetry ~shard events =
+  match telemetry with
+  | Some every_us -> Obs.Telemetry.of_events ~shard ~every_us events
+  | None -> [||]
+
+(* Evaluate watchdog rules over each shard's snapshot stream; the
+   first escalating fire (by shard index, then snapshot order) becomes
+   the run's failure, mirroring the supervisor's own escalation
+   order. *)
+let watchdog_failure rules telemetry_streams =
+  match rules with
+  | [] -> None
+  | rules ->
+    let fail = ref None in
+    Array.iteri
+      (fun shard snaps ->
+        if !fail = None then begin
+          let w = Obs.Watch.create rules in
+          Array.iter
+            (fun (sn : Obs.Telemetry.snapshot) ->
+              List.iter
+                (fun alert ->
+                  match alert with
+                  | Obs.Watch.Fire { rule; _ }
+                    when rule.Obs.Watch.escalate && !fail = None ->
+                    fail :=
+                      Some
+                        (Resilience.Failure.Watchdog_tripped
+                           { rule = rule.Obs.Watch.name;
+                             shard;
+                             at_us = sn.Obs.Telemetry.sn_t_us })
+                  | Obs.Watch.Fire _ | Obs.Watch.Clear _ -> ())
+                (Obs.Watch.feed w sn))
+            snaps
+        end)
+      telemetry_streams;
+    !fail
+
 (* {2 Fixed-size allocation} *)
 
 type alloc_config = {
@@ -68,6 +112,7 @@ type shard_alloc = {
 type alloc_report = {
   ar_shards : shard_alloc array;
   ar_events : int;
+  ar_telemetry : Obs.Telemetry.snapshot array;
 }
 
 (* Rebuild the arena and live set from a checkpoint payload
@@ -175,15 +220,22 @@ let alloc_shard_run cfg ~traced ~tick ~resume shard =
 let alloc_shard cfg ~traced shard =
   alloc_shard_run cfg ~traced ~tick:noop_tick ~resume:None shard
 
-let run_alloc ?(obs = Obs.Sink.null) ~domains cfg =
+let run_alloc ?(obs = Obs.Sink.null) ?telemetry ~domains cfg =
   if domains < 1 then invalid_arg "Sharded.run_alloc: domains < 1";
-  let traced = Obs.Sink.is_active obs in
+  (match telemetry with
+   | Some e when e < 1 -> invalid_arg "Sharded.run_alloc: telemetry cadence < 1"
+   | _ -> ());
+  let traced = Obs.Sink.is_active obs || telemetry <> None in
   let per_shard =
-    Pool.map_shards ~domains ~shards:cfg.a_shards (alloc_shard cfg ~traced)
+    Pool.map_shards ~domains ~shards:cfg.a_shards (fun shard ->
+        let report, events = alloc_shard cfg ~traced shard in
+        (report, events, shard_telemetry ~telemetry ~shard events))
   in
-  let streams = Array.map snd per_shard in
+  let streams = Array.map (fun (_, ev, _) -> ev) per_shard in
   let emitted = Obs.Merge.emit ~into:obs streams in
-  { ar_shards = Array.map fst per_shard; ar_events = emitted }
+  { ar_shards = Array.map (fun (r, _, _) -> r) per_shard;
+    ar_events = emitted;
+    ar_telemetry = Obs.Telemetry.merge (Array.map (fun (_, _, t) -> t) per_shard) }
 
 (* {2 Demand paging} *)
 
@@ -223,6 +275,7 @@ type shard_paging = {
 type paging_report = {
   pr_shards : shard_paging array;
   pr_events : int;
+  pr_telemetry : Obs.Telemetry.snapshot array;
 }
 
 (* Relabel a shard-local event into the shard's global ranges: pages
@@ -375,15 +428,22 @@ let paging_shard_run cfg ~traced ~counting ~tick ~resume shard =
 let paging_shard cfg ~traced shard =
   paging_shard_run cfg ~traced ~counting:false ~tick:noop_tick ~resume:None shard
 
-let run_paging ?(obs = Obs.Sink.null) ~domains cfg =
+let run_paging ?(obs = Obs.Sink.null) ?telemetry ~domains cfg =
   if domains < 1 then invalid_arg "Sharded.run_paging: domains < 1";
-  let traced = Obs.Sink.is_active obs in
+  (match telemetry with
+   | Some e when e < 1 -> invalid_arg "Sharded.run_paging: telemetry cadence < 1"
+   | _ -> ());
+  let traced = Obs.Sink.is_active obs || telemetry <> None in
   let per_shard =
-    Pool.map_shards ~domains ~shards:cfg.p_shards (paging_shard cfg ~traced)
+    Pool.map_shards ~domains ~shards:cfg.p_shards (fun shard ->
+        let report, events = paging_shard cfg ~traced shard in
+        (report, events, shard_telemetry ~telemetry ~shard events))
   in
-  let streams = Array.map snd per_shard in
+  let streams = Array.map (fun (_, ev, _) -> ev) per_shard in
   let emitted = Obs.Merge.emit ~into:obs streams in
-  { pr_shards = Array.map fst per_shard; pr_events = emitted }
+  { pr_shards = Array.map (fun (r, _, _) -> r) per_shard;
+    pr_events = emitted;
+    pr_telemetry = Obs.Telemetry.merge (Array.map (fun (_, _, t) -> t) per_shard) }
 
 (* {2 Supervised execution} *)
 
@@ -420,10 +480,12 @@ let run_supervised ~policy ~kills ~checkpoint_every ~checkpoint_dir ~domains
     Ok (Array.map (function Ok v -> v | Error _ -> assert false) per)
 
 let run_alloc_supervised ?(obs = Obs.Sink.null) ?(supervision = Obs.Sink.null)
-    ?(policy = Supervisor.policy ()) ?(kills = []) ?(checkpoint_every = 512)
-    ?checkpoint_dir ~domains cfg =
+    ?telemetry ?(watch = []) ?(policy = Supervisor.policy ()) ?(kills = [])
+    ?(checkpoint_every = 512) ?checkpoint_dir ~domains cfg =
   if domains < 1 then invalid_arg "Sharded.run_alloc_supervised: domains < 1";
-  let traced = Obs.Sink.is_active obs in
+  if watch <> [] && telemetry = None then
+    invalid_arg "Sharded.run_alloc_supervised: watch rules need a telemetry cadence";
+  let traced = Obs.Sink.is_active obs || telemetry <> None in
   match
     run_supervised ~policy ~kills ~checkpoint_every ~checkpoint_dir ~domains
       ~shards:cfg.a_shards
@@ -433,21 +495,28 @@ let run_alloc_supervised ?(obs = Obs.Sink.null) ?(supervision = Obs.Sink.null)
   | Error _ as e -> e
   | Ok per ->
     let streams = Array.map (fun ((_, ev), _) -> ev) per in
-    let emitted = Obs.Merge.emit ~into:obs streams in
-    let sup_streams =
-      Array.map (fun (_, o) -> o.Supervisor.o_events) per
-    in
-    let (_ : int) = Obs.Merge.emit ~into:supervision sup_streams in
-    Ok
-      ( { ar_shards = Array.map (fun ((r, _), _) -> r) per;
-          ar_events = emitted },
-        Array.map snd per )
+    let tele = Array.mapi (fun shard ev -> shard_telemetry ~telemetry ~shard ev) streams in
+    (match watchdog_failure watch tele with
+     | Some f -> Error f
+     | None ->
+       let emitted = Obs.Merge.emit ~into:obs streams in
+       let sup_streams =
+         Array.map (fun (_, o) -> o.Supervisor.o_events) per
+       in
+       let (_ : int) = Obs.Merge.emit ~into:supervision sup_streams in
+       Ok
+         ( { ar_shards = Array.map (fun ((r, _), _) -> r) per;
+             ar_events = emitted;
+             ar_telemetry = Obs.Telemetry.merge tele },
+           Array.map snd per ))
 
 let run_paging_supervised ?(obs = Obs.Sink.null) ?(supervision = Obs.Sink.null)
-    ?(policy = Supervisor.policy ()) ?(kills = []) ?(checkpoint_every = 512)
-    ?checkpoint_dir ~domains cfg =
+    ?telemetry ?(watch = []) ?(policy = Supervisor.policy ()) ?(kills = [])
+    ?(checkpoint_every = 512) ?checkpoint_dir ~domains cfg =
   if domains < 1 then invalid_arg "Sharded.run_paging_supervised: domains < 1";
-  let traced = Obs.Sink.is_active obs in
+  if watch <> [] && telemetry = None then
+    invalid_arg "Sharded.run_paging_supervised: watch rules need a telemetry cadence";
+  let traced = Obs.Sink.is_active obs || telemetry <> None in
   match
     run_supervised ~policy ~kills ~checkpoint_every ~checkpoint_dir ~domains
       ~shards:cfg.p_shards
@@ -457,12 +526,17 @@ let run_paging_supervised ?(obs = Obs.Sink.null) ?(supervision = Obs.Sink.null)
   | Error _ as e -> e
   | Ok per ->
     let streams = Array.map (fun ((_, ev), _) -> ev) per in
-    let emitted = Obs.Merge.emit ~into:obs streams in
-    let sup_streams =
-      Array.map (fun (_, o) -> o.Supervisor.o_events) per
-    in
-    let (_ : int) = Obs.Merge.emit ~into:supervision sup_streams in
-    Ok
-      ( { pr_shards = Array.map (fun ((r, _), _) -> r) per;
-          pr_events = emitted },
-        Array.map snd per )
+    let tele = Array.mapi (fun shard ev -> shard_telemetry ~telemetry ~shard ev) streams in
+    (match watchdog_failure watch tele with
+     | Some f -> Error f
+     | None ->
+       let emitted = Obs.Merge.emit ~into:obs streams in
+       let sup_streams =
+         Array.map (fun (_, o) -> o.Supervisor.o_events) per
+       in
+       let (_ : int) = Obs.Merge.emit ~into:supervision sup_streams in
+       Ok
+         ( { pr_shards = Array.map (fun ((r, _), _) -> r) per;
+             pr_events = emitted;
+             pr_telemetry = Obs.Telemetry.merge tele },
+           Array.map snd per ))

@@ -65,15 +65,26 @@ type shard_alloc = {
 
 type alloc_report = {
   ar_shards : shard_alloc array;  (** in shard order *)
-  ar_events : int;  (** merged events emitted (0 when untraced) *)
+  ar_events : int;
+      (** events in the merged stream (0 when neither trace nor
+          telemetry was requested) *)
+  ar_telemetry : Obs.Telemetry.snapshot array;
+      (** merged per-shard telemetry ({!Obs.Telemetry.merge} order);
+          [[||]] when no cadence was requested *)
 }
 
-val run_alloc : ?obs:Obs.Sink.t -> domains:int -> alloc_config -> alloc_report
+val run_alloc :
+  ?obs:Obs.Sink.t -> ?telemetry:int -> domains:int -> alloc_config -> alloc_report
 (** Run the workload: each shard drives a private {!Fixed_alloc} over
     its arena with a mixed alloc/free stream (holding roughly half the
     arena live), buffering [Alloc]/[Free] events when [obs] is active.
-    The report and the merged stream are bit-identical for any
-    [domains >= 1].  Raises [Invalid_argument] if [domains < 1]. *)
+    [telemetry] (a cadence in simulated µs) additionally derives each
+    shard's {!Obs.Telemetry} snapshot stream from its buffered events
+    — on the shard's own domain — and merges them into
+    [ar_telemetry]; it forces event buffering even when [obs] is
+    inactive.  The report, the merged stream, and the merged telemetry
+    are bit-identical for any [domains >= 1].  Raises
+    [Invalid_argument] if [domains < 1]. *)
 
 (** {2 Demand paging} *)
 
@@ -114,14 +125,16 @@ type shard_paging = {
 type paging_report = {
   pr_shards : shard_paging array;
   pr_events : int;
+  pr_telemetry : Obs.Telemetry.snapshot array;
 }
 
-val run_paging : ?obs:Obs.Sink.t -> domains:int -> paging_config -> paging_report
+val run_paging :
+  ?obs:Obs.Sink.t -> ?telemetry:int -> domains:int -> paging_config -> paging_report
 (** Each shard builds a fresh {!Paging.Spec.build} engine on its own
     clock and drives it over a phase-structured reference trace derived
     from the shard's RNG stream.  Events are relabelled into the
     shard's global page and request-id ranges at buffering time.  Same
-    determinism contract as {!run_alloc}. *)
+    determinism and [telemetry] contract as {!run_alloc}. *)
 
 (** {2 Supervised execution}
 
@@ -147,11 +160,24 @@ val run_paging : ?obs:Obs.Sink.t -> domains:int -> paging_config -> paging_repor
 
     [checkpoint_every] counts workload steps (default 512; 0 disables
     checkpointing).  With [checkpoint_dir], checkpoints are mirrored
-    to [DIR/shard<N>.ckpt] with atomic tmp+rename writes. *)
+    to [DIR/shard<N>.ckpt] with atomic tmp+rename writes.
+
+    [telemetry] behaves as in {!run_alloc}; because the snapshots are
+    derived from the recovered event streams after the join, a
+    crash-recovered run's telemetry is bit-identical to the fault-free
+    run's by construction.  [watch] (requires [telemetry]) evaluates
+    {!Obs.Watch} rules over every shard's snapshot stream after the
+    join; the first escalating fire — lowest shard index, then
+    snapshot order — aborts the run with
+    [Resilience.Failure.Watchdog_tripped] before anything is emitted
+    to [obs], the same no-partial-emission discipline as crash
+    escalation. *)
 
 val run_alloc_supervised :
   ?obs:Obs.Sink.t ->
   ?supervision:Obs.Sink.t ->
+  ?telemetry:int ->
+  ?watch:Obs.Watch.rule list ->
   ?policy:Supervisor.policy ->
   ?kills:Supervisor.kill list ->
   ?checkpoint_every:int ->
@@ -163,6 +189,8 @@ val run_alloc_supervised :
 val run_paging_supervised :
   ?obs:Obs.Sink.t ->
   ?supervision:Obs.Sink.t ->
+  ?telemetry:int ->
+  ?watch:Obs.Watch.rule list ->
   ?policy:Supervisor.policy ->
   ?kills:Supervisor.kill list ->
   ?checkpoint_every:int ->

@@ -4,6 +4,7 @@ type t =
   | Job_failed of { job : int; restarts : int; at_us : int }
   | Shard_crashed of { shard : int; restarts : int; at_us : int }
   | Shard_stalled of { shard : int; restarts : int; at_us : int }
+  | Watchdog_tripped of { rule : string; shard : int; at_us : int }
 
 let of_device (f : Device.Model.failure) =
   Io_failed { page = f.page; io = f.kind; attempts = f.attempts; at_us = f.at_us }
@@ -11,6 +12,7 @@ let of_device (f : Device.Model.failure) =
 let at_us = function
   | Io_failed { at_us; _ } | Swap_in_failed { at_us; _ } | Job_failed { at_us; _ }
   | Shard_crashed { at_us; _ } | Shard_stalled { at_us; _ }
+  | Watchdog_tripped { at_us; _ }
     -> at_us
 
 let to_string = function
@@ -26,3 +28,5 @@ let to_string = function
     Printf.sprintf "shard %d crashed at %d us after %d restart(s)" shard at_us restarts
   | Shard_stalled { shard; restarts; at_us } ->
     Printf.sprintf "shard %d stalled at %d us after %d restart(s)" shard at_us restarts
+  | Watchdog_tripped { rule; shard; at_us } ->
+    Printf.sprintf "watchdog rule %S tripped on shard %d at %d us" rule shard at_us

@@ -22,6 +22,11 @@ type t =
   | Shard_stalled of { shard : int; restarts : int; at_us : int }
       (** a sharded-engine worker exhausted its supervisor's restart
           budget, the last fault being a detected stall *)
+  | Watchdog_tripped of { rule : string; shard : int; at_us : int }
+      (** an escalating telemetry watchdog rule ([Obs.Watch]) fired on
+          the shard's snapshot stream — the observability layer's way
+          of declaring a live run stuck or out of bounds; [at_us] is
+          the snapshot time of the first fire *)
 
 val of_device : Device.Model.failure -> t
 

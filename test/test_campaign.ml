@@ -251,6 +251,44 @@ let test_store_load_strict () =
         check_bool ("mentions schema: " ^ msg) true (contains_substring msg "schema")
       | Ok _ -> Alcotest.fail "wrong-schema artifact loaded")
 
+let test_store_timings_replay () =
+  with_temp_dir (fun dir ->
+      init_ok ~dir small_spec;
+      (* an attempt: running at t=100, done at t=103.5 *)
+      Campaign.Store.record_start ~dir ~t:100. "p=a,seed=0";
+      Campaign.Store.record ~t:103.5 ~dir "p=a,seed=0" Campaign.Store.Done;
+      (* a failed attempt retried: the last spawn wins *)
+      Campaign.Store.record_start ~dir ~t:100. "p=a,seed=1";
+      Campaign.Store.record ~t:101. ~dir "p=a,seed=1" (Campaign.Store.failed "boom");
+      Campaign.Store.record_start ~dir ~t:110. "p=a,seed=1";
+      (* an open attempt: running, never finished *)
+      Campaign.Store.record_start ~dir ~t:120. "p=b,seed=0";
+      let timings = Campaign.Store.timings ~dir in
+      let timing id = List.assoc id timings in
+      check_bool "closed attempt carries both stamps" true
+        (timing "p=a,seed=0"
+        = { Campaign.Store.t_started = Some 100.; t_finished = Some 103.5 });
+      check_bool "a new spawn clears the earlier finish" true
+        (timing "p=a,seed=1"
+        = { Campaign.Store.t_started = Some 110.; t_finished = None });
+      check_bool "open attempt has no finish" true
+        (timing "p=b,seed=0"
+        = { Campaign.Store.t_started = Some 120.; t_finished = None });
+      check_bool "never-mentioned cells absent" true
+        (List.assoc_opt "p=b,seed=1" timings = None);
+      (* first-mention order, and running lines replay as Pending *)
+      check_bool "first-mention order" true
+        (List.map fst timings = [ "p=a,seed=0"; "p=a,seed=1"; "p=b,seed=0" ]);
+      let sts = Campaign.Store.statuses ~dir small_spec in
+      let st id =
+        List.assoc id
+          (List.map (fun ((p : Campaign.Spec.point), s) -> (p.Campaign.Spec.id, s)) sts)
+      in
+      check_bool "running replays as pending (resume unchanged)" true
+        (st "p=b,seed=0" = Campaign.Store.Pending);
+      check_bool "respawned cell replays as pending again" true
+        (st "p=a,seed=1" = Campaign.Store.Pending))
+
 (* --- executor -------------------------------------------------------- *)
 
 let scoring_runner ~score : Campaign.Exec.runner =
@@ -260,6 +298,20 @@ let scoring_runner ~score : Campaign.Exec.runner =
 
 let run_exec ?jobs ?limit ~dir ~spec runner =
   Campaign.Exec.run ?jobs ?limit ~dir ~spec ~runner ()
+
+let test_exec_stamps_timings () =
+  with_temp_dir (fun dir ->
+      init_ok ~dir small_spec;
+      let _ = run_exec ~jobs:2 ~dir ~spec:small_spec (scoring_runner ~score:1.) in
+      let timings = Campaign.Store.timings ~dir in
+      check_int "every cell timed" 4 (List.length timings);
+      List.iter
+        (fun (id, (tm : Campaign.Store.timing)) ->
+          match (tm.Campaign.Store.t_started, tm.Campaign.Store.t_finished) with
+          | Some s, Some f ->
+            check_bool (id ^ ": finish not before start") true (f >= s)
+          | _ -> Alcotest.failf "%s: executor left a stamp out" id)
+        timings)
 
 let test_exec_runs_grid () =
   with_temp_dir (fun dir ->
@@ -738,6 +790,8 @@ let () =
             test_store_load_flattens;
           Alcotest.test_case "done cell without artifact refused" `Quick
             test_store_load_strict;
+          Alcotest.test_case "timings mined from the log stamps" `Quick
+            test_store_timings_replay;
         ] );
       ( "exec",
         [
@@ -755,6 +809,8 @@ let () =
             test_exec_resume_skips_exhausted_budget;
           Alcotest.test_case "limit then resume recomputes nothing" `Quick
             test_exec_limit_then_resume;
+          Alcotest.test_case "every attempt wall-clock stamped" `Quick
+            test_exec_stamps_timings;
         ] );
       ( "report",
         [

@@ -38,6 +38,8 @@ let one_of_each =
       ev ~t_us:23 (Shard_crash { shard = 2; attempt = 1 });
       ev ~t_us:24 (Shard_restart { shard = 2; attempt = 1 });
       ev ~t_us:25 (Shard_checkpoint { shard = 2; progress = 512; events = 300 });
+      ev ~t_us:26 (Watchdog_fire { rule = "ev.fault>100@3"; snapshots = 3 });
+      ev ~t_us:27 (Watchdog_clear { rule = "ev.fault>100@3"; snapshots = 5 });
     ]
 
 (* --- Event JSON --- *)
@@ -193,6 +195,50 @@ let test_sample_every_n () =
     Obs.Sink.emit s (ev ~t_us:i (Obs.Event.Fault { page = i }))
   done;
   Alcotest.(check (list int)) "3rd, 6th, 9th" [ 3; 6; 9 ] (List.rev !fired)
+
+(* The sampling contract, as a property: the kept stream is a
+   deterministic subsequence of the input, run_start boundaries always
+   reach the probe, and — because boundaries do not advance the
+   sampling counter — the kept subsequence of ordinary events is
+   exactly every N-th of them, however many segments the stream was
+   spliced from. *)
+let prop_sample_deterministic_subsequence =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 1 7)
+        (list_size (int_bound 60)
+           (map2
+              (fun boundary t ->
+                if boundary then
+                  ev ~t_us:t (Obs.Event.Run_start { run = 0; seed = None; config = None })
+                else ev ~t_us:t (Obs.Event.Fault { page = t }))
+              bool (int_bound 1000))))
+  in
+  QCheck.Test.make ~name:"sample: deterministic subsequence, boundaries kept"
+    ~count:200 (QCheck.make gen)
+    (fun (every, events) ->
+      let run () =
+        let out = ref [] in
+        let s = Obs.Sink.sample ~every (fun e -> out := e :: !out) in
+        List.iter (Obs.Sink.emit s) events;
+        List.rev !out
+      in
+      let kept = run () in
+      let is_boundary e =
+        match e.Obs.Event.kind with Obs.Event.Run_start _ -> true | _ -> false
+      in
+      let rec subsequence xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' -> if x = y then subsequence xs' ys' else subsequence xs ys'
+      in
+      let boundaries = List.filter is_boundary in
+      let ordinary = List.filter (fun e -> not (is_boundary e)) in
+      kept = run () (* deterministic: a rerun keeps the same events *)
+      && subsequence kept events
+      && List.length (boundaries kept) = List.length (boundaries events)
+      && List.length (ordinary kept) = List.length (ordinary events) / every)
 
 let test_jsonl_sink_writes_parseable_lines () =
   let file = Filename.temp_file "dsas_obs" ".jsonl" in
@@ -451,7 +497,7 @@ let test_summary_of_events () =
   let stats = Obs.Summary.of_events one_of_each in
   check_int "events" (List.length one_of_each) stats.Obs.Summary.events;
   check_int "first" 0 stats.Obs.Summary.t_first_us;
-  check_int "last" 25 stats.Obs.Summary.t_last_us;
+  check_int "last" 27 stats.Obs.Summary.t_last_us;
   check_int "faults" 1 (Obs.Summary.count stats "fault");
   check_int "swaps" 2 (Obs.Summary.count stats "segment_swap");
   check_int "absent kind" 0 (Obs.Summary.count stats "no_such");
@@ -509,6 +555,7 @@ let () =
           Alcotest.test_case "shift" `Quick test_shift_offsets_timestamps;
           Alcotest.test_case "tee" `Quick test_tee_duplicates;
           Alcotest.test_case "sample" `Quick test_sample_every_n;
+          QCheck_alcotest.to_alcotest prop_sample_deterministic_subsequence;
           Alcotest.test_case "jsonl" `Quick test_jsonl_sink_writes_parseable_lines;
         ] );
       ( "engines",

@@ -282,6 +282,106 @@ let test_merge_all_io_streams_check_clean () =
     Alcotest.fail "merged all-io stream violated trace invariants"
   end
 
+(* --- Per-shard telemetry: width-invariant, recovery-invariant --------- *)
+
+let snap_key (s : Obs.Telemetry.snapshot) =
+  (s.Obs.Telemetry.sn_seq, s.sn_t_us, s.sn_shard, s.sn_counters, s.sn_gauges)
+
+let test_telemetry_width_invariant () =
+  let cfg = alloc_cfg 11 in
+  let tele domains =
+    (Parallel.Sharded.run_alloc ~telemetry:500 ~domains cfg)
+      .Parallel.Sharded.ar_telemetry
+  in
+  let reference = tele 1 in
+  check_bool "alloc telemetry captured" true (Array.length reference > 0);
+  check_bool "every shard produced a stream" true
+    (List.for_all
+       (fun shard ->
+         Array.exists
+           (fun s -> s.Obs.Telemetry.sn_shard = Some shard)
+           reference)
+       [ 0; 1; 2; 3 ]);
+  check_bool "merged telemetry identical at widths 2 and 4" true
+    (List.for_all
+       (fun domains -> Array.map snap_key (tele domains) = Array.map snap_key reference)
+       [ 2; 4 ]);
+  check_bool "merged stream passes Telemetry.check" true
+    (Obs.Telemetry.check (Array.to_list reference) = []);
+  let p_cfg = paging_cfg 11 in
+  let p_tele domains =
+    (Parallel.Sharded.run_paging ~telemetry:500 ~domains p_cfg)
+      .Parallel.Sharded.pr_telemetry
+  in
+  let p_ref = p_tele 1 in
+  check_bool "paging telemetry captured" true (Array.length p_ref > 0);
+  check_bool "paging telemetry width-invariant" true
+    (Array.map snap_key (p_tele 4) = Array.map snap_key p_ref)
+
+let test_telemetry_off_by_default () =
+  let r = Parallel.Sharded.run_alloc ~domains:1 (alloc_cfg 11) in
+  check_int "no telemetry unless asked" 0
+    (Array.length r.Parallel.Sharded.ar_telemetry)
+
+let test_supervised_telemetry_matches_fault_free () =
+  let cfg = alloc_cfg 13 in
+  let fault_free =
+    (Parallel.Sharded.run_alloc ~telemetry:500 ~domains:1 cfg)
+      .Parallel.Sharded.ar_telemetry
+  in
+  let kills =
+    List.map
+      (fun (shard, progress) ->
+        {
+          Parallel.Supervisor.k_shard = shard;
+          k_attempt = 0;
+          k_progress = progress;
+          k_stall = false;
+        })
+      [ (0, 150); (2, 40) ]
+  in
+  match
+    Parallel.Sharded.run_alloc_supervised ~telemetry:500 ~kills ~checkpoint_every:64
+      ~domains:2 cfg
+  with
+  | Error f -> Alcotest.failf "escalated: %s" (Resilience.Failure.to_string f)
+  | Ok (report, _) ->
+    check_bool "crash-recovered telemetry is the fault-free telemetry" true
+      (Array.map snap_key report.Parallel.Sharded.ar_telemetry
+      = Array.map snap_key fault_free)
+
+let test_watchdog_escalation_is_typed_and_atomic () =
+  let cfg = alloc_cfg 17 in
+  let rule =
+    match Obs.Watch.parse "ev.alloc>0@1!" with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "rule refused: %s" e
+  in
+  let emitted = ref 0 in
+  let obs = Obs.Sink.collect (fun _ -> incr emitted) in
+  (match
+     Parallel.Sharded.run_alloc_supervised ~obs ~telemetry:500 ~watch:[ rule ]
+       ~domains:2 cfg
+   with
+   | Ok _ -> Alcotest.fail "an always-firing escalating rule did not trip"
+   | Error (Resilience.Failure.Watchdog_tripped { rule = name; shard; at_us }) ->
+     Alcotest.(check string) "failure names the rule" "ev.alloc>0@1!" name;
+     check_int "lowest violating shard wins" 0 shard;
+     check_bool "stamped with the snapshot time" true (at_us > 0);
+     check_int "nothing emitted before the abort" 0 !emitted
+   | Error f ->
+     Alcotest.failf "wrong failure class: %s" (Resilience.Failure.to_string f));
+  (* a non-escalating version of the same rule only annotates *)
+  let tame = { rule with Obs.Watch.escalate = false } in
+  match
+    Parallel.Sharded.run_alloc_supervised ~telemetry:500 ~watch:[ tame ] ~domains:2
+      cfg
+  with
+  | Ok _ -> ()
+  | Error f ->
+    Alcotest.failf "non-escalating rule aborted the run: %s"
+      (Resilience.Failure.to_string f)
+
 (* --- Shard count is a workload input (changing it may change results) --- *)
 
 let test_shard_count_is_workload () =
@@ -737,6 +837,16 @@ let () =
           QCheck_alcotest.to_alcotest prop_paging_merge_width_independent;
           Alcotest.test_case "shard count is workload" `Quick
             test_shard_count_is_workload;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "width-invariant snapshots" `Quick
+            test_telemetry_width_invariant;
+          Alcotest.test_case "off by default" `Quick test_telemetry_off_by_default;
+          Alcotest.test_case "recovery-invariant snapshots" `Quick
+            test_supervised_telemetry_matches_fault_free;
+          Alcotest.test_case "watchdog escalation typed and atomic" `Quick
+            test_watchdog_escalation_is_typed_and_atomic;
         ] );
       ( "supervisor",
         [
